@@ -1,0 +1,49 @@
+// Shared output helpers for the figure-reproduction benches. Every bench
+// prints the figure's series as aligned columns plus a PAPER-vs-OURS line so
+// EXPERIMENTS.md can be filled straight from the run logs.
+#pragma once
+
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/stats.h"
+
+namespace rfly::bench {
+
+inline void header(const std::string& figure, const std::string& title) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure.c_str(), title.c_str());
+  std::printf("==============================================================\n");
+}
+
+/// Print an empirical CDF as (value, fraction) rows, subsampled to ~20 rows.
+inline void print_cdf(const std::string& label, std::span<const double> values,
+                      const std::string& unit) {
+  const auto cdf = empirical_cdf(values);
+  std::printf("CDF of %s (%zu trials):\n  %12s  fraction\n", label.c_str(),
+              values.size(), unit.c_str());
+  const std::size_t step = cdf.size() > 20 ? cdf.size() / 20 : 1;
+  for (std::size_t i = 0; i < cdf.size(); i += step) {
+    std::printf("  %12.3f  %8.2f\n", cdf[i].value, cdf[i].fraction);
+  }
+  if (!cdf.empty()) {
+    std::printf("  %12.3f  %8.2f\n", cdf.back().value, cdf.back().fraction);
+  }
+}
+
+inline void summary_line(const std::string& label, std::span<const double> values,
+                         const std::string& unit) {
+  const Summary s = summarize(values);
+  std::printf("%-28s median %8.3f %s   p10 %8.3f   p90 %8.3f   p99 %8.3f\n",
+              label.c_str(), s.p50, unit.c_str(), s.p10, s.p90, s.p99);
+}
+
+inline void paper_vs_ours(const std::string& metric, const std::string& paper,
+                          double ours, const std::string& unit) {
+  std::printf("PAPER vs OURS | %-38s paper: %-14s ours: %.3g %s\n", metric.c_str(),
+              paper.c_str(), ours, unit.c_str());
+}
+
+}  // namespace rfly::bench

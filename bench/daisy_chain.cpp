@@ -1,0 +1,49 @@
+// Extension (paper Section 4.3 / Section 9): daisy-chained relays. How the
+// read range scales with hop count once each hop obeys the Eq. 3 stability
+// rule, and where the per-hop budgets go.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "core/daisy_chain.h"
+
+using namespace rfly;
+using namespace rfly::core;
+
+int main() {
+  bench::header("Ext. daisy chain", "read range vs number of chained relays");
+
+  DaisyChainConfig cfg;
+  // Chain-tuned uplink gain: the reply must be re-amplified per hop.
+  cfg.system.relay_uplink_gain_db = 54.0;
+
+  std::printf("per-hop stability bound (Eq. 3 at %.0f dB isolation)\n\n",
+              cfg.stability_isolation_db);
+  std::printf("  relays   read_range_m   range_per_relay_m\n");
+  double r1 = 0.0;
+  for (int n = 1; n <= 5; ++n) {
+    const double r = chain_read_range_m(cfg, n);
+    if (n == 1) r1 = r;
+    std::printf("  %6d   %12.0f   %17.1f\n", n, r, r / n);
+  }
+
+  // Per-hop budget detail for a 3-relay chain at its working range.
+  const double d = chain_read_range_m(cfg, 3) - 2.0;
+  std::vector<Vec3> relays;
+  for (int i = 1; i <= 3; ++i) {
+    relays.push_back({d * static_cast<double>(i) / 3.0, 0.0, 1.0});
+  }
+  const auto budget = evaluate_chain(cfg, channel::Environment{}, {0, 0, 1},
+                                     relays, {d + 2.0, 0.0, 0.5});
+  std::printf("\n3-relay chain at %.0f m: tag incident %.1f dBm, reply SNR %.1f dB\n",
+              d + 2.0, budget.tag_incident_dbm, budget.reply_snr_db);
+  for (std::size_t i = 0; i < budget.hop_downlink_gain_db.size(); ++i) {
+    std::printf("  hop %zu effective downlink gain: %.1f dB\n", i + 1,
+                budget.hop_downlink_gain_db[i]);
+  }
+
+  bench::paper_vs_ours("single-relay range [m]", "~50 (Fig. 11)", r1, "m");
+  bench::paper_vs_ours("chaining", "future work (Sec. 4.3/9)",
+                       chain_read_range_m(cfg, 3) / (r1 > 0 ? r1 : 1.0),
+                       "x range with 3 relays");
+  return 0;
+}

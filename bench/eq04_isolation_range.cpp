@@ -1,0 +1,49 @@
+// Eq. 3/4 — Isolation bounds relay range: R/lambda < 10^{I/20}/(4 pi).
+// Prints the analytic table the paper quotes (30 dB -> 0.75 m,
+// 80 dB -> 238 m at lambda = 0.3 m) and the theoretical range implied by
+// the isolations our simulated relay actually measures.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "channel/link_budget.h"
+#include "common/constants.h"
+#include "relay/isolation.h"
+
+using namespace rfly;
+
+int main() {
+  bench::header("Eq. 3/4", "self-interference isolation vs maximum relay range");
+
+  const double f_paper = kSpeedOfLight / 0.3;  // the paper's lambda = 0.3 m
+  std::printf("  isolation_dB   range_m(@915MHz)   range_m(@lambda=0.3m)\n");
+  for (double iso : {20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0}) {
+    std::printf("  %12.0f   %16.2f   %20.2f\n", iso,
+                channel::max_relay_range_m(iso, 915e6),
+                channel::max_relay_range_m(iso, f_paper));
+  }
+
+  bench::paper_vs_ours("range at 30 dB isolation [m]", "0.75",
+                       channel::max_relay_range_m(30.0, f_paper), "m");
+  bench::paper_vs_ours("range at 80 dB isolation [m]", "238",
+                       channel::max_relay_range_m(80.0, f_paper), "m");
+
+  // Now the measured relay: its weakest isolation path bounds the range.
+  relay::RflyRelayConfig cfg;
+  auto factory = [&cfg] { return relay::make_rfly_relay(cfg, 99); };
+  const auto trial =
+      relay::measure_all_isolations(factory, cfg.freq_shift_hz, {});
+  const double weakest =
+      std::min({trial.intra_downlink.isolation_db, trial.intra_uplink.isolation_db,
+                trial.inter_downlink_uplink.isolation_db,
+                trial.inter_uplink_downlink.isolation_db});
+  std::printf("\nsimulated relay isolations: intra_d %.1f, intra_u %.1f, "
+              "inter_du %.1f, inter_ud %.1f dB\n",
+              trial.intra_downlink.isolation_db, trial.intra_uplink.isolation_db,
+              trial.inter_downlink_uplink.isolation_db,
+              trial.inter_uplink_downlink.isolation_db);
+  std::printf("weakest path %.1f dB -> theoretical range %.1f m at 915 MHz\n",
+              weakest, channel::max_relay_range_m(weakest, 915e6));
+  bench::paper_vs_ours(">70 dB across paths -> theoretical range [m]", "83",
+                       channel::max_relay_range_m(weakest, 915e6), "m");
+  return 0;
+}

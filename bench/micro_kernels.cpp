@@ -1,0 +1,88 @@
+// Google-benchmark microbenchmarks of the system's hot kernels: the SAR
+// grid projection (localization inner loop), the relay's per-sample chain,
+// and the FM0 decoder. These bound how fast the full experiments can run.
+#include <benchmark/benchmark.h>
+
+#include "channel/channel_model.h"
+#include "channel/environment.h"
+#include "channel/path_loss.h"
+#include "drone/trajectory.h"
+#include "gen2/fm0.h"
+#include "localize/localizer.h"
+#include "relay/coupling.h"
+#include "relay/rfly_relay.h"
+
+using namespace rfly;
+
+namespace {
+
+localize::DisentangledSet make_set(std::size_t n_points) {
+  const auto traj =
+      drone::linear_trajectory({4, 2, 1}, {6, 2, 1}, n_points);
+  localize::DisentangledSet set;
+  for (const auto& p : traj) {
+    set.positions.push_back(p);
+    const cdouble h2 = channel::propagation_coefficient(p.distance_to({5, 0, 0}), 916e6);
+    set.channels.push_back(h2 * h2);
+  }
+  return set;
+}
+
+void BM_SarHeatmap(benchmark::State& state) {
+  const auto set = make_set(static_cast<std::size_t>(state.range(0)));
+  localize::GridSpec grid{4.0, 6.0, -0.5, 1.5, 0.05};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(localize::sar_heatmap(set, grid, 916e6));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(grid.nx() * grid.ny() *
+                                                    set.channels.size()));
+}
+BENCHMARK(BM_SarHeatmap)->Arg(10)->Arg(40)->Arg(160);
+
+void BM_RelayStep(benchmark::State& state) {
+  auto relay_hw = relay::make_rfly_relay(relay::RflyRelayConfig{}, 1);
+  Rng rng(2);
+  const auto coupling = relay::draw_coupling(relay::rfly_flight_coupling(), rng);
+  relay::CoupledRelay loop(*relay_hw, coupling);
+  const cdouble drive{1e-4, 0.0};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(loop.step(drive, cdouble{0.0, 0.0}));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RelayStep);
+
+void BM_Fm0Decode(benchmark::State& state) {
+  const std::size_t n_bits = static_cast<std::size_t>(state.range(0));
+  Rng rng(3);
+  gen2::Bits bits(n_bits);
+  for (auto& b : bits) b = rng.chance(0.5) ? 1 : 0;
+  const auto levels = gen2::fm0_levels(bits);
+  const double spb = 4.0;
+  std::vector<cdouble> x(
+      static_cast<std::size_t>(spb * static_cast<double>(levels.size())) + 64,
+      cdouble{1e-3, 0.0});
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const auto k = std::min(static_cast<std::size_t>(static_cast<double>(i) / spb),
+                            levels.size() - 1);
+    x[i] += 1e-6 * static_cast<double>(levels[k]);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(gen2::fm0_decode(x, spb, n_bits));
+  }
+}
+BENCHMARK(BM_Fm0Decode)->Arg(16)->Arg(128);
+
+void BM_PointToPointChannel(benchmark::State& state) {
+  const auto env = channel::warehouse_environment(40.0, 30.0, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        channel::point_to_point_channel(env, {1, 1, 1}, {30, 20, 0.5}, 915e6));
+  }
+}
+BENCHMARK(BM_PointToPointChannel);
+
+}  // namespace
+
+BENCHMARK_MAIN();

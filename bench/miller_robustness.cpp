@@ -1,0 +1,106 @@
+// Extension: FM0 vs Miller-M reply robustness through the relay. Gen2's M
+// field trades data rate for interference robustness; this bench measures
+// frame error rate vs SNR for each line code on the same 16-bit reply, and
+// the airtime cost.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "gen2/fm0.h"
+#include "gen2/miller.h"
+#include "signal/noise.h"
+
+using namespace rfly;
+using namespace rfly::gen2;
+
+namespace {
+
+/// Frame error rate over `trials` random 16-bit frames at per-slot SNR.
+double frame_error_rate(Miller m, double snr_db, int trials, Rng& rng) {
+  int errors = 0;
+  const double spc = 4.0;
+  const double signal_amp = 1e-6;
+  const double noise_power =
+      signal_amp * signal_amp / from_db(snr_db);
+  for (int t = 0; t < trials; ++t) {
+    Bits bits(16);
+    for (auto& b : bits) b = rng.chance(0.5) ? 1 : 0;
+    const std::vector<int> slots =
+        (m == Miller::kFm0) ? fm0_levels(bits) : miller_chips(bits, m);
+    const auto total = static_cast<std::size_t>(spc * slots.size());
+    std::vector<cdouble> x(total + 64, cdouble{1e-3, 0.0});
+    for (std::size_t i = 0; i < total; ++i) {
+      const auto k = std::min(static_cast<std::size_t>(i / spc), slots.size() - 1);
+      x[i] += signal_amp * static_cast<double>(slots[k]) * cis(1.1);
+    }
+    const double sigma = std::sqrt(noise_power / 2.0);
+    for (auto& v : x) v += cdouble{rng.gaussian(0.0, sigma), rng.gaussian(0.0, sigma)};
+
+    bool ok = false;
+    if (m == Miller::kFm0) {
+      const auto d = fm0_decode(x, spc, 16, false, 0.3);
+      ok = d && d->bits == bits;
+    } else {
+      const auto d = miller_decode(x, spc, 16, m, false, 0.3);
+      ok = d && d->bits == bits;
+    }
+    if (!ok) ++errors;
+  }
+  return static_cast<double>(errors) / trials;
+}
+
+const char* name_of(Miller m) {
+  switch (m) {
+    case Miller::kFm0:
+      return "FM0";
+    case Miller::kM2:
+      return "Miller-2";
+    case Miller::kM4:
+      return "Miller-4";
+    case Miller::kM8:
+      return "Miller-8";
+  }
+  return "?";
+}
+
+double airtime_slots(Miller m) {
+  return static_cast<double>(m == Miller::kFm0 ? fm0_half_bits(16)
+                                               : miller_total_chips(16, m));
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Ext. line codes", "FM0 vs Miller-M: frame error rate vs SNR");
+
+  constexpr int kTrials = 60;
+  std::printf("(16-bit frames, per-slot SNR; slots run at 2*BLF)\n\n");
+  std::printf("  %-9s airtime_slots", "snr_db");
+  for (auto m : {Miller::kFm0, Miller::kM2, Miller::kM4, Miller::kM8}) {
+    std::printf("  %9s", name_of(m));
+  }
+  std::printf("\n  %-9s", "");
+  std::printf(" %12s", "");
+  for (auto m : {Miller::kFm0, Miller::kM2, Miller::kM4, Miller::kM8}) {
+    std::printf("  %9.0f", airtime_slots(m));
+  }
+  std::printf("   <- slots per frame\n");
+
+  for (double snr : {6.0, 3.0, 0.0, -3.0, -6.0, -9.0}) {
+    std::printf("  %-9.0f %12s", snr, "");
+    for (auto m : {Miller::kFm0, Miller::kM2, Miller::kM4, Miller::kM8}) {
+      Rng rng(static_cast<std::uint64_t>(1000 + snr * 17) +
+              static_cast<std::uint64_t>(m));
+      std::printf("  %8.0f%%", 100.0 * frame_error_rate(m, snr, kTrials, rng));
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nHigher M spends proportionally more airtime per bit and buys\n"
+              "lower error rates at a given per-slot SNR — the Gen2 trade the\n"
+              "reader's M field controls (Section 2 of the paper fixes FM0 at\n"
+              "BLF 500 kHz; the relay forwards any of them transparently).\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Relay link planner: the Section 4/6.1 engineering workflow as a tool.
+// Given a deployment's geometry, it measures the relay's isolations, plans
+// the VGA gains against the stability constraints, and reports the
+// resulting powering range, read range, and margins (Eq. 3/4).
+#include <algorithm>
+#include <cstdio>
+
+#include "channel/link_budget.h"
+#include "channel/path_loss.h"
+#include "common/constants.h"
+#include "core/system.h"
+#include "relay/gain_control.h"
+#include "relay/isolation.h"
+
+using namespace rfly;
+
+int main() {
+  std::printf("RFly relay link planner\n=======================\n\n");
+
+  // 1. Characterize the board: measure the four isolations (Fig. 9 bench).
+  relay::RflyRelayConfig hw;
+  auto factory = [&hw] { return relay::make_rfly_relay(hw, 2718); };
+  const auto iso = relay::measure_all_isolations(factory, hw.freq_shift_hz, {});
+  std::printf("measured isolations:\n");
+  std::printf("  intra-downlink  %6.1f dB\n", iso.intra_downlink.isolation_db);
+  std::printf("  intra-uplink    %6.1f dB\n", iso.intra_uplink.isolation_db);
+  std::printf("  inter down->up  %6.1f dB\n", iso.inter_downlink_uplink.isolation_db);
+  std::printf("  inter up->down  %6.1f dB\n", iso.inter_uplink_downlink.isolation_db);
+
+  // 2. Plan the gains subject to the stability margins (Section 6.1).
+  relay::GainPlanInput plan_in;
+  plan_in.intra_downlink_isolation_db = iso.intra_downlink.isolation_db;
+  plan_in.intra_uplink_isolation_db = iso.intra_uplink.isolation_db;
+  plan_in.inter_downlink_uplink_isolation_db =
+      iso.inter_downlink_uplink.isolation_db;
+  plan_in.inter_uplink_downlink_isolation_db =
+      iso.inter_uplink_downlink.isolation_db;
+  plan_in.margin_db = 10.0;
+  const auto plan = relay::plan_gains(plan_in);
+  std::printf("\ngain plan (10 dB stability margin):\n");
+  std::printf("  downlink gain %5.1f dB (maximized first: powers the tags)\n",
+              plan.downlink_gain_db);
+  std::printf("  uplink gain   %5.1f dB\n", plan.uplink_gain_db);
+  std::printf("  feasible: %s\n", plan.feasible ? "yes" : "NO");
+
+  // 3. Range predictions.
+  const double weakest = std::min({iso.intra_downlink.isolation_db,
+                                   iso.intra_uplink.isolation_db,
+                                   iso.inter_downlink_uplink.isolation_db,
+                                   iso.inter_uplink_downlink.isolation_db});
+  std::printf("\nrange predictions at 915 MHz:\n");
+  std::printf("  stability-limited reader-relay range (Eq. 4): %.1f m\n",
+              channel::max_relay_range_m(weakest, 915e6));
+
+  core::SystemConfig sys;
+  sys.relay_downlink_gain_db = plan.downlink_gain_db;
+  sys.relay_uplink_gain_db = plan.uplink_gain_db;
+  core::RflySystem system(sys, channel::Environment{}, {0, 0, 1});
+
+  // Walk the relay out until the tag 2 m beyond it loses power or SNR.
+  double powering_limit = 0.0;
+  double snr_limit = 0.0;
+  for (double d = 2.0; d < 300.0; d += 1.0) {
+    const core::Vec3 relay_pos{d, 0.0, 1.0};
+    const core::Vec3 tag_pos{d + 2.0, 0.0, 0.5};
+    if (powering_limit == 0.0 &&
+        system.tag_incident_power_dbm(relay_pos, tag_pos) < sys.tag.sensitivity_dbm) {
+      powering_limit = d;
+    }
+    if (snr_limit == 0.0 &&
+        system.reply_snr_db(relay_pos, tag_pos) < sys.decode_snr_threshold_db) {
+      snr_limit = d;
+    }
+  }
+  if (powering_limit == 0.0) powering_limit = 300.0;
+  if (snr_limit == 0.0) snr_limit = 300.0;
+  std::printf("  tag-powering limit (tag 2 m past relay):      %.0f m\n",
+              powering_limit);
+  std::printf("  uplink-SNR limit:                             %.0f m\n", snr_limit);
+  std::printf("  deployable reader-relay range:                %.0f m\n",
+              std::min({powering_limit, snr_limit,
+                        channel::max_relay_range_m(weakest, 915e6)}));
+
+  std::printf("\ndirect (relay-less) read range for comparison: %.1f m\n",
+              channel::direct_powering_range_m(sys.reader_eirp_dbm,
+                                               sys.tag.antenna_gain_dbi,
+                                               sys.tag.sensitivity_dbm, 915e6));
+  return 0;
+}

@@ -1,0 +1,37 @@
+#include "channel/channel_model.h"
+
+#include "common/units.h"
+
+namespace rfly::channel {
+
+cdouble path_coefficient(const Path& path, double f_hz, const LinkGains& gains) {
+  const cdouble base = propagation_coefficient(path.distance_m, f_hz);
+  const double gain_db = gains.tx_gain_dbi + gains.rx_gain_dbi - path.extra_loss_db;
+  return base * db_to_amplitude(gain_db);
+}
+
+cdouble channel_coefficient(const std::vector<Path>& paths, double f_hz,
+                            const LinkGains& gains) {
+  cdouble h{0.0, 0.0};
+  for (const auto& p : paths) h += path_coefficient(p, f_hz, gains);
+  return h;
+}
+
+cdouble point_to_point_channel(const Environment& env, const Vec3& a, const Vec3& b,
+                               double f_hz, const LinkGains& gains) {
+  return channel_coefficient(env.paths_between(a, b), f_hz, gains);
+}
+
+signal::Waveform apply_channel(const signal::Waveform& in, cdouble h) {
+  signal::Waveform out = in;
+  out.scale(h);
+  return out;
+}
+
+signal::Waveform propagate(const signal::Waveform& in, const Environment& env,
+                           const Vec3& a, const Vec3& b, double f_hz,
+                           const LinkGains& gains) {
+  return apply_channel(in, point_to_point_channel(env, a, b, f_hz, gains));
+}
+
+}  // namespace rfly::channel

@@ -1,0 +1,110 @@
+#include "channel/environment.h"
+
+#include <cmath>
+
+namespace rfly::channel {
+
+Material drywall() { return {"drywall", 3.0, 10.0}; }
+Material concrete() { return {"concrete", 12.0, 6.0}; }
+Material steel_shelf() { return {"steel_shelf", 30.0, 6.0}; }
+Material glass() { return {"glass", 2.0, 8.0}; }
+
+namespace {
+
+/// Does the 3D segment a->b pass through the (vertical, height-limited)
+/// obstacle? Plan-view crossing plus a height check at the crossing point.
+bool blocks(const Obstacle& obstacle, const Vec3& a, const Vec3& b) {
+  const Vec2 a2 = xy(a);
+  const Vec2 b2 = xy(b);
+  if (!segments_intersect(a2, b2, obstacle.footprint)) return false;
+  const auto crossing = segment_line_intersection(a2, b2, obstacle.footprint);
+  if (!crossing) return true;  // numerically degenerate: be conservative
+  const double seg_len = distance2(a2, b2);
+  const double t = seg_len > 0.0 ? distance2(a2, *crossing) / seg_len : 0.0;
+  const double z_at_crossing = a.z + t * (b.z - a.z);
+  return z_at_crossing <= obstacle.height_m;
+}
+
+}  // namespace
+
+double Environment::obstruction_loss_db(const Vec3& a, const Vec3& b) const {
+  double loss = 0.0;
+  for (const auto& obstacle : obstacles_) {
+    if (blocks(obstacle, a, b)) {
+      loss += obstacle.material.transmission_loss_db;
+    }
+  }
+  return loss;
+}
+
+std::vector<Path> Environment::paths_between(const Vec3& a, const Vec3& b) const {
+  std::vector<Path> paths;
+
+  const double dz = a.z - b.z;
+  const Vec2 a2 = xy(a);
+  const Vec2 b2 = xy(b);
+
+  // Direct path.
+  {
+    Path direct;
+    const double planar = distance2(a2, b2);
+    direct.distance_m = std::sqrt(planar * planar + dz * dz);
+    direct.extra_loss_db = obstruction_loss_db(a, b);
+    direct.is_direct = true;
+    paths.push_back(direct);
+  }
+
+  // First-order specular reflections via image sources.
+  for (std::size_t i = 0; i < obstacles_.size(); ++i) {
+    const auto& reflector = obstacles_[i];
+    const Vec2 image = reflect_across(a2, reflector.footprint);
+    // The bounce point is where image->b crosses the reflector segment.
+    const auto bounce = segment_line_intersection(image, b2, reflector.footprint);
+    if (!bounce) continue;
+    const double planar = distance2(image, b2);  // = |a->bounce| + |bounce->b|
+    if (planar < 1e-6) continue;
+
+    Path p;
+    p.distance_m = std::sqrt(planar * planar + dz * dz);
+    p.extra_loss_db = reflector.material.reflection_loss_db;
+    p.is_direct = false;
+
+    // Obstruction by *other* obstacles on each leg of the bounce.
+    const Vec3 bounce3{bounce->x, bounce->y, (a.z + b.z) / 2.0};
+    for (std::size_t j = 0; j < obstacles_.size(); ++j) {
+      if (j == i) continue;
+      const auto& other = obstacles_[j];
+      if (blocks(other, a, bounce3)) {
+        p.extra_loss_db += other.material.transmission_loss_db;
+      }
+      if (blocks(other, bounce3, b)) {
+        p.extra_loss_db += other.material.transmission_loss_db;
+      }
+    }
+    paths.push_back(p);
+  }
+  return paths;
+}
+
+Environment empty_environment() { return Environment{}; }
+
+Environment warehouse_environment(double width_m, double height_m, int shelf_rows) {
+  Environment env;
+  const Material wall = concrete();
+  env.add_obstacle({{{0.0, 0.0}, {width_m, 0.0}}, wall});
+  env.add_obstacle({{{width_m, 0.0}, {width_m, height_m}}, wall});
+  env.add_obstacle({{{width_m, height_m}, {0.0, height_m}}, wall});
+  env.add_obstacle({{{0.0, height_m}, {0.0, 0.0}}, wall});
+
+  // Shelf rows: steel segments spanning 80% of the width, evenly spaced,
+  // 2.5 m tall (paths can clear them from above).
+  const Material shelf = steel_shelf();
+  for (int r = 1; r <= shelf_rows; ++r) {
+    const double y = height_m * static_cast<double>(r) /
+                     static_cast<double>(shelf_rows + 1);
+    env.add_obstacle({{{0.1 * width_m, y}, {0.9 * width_m, y}}, shelf, 2.5});
+  }
+  return env;
+}
+
+}  // namespace rfly::channel

@@ -1,0 +1,60 @@
+#include "channel/geometry.h"
+
+#include <cmath>
+
+namespace rfly::channel {
+
+double Vec3::norm() const { return std::sqrt(x * x + y * y + z * z); }
+
+double Vec3::distance_to(const Vec3& o) const { return (*this - o).norm(); }
+
+double distance2(const Vec2& a, const Vec2& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+namespace {
+
+double cross(const Vec2& o, const Vec2& a, const Vec2& b) {
+  return (a.x - o.x) * (b.y - o.y) - (a.y - o.y) * (b.x - o.x);
+}
+
+}  // namespace
+
+bool segments_intersect(const Vec2& p1, const Vec2& p2, const Segment2& s) {
+  const double d1 = cross(s.a, s.b, p1);
+  const double d2 = cross(s.a, s.b, p2);
+  const double d3 = cross(p1, p2, s.a);
+  const double d4 = cross(p1, p2, s.b);
+  // Strict sign changes only: endpoint touches do not block.
+  return ((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+         ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0));
+}
+
+Vec2 reflect_across(const Vec2& p, const Segment2& s) {
+  const double dx = s.b.x - s.a.x;
+  const double dy = s.b.y - s.a.y;
+  const double len_sq = dx * dx + dy * dy;
+  if (len_sq == 0.0) return p;
+  // Project p onto the line, then mirror.
+  const double t = ((p.x - s.a.x) * dx + (p.y - s.a.y) * dy) / len_sq;
+  const Vec2 foot{s.a.x + t * dx, s.a.y + t * dy};
+  return {2.0 * foot.x - p.x, 2.0 * foot.y - p.y};
+}
+
+std::optional<Vec2> segment_line_intersection(const Vec2& p1, const Vec2& p2,
+                                              const Segment2& s) {
+  const double rx = p2.x - p1.x;
+  const double ry = p2.y - p1.y;
+  const double sx = s.b.x - s.a.x;
+  const double sy = s.b.y - s.a.y;
+  const double denom = rx * sy - ry * sx;
+  if (std::abs(denom) < 1e-15) return std::nullopt;  // parallel
+  const double t = ((s.a.x - p1.x) * sy - (s.a.y - p1.y) * sx) / denom;
+  const double u = ((s.a.x - p1.x) * ry - (s.a.y - p1.y) * rx) / denom;
+  if (t < 0.0 || t > 1.0 || u < 0.0 || u > 1.0) return std::nullopt;
+  return Vec2{p1.x + t * rx, p1.y + t * ry};
+}
+
+}  // namespace rfly::channel

@@ -1,0 +1,53 @@
+// Planar geometry for the warehouse environment model. Positions are 3D so
+// drone altitude is representable, but walls/reflectors are vertical planes
+// described by their 2D footprint segments (adequate for the paper's 2D
+// localization experiments).
+#pragma once
+
+#include <optional>
+
+namespace rfly::channel {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+
+  double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  double norm() const;
+  double distance_to(const Vec3& o) const;
+};
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// 2D line segment (a wall or shelf footprint in plan view).
+struct Segment2 {
+  Vec2 a;
+  Vec2 b;
+};
+
+/// Do the open segments p1->p2 and s.a->s.b intersect? Touching exactly at
+/// an endpoint does not count (so a path grazing a wall corner passes).
+bool segments_intersect(const Vec2& p1, const Vec2& p2, const Segment2& s);
+
+/// Mirror `p` across the infinite line through `s` (image-source method).
+Vec2 reflect_across(const Vec2& p, const Segment2& s);
+
+/// Point where segment p1->p2 crosses the line through `s`, if the crossing
+/// parameter lies within both the segment and `s`.
+std::optional<Vec2> segment_line_intersection(const Vec2& p1, const Vec2& p2,
+                                              const Segment2& s);
+
+inline Vec2 xy(const Vec3& v) { return {v.x, v.y}; }
+
+double distance2(const Vec2& a, const Vec2& b);
+
+}  // namespace rfly::channel

@@ -1,0 +1,24 @@
+#include "channel/link_budget.h"
+
+#include <cmath>
+
+#include "channel/path_loss.h"
+#include "common/constants.h"
+
+namespace rfly::channel {
+
+double max_relay_range_m(double isolation_db, double f_hz) {
+  return wavelength(f_hz) * std::pow(10.0, isolation_db / 20.0) / (4.0 * kPi);
+}
+
+double required_isolation_db(double range_m, double f_hz) {
+  return free_space_path_loss_db(range_m, f_hz);
+}
+
+double direct_powering_range_m(double reader_eirp_dbm, double tag_gain_dbi,
+                               double tag_sensitivity_dbm, double f_hz) {
+  return range_for_received_power(reader_eirp_dbm, 0.0, tag_gain_dbi,
+                                  tag_sensitivity_dbm, f_hz);
+}
+
+}  // namespace rfly::channel

@@ -1,0 +1,22 @@
+// Closed-form link-budget relations from Section 4.1 of the paper:
+// the relay stays stable only while reader->relay path loss exceeds the
+// relay's residual self-interference gain, i.e. isolation I bounds range R by
+//   I > 20*log10(4*pi*R/lambda)   (Eq. 3)
+//   R/lambda < 10^{I/20} / (4*pi) (Eq. 4)
+#pragma once
+
+namespace rfly::channel {
+
+/// Maximum stable reader-relay range for a given isolation (Eq. 4).
+double max_relay_range_m(double isolation_db, double f_hz);
+
+/// Isolation needed to sustain a given reader-relay range (Eq. 3, equality).
+double required_isolation_db(double range_m, double f_hz);
+
+/// Maximum reader->tag distance at which a *direct* (relay-less) link can
+/// still power a passive tag: free-space range at which received power
+/// equals the tag sensitivity.
+double direct_powering_range_m(double reader_eirp_dbm, double tag_gain_dbi,
+                               double tag_sensitivity_dbm, double f_hz);
+
+}  // namespace rfly::channel

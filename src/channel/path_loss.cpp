@@ -1,0 +1,40 @@
+#include "channel/path_loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/units.h"
+
+namespace rfly::channel {
+
+namespace {
+constexpr double kMinDistanceM = 0.01;
+}
+
+double free_space_path_loss_db(double d_m, double f_hz) {
+  const double d = std::max(d_m, kMinDistanceM);
+  return 20.0 * std::log10(4.0 * kPi * d / wavelength(f_hz));
+}
+
+cdouble propagation_coefficient(double d_m, double f_hz) {
+  const double d = std::max(d_m, kMinDistanceM);
+  const double lambda = wavelength(f_hz);
+  const double amplitude = lambda / (4.0 * kPi * d);
+  const double phase = -kTwoPi * d / lambda;
+  return amplitude * cis(phase);
+}
+
+double received_power_dbm(double tx_power_dbm, double tx_gain_dbi, double rx_gain_dbi,
+                          double d_m, double f_hz) {
+  return tx_power_dbm + tx_gain_dbi + rx_gain_dbi - free_space_path_loss_db(d_m, f_hz);
+}
+
+double range_for_received_power(double tx_power_dbm, double tx_gain_dbi,
+                                double rx_gain_dbi, double rx_power_dbm, double f_hz) {
+  const double budget_db = tx_power_dbm + tx_gain_dbi + rx_gain_dbi - rx_power_dbm;
+  // Invert FSPL: d = lambda/(4*pi) * 10^{L/20}.
+  return wavelength(f_hz) / (4.0 * kPi) * std::pow(10.0, budget_db / 20.0);
+}
+
+}  // namespace rfly::channel

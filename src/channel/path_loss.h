@@ -1,0 +1,27 @@
+// Free-space propagation. Eq. 3 of the paper bounds relay range by isolation
+// through exactly this path-loss expression, so the same function backs the
+// link-budget analysis bench and the waveform-level channel.
+#pragma once
+
+#include "common/math_util.h"
+
+namespace rfly::channel {
+
+/// Free-space path loss in dB at distance `d_m` and frequency `f_hz`:
+/// 20*log10(4*pi*d/lambda). d is clamped below at 1 cm to keep the
+/// near-field out of the model.
+double free_space_path_loss_db(double d_m, double f_hz);
+
+/// One-way complex field coefficient for a path of length `d_m`:
+/// amplitude = lambda / (4*pi*d) (isotropic antennas), phase = -2*pi*d/lambda.
+cdouble propagation_coefficient(double d_m, double f_hz);
+
+/// Received power (dBm) across a free-space link.
+double received_power_dbm(double tx_power_dbm, double tx_gain_dbi, double rx_gain_dbi,
+                          double d_m, double f_hz);
+
+/// Distance at which a free-space link delivers `rx_power_dbm`.
+double range_for_received_power(double tx_power_dbm, double tx_gain_dbi,
+                                double rx_gain_dbi, double rx_power_dbm, double f_hz);
+
+}  // namespace rfly::channel

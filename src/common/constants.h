@@ -1,0 +1,37 @@
+// Physical constants and RFly-wide radio parameters.
+#pragma once
+
+namespace rfly {
+
+/// Speed of light in vacuum [m/s].
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+/// Pi, to double precision.
+inline constexpr double kPi = 3.14159265358979323846;
+inline constexpr double kTwoPi = 2.0 * kPi;
+
+/// Thermal noise power spectral density at 290 K [dBm/Hz].
+inline constexpr double kThermalNoiseDbmPerHz = -174.0;
+
+/// US UHF RFID ISM band edges [Hz] (FCC part 15, 902-928 MHz).
+inline constexpr double kIsmBandLowHz = 902e6;
+inline constexpr double kIsmBandHighHz = 928e6;
+
+/// Gen2 frequency-hopping channel spacing in the US band [Hz].
+inline constexpr double kIsmChannelSpacingHz = 500e3;
+
+/// Minimum received power for an off-the-shelf passive tag to power up
+/// (Alien Squiggle class, per paper Section 2) [dBm].
+inline constexpr double kTagSensitivityDbm = -15.0;
+
+/// Default complex-baseband simulation sample rate [Hz]. Covers the widest
+/// Gen2 backscatter link frequency (640 kHz) and the relay's 1 MHz
+/// frequency shift with margin.
+inline constexpr double kDefaultSampleRateHz = 4e6;
+
+/// Wavelength at frequency f [m].
+inline constexpr double wavelength(double frequency_hz) {
+  return kSpeedOfLight / frequency_hz;
+}
+
+}  // namespace rfly

@@ -1,0 +1,30 @@
+#include "common/math_util.h"
+
+#include <cmath>
+
+#include "common/constants.h"
+
+namespace rfly {
+
+double wrap_phase(double radians) {
+  double wrapped = std::fmod(radians, kTwoPi);
+  if (wrapped > kPi) wrapped -= kTwoPi;
+  if (wrapped <= -kPi) wrapped += kTwoPi;
+  return wrapped;
+}
+
+double phase_distance(double a, double b) { return std::abs(wrap_phase(a - b)); }
+
+double deg_to_rad(double degrees) { return degrees * kPi / 180.0; }
+
+double rad_to_deg(double radians) { return radians * 180.0 / kPi; }
+
+cdouble cis(double theta) { return {std::cos(theta), std::sin(theta)}; }
+
+double sinc(double x) {
+  if (std::abs(x) < 1e-12) return 1.0;
+  const double px = kPi * x;
+  return std::sin(px) / px;
+}
+
+}  // namespace rfly

@@ -1,0 +1,29 @@
+// Small math helpers shared across modules.
+#pragma once
+
+#include <complex>
+
+namespace rfly {
+
+using cdouble = std::complex<double>;
+
+/// Wrap an angle to (-pi, pi].
+double wrap_phase(double radians);
+
+/// Absolute angular difference between two phases, in [0, pi].
+double phase_distance(double a, double b);
+
+/// Degrees <-> radians.
+double deg_to_rad(double degrees);
+double rad_to_deg(double radians);
+
+/// Unit complex exponential e^{j*theta}.
+cdouble cis(double theta);
+
+/// Linear interpolation.
+inline double lerp(double a, double b, double t) { return a + (b - a) * t; }
+
+/// sinc(x) = sin(pi x)/(pi x), sinc(0) = 1.
+double sinc(double x);
+
+}  // namespace rfly

@@ -1,0 +1,15 @@
+#include "common/rng.h"
+
+#include "common/constants.h"
+
+namespace rfly {
+
+double Rng::phase() { return uniform(0.0, kTwoPi); }
+
+Rng Rng::fork() {
+  // Draw a fresh 64-bit seed; the child stream is then independent of
+  // subsequent draws from this generator.
+  return Rng(engine_());
+}
+
+}  // namespace rfly

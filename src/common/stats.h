@@ -1,0 +1,44 @@
+// Descriptive statistics used by the evaluation harness: percentiles, CDF
+// sampling, and simple summaries matching how the paper reports results
+// (median / 10th / 90th / 99th percentile errors).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace rfly {
+
+/// Percentile via linear interpolation between closest ranks.
+/// `p` in [0, 100]. Input need not be sorted. Empty input returns NaN.
+double percentile(std::span<const double> values, double p);
+
+/// Median (50th percentile).
+double median(std::span<const double> values);
+
+/// Arithmetic mean. Empty input returns NaN.
+double mean(std::span<const double> values);
+
+/// Sample standard deviation (n-1 denominator). Fewer than 2 values -> 0.
+double stddev(std::span<const double> values);
+
+/// One (x, F(x)) point of an empirical CDF.
+struct CdfPoint {
+  double value = 0.0;
+  double fraction = 0.0;
+};
+
+/// Empirical CDF of `values`: sorted values paired with cumulative fraction.
+std::vector<CdfPoint> empirical_cdf(std::span<const double> values);
+
+/// Five-number-style summary used in bench output.
+struct Summary {
+  double p10 = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  double mean = 0.0;
+};
+
+Summary summarize(std::span<const double> values);
+
+}  // namespace rfly

@@ -1,0 +1,50 @@
+// Unit conversions used throughout RFly: decibels, dBm power, and frequency
+// helpers. All power quantities are linear watts unless the name says dB/dBm.
+#pragma once
+
+#include <cmath>
+
+namespace rfly {
+
+/// Convert a linear power ratio to decibels.
+inline double to_db(double linear_ratio) { return 10.0 * std::log10(linear_ratio); }
+
+/// Convert decibels to a linear power ratio.
+inline double from_db(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Convert a linear amplitude (voltage) ratio to decibels.
+inline double amplitude_to_db(double amplitude_ratio) {
+  return 20.0 * std::log10(amplitude_ratio);
+}
+
+/// Convert decibels to a linear amplitude (voltage) ratio.
+inline double db_to_amplitude(double db) { return std::pow(10.0, db / 20.0); }
+
+/// Convert watts to dBm.
+inline double watts_to_dbm(double watts) { return 10.0 * std::log10(watts * 1e3); }
+
+/// Convert dBm to watts.
+inline double dbm_to_watts(double dbm) { return std::pow(10.0, dbm / 10.0) * 1e-3; }
+
+namespace literals {
+
+// Frequency literals: 915.0_MHz -> 915e6 (double, hertz).
+constexpr double operator""_Hz(long double v) { return static_cast<double>(v); }
+constexpr double operator""_kHz(long double v) { return static_cast<double>(v) * 1e3; }
+constexpr double operator""_MHz(long double v) { return static_cast<double>(v) * 1e6; }
+constexpr double operator""_GHz(long double v) { return static_cast<double>(v) * 1e9; }
+constexpr double operator""_Hz(unsigned long long v) { return static_cast<double>(v); }
+constexpr double operator""_kHz(unsigned long long v) { return static_cast<double>(v) * 1e3; }
+constexpr double operator""_MHz(unsigned long long v) { return static_cast<double>(v) * 1e6; }
+constexpr double operator""_GHz(unsigned long long v) { return static_cast<double>(v) * 1e9; }
+
+// Time literals: 1.5_ms -> 1.5e-3 (double, seconds).
+constexpr double operator""_s(long double v) { return static_cast<double>(v); }
+constexpr double operator""_ms(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_us(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_ms(unsigned long long v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_us(unsigned long long v) { return static_cast<double>(v) * 1e-6; }
+
+}  // namespace literals
+
+}  // namespace rfly

@@ -1,0 +1,51 @@
+// Adaptive survey: couple localization confidence back into flight
+// planning. A single straight pass resolves the along-track axis sharply
+// but leaves the cross-range axis broad (and mirror-prone); when the
+// confidence assessment flags that, the drone flies a second, orthogonal
+// leg near the estimate and re-localizes on the combined measurements —
+// turning the 1D aperture into an L-shaped 2D one. This operationalizes the
+// paper's Section 5.2 remark that a two-dimensional trajectory extends the
+// method (there, to 3D).
+#pragma once
+
+#include "core/system.h"
+#include "localize/uncertainty.h"
+
+namespace rfly::core {
+
+struct AdaptiveSurveyConfig {
+  /// Refinement-leg geometry: length, sample count, and how far from the
+  /// current estimate the leg passes (relay-tag link budget keeps this
+  /// within a few meters).
+  double leg_length_m = 2.0;
+  std::size_t leg_points = 30;
+  double standoff_m = 1.5;
+  double leg_altitude_m = 1.0;
+  /// Trigger: refine when the initial confidence is not reliable, or when
+  /// the broad axis exceeds this.
+  double refine_if_halfwidth_above_m = 0.4;
+  localize::ConfidenceConfig confidence{};
+  drone::FlightConfig flight{};
+  drone::TrackingConfig tracking = drone::optitrack_tracking();
+  double grid_resolution_m = 0.01;
+  double search_halfwidth_m = 1.5;
+};
+
+struct AdaptiveSurveyResult {
+  bool localized = false;
+  Vec3 estimate{};
+  localize::Confidence initial_confidence{};
+  localize::Confidence final_confidence{};
+  bool refinement_flown = false;
+  std::size_t measurements = 0;
+};
+
+/// Localize `tag_position`'s tag starting from an initial flight, flying at
+/// most one refinement leg. Deterministic given `seed`.
+AdaptiveSurveyResult adaptive_localize(const RflySystem& system,
+                                       const std::vector<Vec3>& initial_plan,
+                                       const Vec3& tag_position,
+                                       const AdaptiveSurveyConfig& config,
+                                       std::uint64_t seed);
+
+}  // namespace rfly::core

@@ -1,0 +1,291 @@
+#include "core/airtime.h"
+
+#include <cmath>
+
+#include "common/units.h"
+#include "gen2/pie.h"
+#include "signal/noise.h"
+
+namespace rfly::core {
+
+namespace {
+
+/// Reflection-coefficient timeline for the tag across the frame.
+std::vector<cdouble> make_rho_timeline(std::size_t frame_len, double rho_idle,
+                                       const std::optional<gen2::TagReply>& reply,
+                                       const gen2::TagConfig& tag_cfg,
+                                       std::size_t reply_start, double fs) {
+  std::vector<cdouble> rho(frame_len, cdouble{rho_idle, 0.0});
+  if (!reply) return rho;
+  const signal::Waveform mod = gen2::modulate_reply(*reply, tag_cfg, fs);
+  for (std::size_t i = 0; i < mod.size() && reply_start + i < frame_len; ++i) {
+    rho[reply_start + i] = mod[i];
+  }
+  return rho;
+}
+
+/// One closed-loop pass: returns (reader_rx, tag_incident).
+struct PassOutput {
+  signal::Waveform reader_rx;
+  signal::Waveform tag_incident;
+};
+
+PassOutput run_pass(const signal::Waveform& reader_tx, relay::Relay& relay_hw,
+                    const relay::Coupling& coupling,
+                    const std::vector<cdouble>& rho, const ExchangeConfig& cfg) {
+  relay::CoupledRelay loop(relay_hw, coupling);
+  const double fs = cfg.sample_rate_hz;
+  PassOutput out{signal::Waveform(reader_tx.size(), fs),
+                 signal::Waveform(reader_tx.size(), fs)};
+  const double leak = db_to_amplitude(cfg.reader_self_leak_db);
+
+  cdouble tag_reflect_prev{0.0, 0.0};
+  for (std::size_t n = 0; n < reader_tx.size(); ++n) {
+    const cdouble ext_down = reader_tx[n] * cfg.h_reader_relay;
+    const cdouble ext_up = tag_reflect_prev * cfg.h_relay_tag;
+    const auto tx = loop.step(ext_down, ext_up);
+
+    const cdouble incident = tx.downlink * cfg.h_relay_tag;
+    out.tag_incident[n] = incident;
+    tag_reflect_prev = incident * rho[n];
+
+    out.reader_rx[n] = tx.uplink * cfg.h_reader_relay + reader_tx[n] * leak;
+  }
+  return out;
+}
+
+double incident_power_dbm(const signal::Waveform& incident, std::size_t query_len) {
+  const auto n = std::min(query_len, incident.size());
+  if (n == 0) return -200.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) acc += std::norm(incident[i]);
+  const double watts = acc / static_cast<double>(n);
+  return watts > 0.0 ? watts_to_dbm(watts) : -200.0;
+}
+
+}  // namespace
+
+namespace {
+
+gen2::Miller command_modulation(const gen2::Command& cmd) {
+  if (const auto* q = std::get_if<gen2::QueryCommand>(&cmd)) return q->m;
+  return gen2::Miller::kFm0;  // ACK etc. inherit the session's Query; the
+                              // caller sizes those frames via the Query's M.
+}
+
+}  // namespace
+
+ExchangeResult run_relay_exchange(const reader::Reader& rdr, const gen2::Command& cmd,
+                                  std::size_t expected_reply_bits, gen2::Tag& tag,
+                                  relay::Relay& relay_pass1, relay::Relay& relay_pass2,
+                                  const relay::Coupling& coupling,
+                                  const ExchangeConfig& config, Rng& rng) {
+  const auto& rc = rdr.config();
+  const gen2::Miller modulation = config.modulation.value_or(command_modulation(cmd));
+  reader::TxFrame frame =
+      rdr.make_command_frame(cmd, expected_reply_bits, 500e3, false, modulation);
+  frame.samples.scale(cis(config.reader_carrier_phase_rad));
+
+  ExchangeResult result;
+  result.reply_window_start = frame.reply_window_start;
+
+  // Pass 1: tag silent (idle reflection); find what it hears.
+  const std::vector<cdouble> rho_idle(frame.samples.size(),
+                                      cdouble{tag.config().rho_off, 0.0});
+  PassOutput pass1 = run_pass(frame.samples, relay_pass1, coupling, rho_idle, config);
+
+  result.tag_incident_dbm =
+      incident_power_dbm(pass1.tag_incident, frame.reply_window_start);
+
+  // Tag-side demodulation of the relayed query.
+  const auto envelope = gen2::envelope_of(pass1.tag_incident);
+  const auto decoded = gen2::pie_decode(envelope, rc.pie);
+  std::optional<gen2::TagReply> reply;
+  std::size_t reply_start = frame.reply_window_start;
+  if (decoded) {
+    const auto command = gen2::decode_command(decoded->bits);
+    if (command) {
+      gen2::CommandContext ctx;
+      ctx.incident_power_dbm = result.tag_incident_dbm;
+      ctx.trcal_s = decoded->trcal_s;
+      if (const auto* q = std::get_if<gen2::QueryCommand>(&*command)) {
+        ctx.dr = q->dr;
+      }
+      reply = tag.on_command(*command, ctx);
+      reply_start = decoded->end_sample +
+                    static_cast<std::size_t>(rc.t1_s * config.sample_rate_hz);
+    }
+  }
+  result.tag_replied = reply.has_value();
+  result.reply = reply;
+
+  // Pass 2: same exchange with the tag's modulation in the loop.
+  const auto rho = make_rho_timeline(frame.samples.size(), tag.config().rho_off,
+                                     reply, tag.config(), reply_start,
+                                     config.sample_rate_hz);
+  PassOutput pass2 = run_pass(frame.samples, relay_pass2, coupling, rho, config);
+
+  result.reader_rx = std::move(pass2.reader_rx);
+  if (config.noise) {
+    const double noise_watts = signal::thermal_noise_power(
+        config.sample_rate_hz, config.reader_noise_figure_db);
+    signal::add_awgn(result.reader_rx, noise_watts, rng);
+  }
+  return result;
+}
+
+
+MultiExchangeResult run_relay_exchange_multi(
+    const reader::Reader& rdr, const gen2::Command& cmd,
+    std::size_t expected_reply_bits, std::span<TagOnAir> tags,
+    relay::Relay& relay_pass1, relay::Relay& relay_pass2,
+    const relay::Coupling& coupling, const ExchangeConfig& config, Rng& rng) {
+  const auto& rc = rdr.config();
+  const gen2::Miller modulation =
+      config.modulation.value_or(command_modulation(cmd));
+  reader::TxFrame frame =
+      rdr.make_command_frame(cmd, expected_reply_bits, 500e3, false, modulation);
+  frame.samples.scale(cis(config.reader_carrier_phase_rad));
+  const std::size_t frame_len = frame.samples.size();
+  const double fs = config.sample_rate_hz;
+
+  MultiExchangeResult result;
+  result.reply_window_start = frame.reply_window_start;
+
+  // Pass 1: every tag idle; record each tag's incident field.
+  std::vector<signal::Waveform> incidents;
+  {
+    relay::CoupledRelay loop(relay_pass1, coupling);
+    incidents.assign(tags.size(), signal::Waveform(frame_len, fs));
+    // Aggregate idle reflection of all tags drives the uplink.
+    cdouble reflected_prev{0.0, 0.0};
+    for (std::size_t n = 0; n < frame_len; ++n) {
+      const auto tx = loop.step(frame.samples[n] * config.h_reader_relay,
+                                reflected_prev);
+      cdouble total_reflect{0.0, 0.0};
+      for (std::size_t t = 0; t < tags.size(); ++t) {
+        const cdouble incident = tx.downlink * tags[t].h_relay_tag;
+        incidents[t][n] = incident;
+        total_reflect +=
+            incident * tags[t].tag->config().rho_off * tags[t].h_relay_tag;
+      }
+      reflected_prev = total_reflect;
+      // (reflected_prev already includes the return hop h_relay_tag.)
+    }
+  }
+
+  // Each tag decodes its own copy of the query and may schedule a reply.
+  std::vector<std::vector<cdouble>> rho_timelines;
+  for (std::size_t t = 0; t < tags.size(); ++t) {
+    auto& tag = *tags[t].tag;
+    const auto envelope = gen2::envelope_of(incidents[t]);
+    const auto decoded = gen2::pie_decode(envelope, rc.pie);
+    std::optional<gen2::TagReply> reply;
+    std::size_t reply_start = frame.reply_window_start;
+    if (decoded) {
+      const auto command = gen2::decode_command(decoded->bits);
+      if (command) {
+        gen2::CommandContext ctx;
+        double acc = 0.0;
+        const auto probe = std::min(frame.reply_window_start, incidents[t].size());
+        for (std::size_t i = 0; i < probe; ++i) acc += std::norm(incidents[t][i]);
+        ctx.incident_power_dbm =
+            probe > 0 ? watts_to_dbm(acc / static_cast<double>(probe)) : -200.0;
+        ctx.trcal_s = decoded->trcal_s;
+        reply = tag.on_command(*command, ctx);
+        reply_start = decoded->end_sample +
+                      static_cast<std::size_t>(rc.t1_s * fs);
+      }
+    }
+    if (reply) result.responders.push_back(t);
+    rho_timelines.push_back(make_rho_timeline(
+        frame_len, tag.config().rho_off, reply, tag.config(), reply_start, fs));
+  }
+
+  // Pass 2: all modulations superimpose in the air.
+  {
+    relay::CoupledRelay loop(relay_pass2, coupling);
+    result.reader_rx = signal::Waveform(frame_len, fs);
+    const double leak = db_to_amplitude(config.reader_self_leak_db);
+    std::vector<cdouble> reflect_prev(tags.size(), cdouble{0.0, 0.0});
+    for (std::size_t n = 0; n < frame_len; ++n) {
+      cdouble ext_up{0.0, 0.0};
+      for (std::size_t t = 0; t < tags.size(); ++t) {
+        ext_up += reflect_prev[t] * tags[t].h_relay_tag;
+      }
+      const auto tx =
+          loop.step(frame.samples[n] * config.h_reader_relay, ext_up);
+      for (std::size_t t = 0; t < tags.size(); ++t) {
+        reflect_prev[t] = tx.downlink * tags[t].h_relay_tag * rho_timelines[t][n];
+      }
+      result.reader_rx[n] =
+          tx.uplink * config.h_reader_relay + frame.samples[n] * leak;
+    }
+  }
+  if (config.noise) {
+    const double noise_watts = signal::thermal_noise_power(
+        config.sample_rate_hz, config.reader_noise_figure_db);
+    signal::add_awgn(result.reader_rx, noise_watts, rng);
+  }
+  return result;
+}
+
+ExchangeResult run_direct_exchange(const reader::Reader& rdr, const gen2::Command& cmd,
+                                   std::size_t expected_reply_bits, gen2::Tag& tag,
+                                   cdouble h_reader_tag, const ExchangeConfig& config,
+                                   Rng& rng) {
+  const auto& rc = rdr.config();
+  const gen2::Miller modulation =
+      config.modulation.value_or(command_modulation(cmd));
+  reader::TxFrame frame =
+      rdr.make_command_frame(cmd, expected_reply_bits, 500e3, false, modulation);
+  frame.samples.scale(cis(config.reader_carrier_phase_rad));
+
+  ExchangeResult result;
+  result.reply_window_start = frame.reply_window_start;
+
+  // Incident field at the tag (one hop).
+  signal::Waveform incident = frame.samples;
+  incident.scale(h_reader_tag);
+  result.tag_incident_dbm =
+      incident_power_dbm(incident, frame.reply_window_start);
+
+  const auto envelope = gen2::envelope_of(incident);
+  const auto decoded = gen2::pie_decode(envelope, rc.pie);
+  std::optional<gen2::TagReply> reply;
+  std::size_t reply_start = frame.reply_window_start;
+  if (decoded) {
+    const auto command = gen2::decode_command(decoded->bits);
+    if (command) {
+      gen2::CommandContext ctx;
+      ctx.incident_power_dbm = result.tag_incident_dbm;
+      ctx.trcal_s = decoded->trcal_s;
+      if (const auto* q = std::get_if<gen2::QueryCommand>(&*command)) {
+        ctx.dr = q->dr;
+      }
+      reply = tag.on_command(*command, ctx);
+      reply_start = decoded->end_sample +
+                    static_cast<std::size_t>(rc.t1_s * config.sample_rate_hz);
+    }
+  }
+  result.tag_replied = reply.has_value();
+  result.reply = reply;
+
+  const auto rho = make_rho_timeline(frame.samples.size(), tag.config().rho_off,
+                                     reply, tag.config(), reply_start,
+                                     config.sample_rate_hz);
+  const double leak = db_to_amplitude(config.reader_self_leak_db);
+  signal::Waveform rx(frame.samples.size(), config.sample_rate_hz);
+  for (std::size_t n = 0; n < rx.size(); ++n) {
+    rx[n] = incident[n] * rho[n] * h_reader_tag + frame.samples[n] * leak;
+  }
+  result.reader_rx = std::move(rx);
+  if (config.noise) {
+    const double noise_watts = signal::thermal_noise_power(
+        config.sample_rate_hz, config.reader_noise_figure_db);
+    signal::add_awgn(result.reader_rx, noise_watts, rng);
+  }
+  return result;
+}
+
+}  // namespace rfly::core

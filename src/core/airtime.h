@@ -1,0 +1,92 @@
+// Waveform-level end-to-end exchange: reader -> relay (closed
+// self-interference loop) -> tag -> relay -> reader, sample by sample.
+// This is the highest-fidelity path through the system; the channel-level
+// model in system.h is cross-validated against it. It also backs the
+// phase-preservation experiment (Fig. 10), which needs the relay's real
+// oscillators and filters in the loop.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+#include "gen2/tag.h"
+#include "reader/channel_estimator.h"
+#include "reader/reader.h"
+#include "relay/coupling.h"
+#include "relay/rfly_relay.h"
+
+namespace rfly::core {
+
+struct ExchangeConfig {
+  double sample_rate_hz = 4e6;
+  /// One-way reader<->relay channel (at f1) and relay<->tag channel (at f2).
+  cdouble h_reader_relay{1e-3, 0.0};
+  cdouble h_relay_tag{1e-2, 0.0};
+  /// Reader monostatic TX->RX leakage (the CW the decoder must reject).
+  double reader_self_leak_db = -30.0;
+  /// Receiver thermal noise toggle.
+  bool noise = true;
+  double reader_noise_figure_db = 6.0;
+  /// Random initial phase applied to the reader's carrier this exchange.
+  double reader_carrier_phase_rad = 0.0;
+  /// Line code to size the reply window for. Defaults to the command's M
+  /// field (Query) or FM0 (other commands); set explicitly when ACKing a
+  /// Miller-mode session.
+  std::optional<gen2::Miller> modulation;
+};
+
+struct ExchangeResult {
+  /// What the reader's receive chain captured (complex baseband at f1).
+  signal::Waveform reader_rx;
+  /// Sample index where the tag-reply window begins.
+  std::size_t reply_window_start = 0;
+  /// Incident power at the tag during the query (dBm).
+  double tag_incident_dbm = -200.0;
+  /// Whether the tag powered up and produced a reply.
+  bool tag_replied = false;
+  /// The reply the tag sent (if any).
+  std::optional<gen2::TagReply> reply;
+};
+
+/// Run one command/reply exchange through a relay inside its coupling loop.
+/// Two-pass simulation: pass 1 lets the tag hear (and decode) the relayed
+/// query; pass 2 replays the exchange with the tag's backscatter modulation
+/// in the loop.
+ExchangeResult run_relay_exchange(const reader::Reader& rdr, const gen2::Command& cmd,
+                                  std::size_t expected_reply_bits, gen2::Tag& tag,
+                                  relay::Relay& relay_pass1, relay::Relay& relay_pass2,
+                                  const relay::Coupling& coupling,
+                                  const ExchangeConfig& config, Rng& rng);
+
+/// One tag in a multi-tag exchange.
+struct TagOnAir {
+  gen2::Tag* tag = nullptr;
+  cdouble h_relay_tag{0.0, 0.0};
+};
+
+struct MultiExchangeResult {
+  signal::Waveform reader_rx;
+  std::size_t reply_window_start = 0;
+  /// Which tags replied in this slot (indices into the input span).
+  std::vector<std::size_t> responders;
+};
+
+/// Multi-tag exchange through the relay: every powered tag decodes the
+/// relayed query independently and the backscatter of all responders
+/// superimposes physically — two tags in the same slot produce a real
+/// collision the reader usually cannot decode (unless capture applies).
+MultiExchangeResult run_relay_exchange_multi(
+    const reader::Reader& rdr, const gen2::Command& cmd,
+    std::size_t expected_reply_bits, std::span<TagOnAir> tags,
+    relay::Relay& relay_pass1, relay::Relay& relay_pass2,
+    const relay::Coupling& coupling, const ExchangeConfig& config, Rng& rng);
+
+/// Relay-less exchange (baseline): the reader talks straight to the tag.
+ExchangeResult run_direct_exchange(const reader::Reader& rdr, const gen2::Command& cmd,
+                                   std::size_t expected_reply_bits, gen2::Tag& tag,
+                                   cdouble h_reader_tag, const ExchangeConfig& config,
+                                   Rng& rng);
+
+}  // namespace rfly::core

@@ -1,0 +1,109 @@
+#include "core/daisy_chain.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "channel/channel_model.h"
+#include "channel/path_loss.h"
+#include "common/units.h"
+#include "signal/noise.h"
+
+namespace rfly::core {
+
+ChainBudget evaluate_chain(const DaisyChainConfig& config,
+                           const channel::Environment& env,
+                           const Vec3& reader_pos,
+                           const std::vector<Vec3>& relay_positions,
+                           const Vec3& tag_pos) {
+  const auto& sys = config.system;
+  ChainBudget budget;
+
+  // --- Downlink: reader -> relay_1 -> ... -> relay_n -> tag.
+  // Track the carrier power hop by hop; each relay amplifies up to its PA
+  // compression point.
+  double carrier_dbm = sys.reader_eirp_dbm;
+  Vec3 prev = reader_pos;
+  double freq = sys.carrier_hz;
+  double rx_gain_dbi = sys.relay_antenna_gain_dbi;
+  for (std::size_t hop = 0; hop < relay_positions.size(); ++hop) {
+    const channel::LinkGains gains{hop == 0 ? 0.0 : sys.relay_antenna_gain_dbi,
+                                   rx_gain_dbi};
+    const cdouble h =
+        channel::point_to_point_channel(env, prev, relay_positions[hop], freq, gains);
+    // Eq. 3: each hop's path loss must stay under the relay's isolation.
+    if (channel::free_space_path_loss_db(prev.distance_to(relay_positions[hop]),
+                                         freq) > config.stability_isolation_db) {
+      budget.stable = false;
+    }
+    const double rx_dbm = carrier_dbm + amplitude_to_db(std::abs(h));
+    const double tx_dbm = std::min(rx_dbm + sys.relay_downlink_gain_db,
+                                   sys.relay_downlink_p1db_dbm);
+    budget.hop_downlink_gain_db.push_back(tx_dbm - rx_dbm);
+    carrier_dbm = tx_dbm;
+    prev = relay_positions[hop];
+    freq += config.per_hop_shift_hz;
+  }
+  {
+    const channel::LinkGains gains{sys.relay_antenna_gain_dbi,
+                                   sys.tag.antenna_gain_dbi};
+    const cdouble h = channel::point_to_point_channel(env, prev, tag_pos, freq, gains);
+    budget.tag_incident_dbm = carrier_dbm + amplitude_to_db(std::abs(h));
+  }
+  budget.tag_powered = budget.tag_incident_dbm >= sys.tag.sensitivity_dbm;
+
+  // --- Uplink: backscatter retraces the chain; each relay re-amplifies up
+  // to its uplink output cap.
+  const double delta_rho_db =
+      amplitude_to_db((sys.tag.rho_on - sys.tag.rho_off) / 2.0);
+  double signal_dbm = budget.tag_incident_dbm + delta_rho_db;
+  prev = tag_pos;
+  double tx_gain_dbi = sys.tag.antenna_gain_dbi;
+  for (std::size_t i = relay_positions.size(); i-- > 0;) {
+    const channel::LinkGains gains{tx_gain_dbi, sys.relay_antenna_gain_dbi};
+    const cdouble h =
+        channel::point_to_point_channel(env, prev, relay_positions[i], freq, gains);
+    const double rx_dbm = signal_dbm + amplitude_to_db(std::abs(h));
+    signal_dbm =
+        std::min(rx_dbm + sys.relay_uplink_gain_db, sys.relay_uplink_max_out_dbm);
+    prev = relay_positions[i];
+    tx_gain_dbi = sys.relay_antenna_gain_dbi;
+    freq -= config.per_hop_shift_hz;
+  }
+  {
+    const channel::LinkGains gains{sys.relay_antenna_gain_dbi, 0.0};
+    const cdouble h = channel::point_to_point_channel(env, prev, reader_pos, freq, gains);
+    const double at_reader_dbm =
+        signal_dbm + amplitude_to_db(std::abs(h)) + sys.reader_rx_gain_dbi;
+    const double noise_dbm = watts_to_dbm(
+        signal::thermal_noise_power(2.0 * sys.blf_hz, sys.reader_noise_figure_db));
+    budget.reply_snr_db = at_reader_dbm - noise_dbm;
+  }
+  budget.decodable = budget.reply_snr_db >= sys.decode_snr_threshold_db;
+  return budget;
+}
+
+double chain_read_range_m(const DaisyChainConfig& config, int n_relays,
+                          double relay_tag_distance_m) {
+  const channel::Environment env;  // free space
+  const Vec3 reader_pos{0.0, 0.0, 1.0};
+  double best = 0.0;
+  for (double d = 2.0; d <= 2000.0; d += 2.0) {
+    // Relays spaced evenly along the line, the last one near the tag.
+    std::vector<Vec3> relays;
+    const double usable = std::max(1.0, d - relay_tag_distance_m);
+    for (int i = 1; i <= n_relays; ++i) {
+      relays.push_back(
+          {usable * static_cast<double>(i) / static_cast<double>(n_relays), 0.0, 1.0});
+    }
+    const Vec3 tag{d, 0.0, 0.5};
+    const auto budget = evaluate_chain(config, env, reader_pos, relays, tag);
+    if (budget.stable && budget.tag_powered && budget.decodable) {
+      best = d;
+    } else if (best > 0.0) {
+      break;  // range is contiguous; the first failure past success ends it
+    }
+  }
+  return best;
+}
+
+}  // namespace rfly::core

@@ -1,0 +1,56 @@
+// Daisy-chained relays (paper Section 4.3: "RFly's design can extend to
+// multiple relays, which may be daisy chained"). Each hop shifts the
+// carrier by a further f-step so the hops do not interfere, and each hop's
+// downlink re-amplifies up to its PA compression point — so the powering
+// range compounds while the uplink SNR pays one reader-relay path per hop.
+//
+// This is a channel-level model (Section 4.3 leaves the full architecture
+// to future work): the relays are assumed tuned per the single-relay
+// stability rules, and the interesting question — how range scales with
+// hop count — is a link-budget question this module answers.
+#pragma once
+
+#include <vector>
+
+#include "core/system.h"
+
+namespace rfly::core {
+
+struct DaisyChainConfig {
+  SystemConfig system{};
+  /// Per-hop frequency step (each relay shifts by this much on top of the
+  /// previous hop's carrier).
+  double per_hop_shift_hz = 1e6;
+  /// Eq. 3 stability rule, enforced per hop: the path loss into each relay
+  /// must not exceed its weakest self-interference isolation, or the hop
+  /// rings. 64 dB is the prototype's weakest path (intra-uplink, Fig. 9d).
+  double stability_isolation_db = 64.0;
+};
+
+/// Link budget through a chain of relays from the reader to the tag.
+struct ChainBudget {
+  double tag_incident_dbm = -200.0;  // carrier power reaching the tag
+  double reply_snr_db = -200.0;      // reply SNR back at the reader
+  bool tag_powered = false;
+  bool decodable = false;
+  /// Every hop satisfies Eq. 3 (path loss <= isolation).
+  bool stable = true;
+  /// Effective downlink gain used at each hop (after PA caps).
+  std::vector<double> hop_downlink_gain_db;
+};
+
+/// Evaluate the budget for relays at `relay_positions` (in hop order:
+/// first relay is nearest the reader) in `env`, reader at `reader_pos`.
+ChainBudget evaluate_chain(const DaisyChainConfig& config,
+                           const channel::Environment& env,
+                           const Vec3& reader_pos,
+                           const std::vector<Vec3>& relay_positions,
+                           const Vec3& tag_pos);
+
+/// Maximum reader-tag distance at which a straight-line chain of
+/// `n_relays` (evenly spaced, last one `relay_tag_distance` short of the
+/// tag) still reads the tag. Free-space geometry.
+double chain_read_range_m(const DaisyChainConfig& config, int n_relays,
+                          double relay_tag_distance_m = 2.0);
+
+}  // namespace rfly::core

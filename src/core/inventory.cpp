@@ -1,0 +1,129 @@
+#include "core/inventory.h"
+
+#include <algorithm>
+
+namespace rfly::core {
+
+void InventoryDatabase::add(const gen2::Epc& epc, std::string description) {
+  items_[epc] = std::move(description);
+}
+
+const std::string& InventoryDatabase::lookup(const gen2::Epc& epc) const {
+  const auto it = items_.find(epc);
+  return it == items_.end() ? empty_ : it->second;
+}
+
+gen2::Epc make_epc(std::uint32_t index) {
+  gen2::Epc epc{};
+  // Company-prefix-style header, index in the low bytes.
+  epc[0] = 0x30;
+  epc[1] = 0x14;
+  epc[8] = static_cast<std::uint8_t>(index >> 24);
+  epc[9] = static_cast<std::uint8_t>(index >> 16);
+  epc[10] = static_cast<std::uint8_t>(index >> 8);
+  epc[11] = static_cast<std::uint8_t>(index);
+  return epc;
+}
+
+namespace {
+
+struct SlotReply {
+  std::size_t tag_index;
+  gen2::TagReply reply;
+};
+
+/// Broadcast a command to every tag, collecting replies.
+std::vector<SlotReply> broadcast(std::vector<TagAgent>& tags,
+                                 const gen2::Command& cmd,
+                                 const InventoryRoundConfig& cfg) {
+  std::vector<SlotReply> replies;
+  for (std::size_t i = 0; i < tags.size(); ++i) {
+    gen2::CommandContext ctx;
+    ctx.incident_power_dbm = tags[i].incident_power_dbm;
+    if (std::holds_alternative<gen2::QueryCommand>(cmd)) {
+      ctx.trcal_s = cfg.trcal_s;
+    }
+    if (auto reply = tags[i].tag->on_command(cmd, ctx)) {
+      replies.push_back({i, *reply});
+    }
+  }
+  return replies;
+}
+
+}  // namespace
+
+InventoryOutcome run_inventory(std::vector<TagAgent>& tags,
+                               const InventoryRoundConfig& config,
+                               reader::QAlgorithm& q_algorithm, Rng& rng) {
+  InventoryOutcome outcome;
+  int q = config.q;
+  int unproductive_rounds = 0;
+
+  for (int round = 0; round < config.max_rounds; ++round) {
+    outcome.rounds = round + 1;
+    const std::size_t before = outcome.epcs.size();
+
+    gen2::QueryCommand query;
+    query.session = config.session;
+    query.target = config.target;
+    query.sel = config.sel_target;
+    query.q = static_cast<std::uint8_t>(q);
+    std::vector<SlotReply> replies = broadcast(tags, gen2::Command{query}, config);
+
+    int slots_remaining = 1 << q;
+    int safety = 1 << 14;
+    while (slots_remaining-- > 0 && safety-- > 0) {
+      ++outcome.slots;
+      if (replies.empty()) {
+        ++outcome.empties;
+        q_algorithm.on_slot(reader::SlotOutcome::kEmpty);
+      } else if (replies.size() == 1) {
+        ++outcome.singles;
+        q_algorithm.on_slot(reader::SlotOutcome::kSingle);
+        auto& agent = tags[replies.front().tag_index];
+        const auto rn16 = gen2::decode_rn16(replies.front().reply.bits);
+        // Decode gated on SNR (with a fresh fading draw per attempt).
+        const bool decodable =
+            rn16 && agent.reply_snr_db + rng.gaussian(0.0, 1.0) >=
+                        config.decode_snr_threshold_db;
+        if (decodable) {
+          gen2::AckCommand ack{rn16->rn16};
+          auto epc_replies = broadcast(tags, gen2::Command{ack}, config);
+          if (epc_replies.size() == 1) {
+            const auto epc = gen2::decode_epc_reply(epc_replies.front().reply.bits);
+            if (epc) outcome.epcs.push_back(epc->epc);
+          }
+        }
+      } else {
+        ++outcome.collisions;
+        q_algorithm.on_slot(reader::SlotOutcome::kCollision);
+      }
+
+      // Mid-round Q adaptation via QueryAdjust (tags redraw their slots);
+      // otherwise advance to the next slot with QueryRep.
+      if (q_algorithm.q() != q) {
+        gen2::QueryAdjustCommand adjust;
+        adjust.session = config.session;
+        adjust.q_delta = (q_algorithm.q() > q) ? 1 : -1;
+        q += adjust.q_delta;
+        replies = broadcast(tags, gen2::Command{adjust}, config);
+        slots_remaining = 1 << q;
+      } else {
+        gen2::QueryRepCommand rep;
+        rep.session = config.session;
+        replies = broadcast(tags, gen2::Command{rep}, config);
+      }
+    }
+
+    q = q_algorithm.q();
+    // Collisions can make individual rounds unproductive (e.g. two
+    // remaining tags drawing the same slot in a small round); only give up
+    // after several barren rounds in a row.
+    unproductive_rounds = (outcome.epcs.size() == before) ? unproductive_rounds + 1 : 0;
+    if (unproductive_rounds >= 4) break;
+  }
+  outcome.final_q = q;
+  return outcome;
+}
+
+}  // namespace rfly::core

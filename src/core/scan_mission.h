@@ -1,0 +1,76 @@
+// Scan mission: the paper's deployment story as a library API. Given an
+// environment, a reader, a flight plan, and a tag population, run the whole
+// pipeline — fly, inventory (Gen2 rounds at each tag's best approach),
+// collect through-relay channel measurements, localize every discovered
+// tag, and report items via the EPC database. This is what a warehouse
+// operator would call; examples/warehouse_scan.cpp is a thin shell over it.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/inventory.h"
+#include "core/system.h"
+#include "drone/flight.h"
+#include "localize/localizer.h"
+
+namespace rfly::core {
+
+struct TagPlacement {
+  gen2::TagConfig config;
+  Vec3 position;
+};
+
+struct ScanMissionConfig {
+  SystemConfig system{};
+  /// Optional Select filter broadcast before every inventory round: only
+  /// tags whose EPC matches the mask participate ("find every pallet of
+  /// company X"). Empty mask = no filtering.
+  gen2::SelectCommand select{};
+  bool use_select = false;
+  drone::FlightConfig flight{};
+  drone::TrackingConfig tracking = drone::optitrack_tracking();
+  InventoryRoundConfig inventory{};
+  /// Localization search half-width around the measurement centroid.
+  double search_halfwidth_m = 3.0;
+  double grid_resolution_m = 0.02;
+  /// Candidate peaks must reach this fraction of the heatmap maximum;
+  /// slightly above the localizer default to keep near-path partial-match
+  /// lobes out of the nearest-peak selection in cluttered aisles.
+  double peak_threshold_fraction = 0.55;
+  /// Keep the search one-sided toward the scanned aisle: the grid stops
+  /// this far short of the flight path.
+  double grid_margin_to_path_m = 0.3;
+  /// Which side of the flight path the scanned shelf face is on (the
+  /// operator knows the aisle layout): true = tags at smaller y than the
+  /// path, false = larger y.
+  bool tags_below_path = true;
+};
+
+struct ScannedItem {
+  gen2::Epc epc{};
+  std::string description;        // from the database; empty if unknown
+  bool discovered = false;        // answered a Gen2 inventory round
+  bool localized = false;
+  Vec3 estimate{};                // valid when localized
+  std::size_t measurements = 0;   // channel estimates collected
+};
+
+struct ScanReport {
+  std::vector<ScannedItem> items;
+  std::size_t discovered = 0;
+  std::size_t localized = 0;
+  double flight_length_m = 0.0;
+};
+
+/// Run a scan mission. `tags` owns the tag state machines (positions fixed
+/// for the mission). Deterministic given `seed`.
+ScanReport run_scan_mission(const ScanMissionConfig& config,
+                            const channel::Environment& environment,
+                            const Vec3& reader_position,
+                            const std::vector<Vec3>& flight_plan,
+                            std::vector<TagPlacement>& tags,
+                            const InventoryDatabase& database, std::uint64_t seed);
+
+}  // namespace rfly::core

@@ -1,0 +1,27 @@
+#include "drone/flight.h"
+
+namespace rfly::drone {
+
+std::vector<FlownPoint> fly(const std::vector<Vec3>& plan, const FlightConfig& flight,
+                            const TrackingConfig& tracking, Rng& rng) {
+  std::vector<FlownPoint> flown;
+  flown.reserve(plan.size());
+  Vec3 drift{0.0, 0.0, 0.0};
+  for (const auto& waypoint : plan) {
+    FlownPoint p;
+    p.actual = waypoint + Vec3{rng.gaussian(0.0, flight.position_jitter_std_m),
+                               rng.gaussian(0.0, flight.position_jitter_std_m),
+                               rng.gaussian(0.0, flight.position_jitter_std_m)};
+    drift = drift + Vec3{rng.gaussian(0.0, tracking.drift_std_m),
+                         rng.gaussian(0.0, tracking.drift_std_m),
+                         rng.gaussian(0.0, tracking.drift_std_m)};
+    p.reported = p.actual + drift +
+                 Vec3{rng.gaussian(0.0, tracking.noise_std_m),
+                      rng.gaussian(0.0, tracking.noise_std_m),
+                      rng.gaussian(0.0, tracking.noise_std_m)};
+    flown.push_back(p);
+  }
+  return flown;
+}
+
+}  // namespace rfly::drone

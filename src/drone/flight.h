@@ -1,0 +1,44 @@
+// Flight and ground-truth error models. The drone does not hold a planned
+// point perfectly (hover jitter), and the system's knowledge of where it
+// actually was comes from either OptiTrack (sub-cm, the paper's ground
+// truth) or on-board odometry (cm-level drift). Localization quality
+// depends on the gap between where the drone *was* and where the system
+// *thinks* it was.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.h"
+#include "drone/trajectory.h"
+
+namespace rfly::drone {
+
+struct FlightConfig {
+  /// 1-sigma hover/track error per axis while capturing a measurement [m].
+  double position_jitter_std_m = 0.02;
+};
+
+struct TrackingConfig {
+  /// 1-sigma position measurement error per axis [m].
+  /// OptiTrack: ~0.003 m. Odometry: ~0.03 m with drift.
+  double noise_std_m = 0.003;
+  /// Per-step random-walk drift (odometry only; 0 for OptiTrack).
+  double drift_std_m = 0.0;
+};
+
+inline TrackingConfig optitrack_tracking() { return {0.003, 0.0}; }
+inline TrackingConfig odometry_tracking() { return {0.01, 0.005}; }
+
+/// One flown measurement point: where the drone really was vs where the
+/// tracking system reported it.
+struct FlownPoint {
+  Vec3 actual;
+  Vec3 reported;
+};
+
+/// Fly a planned trajectory: perturb each waypoint by flight jitter, then
+/// produce tracking reports per the tracking model.
+std::vector<FlownPoint> fly(const std::vector<Vec3>& plan, const FlightConfig& flight,
+                            const TrackingConfig& tracking, Rng& rng);
+
+}  // namespace rfly::drone

@@ -1,0 +1,75 @@
+#include "drone/trajectory.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace rfly::drone {
+
+std::vector<Vec3> linear_trajectory(const Vec3& start, const Vec3& end,
+                                    std::size_t count) {
+  std::vector<Vec3> points;
+  points.reserve(count);
+  if (count == 1) {
+    points.push_back(start);
+    return points;
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(count - 1);
+    points.push_back(start + (end - start) * t);
+  }
+  return points;
+}
+
+std::vector<Vec3> lawnmower_trajectory(double x0, double y0, double x1, double y1,
+                                       double altitude, std::size_t rows,
+                                       std::size_t points_per_row) {
+  std::vector<Vec3> points;
+  points.reserve(rows * points_per_row);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double t = rows > 1 ? static_cast<double>(r) / static_cast<double>(rows - 1)
+                              : 0.5;
+    const double y = y0 + (y1 - y0) * t;
+    const bool reverse = (r % 2) == 1;
+    for (std::size_t i = 0; i < points_per_row; ++i) {
+      double u = points_per_row > 1
+                     ? static_cast<double>(i) / static_cast<double>(points_per_row - 1)
+                     : 0.5;
+      if (reverse) u = 1.0 - u;
+      points.push_back({x0 + (x1 - x0) * u, y, altitude});
+    }
+  }
+  return points;
+}
+
+double trajectory_length(const std::vector<Vec3>& points) {
+  double len = 0.0;
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    len += points[i].distance_to(points[i - 1]);
+  }
+  return len;
+}
+
+namespace {
+
+double point_segment_distance(const Vec3& p, const Vec3& a, const Vec3& b) {
+  const Vec3 ab = b - a;
+  const double len_sq = ab.dot(ab);
+  if (len_sq <= 0.0) return p.distance_to(a);
+  const double t = std::clamp((p - a).dot(ab) / len_sq, 0.0, 1.0);
+  return p.distance_to(a + ab * t);
+}
+
+}  // namespace
+
+double distance_to_trajectory(const std::vector<Vec3>& points, const Vec3& p) {
+  if (points.empty()) return 0.0;
+  if (points.size() == 1) return p.distance_to(points.front());
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    best = std::min(best, point_segment_distance(p, points[i - 1], points[i]));
+  }
+  return best;
+}
+
+}  // namespace rfly::drone

@@ -1,0 +1,33 @@
+// Flight plans and trajectory sampling. A trajectory is the ordered set of
+// points where the relay captures tag responses; its spatial extent is the
+// SAR aperture (paper Section 5.2: accuracy grows with aperture, and the
+// useful aperture is capped at 3-5 m by the relay-tag link budget).
+#pragma once
+
+#include <vector>
+
+#include "channel/geometry.h"
+
+namespace rfly::drone {
+
+using channel::Vec3;
+
+/// Straight-line aperture: `count` equally spaced points from `start` to
+/// `end` (inclusive). This is the 1D trajectory of Fig. 6.
+std::vector<Vec3> linear_trajectory(const Vec3& start, const Vec3& end,
+                                    std::size_t count);
+
+/// Lawnmower (boustrophedon) scan over a rectangle at fixed altitude:
+/// `rows` passes along x, alternating direction, `points_per_row` samples
+/// each. Used by the warehouse-scan example.
+std::vector<Vec3> lawnmower_trajectory(double x0, double y0, double x1, double y1,
+                                       double altitude, std::size_t rows,
+                                       std::size_t points_per_row);
+
+/// Total path length of a trajectory.
+double trajectory_length(const std::vector<Vec3>& points);
+
+/// Minimum distance from a point to the polyline through `points`.
+double distance_to_trajectory(const std::vector<Vec3>& points, const Vec3& p);
+
+}  // namespace rfly::drone

@@ -1,0 +1,133 @@
+#include "gen2/access.h"
+
+#include "gen2/crc.h"
+
+namespace rfly::gen2 {
+
+namespace {
+constexpr std::uint32_t kReqRnOpcode = 0b01100001;
+constexpr std::uint32_t kReadOpcode = 0b11000010;
+constexpr std::uint32_t kWriteOpcode = 0b11000011;
+}  // namespace
+
+Bits encode(const ReqRnCommand& cmd) {
+  Bits bits;
+  append_bits(bits, kReqRnOpcode, 8);
+  append_bits(bits, cmd.rn16, 16);
+  append_bits(bits, crc16(bits), 16);
+  return bits;
+}
+
+Bits encode(const ReadCommand& cmd) {
+  Bits bits;
+  append_bits(bits, kReadOpcode, 8);
+  append_bits(bits, static_cast<std::uint32_t>(cmd.bank), 2);
+  append_bits(bits, cmd.word_pointer, 8);
+  append_bits(bits, cmd.word_count, 8);
+  append_bits(bits, cmd.handle, 16);
+  append_bits(bits, crc16(bits), 16);
+  return bits;
+}
+
+Bits encode(const WriteCommand& cmd) {
+  Bits bits;
+  append_bits(bits, kWriteOpcode, 8);
+  append_bits(bits, static_cast<std::uint32_t>(cmd.bank), 2);
+  append_bits(bits, cmd.word_pointer, 8);
+  append_bits(bits, cmd.cover_coded_data, 16);
+  append_bits(bits, cmd.handle, 16);
+  append_bits(bits, crc16(bits), 16);
+  return bits;
+}
+
+std::optional<ReqRnCommand> decode_req_rn(const Bits& bits) {
+  if (bits.size() != 8 + 16 + 16 || read_bits(bits, 0, 8) != kReqRnOpcode ||
+      !crc16_check(bits)) {
+    return std::nullopt;
+  }
+  return ReqRnCommand{static_cast<std::uint16_t>(read_bits(bits, 8, 16))};
+}
+
+std::optional<ReadCommand> decode_read(const Bits& bits) {
+  if (bits.size() != 8 + 2 + 8 + 8 + 16 + 16 ||
+      read_bits(bits, 0, 8) != kReadOpcode || !crc16_check(bits)) {
+    return std::nullopt;
+  }
+  ReadCommand cmd;
+  cmd.bank = static_cast<MemoryBank>(read_bits(bits, 8, 2));
+  cmd.word_pointer = static_cast<std::uint8_t>(read_bits(bits, 10, 8));
+  cmd.word_count = static_cast<std::uint8_t>(read_bits(bits, 18, 8));
+  cmd.handle = static_cast<std::uint16_t>(read_bits(bits, 26, 16));
+  return cmd;
+}
+
+std::optional<WriteCommand> decode_write(const Bits& bits) {
+  if (bits.size() != 8 + 2 + 8 + 16 + 16 + 16 ||
+      read_bits(bits, 0, 8) != kWriteOpcode || !crc16_check(bits)) {
+    return std::nullopt;
+  }
+  WriteCommand cmd;
+  cmd.bank = static_cast<MemoryBank>(read_bits(bits, 8, 2));
+  cmd.word_pointer = static_cast<std::uint8_t>(read_bits(bits, 10, 8));
+  cmd.cover_coded_data = static_cast<std::uint16_t>(read_bits(bits, 18, 16));
+  cmd.handle = static_cast<std::uint16_t>(read_bits(bits, 34, 16));
+  return cmd;
+}
+
+Bits encode_handle_reply(std::uint16_t handle) {
+  Bits bits;
+  append_bits(bits, handle, 16);
+  append_bits(bits, crc16(bits), 16);
+  return bits;
+}
+
+std::optional<std::uint16_t> decode_handle_reply(const Bits& bits) {
+  if (bits.size() != 32 || !crc16_check(bits)) return std::nullopt;
+  return static_cast<std::uint16_t>(read_bits(bits, 0, 16));
+}
+
+Bits encode_read_reply(const std::vector<std::uint16_t>& words,
+                       std::uint16_t handle) {
+  Bits bits;
+  append_bits(bits, 0, 1);  // header: success
+  for (std::uint16_t w : words) append_bits(bits, w, 16);
+  append_bits(bits, handle, 16);
+  append_bits(bits, crc16(bits), 16);
+  return bits;
+}
+
+std::optional<ReadReply> decode_read_reply(const Bits& bits,
+                                           std::size_t expected_words) {
+  if (bits.size() != read_reply_bits(expected_words) || bits[0] != 0 ||
+      !crc16_check(bits)) {
+    return std::nullopt;
+  }
+  ReadReply reply;
+  std::size_t cursor = 1;
+  for (std::size_t i = 0; i < expected_words; ++i, cursor += 16) {
+    reply.words.push_back(static_cast<std::uint16_t>(read_bits(bits, cursor, 16)));
+  }
+  reply.handle = static_cast<std::uint16_t>(read_bits(bits, cursor, 16));
+  return reply;
+}
+
+Bits encode_write_reply(std::uint16_t handle) {
+  Bits bits;
+  append_bits(bits, 0, 1);
+  append_bits(bits, handle, 16);
+  append_bits(bits, crc16(bits), 16);
+  return bits;
+}
+
+std::optional<std::uint16_t> decode_write_reply(const Bits& bits) {
+  if (bits.size() != write_reply_bits() || bits[0] != 0 || !crc16_check(bits)) {
+    return std::nullopt;
+  }
+  return static_cast<std::uint16_t>(read_bits(bits, 1, 16));
+}
+
+std::size_t handle_reply_bits() { return 32; }
+std::size_t read_reply_bits(std::size_t words) { return 1 + 16 * words + 16 + 16; }
+std::size_t write_reply_bits() { return 1 + 16 + 16; }
+
+}  // namespace rfly::gen2

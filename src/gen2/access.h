@@ -1,0 +1,54 @@
+// Gen2 access layer: Req_RN handles and Read/Write of tag memory banks.
+// Identification (inventory) only needs the EPC; real deployments also read
+// TID serial numbers and user memory (sensor-augmented tags store samples
+// there) and occasionally write. These commands run inside an acknowledged
+// transaction: the reader first trades the RN16 for a fresh *handle* via
+// Req_RN, then addresses Read/Write to that handle.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "gen2/bits.h"
+#include "gen2/commands.h"
+
+namespace rfly::gen2 {
+
+// Command structs live in commands.h (they are members of the Command
+// variant); this header supplies their wire encode/decode plus the reply
+// frames.
+
+Bits encode(const ReqRnCommand& cmd);
+Bits encode(const ReadCommand& cmd);
+Bits encode(const WriteCommand& cmd);
+
+std::optional<ReqRnCommand> decode_req_rn(const Bits& bits);
+std::optional<ReadCommand> decode_read(const Bits& bits);
+std::optional<WriteCommand> decode_write(const Bits& bits);
+
+/// Handle reply (Req_RN): 16-bit handle + CRC-16.
+Bits encode_handle_reply(std::uint16_t handle);
+std::optional<std::uint16_t> decode_handle_reply(const Bits& bits);
+
+/// Read reply: header 0, `words`, handle, CRC-16 over all of it.
+Bits encode_read_reply(const std::vector<std::uint16_t>& words,
+                       std::uint16_t handle);
+struct ReadReply {
+  std::vector<std::uint16_t> words;
+  std::uint16_t handle = 0;
+};
+std::optional<ReadReply> decode_read_reply(const Bits& bits,
+                                           std::size_t expected_words);
+
+/// Write reply (success): header 0, handle, CRC-16.
+Bits encode_write_reply(std::uint16_t handle);
+std::optional<std::uint16_t> decode_write_reply(const Bits& bits);
+
+/// Bit lengths, for reply-window sizing.
+std::size_t handle_reply_bits();
+std::size_t read_reply_bits(std::size_t words);
+std::size_t write_reply_bits();
+
+}  // namespace rfly::gen2

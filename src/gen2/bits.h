@@ -1,0 +1,29 @@
+// Bit-vector helpers for Gen2 frame construction. Bits are stored MSB-first
+// as one byte per bit (0 or 1), which keeps the CRC and PIE layers trivially
+// inspectable in tests.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace rfly::gen2 {
+
+using Bits = std::vector<std::uint8_t>;
+
+/// Append the low `n_bits` of `value`, MSB first.
+inline void append_bits(Bits& bits, std::uint32_t value, int n_bits) {
+  for (int i = n_bits - 1; i >= 0; --i) {
+    bits.push_back(static_cast<std::uint8_t>((value >> i) & 1u));
+  }
+}
+
+/// Read `n_bits` MSB-first starting at `offset`. Caller checks bounds.
+inline std::uint32_t read_bits(const Bits& bits, std::size_t offset, int n_bits) {
+  std::uint32_t value = 0;
+  for (int i = 0; i < n_bits; ++i) {
+    value = (value << 1) | bits[offset + static_cast<std::size_t>(i)];
+  }
+  return value;
+}
+
+}  // namespace rfly::gen2

@@ -1,0 +1,178 @@
+#include "gen2/commands.h"
+
+#include "gen2/access.h"
+#include "gen2/crc.h"
+
+namespace rfly::gen2 {
+
+Bits encode(const QueryCommand& cmd) {
+  Bits bits;
+  append_bits(bits, 0b1000, 4);
+  append_bits(bits, static_cast<std::uint32_t>(cmd.dr), 1);
+  append_bits(bits, static_cast<std::uint32_t>(cmd.m), 2);
+  append_bits(bits, cmd.tr_ext ? 1 : 0, 1);
+  append_bits(bits, static_cast<std::uint32_t>(cmd.sel), 2);
+  append_bits(bits, static_cast<std::uint32_t>(cmd.session), 2);
+  append_bits(bits, static_cast<std::uint32_t>(cmd.target), 1);
+  append_bits(bits, cmd.q & 0x0F, 4);
+  append_bits(bits, crc5(bits), 5);
+  return bits;
+}
+
+Bits encode(const QueryRepCommand& cmd) {
+  Bits bits;
+  append_bits(bits, 0b00, 2);
+  append_bits(bits, static_cast<std::uint32_t>(cmd.session), 2);
+  return bits;
+}
+
+Bits encode(const QueryAdjustCommand& cmd) {
+  Bits bits;
+  append_bits(bits, 0b1001, 4);
+  append_bits(bits, static_cast<std::uint32_t>(cmd.session), 2);
+  // UpDn field: 110 = +1, 000 = 0, 011 = -1.
+  std::uint32_t updn = 0b000;
+  if (cmd.q_delta > 0) updn = 0b110;
+  if (cmd.q_delta < 0) updn = 0b011;
+  append_bits(bits, updn, 3);
+  return bits;
+}
+
+Bits encode(const AckCommand& cmd) {
+  Bits bits;
+  append_bits(bits, 0b01, 2);
+  append_bits(bits, cmd.rn16, 16);
+  return bits;
+}
+
+Bits encode(const NakCommand&) {
+  Bits bits;
+  append_bits(bits, 0b11000000, 8);
+  return bits;
+}
+
+Bits encode(const SelectCommand& cmd) {
+  Bits bits;
+  append_bits(bits, 0b1010, 4);
+  append_bits(bits, static_cast<std::uint32_t>(cmd.target), 3);
+  append_bits(bits, cmd.action & 0x7, 3);
+  append_bits(bits, 0b01, 2);  // membank: EPC
+  append_bits(bits, cmd.pointer, 8);
+  append_bits(bits, static_cast<std::uint32_t>(cmd.mask.size()), 8);
+  bits.insert(bits.end(), cmd.mask.begin(), cmd.mask.end());
+  append_bits(bits, 0, 1);  // truncate: disabled
+  append_bits(bits, crc16(bits), 16);
+  return bits;
+}
+
+Bits encode_command(const Command& cmd) {
+  return std::visit([](const auto& c) { return encode(c); }, cmd);
+}
+
+namespace {
+
+std::optional<Command> decode_query(const Bits& bits) {
+  if (bits.size() != 22 || !crc5_check(bits)) return std::nullopt;
+  QueryCommand q;
+  q.dr = static_cast<DivideRatio>(read_bits(bits, 4, 1));
+  q.m = static_cast<Miller>(read_bits(bits, 5, 2));
+  q.tr_ext = read_bits(bits, 7, 1) != 0;
+  q.sel = static_cast<SelTarget>(read_bits(bits, 8, 2));
+  q.session = static_cast<Session>(read_bits(bits, 10, 2));
+  q.target = static_cast<InventoryFlag>(read_bits(bits, 12, 1));
+  q.q = static_cast<std::uint8_t>(read_bits(bits, 13, 4));
+  return Command{q};
+}
+
+std::optional<Command> decode_select(const Bits& bits) {
+  if (bits.size() < 4 + 3 + 3 + 2 + 8 + 8 + 1 + 16) return std::nullopt;
+  if (!crc16_check(bits)) return std::nullopt;
+  SelectCommand s;
+  s.target = static_cast<SelTarget>(read_bits(bits, 4, 3));
+  s.action = static_cast<std::uint8_t>(read_bits(bits, 7, 3));
+  s.pointer = static_cast<std::uint8_t>(read_bits(bits, 12, 8));
+  const std::size_t mask_len = read_bits(bits, 20, 8);
+  if (bits.size() != 4 + 3 + 3 + 2 + 8 + 8 + mask_len + 1 + 16) return std::nullopt;
+  s.mask.assign(bits.begin() + 28, bits.begin() + 28 + static_cast<long>(mask_len));
+  return Command{s};
+}
+
+}  // namespace
+
+std::optional<Command> decode_command(const Bits& bits) {
+  if (bits.size() < 4) return std::nullopt;
+  // Opcodes are prefix-free: 00 QueryRep, 01 ACK, 1000 Query, 1001
+  // QueryAdjust, 1010 Select, 11000000 NAK.
+  if (bits[0] == 0 && bits[1] == 0) {
+    if (bits.size() != 4) return std::nullopt;
+    QueryRepCommand c;
+    c.session = static_cast<Session>(read_bits(bits, 2, 2));
+    return Command{c};
+  }
+  // ACK shares its '01' prefix with Req_RN (01100001); frame length
+  // disambiguates (PIE frames are delimited, so length is known).
+  if (bits[0] == 0 && bits[1] == 1 && bits.size() == 18) {
+    AckCommand c;
+    c.rn16 = static_cast<std::uint16_t>(read_bits(bits, 2, 16));
+    return Command{c};
+  }
+  const std::uint32_t op4 = read_bits(bits, 0, 4);
+  if (op4 == 0b1000) return decode_query(bits);
+  if (op4 == 0b1001) {
+    if (bits.size() != 9) return std::nullopt;
+    QueryAdjustCommand c;
+    c.session = static_cast<Session>(read_bits(bits, 4, 2));
+    const std::uint32_t updn = read_bits(bits, 6, 3);
+    c.q_delta = (updn == 0b110) ? 1 : (updn == 0b011 ? -1 : 0);
+    return Command{c};
+  }
+  if (op4 == 0b1010) return decode_select(bits);
+  if (bits.size() >= 8) {
+    const std::uint32_t op8 = read_bits(bits, 0, 8);
+    if (bits.size() == 8 && op8 == 0b11000000) return Command{NakCommand{}};
+    if (op8 == 0b01100001) {
+      if (const auto cmd = decode_req_rn(bits)) return Command{*cmd};
+      return std::nullopt;
+    }
+    if (op8 == 0b11000010) {
+      if (const auto cmd = decode_read(bits)) return Command{*cmd};
+      return std::nullopt;
+    }
+    if (op8 == 0b11000011) {
+      if (const auto cmd = decode_write(bits)) return Command{*cmd};
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+Bits encode(const Rn16Reply& reply) {
+  Bits bits;
+  append_bits(bits, reply.rn16, 16);
+  return bits;
+}
+
+Bits encode(const EpcReply& reply) {
+  Bits bits;
+  append_bits(bits, reply.pc, 16);
+  for (std::uint8_t byte : reply.epc) append_bits(bits, byte, 8);
+  append_bits(bits, crc16(bits), 16);
+  return bits;
+}
+
+std::optional<Rn16Reply> decode_rn16(const Bits& bits) {
+  if (bits.size() != kRn16Bits) return std::nullopt;
+  return Rn16Reply{static_cast<std::uint16_t>(read_bits(bits, 0, 16))};
+}
+
+std::optional<EpcReply> decode_epc_reply(const Bits& bits) {
+  if (bits.size() != kEpcReplyBits || !crc16_check(bits)) return std::nullopt;
+  EpcReply reply;
+  reply.pc = static_cast<std::uint16_t>(read_bits(bits, 0, 16));
+  for (std::size_t i = 0; i < reply.epc.size(); ++i) {
+    reply.epc[i] = static_cast<std::uint8_t>(read_bits(bits, 16 + i * 8, 8));
+  }
+  return reply;
+}
+
+}  // namespace rfly::gen2

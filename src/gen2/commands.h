@@ -1,0 +1,133 @@
+// EPC Gen2 reader commands and tag replies as typed frames, with bit-level
+// encode/decode. The reader encodes commands to Bits (then PIE to waveform);
+// the tag decodes Bits back to a command. Tag replies go the other way
+// through the FM0 layer.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <variant>
+
+#include "gen2/bits.h"
+
+namespace rfly::gen2 {
+
+/// 96-bit EPC identifier.
+using Epc = std::array<std::uint8_t, 12>;
+
+/// Divide ratio selecting BLF = DR / TRcal.
+enum class DivideRatio : std::uint8_t { kDr8 = 0, kDr64Over3 = 1 };
+
+/// Tag-to-reader modulation (M=1 is FM0; Miller subcarrier otherwise).
+enum class Miller : std::uint8_t { kFm0 = 0, kM2 = 1, kM4 = 2, kM8 = 3 };
+
+enum class Session : std::uint8_t { kS0 = 0, kS1 = 1, kS2 = 2, kS3 = 3 };
+enum class InventoryFlag : std::uint8_t { kA = 0, kB = 1 };
+enum class SelTarget : std::uint8_t { kAll = 0, kAll2 = 1, kNotSl = 2, kSl = 3 };
+
+struct QueryCommand {
+  DivideRatio dr = DivideRatio::kDr64Over3;
+  Miller m = Miller::kFm0;
+  bool tr_ext = false;
+  SelTarget sel = SelTarget::kAll;
+  Session session = Session::kS0;
+  InventoryFlag target = InventoryFlag::kA;
+  std::uint8_t q = 0;  // slot-count exponent, 0..15
+};
+
+struct QueryRepCommand {
+  Session session = Session::kS0;
+};
+
+struct QueryAdjustCommand {
+  Session session = Session::kS0;
+  int q_delta = 0;  // -1, 0, +1
+};
+
+struct AckCommand {
+  std::uint16_t rn16 = 0;
+};
+
+struct NakCommand {};
+
+/// Select: asserts/deasserts the SL flag on tags whose EPC matches the mask.
+struct SelectCommand {
+  SelTarget target = SelTarget::kSl;
+  std::uint8_t action = 0;
+  std::uint8_t pointer = 0;  // bit offset into the EPC
+  Bits mask;                 // up to 255 bits
+};
+
+// --- Access layer (encode/decode in access.h). A tag that has been
+// acknowledged trades its RN16 for a fresh *handle* via Req_RN; Read and
+// Write then quote that handle.
+
+enum class MemoryBank : std::uint8_t {
+  kReserved = 0,  // kill/access passwords
+  kEpc = 1,
+  kTid = 2,
+  kUser = 3,
+};
+
+/// Req_RN: 01100001 | RN16 | CRC-16.
+struct ReqRnCommand {
+  std::uint16_t rn16 = 0;
+};
+
+/// Read: 11000010 | membank(2) | wordptr(8) | wordcount(8) | handle | CRC-16.
+struct ReadCommand {
+  MemoryBank bank = MemoryBank::kUser;
+  std::uint8_t word_pointer = 0;
+  std::uint8_t word_count = 1;
+  std::uint16_t handle = 0;
+};
+
+/// Write: 11000011 | membank(2) | wordptr(8) | cover-coded data | handle |
+/// CRC-16. The data word is XORed with a fresh Req_RN handle (cover code).
+struct WriteCommand {
+  MemoryBank bank = MemoryBank::kUser;
+  std::uint8_t word_pointer = 0;
+  std::uint16_t cover_coded_data = 0;
+  std::uint16_t handle = 0;
+};
+
+using Command = std::variant<QueryCommand, QueryRepCommand, QueryAdjustCommand,
+                             AckCommand, NakCommand, SelectCommand, ReqRnCommand,
+                             ReadCommand, WriteCommand>;
+
+Bits encode(const QueryCommand& cmd);
+Bits encode(const QueryRepCommand& cmd);
+Bits encode(const QueryAdjustCommand& cmd);
+Bits encode(const AckCommand& cmd);
+Bits encode(const NakCommand& cmd);
+Bits encode(const SelectCommand& cmd);
+Bits encode_command(const Command& cmd);
+
+/// Decode a command from its bit representation. Returns nullopt for
+/// malformed frames (bad length, unknown opcode, CRC failure).
+std::optional<Command> decode_command(const Bits& bits);
+
+/// Tag replies.
+struct Rn16Reply {
+  std::uint16_t rn16 = 0;
+};
+
+/// {PC, EPC, CRC-16} reply sent after ACK.
+struct EpcReply {
+  std::uint16_t pc = 0x3000;  // protocol control word for a 96-bit EPC
+  Epc epc{};
+};
+
+Bits encode(const Rn16Reply& reply);
+Bits encode(const EpcReply& reply);
+
+std::optional<Rn16Reply> decode_rn16(const Bits& bits);
+/// Validates the CRC-16; nullopt on corruption.
+std::optional<EpcReply> decode_epc_reply(const Bits& bits);
+
+/// Number of bits in each reply (RN16: 16, EPC reply: 16+96+16).
+inline constexpr std::size_t kRn16Bits = 16;
+inline constexpr std::size_t kEpcReplyBits = 128;
+
+}  // namespace rfly::gen2

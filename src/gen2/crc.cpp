@@ -1,0 +1,50 @@
+#include "gen2/crc.h"
+
+namespace rfly::gen2 {
+
+std::uint8_t crc5(const Bits& bits) {
+  std::uint8_t reg = 0b01001;
+  for (std::uint8_t bit : bits) {
+    const std::uint8_t msb = (reg >> 4) & 1u;
+    reg = static_cast<std::uint8_t>((reg << 1) & 0x1F);
+    if (msb ^ bit) reg ^= 0b01001;  // poly x^5 + x^3 + 1
+  }
+  return reg;
+}
+
+bool crc5_check(const Bits& bits_with_crc) {
+  if (bits_with_crc.size() < 5) return false;
+  Bits payload(bits_with_crc.begin(), bits_with_crc.end() - 5);
+  const std::uint8_t expected = crc5(payload);
+  const auto received = static_cast<std::uint8_t>(
+      read_bits(bits_with_crc, bits_with_crc.size() - 5, 5));
+  return expected == received;
+}
+
+std::uint16_t crc16(const Bits& bits) {
+  std::uint16_t reg = 0xFFFF;
+  for (std::uint8_t bit : bits) {
+    const std::uint16_t msb = (reg >> 15) & 1u;
+    reg = static_cast<std::uint16_t>(reg << 1);
+    if (msb ^ bit) reg ^= 0x1021;
+  }
+  return static_cast<std::uint16_t>(~reg);
+}
+
+bool crc16_check(const Bits& bits_with_crc) {
+  if (bits_with_crc.size() < 16) return false;
+  // Running the register over payload + transmitted CRC leaves the
+  // ISO/IEC 13239 residue 0x1D0F.
+  std::uint16_t reg = 0xFFFF;
+  for (std::size_t i = 0; i + 16 < bits_with_crc.size(); ++i) {
+    const std::uint16_t msb = (reg >> 15) & 1u;
+    reg = static_cast<std::uint16_t>(reg << 1);
+    if (msb ^ bits_with_crc[i]) reg ^= 0x1021;
+  }
+  const std::uint16_t transmitted = static_cast<std::uint16_t>(
+      read_bits(bits_with_crc, bits_with_crc.size() - 16, 16));
+  Bits payload(bits_with_crc.begin(), bits_with_crc.end() - 16);
+  return crc16(payload) == transmitted;
+}
+
+}  // namespace rfly::gen2

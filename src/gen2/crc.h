@@ -1,0 +1,26 @@
+// EPC Gen2 CRCs (EPCglobal UHF Class-1 Gen-2 / ISO 18000-63):
+//  - CRC-5 protects the Query command: poly x^5 + x^3 + 1, preset 0b01001.
+//  - CRC-16 protects Select and tag EPC replies: CCITT poly 0x1021, preset
+//    0xFFFF, transmitted ones'-complemented; a frame with a good CRC leaves
+//    the canonical residue 0x1D0F.
+#pragma once
+
+#include <cstdint>
+
+#include "gen2/bits.h"
+
+namespace rfly::gen2 {
+
+/// CRC-5 over a bit string, returned as a 5-bit value.
+std::uint8_t crc5(const Bits& bits);
+
+/// True if `bits` = payload + appended 5-bit CRC checks out.
+bool crc5_check(const Bits& bits_with_crc);
+
+/// CRC-16 to *transmit* for the given payload bits (already complemented).
+std::uint16_t crc16(const Bits& bits);
+
+/// True if `bits` = payload + appended 16-bit transmitted CRC checks out.
+bool crc16_check(const Bits& bits_with_crc);
+
+}  // namespace rfly::gen2

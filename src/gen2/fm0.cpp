@@ -1,0 +1,281 @@
+#include "gen2/fm0.h"
+
+#include <algorithm>
+#include <cmath>
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace rfly::gen2 {
+
+namespace {
+
+/// Emit one FM0 data symbol given the running level state.
+/// Boundary inversion happens unless `violation` is set.
+void emit_symbol(std::vector<int>& levels, int& level, int bit, bool violation) {
+  if (!violation) level = -level;
+  const int first = level;
+  const int second = (bit != 0) ? level : -level;
+  levels.push_back(first);
+  levels.push_back(second);
+  level = second;
+}
+
+constexpr std::size_t kPreambleSymbols = 6;
+constexpr std::size_t kPilotSymbols = 12;
+
+/// Preamble "1010v1": v is a '1'-shaped symbol whose boundary inversion is
+/// omitted (the FM0 violation the reader synchronizes on).
+void emit_preamble(std::vector<int>& levels, int& level) {
+  emit_symbol(levels, level, 1, false);
+  emit_symbol(levels, level, 0, false);
+  emit_symbol(levels, level, 1, false);
+  emit_symbol(levels, level, 0, false);
+  emit_symbol(levels, level, 1, true);  // violation
+  emit_symbol(levels, level, 1, false);
+}
+
+}  // namespace
+
+std::vector<int> fm0_levels(const Bits& bits, bool pilot) {
+  std::vector<int> levels;
+  levels.reserve(fm0_half_bits(bits.size(), pilot));
+  int level = 1;
+  if (pilot) {
+    for (std::size_t i = 0; i < kPilotSymbols; ++i) emit_symbol(levels, level, 0, false);
+  }
+  emit_preamble(levels, level);
+  for (std::uint8_t bit : bits) emit_symbol(levels, level, bit, false);
+  emit_symbol(levels, level, 1, false);  // end-of-signaling dummy 1
+  return levels;
+}
+
+std::size_t fm0_half_bits(std::size_t n_bits, bool pilot) {
+  const std::size_t symbols =
+      (pilot ? kPilotSymbols : 0) + kPreambleSymbols + n_bits + 1;
+  return 2 * symbols;
+}
+
+std::optional<Fm0DecodeResult> fm0_decode(std::span<const cdouble> samples,
+                                          double samples_per_half_bit,
+                                          std::size_t n_bits, bool pilot,
+                                          double min_sync) {
+  if (samples_per_half_bit < 1.0) return std::nullopt;
+  const std::size_t total_half_bits = fm0_half_bits(n_bits, pilot);
+  const auto needed =
+      static_cast<std::size_t>(std::ceil(samples_per_half_bit *
+                                         static_cast<double>(total_half_bits)));
+  if (samples.size() < needed) return std::nullopt;
+
+  // 1. Remove the CW leakage / structural reflection (DC at baseband).
+  std::vector<cdouble> x(samples.begin(), samples.end());
+  cdouble mean{0.0, 0.0};
+  for (const auto& s : x) mean += s;
+  mean /= static_cast<double>(x.size());
+  for (auto& s : x) s -= mean;
+
+  // 2. Integrate candidate half-bit slots at every sample offset and pick
+  //    the alignment maximizing preamble correlation. The template is the
+  //    full frame's expected levels; only the preamble portion is "known"
+  //    to the receiver, so sync correlates over that prefix.
+  const std::vector<int> expected_levels = fm0_levels(Bits(n_bits, 0), pilot);
+  const std::size_t preamble_half_bits =
+      2 * ((pilot ? kPilotSymbols : 0) + kPreambleSymbols);
+
+  // Search every alignment where the frame still fits: the reply may start
+  // anywhere in the window (Gen2 T1 tolerance), and the preamble
+  // correlation metric rejects false locks on noise or CW.
+  const std::size_t offset_limit = samples.size() - needed;
+
+  auto integrate_half_bit = [&](std::size_t offset, std::size_t k) {
+    const auto begin = offset + static_cast<std::size_t>(
+                                    std::llround(static_cast<double>(k) *
+                                                 samples_per_half_bit));
+    const auto end = offset + static_cast<std::size_t>(
+                                  std::llround(static_cast<double>(k + 1) *
+                                               samples_per_half_bit));
+    cdouble acc{0.0, 0.0};
+    for (std::size_t i = begin; i < end && i < x.size(); ++i) acc += x[i];
+    const double n = static_cast<double>(end - begin);
+    return n > 0 ? acc / n : cdouble{0.0, 0.0};
+  };
+
+  struct OffsetCandidate {
+    std::size_t offset = 0;
+    double metric = 0.0;
+    cdouble channel{0.0, 0.0};
+  };
+  std::vector<OffsetCandidate> candidates;
+  for (std::size_t offset = 0; offset <= offset_limit; ++offset) {
+    cdouble corr{0.0, 0.0};
+    double energy = 0.0;
+    for (std::size_t k = 0; k < preamble_half_bits; ++k) {
+      const cdouble v = integrate_half_bit(offset, k);
+      corr += v * static_cast<double>(expected_levels[k]);
+      energy += std::norm(v);
+    }
+    const double denom =
+        std::sqrt(energy * static_cast<double>(preamble_half_bits));
+    const double metric = denom > 0.0 ? std::abs(corr) / denom : 0.0;
+    candidates.push_back(
+        {offset, metric, corr / static_cast<double>(preamble_half_bits)});
+  }
+  // Keep the strongest alignments, separated by at least half a half-bit:
+  // the FM0 preamble's autocorrelation has near-degenerate sidepeaks at
+  // half-bit lags, and the structural check below disambiguates far more
+  // reliably than the raw correlation metric.
+  // Guarded integration makes several adjacent offsets tie exactly; take
+  // each plateau's center so the tail of a long frame keeps full margin.
+  std::vector<OffsetCandidate> centered;
+  for (std::size_t i = 0; i < candidates.size();) {
+    std::size_t j = i;
+    while (j + 1 < candidates.size() &&
+           std::abs(candidates[j + 1].metric - candidates[i].metric) < 1e-9) {
+      ++j;
+    }
+    centered.push_back(candidates[(i + j) / 2]);
+    i = j + 1;
+  }
+  candidates = std::move(centered);
+  std::sort(candidates.begin(), candidates.end(),
+            [](const OffsetCandidate& a, const OffsetCandidate& b) {
+              return a.metric > b.metric;
+            });
+  std::vector<OffsetCandidate> top;
+  const double min_separation = samples_per_half_bit / 2.0;
+  for (const auto& c : candidates) {
+    if (c.metric < min_sync) break;
+    bool too_close = false;
+    for (const auto& t : top) {
+      if (std::abs(static_cast<double>(c.offset) - static_cast<double>(t.offset)) <
+          min_separation) {
+        too_close = true;
+        break;
+      }
+    }
+    if (!too_close) top.push_back(c);
+    if (top.size() >= 6) break;
+  }
+  if (top.empty()) return std::nullopt;
+
+  // 3/4. Coherent demodulation. FM0's mandatory inversion at every symbol
+  // boundary makes it a 2-state trellis code: decode each clock hypothesis
+  // with Viterbi (states = exit level of the previous symbol), which uses
+  // the boundary redundancy to ride out ISI and feedback echoes that a
+  // symbol-by-symbol slicer cannot. Two clock uncertainties are searched:
+  //  - offset: the preamble autocorrelation sidepeaks above,
+  //  - rate: the tag's backscatter clock derives from its own (quantized)
+  //    TRcal measurement, so it can be off by a fraction of a percent —
+  //    enough to drift several samples over a long EPC reply.
+  // The hypothesis with the highest normalized Viterbi path metric wins.
+  Fm0DecodeResult result;
+  const std::size_t data_start = preamble_half_bits;
+  // Hypotheses are compared by the scale-invariant fraction of soft energy
+  // the best valid FM0 path explains (1.0 = perfectly consistent): raw path
+  // metrics are not comparable across channel estimates of different size.
+  double best_quality = -std::numeric_limits<double>::infinity();
+  double best_tiebreak = -std::numeric_limits<double>::infinity();
+  bool found = false;
+
+  for (const auto& cand : top) {
+    const cdouble h = cand.channel;
+    const double h_norm = std::norm(h);
+    if (h_norm <= 0.0) continue;
+
+    // Integrate the middle of each half-bit only: transitions smeared by
+    // band-edge filtering (ISI from the relay's band-pass) land in the
+    // guarded quarter-slot margins instead of corrupting the decision.
+    auto integrate_at_rate = [&](double rate_spb, std::size_t k) {
+      const double start = static_cast<double>(k) * rate_spb + 0.25 * rate_spb;
+      const double stop = static_cast<double>(k + 1) * rate_spb - 0.25 * rate_spb;
+      const auto begin =
+          cand.offset + static_cast<std::size_t>(std::llround(start));
+      const auto end = cand.offset + static_cast<std::size_t>(std::llround(stop));
+      cdouble acc{0.0, 0.0};
+      for (std::size_t i = begin; i < end && i < x.size(); ++i) acc += x[i];
+      const double len = static_cast<double>(end - begin);
+      return len > 0 ? acc / len : cdouble{0.0, 0.0};
+    };
+
+    // The preamble fixes the trellis entry state: its final half-bit level.
+    const double entry_level =
+        static_cast<double>(expected_levels[preamble_half_bits - 1]);
+
+    for (double rate_ppm :
+         {-7500.0, -5000.0, -2500.0, 0.0, 2500.0, 5000.0, 7500.0}) {
+      const double rate_spb = samples_per_half_bit * (1.0 + rate_ppm * 1e-6);
+      std::vector<double> soft;
+      soft.reserve(2 * n_bits);
+      for (std::size_t k = 0; k < 2 * n_bits; ++k) {
+        const cdouble v = integrate_at_rate(rate_spb, data_start + k);
+        soft.push_back((v * std::conj(h)).real() / h_norm);
+      }
+
+      // 2-state Viterbi: state = exit level in {+1 (index 1), -1 (index 0)}.
+      constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+      double metric[2] = {kNegInf, kNegInf};
+      metric[entry_level > 0 ? 1 : 0] = 0.0;
+      std::vector<std::array<std::int8_t, 2>> back(n_bits);  // bit per state
+      std::vector<std::array<std::int8_t, 2>> from(n_bits);  // prev state
+      for (std::size_t b = 0; b < n_bits; ++b) {
+        const double s1 = soft[2 * b];
+        const double s2 = soft[2 * b + 1];
+        double next[2] = {kNegInf, kNegInf};
+        std::array<std::int8_t, 2> bit{0, 0};
+        std::array<std::int8_t, 2> prev{0, 0};
+        for (int state = 0; state < 2; ++state) {
+          if (metric[state] == kNegInf) continue;
+          const double entering = state == 1 ? 1.0 : -1.0;
+          const double h1 = -entering;  // mandatory boundary inversion
+          for (int data_bit = 0; data_bit < 2; ++data_bit) {
+            const double h2 = data_bit == 1 ? h1 : -h1;
+            const double m = metric[state] + h1 * s1 + h2 * s2;
+            const int next_state = h2 > 0 ? 1 : 0;
+            if (m > next[next_state]) {
+              next[next_state] = m;
+              bit[static_cast<std::size_t>(next_state)] =
+                  static_cast<std::int8_t>(data_bit);
+              prev[static_cast<std::size_t>(next_state)] =
+                  static_cast<std::int8_t>(state);
+            }
+          }
+        }
+        metric[0] = next[0];
+        metric[1] = next[1];
+        back[b] = bit;
+        from[b] = prev;
+      }
+
+      const int end_state = metric[1] >= metric[0] ? 1 : 0;
+      const double path_metric = metric[end_state];
+      double soft_energy = 1e-30;
+      for (double s : soft) soft_energy += std::abs(s);
+      // Weighting by the sync correlation keeps a permissive trellis from
+      // overruling an alignment the preamble separates decisively.
+      const double quality = path_metric / soft_energy * cand.metric;
+      // Absolute coherent energy breaks clean-signal ties between clock
+      // hypotheses that differ only in zeroed (boundary-straddling) slots.
+      const double tiebreak = path_metric * std::sqrt(h_norm);
+      if (quality > best_quality + 1e-9 ||
+          (quality > best_quality - 1e-9 && tiebreak > best_tiebreak)) {
+        best_quality = std::max(best_quality, quality);
+        best_tiebreak = tiebreak;
+        Bits bits(n_bits);
+        int state = end_state;
+        for (std::size_t b = n_bits; b-- > 0;) {
+          bits[b] = static_cast<std::uint8_t>(back[b][static_cast<std::size_t>(state)]);
+          state = from[b][static_cast<std::size_t>(state)];
+        }
+        result.bits = std::move(bits);
+        result.soft = std::move(soft);
+        result.sync_metric = cand.metric;
+        result.channel = cand.channel;
+        found = true;
+      }
+    }
+  }
+  if (!found) return std::nullopt;
+  return result;
+}
+
+}  // namespace rfly::gen2

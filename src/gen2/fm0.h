@@ -1,0 +1,54 @@
+// FM0 baseband — the tag-to-reader backscatter line code. The tag toggles
+// its reflection state: FM0 inverts at every symbol boundary and a data-0
+// additionally inverts mid-symbol. Frames start with the 6-symbol preamble
+// "1010v1" (v = FM0 violation: the boundary inversion is omitted) and end
+// with a dummy-1 symbol.
+//
+// Levels here are +1/-1 half-bit reflection states; the tag maps them onto
+// its two impedance states, so the signal the reader sees is
+// h_tag * (level scaled to {0,1}) on top of the structural CW reflection.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/math_util.h"
+#include "gen2/bits.h"
+
+namespace rfly::gen2 {
+
+/// Half-bit level sequence (+1/-1) for a frame: preamble + bits + dummy 1.
+/// `pilot` prepends 12 leading zero-symbols (TRext=1 extended preamble).
+std::vector<int> fm0_levels(const Bits& bits, bool pilot = false);
+
+/// Number of half-bits the encoder emits for a payload of `n_bits`.
+std::size_t fm0_half_bits(std::size_t n_bits, bool pilot = false);
+
+/// Result of coherent FM0 decoding.
+struct Fm0DecodeResult {
+  Bits bits;
+  cdouble channel{0.0, 0.0};  // complex amplitude of the backscatter signal
+  double sync_metric = 0.0;   // normalized preamble correlation in [0, 1]
+  /// Per-half-bit soft decisions (normalized in-phase projections) of the
+  /// winning clock hypothesis; diagnostic margin information.
+  std::vector<double> soft;
+};
+
+/// Decode a complex baseband capture into bits.
+///
+/// `samples` must contain the frame; `samples_per_half_bit` is fs/(2*BLF);
+/// `n_bits` is the expected payload size (RN16 or EPC reply length — known
+/// from protocol state, as in a real Gen2 reader). The decoder:
+///   1. removes the DC / CW leakage component,
+///   2. finds the preamble by correlating against the known level template,
+///   3. estimates the complex channel from the preamble,
+///   4. coherently integrates each half-bit and walks the FM0 trellis.
+/// Returns nullopt if the preamble correlation never exceeds `min_sync`.
+std::optional<Fm0DecodeResult> fm0_decode(std::span<const cdouble> samples,
+                                          double samples_per_half_bit,
+                                          std::size_t n_bits, bool pilot = false,
+                                          double min_sync = 0.5);
+
+}  // namespace rfly::gen2

@@ -1,0 +1,291 @@
+#include "gen2/miller.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace rfly::gen2 {
+
+namespace {
+
+int miller_m_value(Miller m) {
+  switch (m) {
+    case Miller::kM2:
+      return 2;
+    case Miller::kM4:
+      return 4;
+    case Miller::kM8:
+      return 8;
+    case Miller::kFm0:
+      break;
+  }
+  return 0;  // FM0 is not a Miller mode; callers must not pass it
+}
+
+/// Generator state shared by the encoder and the decoder's trellis.
+struct MillerState {
+  int level = 1;     // baseband level at the end of the previous symbol
+  int prev_bit = 1;  // previous data bit (no boundary inversion initially)
+};
+
+/// Emit one symbol's chips; advances the state.
+void emit_symbol(std::vector<int>& chips, MillerState& st, int bit, int m_val) {
+  // Boundary inversion between consecutive zeros.
+  int level = (st.prev_bit == 0 && bit == 0) ? -st.level : st.level;
+  for (int c = 0; c < 2 * m_val; ++c) {
+    if (bit == 1 && c == m_val) level = -level;  // mid-symbol inversion
+    const int subcarrier = (c % 2 == 0) ? 1 : -1;
+    chips.push_back(level * subcarrier);
+  }
+  st.level = level;
+  st.prev_bit = bit;
+}
+
+constexpr std::size_t kPreambleZeros = 4;
+constexpr std::size_t kPilotZeros = 16;
+const int kPreambleTail[] = {0, 1, 0, 1, 1, 1};
+
+MillerState emit_preamble(std::vector<int>& chips, int m_val, bool pilot) {
+  MillerState st;
+  const std::size_t zeros = pilot ? kPilotZeros : kPreambleZeros;
+  for (std::size_t i = 0; i < zeros; ++i) emit_symbol(chips, st, 0, m_val);
+  for (int bit : kPreambleTail) emit_symbol(chips, st, bit, m_val);
+  return st;
+}
+
+std::size_t preamble_symbols(bool pilot) {
+  return (pilot ? kPilotZeros : kPreambleZeros) + std::size(kPreambleTail);
+}
+
+}  // namespace
+
+std::size_t miller_chips_per_symbol(Miller m) {
+  return static_cast<std::size_t>(2 * miller_m_value(m));
+}
+
+std::vector<int> miller_chips(const Bits& bits, Miller m, bool pilot) {
+  const int m_val = miller_m_value(m);
+  std::vector<int> chips;
+  chips.reserve(miller_total_chips(bits.size(), m, pilot));
+  MillerState st = emit_preamble(chips, m_val, pilot);
+  for (std::uint8_t bit : bits) emit_symbol(chips, st, bit, m_val);
+  emit_symbol(chips, st, 1, m_val);  // end-of-signaling dummy '1'
+  return chips;
+}
+
+std::size_t miller_total_chips(std::size_t n_bits, Miller m, bool pilot) {
+  return (preamble_symbols(pilot) + n_bits + 1) * miller_chips_per_symbol(m);
+}
+
+std::optional<MillerDecodeResult> miller_decode(std::span<const cdouble> samples,
+                                                double samples_per_chip,
+                                                std::size_t n_bits, Miller m,
+                                                bool pilot, double min_sync) {
+  const int m_val = miller_m_value(m);
+  if (m_val == 0 || samples_per_chip < 1.0) return std::nullopt;
+  const std::size_t total_chips = miller_total_chips(n_bits, m, pilot);
+  const auto needed = static_cast<std::size_t>(
+      std::ceil(samples_per_chip * static_cast<double>(total_chips)));
+  if (samples.size() < needed) return std::nullopt;
+
+  // DC removal (CW leakage).
+  std::vector<cdouble> x(samples.begin(), samples.end());
+  cdouble mean{0.0, 0.0};
+  for (const auto& s : x) mean += s;
+  mean /= static_cast<double>(x.size());
+  for (auto& s : x) s -= mean;
+
+  // The preamble chip template is data-independent. The leading zero
+  // symbols are periodic (they would alias sync by whole symbols), so the
+  // correlation runs over the last zero plus the distinctive "010111" tail.
+  const std::vector<int> template_chips = miller_chips(Bits(n_bits, 0), m, pilot);
+  const std::size_t preamble_chips =
+      preamble_symbols(pilot) * miller_chips_per_symbol(m);
+  const std::size_t sync_begin =
+      ((pilot ? kPilotZeros : kPreambleZeros) - 1) * miller_chips_per_symbol(m);
+
+  auto integrate_chip = [&](std::size_t offset, double rate_spc, std::size_t k) {
+    const double start = static_cast<double>(k) * rate_spc + 0.25 * rate_spc;
+    const double stop = static_cast<double>(k + 1) * rate_spc - 0.25 * rate_spc;
+    const auto begin = offset + static_cast<std::size_t>(std::llround(start));
+    const auto end = offset + static_cast<std::size_t>(std::llround(stop));
+    cdouble acc{0.0, 0.0};
+    for (std::size_t i = begin; i < end && i < x.size(); ++i) acc += x[i];
+    const double len = static_cast<double>(end - begin);
+    return len > 0 ? acc / len : cdouble{0.0, 0.0};
+  };
+
+  // Preamble sync over all alignments.
+  struct OffsetCandidate {
+    std::size_t offset = 0;
+    double metric = 0.0;
+    cdouble channel{0.0, 0.0};
+  };
+  std::vector<OffsetCandidate> candidates;
+  const std::size_t offset_limit = samples.size() - needed;
+  const std::size_t sync_len = preamble_chips - sync_begin;
+  for (std::size_t offset = 0; offset <= offset_limit; ++offset) {
+    cdouble corr{0.0, 0.0};
+    double energy = 0.0;
+    for (std::size_t k = sync_begin; k < preamble_chips; ++k) {
+      const cdouble v = integrate_chip(offset, samples_per_chip, k);
+      corr += v * static_cast<double>(template_chips[k]);
+      energy += std::norm(v);
+    }
+    const double denom = std::sqrt(energy * static_cast<double>(sync_len));
+    const double metric = denom > 0.0 ? std::abs(corr) / denom : 0.0;
+    candidates.push_back({offset, metric, corr / static_cast<double>(sync_len)});
+  }
+  // Guarded integration makes several adjacent offsets tie exactly; take
+  // each plateau's center so the tail of a long frame keeps full margin.
+  std::vector<OffsetCandidate> centered;
+  for (std::size_t i = 0; i < candidates.size();) {
+    std::size_t j = i;
+    while (j + 1 < candidates.size() &&
+           std::abs(candidates[j + 1].metric - candidates[i].metric) < 1e-9) {
+      ++j;
+    }
+    centered.push_back(candidates[(i + j) / 2]);
+    i = j + 1;
+  }
+  candidates = std::move(centered);
+  std::sort(candidates.begin(), candidates.end(),
+            [](const OffsetCandidate& a, const OffsetCandidate& b) {
+              return a.metric > b.metric;
+            });
+  std::vector<OffsetCandidate> top;
+  for (const auto& c : candidates) {
+    if (c.metric < min_sync) break;
+    bool too_close = false;
+    for (const auto& t : top) {
+      if (std::abs(static_cast<double>(c.offset) - static_cast<double>(t.offset)) <
+          samples_per_chip / 2.0) {
+        too_close = true;
+        break;
+      }
+    }
+    if (!too_close) top.push_back(c);
+    if (top.size() >= 6) break;
+  }
+  if (top.empty()) return std::nullopt;
+
+  // Entry state after the preamble (from the shared generator).
+  MillerState entry;
+  {
+    std::vector<int> scratch;
+    entry = emit_preamble(scratch, m_val, pilot);
+  }
+
+  // Viterbi over symbols. State = (level in {+-1}, prev_bit in {0,1}),
+  // indexed as 2 * (level > 0) + prev_bit.
+  const std::size_t cps = miller_chips_per_symbol(m);
+  MillerDecodeResult result;
+  double best_quality = -std::numeric_limits<double>::infinity();
+  double best_tiebreak = -std::numeric_limits<double>::infinity();
+  bool found = false;
+
+  for (const auto& cand : top) {
+    const cdouble h = cand.channel;
+    const double h_norm = std::norm(h);
+    if (h_norm <= 0.0) continue;
+
+    for (double rate_ppm :
+         {-7500.0, -5000.0, -2500.0, 0.0, 2500.0, 5000.0, 7500.0}) {
+      const double rate_spc = samples_per_chip * (1.0 + rate_ppm * 1e-6);
+
+      // Soft chips for the data region.
+      std::vector<double> soft(2 * n_bits * static_cast<std::size_t>(m_val));
+      const std::size_t data_start = preamble_chips;
+      for (std::size_t k = 0; k < soft.size(); ++k) {
+        const cdouble v = integrate_chip(cand.offset, rate_spc, data_start + k);
+        soft[k] = (v * std::conj(h)).real() / h_norm;
+      }
+
+      constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+      std::array<double, 4> metric{kNegInf, kNegInf, kNegInf, kNegInf};
+      const int entry_index = 2 * (entry.level > 0 ? 1 : 0) + entry.prev_bit;
+      metric[static_cast<std::size_t>(entry_index)] = 0.0;
+      std::vector<std::array<std::int8_t, 4>> back(n_bits);
+      std::vector<std::array<std::int8_t, 4>> from(n_bits);
+
+      double soft_energy = 1e-30;
+      for (double s : soft) soft_energy += std::abs(s);
+
+      for (std::size_t b = 0; b < n_bits; ++b) {
+        std::array<double, 4> next{kNegInf, kNegInf, kNegInf, kNegInf};
+        std::array<std::int8_t, 4> bit_of{0, 0, 0, 0};
+        std::array<std::int8_t, 4> prev_of{0, 0, 0, 0};
+        for (int state = 0; state < 4; ++state) {
+          if (metric[static_cast<std::size_t>(state)] == kNegInf) continue;
+          const int level_in = (state & 2) ? 1 : -1;
+          const int prev_bit = state & 1;
+          for (int bit = 0; bit < 2; ++bit) {
+            int level = (prev_bit == 0 && bit == 0) ? -level_in : level_in;
+            double branch = 0.0;
+            int lvl = level;
+            for (std::size_t c = 0; c < cps; ++c) {
+              if (bit == 1 && c == cps / 2) lvl = -lvl;
+              const int chip = lvl * ((c % 2 == 0) ? 1 : -1);
+              branch += static_cast<double>(chip) * soft[b * cps + c];
+            }
+            const int exit_level = lvl;
+            const int next_state = 2 * (exit_level > 0 ? 1 : 0) + bit;
+            const double mnew = metric[static_cast<std::size_t>(state)] + branch;
+            if (mnew > next[static_cast<std::size_t>(next_state)]) {
+              next[static_cast<std::size_t>(next_state)] = mnew;
+              bit_of[static_cast<std::size_t>(next_state)] =
+                  static_cast<std::int8_t>(bit);
+              prev_of[static_cast<std::size_t>(next_state)] =
+                  static_cast<std::int8_t>(state);
+            }
+          }
+        }
+        metric = next;
+        back[b] = bit_of;
+        from[b] = prev_of;
+      }
+
+      int end_state = 0;
+      for (int s = 1; s < 4; ++s) {
+        if (metric[static_cast<std::size_t>(s)] >
+            metric[static_cast<std::size_t>(end_state)]) {
+          end_state = s;
+        }
+      }
+      // Weight by the sync correlation too: the trellis alone is too
+      // permissive to referee between alignments the preamble already
+      // separates decisively.
+      const double quality =
+          metric[static_cast<std::size_t>(end_state)] / soft_energy * cand.metric;
+      // A misaligned clock can tie on the scale-invariant quality by only
+      // zeroing soft chips; absolute coherent energy breaks such ties in
+      // favour of the exactly-aligned hypothesis.
+      const double tiebreak =
+          metric[static_cast<std::size_t>(end_state)] * std::sqrt(h_norm);
+      if (quality > best_quality + 1e-9 ||
+          (quality > best_quality - 1e-9 && tiebreak > best_tiebreak)) {
+        best_quality = quality;
+        Bits bits(n_bits);
+        int state = end_state;
+        for (std::size_t b = n_bits; b-- > 0;) {
+          bits[b] =
+              static_cast<std::uint8_t>(back[b][static_cast<std::size_t>(state)]);
+          state = from[b][static_cast<std::size_t>(state)];
+        }
+        result.bits = std::move(bits);
+        result.channel = cand.channel;
+        result.sync_metric = cand.metric;
+        result.offset = cand.offset;
+        result.rate_ppm = rate_ppm;
+        best_tiebreak = tiebreak;
+        found = true;
+      }
+    }
+  }
+  if (!found) return std::nullopt;
+  return result;
+}
+
+}  // namespace rfly::gen2

@@ -1,0 +1,56 @@
+// Miller-modulated subcarrier (Gen2 M = 2, 4, 8) — the tag-to-reader line
+// code used instead of FM0 when the reader asks for more interference
+// robustness at the cost of data rate. The baseband Miller waveform holds
+// its level, inverting mid-symbol for a '1' and at the boundary between
+// consecutive '0's; the transmitted waveform is that baseband times a
+// square subcarrier running at M cycles per symbol. BLF names the
+// subcarrier frequency, so the bit rate is BLF / M.
+//
+// Like FM0 (see fm0.h), the code is a 2-state trellis (the state is the
+// baseband level), and the decoder is a coherent Viterbi over per-chip
+// integrals with the same clock-hypothesis search.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/math_util.h"
+#include "gen2/bits.h"
+#include "gen2/commands.h"
+
+namespace rfly::gen2 {
+
+/// Chips per symbol for Miller-M: 2 chips per subcarrier cycle, M cycles
+/// per symbol.
+std::size_t miller_chips_per_symbol(Miller m);
+
+/// Chip-level (+1/-1) sequence for a frame: the Gen2 Miller preamble
+/// (4 zero symbols + "010111"; `pilot` extends the zeros to 16) followed by
+/// the data bits and the end-of-signaling dummy '1'.
+std::vector<int> miller_chips(const Bits& bits, Miller m, bool pilot = false);
+
+/// Number of chips the encoder emits for a payload of `n_bits`.
+std::size_t miller_total_chips(std::size_t n_bits, Miller m, bool pilot = false);
+
+struct MillerDecodeResult {
+  Bits bits;
+  cdouble channel{0.0, 0.0};
+  double sync_metric = 0.0;
+  /// Diagnostics: the winning clock hypothesis.
+  std::size_t offset = 0;
+  double rate_ppm = 0.0;
+};
+
+/// Decode a complex capture of a Miller-M reply.
+/// `samples_per_chip` = fs / (2 * BLF) (the subcarrier's chip rate).
+/// Mirrors fm0_decode: DC removal, preamble sync over offsets, coherent
+/// Viterbi over (offset, rate) clock hypotheses.
+std::optional<MillerDecodeResult> miller_decode(std::span<const cdouble> samples,
+                                                double samples_per_chip,
+                                                std::size_t n_bits, Miller m,
+                                                bool pilot = false,
+                                                double min_sync = 0.5);
+
+}  // namespace rfly::gen2

@@ -1,0 +1,143 @@
+#include "gen2/pie.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rfly::gen2 {
+
+namespace {
+
+struct SymbolShape {
+  std::size_t total = 0;  // samples
+  std::size_t pulse = 0;  // trailing low samples
+};
+
+std::size_t to_samples(double seconds, double fs) {
+  return static_cast<std::size_t>(std::llround(seconds * fs));
+}
+
+void emit_symbol(std::vector<double>& out, const SymbolShape& shape, double low) {
+  // High portion first, trailing low pulse ends the symbol.
+  out.insert(out.end(), shape.total - shape.pulse, 1.0);
+  out.insert(out.end(), shape.pulse, low);
+}
+
+}  // namespace
+
+std::vector<double> pie_encode(const Bits& bits, const PieConfig& cfg, bool with_trcal) {
+  const double fs = cfg.sample_rate_hz;
+  const double low = 1.0 - cfg.modulation_depth;
+  const std::size_t tari = to_samples(cfg.tari_s, fs);
+  const std::size_t pw = to_samples(cfg.tari_s * cfg.pw_tari, fs);
+  const SymbolShape data0{tari, pw};
+  const SymbolShape data1{to_samples(cfg.tari_s * cfg.data1_tari, fs), pw};
+  const SymbolShape rtcal{data0.total + data1.total, pw};
+  const SymbolShape trcal{to_samples(cfg.trcal_s, fs), pw};
+
+  std::vector<double> out;
+  // A little leading CW so the tag's envelope tracker settles.
+  out.insert(out.end(), tari, 1.0);
+  // Delimiter: fixed low period.
+  out.insert(out.end(), to_samples(cfg.delimiter_s, fs), low);
+  emit_symbol(out, data0, low);
+  emit_symbol(out, rtcal, low);
+  if (with_trcal) emit_symbol(out, trcal, low);
+  for (std::uint8_t bit : bits) emit_symbol(out, bit ? data1 : data0, low);
+  // Trailing CW: the reader keeps transmitting carrier for the tag reply.
+  out.insert(out.end(), tari, 1.0);
+  return out;
+}
+
+double pie_frame_duration(const Bits& bits, const PieConfig& cfg, bool with_trcal) {
+  const double fs = cfg.sample_rate_hz;
+  PieConfig c = cfg;
+  const auto samples = pie_encode(bits, c, with_trcal).size();
+  return static_cast<double>(samples) / fs;
+}
+
+std::vector<double> envelope_of(const signal::Waveform& w) {
+  std::vector<double> env(w.size());
+  for (std::size_t i = 0; i < w.size(); ++i) env[i] = std::abs(w[i]);
+  return env;
+}
+
+std::optional<PieDecodeResult> pie_decode(const std::vector<double>& envelope,
+                                          const PieConfig& cfg) {
+  if (envelope.size() < 8) return std::nullopt;
+  const double hi = *std::max_element(envelope.begin(), envelope.end());
+  const double lo = *std::min_element(envelope.begin(), envelope.end());
+  if (hi <= 0.0 || (hi - lo) / hi < 0.3) return std::nullopt;  // no modulation
+  const double threshold = (hi + lo) / 2.0;
+
+  // Binarize and collect falling/rising edges.
+  std::vector<std::size_t> falling;
+  std::vector<std::size_t> rising;
+  bool state = envelope[0] > threshold;
+  for (std::size_t i = 1; i < envelope.size(); ++i) {
+    const bool now = envelope[i] > threshold;
+    if (state && !now) falling.push_back(i);
+    if (!state && now) rising.push_back(i);
+    state = now;
+  }
+  if (falling.size() < 3 || rising.empty()) return std::nullopt;
+
+  const double fs = cfg.sample_rate_hz;
+  const double delim_samples = cfg.delimiter_s * fs;
+
+  // The delimiter is the first low region of roughly the configured
+  // delimiter length (12.5 us per Gen2, independent of Tari). Every
+  // symbol is (high, trailing pulse), so the interval between consecutive
+  // RISING edges equals one full symbol length, starting with data-0 right
+  // after the delimiter; the rising edge into the trailing CW closes the
+  // final symbol.
+  std::size_t delim_end_rise = 0;
+  bool found_delim = false;
+  for (std::size_t f = 0; f < falling.size() && !found_delim; ++f) {
+    for (std::size_t r : rising) {
+      if (r > falling[f]) {
+        // Filters upstream (the relay's 100 kHz LPF) smear the delimiter's
+        // edges, and a deeply compressed relay PA shifts the mid-threshold
+        // crossings asymmetrically, shortening the below-threshold span
+        // further; accept anything beyond 0.4x nominal. Data pulses can be
+        // comparably long, but the delimiter is the *first* low region
+        // after carrier acquisition, so ordering disambiguates.
+        if (static_cast<double>(r - falling[f]) > 0.4 * delim_samples) {
+          delim_end_rise = r;
+          found_delim = true;
+        }
+        break;  // only the first low region after this falling edge matters
+      }
+    }
+  }
+  if (!found_delim) return std::nullopt;
+
+  std::vector<std::size_t> sym_edges;  // rising edges, starting at delimiter end
+  for (std::size_t r : rising) {
+    if (r >= delim_end_rise) sym_edges.push_back(r);
+  }
+  if (sym_edges.size() < 3) return std::nullopt;
+
+  std::vector<double> intervals;  // intervals[k] = total length of symbol k
+  for (std::size_t i = 0; i + 1 < sym_edges.size(); ++i) {
+    intervals.push_back(static_cast<double>(sym_edges[i + 1] - sym_edges[i]));
+  }
+
+  PieDecodeResult result;
+  const double rtcal = intervals[1];
+  if (rtcal <= 0.0) return std::nullopt;
+  result.rtcal_s = rtcal / fs;
+  const double pivot = rtcal / 2.0;
+  std::size_t data_start = 2;
+  // TRcal, when present, is longer than RTcal.
+  if (intervals.size() > 2 && intervals[2] > 1.05 * rtcal) {
+    result.trcal_s = intervals[2] / fs;
+    data_start = 3;
+  }
+  for (std::size_t i = data_start; i < intervals.size(); ++i) {
+    result.bits.push_back(intervals[i] > pivot ? 1 : 0);
+  }
+  result.end_sample = sym_edges.back();
+  return result;
+}
+
+}  // namespace rfly::gen2

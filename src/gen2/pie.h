@@ -1,0 +1,54 @@
+// Pulse-interval encoding (PIE) — the reader-to-tag downlink modulation.
+// A reader transmits CW and cuts short low-power pulses into it; symbol
+// duration encodes the bit. Query frames start with a preamble carrying
+// RTcal (the 0/1 decision pivot) and TRcal (sets the tag's backscatter link
+// frequency, BLF = DR / TRcal); other commands start with a frame-sync that
+// omits TRcal. This layer produces/consumes real envelope levels in [0, 1];
+// the reader scales by sqrt(TX power) and the carrier phase.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "gen2/bits.h"
+#include "signal/waveform.h"
+
+namespace rfly::gen2 {
+
+struct PieConfig {
+  double sample_rate_hz = 4e6;
+  double tari_s = 12.5e-6;        // reference interval (data-0 length)
+  double data1_tari = 2.0;        // data-1 length as a multiple of Tari
+  double pw_tari = 0.5;           // low-pulse width as a multiple of Tari
+  /// TRcal must exceed RTcal (= Tari * (1 + data1_tari) = 37.5 us here);
+  /// with DR = 64/3 this gives BLF = (64/3) / 42.667us = 500 kHz.
+  double trcal_s = 64.0 / 3.0 / 500e3;
+  double delimiter_s = 12.5e-6;   // leading low period
+  double modulation_depth = 0.9;  // 1.0 = full OOK; low level = 1 - depth
+};
+
+/// Encode a command's bits as a PIE envelope, preceded by the Query preamble
+/// (`with_trcal` true) or frame-sync (`false`). Values in [1-depth, 1].
+std::vector<double> pie_encode(const Bits& bits, const PieConfig& cfg, bool with_trcal);
+
+/// Result of envelope decoding on the tag side.
+struct PieDecodeResult {
+  Bits bits;
+  double rtcal_s = 0.0;
+  std::optional<double> trcal_s;  // present only for Query preambles
+  std::size_t end_sample = 0;     // index one past the final symbol
+};
+
+/// Decode a PIE envelope (magnitude samples). Detects the delimiter, learns
+/// RTcal (and TRcal if present), then slices symbols by falling-edge
+/// intervals. Returns nullopt if no valid preamble is found.
+std::optional<PieDecodeResult> pie_decode(const std::vector<double>& envelope,
+                                          const PieConfig& cfg);
+
+/// Convenience: envelope of a complex waveform (|x| per sample).
+std::vector<double> envelope_of(const signal::Waveform& w);
+
+/// Duration in seconds of an encoded frame (preamble + bits), for MAC timing.
+double pie_frame_duration(const Bits& bits, const PieConfig& cfg, bool with_trcal);
+
+}  // namespace rfly::gen2

@@ -1,0 +1,77 @@
+#include "gen2/sgtin.h"
+
+namespace rfly::gen2 {
+
+namespace {
+
+constexpr std::uint8_t kSgtin96Header = 0x30;
+
+/// GS1 partition table: bits for company prefix; item reference gets
+/// 44 - company bits.
+constexpr int kCompanyBits[7] = {40, 37, 34, 30, 27, 24, 20};
+
+/// Append `n_bits` of `value` MSB-first into the EPC bit cursor.
+void put_bits(Epc& epc, int& cursor, std::uint64_t value, int n_bits) {
+  for (int i = n_bits - 1; i >= 0; --i, ++cursor) {
+    const std::uint8_t bit = static_cast<std::uint8_t>((value >> i) & 1u);
+    epc[static_cast<std::size_t>(cursor / 8)] =
+        static_cast<std::uint8_t>(epc[static_cast<std::size_t>(cursor / 8)] |
+                                  (bit << (7 - cursor % 8)));
+  }
+}
+
+std::uint64_t get_bits(const Epc& epc, int& cursor, int n_bits) {
+  std::uint64_t value = 0;
+  for (int i = 0; i < n_bits; ++i, ++cursor) {
+    const std::uint8_t bit =
+        (epc[static_cast<std::size_t>(cursor / 8)] >> (7 - cursor % 8)) & 1u;
+    value = (value << 1) | bit;
+  }
+  return value;
+}
+
+bool fits(std::uint64_t value, int bits) {
+  return bits >= 64 || value < (std::uint64_t{1} << bits);
+}
+
+}  // namespace
+
+int sgtin96_company_bits(std::uint8_t partition) {
+  if (partition > 6) return -1;
+  return kCompanyBits[partition];
+}
+
+std::optional<Epc> sgtin96_encode(const Sgtin96& s) {
+  const int company_bits = sgtin96_company_bits(s.partition);
+  if (company_bits < 0) return std::nullopt;
+  const int item_bits = 44 - company_bits;
+  if (s.filter > 7 || !fits(s.company_prefix, company_bits) ||
+      !fits(s.item_reference, item_bits) || !fits(s.serial, 38)) {
+    return std::nullopt;
+  }
+  Epc epc{};
+  int cursor = 0;
+  put_bits(epc, cursor, kSgtin96Header, 8);
+  put_bits(epc, cursor, s.filter, 3);
+  put_bits(epc, cursor, s.partition, 3);
+  put_bits(epc, cursor, s.company_prefix, company_bits);
+  put_bits(epc, cursor, s.item_reference, item_bits);
+  put_bits(epc, cursor, s.serial, 38);
+  return epc;
+}
+
+std::optional<Sgtin96> sgtin96_decode(const Epc& epc) {
+  int cursor = 0;
+  if (get_bits(epc, cursor, 8) != kSgtin96Header) return std::nullopt;
+  Sgtin96 s;
+  s.filter = static_cast<std::uint8_t>(get_bits(epc, cursor, 3));
+  s.partition = static_cast<std::uint8_t>(get_bits(epc, cursor, 3));
+  const int company_bits = sgtin96_company_bits(s.partition);
+  if (company_bits < 0) return std::nullopt;
+  s.company_prefix = get_bits(epc, cursor, company_bits);
+  s.item_reference = get_bits(epc, cursor, 44 - company_bits);
+  s.serial = get_bits(epc, cursor, 38);
+  return s;
+}
+
+}  // namespace rfly::gen2

@@ -1,0 +1,38 @@
+// GS1 SGTIN-96 EPC coding — the identifier scheme actually burned into the
+// retail tags the paper works with (Alien Squiggle class). An SGTIN-96
+// packs header, filter, company prefix, item reference, and serial number
+// into the 96-bit EPC; the local database of paper Section 3 maps these to
+// objects. This module encodes/decodes the layout so examples and users can
+// round-trip real-world identifiers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "gen2/commands.h"
+
+namespace rfly::gen2 {
+
+struct Sgtin96 {
+  /// Filter value: 0 = all, 1 = POS item, 2 = case, 3 = pallet, ...
+  std::uint8_t filter = 1;
+  /// GS1 partition (0-6): splits the 44 bits between company prefix and
+  /// item reference. Partition 5 = 24-bit company prefix + 20-bit item ref.
+  std::uint8_t partition = 5;
+  std::uint64_t company_prefix = 0;
+  std::uint64_t item_reference = 0;
+  std::uint64_t serial = 0;  // 38 bits
+};
+
+/// Number of company-prefix bits for a partition value (GS1 table).
+int sgtin96_company_bits(std::uint8_t partition);
+
+/// Encode to a 96-bit EPC. Returns nullopt if any field overflows its
+/// partition-determined width (or the partition is invalid).
+std::optional<Epc> sgtin96_encode(const Sgtin96& sgtin);
+
+/// Decode an EPC; nullopt if the header is not SGTIN-96 (0x30) or the
+/// partition is invalid.
+std::optional<Sgtin96> sgtin96_decode(const Epc& epc);
+
+}  // namespace rfly::gen2

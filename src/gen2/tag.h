@@ -1,0 +1,114 @@
+// Passive tag model: the Gen2 inventory state machine plus the physics that
+// limit it — a tag only operates while the incident carrier exceeds its
+// power-up sensitivity (about -15 dBm for the Alien Squiggle class the paper
+// uses), which is exactly the constraint that caps relay-free read range.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/rng.h"
+#include "gen2/commands.h"
+#include "signal/waveform.h"
+
+namespace rfly::gen2 {
+
+struct TagConfig {
+  Epc epc{};
+  /// TID bank: permalocked chip identity (vendor/model/serial words).
+  std::array<std::uint16_t, 6> tid{0xE280, 0x1160, 0x2000, 0x0000, 0x0000, 0x0001};
+  /// User memory (sensor-augmented tags store samples here). Writable.
+  std::array<std::uint16_t, 8> user_memory{};
+  double sensitivity_dbm = -15.0;  // minimum incident power to operate
+  double antenna_gain_dbi = 2.0;
+  /// Reflection coefficients of the two impedance states (amplitude).
+  double rho_on = 0.8;
+  double rho_off = 0.1;
+};
+
+enum class TagState : std::uint8_t { kReady, kArbitrate, kReply, kAcknowledged, kOpen };
+
+enum class ReplyKind : std::uint8_t { kRn16, kEpc, kHandle, kRead, kWriteAck };
+
+/// What a tag sends back in its slot.
+struct TagReply {
+  Bits bits;
+  ReplyKind kind = ReplyKind::kRn16;
+  double blf_hz = 500e3;
+  bool pilot = false;
+  /// Backscatter line code, taken from the Query's M field (kFm0 or a
+  /// Miller subcarrier mode).
+  Miller modulation = Miller::kFm0;
+};
+
+/// Per-command context the air interface supplies.
+struct CommandContext {
+  double incident_power_dbm = -100.0;
+  std::optional<double> trcal_s;             // present on Query frames
+  DivideRatio dr = DivideRatio::kDr8;        // from the Query command
+};
+
+class Tag {
+ public:
+  Tag(TagConfig config, std::uint64_t seed);
+
+  /// Run one command through the state machine. Returns the reply the tag
+  /// backscatters, if any. An under-powered tag loses all volatile state.
+  std::optional<TagReply> on_command(const Command& command,
+                                     const CommandContext& ctx);
+
+  /// True if the incident power can operate the tag.
+  bool powered(double incident_power_dbm) const {
+    return incident_power_dbm >= config_.sensitivity_dbm;
+  }
+
+  TagState state() const { return state_; }
+  std::uint16_t current_handle() const { return handle_; }
+  const std::array<std::uint16_t, 8>& user_memory() const {
+    return config_.user_memory;
+  }
+  bool sl_flag() const { return sl_flag_; }
+  InventoryFlag inventoried(Session s) const {
+    return inventoried_[static_cast<std::size_t>(s)];
+  }
+  const TagConfig& config() const { return config_; }
+  std::uint16_t current_rn16() const { return rn16_; }
+
+  /// Reset volatile state (power loss between frames).
+  void power_cycle();
+
+  /// Model an unpowered interval of `seconds`: inventoried flags and the SL
+  /// flag decay per their Gen2 session persistence times (S0 immediately
+  /// while unpowered; S1 after ~2 s regardless; S2/S3 and SL after ~2 s
+  /// unpowered), and all volatile state resets.
+  void on_power_gap(double seconds);
+
+ private:
+  std::optional<TagReply> on_query(const QueryCommand& q, const CommandContext& ctx);
+
+  TagConfig config_;
+  Rng rng_;
+  TagState state_ = TagState::kReady;
+  std::uint32_t slot_ = 0;
+  std::uint16_t rn16_ = 0;
+  std::uint16_t handle_ = 0;
+  bool sl_flag_ = false;
+  InventoryFlag inventoried_[4] = {InventoryFlag::kA, InventoryFlag::kA,
+                                   InventoryFlag::kA, InventoryFlag::kA};
+  Session active_session_ = Session::kS0;
+  std::uint8_t q_ = 0;
+  Miller modulation_ = Miller::kFm0;
+  double blf_hz_ = 500e3;
+  bool tr_ext_ = false;
+};
+
+/// Map FM0 half-bit levels onto the tag's reflection-coefficient sequence,
+/// sampled at `sample_rate_hz`. The result multiplies the incident carrier:
+/// reflected(t) = incident(t) * rho(t).
+signal::Waveform modulate_reply(const TagReply& reply, const TagConfig& config,
+                                double sample_rate_hz);
+
+/// Duration of a reply waveform in seconds.
+double reply_duration(const TagReply& reply, double sample_rate_hz);
+
+}  // namespace rfly::gen2

@@ -1,0 +1,20 @@
+#include "localize/disentangle.h"
+
+#include <cmath>
+
+namespace rfly::localize {
+
+DisentangledSet disentangle(const MeasurementSet& measurements,
+                            double min_embedded_magnitude) {
+  DisentangledSet out;
+  out.positions.reserve(measurements.size());
+  out.channels.reserve(measurements.size());
+  for (const auto& m : measurements) {
+    if (std::abs(m.embedded_channel) < min_embedded_magnitude) continue;
+    out.positions.push_back(m.relay_position);
+    out.channels.push_back(m.target_channel / m.embedded_channel);
+  }
+  return out;
+}
+
+}  // namespace rfly::localize

@@ -1,0 +1,27 @@
+// Phase disentanglement (paper Section 5.1, Eq. 10). The channel the reader
+// measures through the relay is the product of the reader-relay and
+// relay-tag half-link channels. The relay-embedded tag's channel consists of
+// the reader-relay half-link alone (times a constant), so dividing the
+// target tag's channel by the embedded tag's channel isolates the relay-tag
+// half-link — the quantity the SAR equations need.
+#pragma once
+
+#include <vector>
+
+#include "localize/measurement.h"
+
+namespace rfly::localize {
+
+/// Isolated relay->tag half-link channel per measurement.
+/// Measurements whose embedded channel is too weak to divide by (magnitude
+/// below `min_embedded_magnitude`) are dropped; the returned positions
+/// parallel the returned channels.
+struct DisentangledSet {
+  std::vector<channel::Vec3> positions;
+  std::vector<cdouble> channels;
+};
+
+DisentangledSet disentangle(const MeasurementSet& measurements,
+                            double min_embedded_magnitude = 1e-18);
+
+}  // namespace rfly::localize

@@ -1,0 +1,90 @@
+#include "localize/localizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rfly::localize {
+
+namespace {
+
+/// Refine a peak by evaluating the projection on a fine grid patch around it.
+Peak refine_peak(const DisentangledSet& set, const Peak& coarse, double fine_res,
+                 double patch_half_width, double freq_hz, double z_plane) {
+  Peak best = coarse;
+  for (double y = coarse.y - patch_half_width; y <= coarse.y + patch_half_width;
+       y += fine_res) {
+    for (double x = coarse.x - patch_half_width; x <= coarse.x + patch_half_width;
+         x += fine_res) {
+      const double v = sar_projection(set, {x, y, z_plane}, freq_hz);
+      if (v > best.value) {
+        best.value = v;
+        best.x = x;
+        best.y = y;
+      }
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+std::optional<LocalizationResult> localize_2d(const MeasurementSet& measurements,
+                                              const LocalizerConfig& config) {
+  const DisentangledSet set = disentangle(measurements);
+  if (set.channels.empty()) return std::nullopt;
+
+  GridSpec scan_grid = config.grid;
+  if (config.multires) scan_grid.resolution_m = config.coarse_resolution_m;
+
+  const Heatmap map = sar_heatmap(set, scan_grid, config.freq_hz, config.z_plane_m);
+  std::vector<Peak> peaks = find_peaks(map, config.peak_threshold_fraction);
+  if (peaks.empty()) return std::nullopt;
+
+  if (config.multires) {
+    const int n = std::min<int>(config.refine_candidates,
+                                static_cast<int>(peaks.size()));
+    peaks.resize(static_cast<std::size_t>(n));
+    for (auto& p : peaks) {
+      p = refine_peak(set, p, config.grid.resolution_m,
+                      config.coarse_resolution_m * 1.5, config.freq_hz,
+                      config.z_plane_m);
+    }
+    std::sort(peaks.begin(), peaks.end(),
+              [](const Peak& a, const Peak& b) { return a.value > b.value; });
+  }
+
+  annotate_distances(peaks, set.positions);
+  const Peak chosen = select_peak(peaks, config.selection, set.positions);
+
+  LocalizationResult result;
+  result.x = chosen.x;
+  result.y = chosen.y;
+  result.peak_value = chosen.value;
+  result.candidates = std::move(peaks);
+  result.measurements_used = set.channels.size();
+  return result;
+}
+
+std::optional<Localization3dResult> localize_3d(const MeasurementSet& measurements,
+                                                const Volume& volume, double freq_hz) {
+  const DisentangledSet set = disentangle(measurements);
+  if (set.channels.empty()) return std::nullopt;
+
+  Localization3dResult best;
+  best.peak_value = -1.0;
+  for (double z = volume.z_min; z <= volume.z_max; z += volume.resolution_m) {
+    for (double y = volume.y_min; y <= volume.y_max; y += volume.resolution_m) {
+      for (double x = volume.x_min; x <= volume.x_max; x += volume.resolution_m) {
+        const double v = sar_projection(set, {x, y, z}, freq_hz);
+        if (v > best.peak_value) {
+          best.peak_value = v;
+          best.position = {x, y, z};
+        }
+      }
+    }
+  }
+  if (best.peak_value < 0.0) return std::nullopt;
+  return best;
+}
+
+}  // namespace rfly::localize

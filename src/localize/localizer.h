@@ -1,0 +1,60 @@
+// Top-level through-relay localizer: disentangle -> SAR heatmap (coarse to
+// fine) -> peak candidates -> trajectory-nearest selection. This is the
+// pipeline behind Figs. 6, 12, 13, 14.
+#pragma once
+
+#include <optional>
+
+#include "localize/measurement.h"
+#include "localize/peak.h"
+#include "localize/rssi.h"
+#include "localize/sar.h"
+
+namespace rfly::localize {
+
+struct LocalizerConfig {
+  GridSpec grid{};
+  double freq_hz = 915e6;
+  PeakSelection selection = PeakSelection::kNearestToTrajectory;
+  double peak_threshold_fraction = 0.5;
+  /// Coarse-to-fine search: scan at `coarse_resolution_m`, then refine the
+  /// strongest candidates at grid.resolution_m. Set false for a single
+  /// full-resolution sweep (Fig. 6 heatmaps).
+  bool multires = true;
+  double coarse_resolution_m = 0.05;
+  int refine_candidates = 5;
+  /// Z plane the tags sit on (paper: tags on the ground, 2D localization).
+  double z_plane_m = 0.0;
+};
+
+struct LocalizationResult {
+  double x = 0.0;
+  double y = 0.0;
+  double peak_value = 0.0;
+  std::vector<Peak> candidates;  // considered peaks, strongest first
+  std::size_t measurements_used = 0;
+};
+
+/// Localize one tag from its measurement set. Returns nullopt when no
+/// usable measurements survive disentanglement.
+std::optional<LocalizationResult> localize_2d(const MeasurementSet& measurements,
+                                              const LocalizerConfig& config);
+
+/// 3D extension (Section 5.2): grid search over a volume; meaningful when
+/// the trajectory itself spans two dimensions.
+struct Volume {
+  double x_min = 0.0, x_max = 1.0;
+  double y_min = 0.0, y_max = 1.0;
+  double z_min = 0.0, z_max = 1.0;
+  double resolution_m = 0.05;
+};
+
+struct Localization3dResult {
+  channel::Vec3 position;
+  double peak_value = 0.0;
+};
+
+std::optional<Localization3dResult> localize_3d(const MeasurementSet& measurements,
+                                                const Volume& volume, double freq_hz);
+
+}  // namespace rfly::localize

@@ -1,0 +1,26 @@
+// The measurement tuple RFly's localizer consumes: at each point along the
+// drone's trajectory, the reader records (through the relay) the complex
+// channel of the target tag and of the relay-embedded tag.
+#pragma once
+
+#include <vector>
+
+#include "channel/geometry.h"
+#include "common/math_util.h"
+
+namespace rfly::localize {
+
+struct RelayMeasurement {
+  /// Relay position as reported by the tracking system (OptiTrack or
+  /// odometry) — what the SAR equations are given.
+  channel::Vec3 relay_position;
+  /// Reader-measured channel of the target tag (entangled: both half-links).
+  cdouble target_channel{0.0, 0.0};
+  /// Reader-measured channel of the relay-embedded tag (reader-relay
+  /// half-link only, times a constant hardware factor).
+  cdouble embedded_channel{0.0, 0.0};
+};
+
+using MeasurementSet = std::vector<RelayMeasurement>;
+
+}  // namespace rfly::localize

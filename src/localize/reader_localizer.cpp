@@ -1,0 +1,74 @@
+#include "localize/reader_localizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/constants.h"
+
+namespace rfly::localize {
+
+namespace {
+
+double projection(const std::vector<channel::Vec3>& positions,
+                  const std::vector<cdouble>& channels, const channel::Vec3& p,
+                  double freq_hz) {
+  const double k = kTwoPi * freq_hz * 2.0 / kSpeedOfLight;
+  cdouble acc{0.0, 0.0};
+  for (std::size_t l = 0; l < channels.size(); ++l) {
+    acc += channels[l] * cis(k * positions[l].distance_to(p));
+  }
+  return std::abs(acc);
+}
+
+}  // namespace
+
+std::optional<ReaderLocalizationResult> localize_reader_2d(
+    const MeasurementSet& measurements, const ReaderLocalizerConfig& config) {
+  std::vector<channel::Vec3> positions;
+  std::vector<cdouble> channels;
+  for (const auto& m : measurements) {
+    if (std::abs(m.embedded_channel) <= 0.0) continue;
+    positions.push_back(m.relay_position);
+    channels.push_back(m.embedded_channel);
+  }
+  if (channels.empty()) return std::nullopt;
+
+  const auto scan = [&](const GridSpec& grid) {
+    ReaderLocalizationResult best;
+    best.peak_value = -1.0;
+    for (std::size_t iy = 0; iy < grid.ny(); ++iy) {
+      for (std::size_t ix = 0; ix < grid.nx(); ++ix) {
+        const double x = grid.x_at(ix);
+        const double y = grid.y_at(iy);
+        const double v =
+            projection(positions, channels, {x, y, config.z_plane_m}, config.freq_hz);
+        if (v > best.peak_value) {
+          best.peak_value = v;
+          best.x = x;
+          best.y = y;
+        }
+      }
+    }
+    return best;
+  };
+
+  GridSpec coarse = config.grid;
+  if (config.multires) coarse.resolution_m = config.coarse_resolution_m;
+  ReaderLocalizationResult best = scan(coarse);
+
+  if (config.multires) {
+    GridSpec fine;
+    fine.resolution_m = config.grid.resolution_m;
+    fine.x_min = best.x - 1.5 * config.coarse_resolution_m;
+    fine.x_max = best.x + 1.5 * config.coarse_resolution_m;
+    fine.y_min = best.y - 1.5 * config.coarse_resolution_m;
+    fine.y_max = best.y + 1.5 * config.coarse_resolution_m;
+    const ReaderLocalizationResult refined = scan(fine);
+    if (refined.peak_value >= best.peak_value) best = refined;
+  }
+
+  best.measurements_used = channels.size();
+  return best;
+}
+
+}  // namespace rfly::localize

@@ -1,0 +1,39 @@
+// Localizing the *reader* from the relay-embedded tag (paper Section 5.1's
+// closing remark and the Section 9 future-work direction). The embedded
+// tag's channel consists entirely of the reader-relay half-link (times a
+// constant), so the same non-linear SAR projection — run over candidate
+// reader positions with the round trip at f1 — focuses on the reader.
+// With the drone's own trajectory known (odometry), this gives the system
+// RF-based awareness of where its infrastructure is.
+#pragma once
+
+#include <optional>
+
+#include "localize/measurement.h"
+#include "localize/sar.h"
+
+namespace rfly::localize {
+
+struct ReaderLocalizerConfig {
+  GridSpec grid{};
+  /// Reader-relay half-link carrier f1.
+  double freq_hz = 915e6;
+  /// Height plane to search (readers are usually wall/ceiling mounted).
+  double z_plane_m = 1.0;
+  bool multires = true;
+  double coarse_resolution_m = 0.05;
+};
+
+struct ReaderLocalizationResult {
+  double x = 0.0;
+  double y = 0.0;
+  double peak_value = 0.0;
+  std::size_t measurements_used = 0;
+};
+
+/// Estimate the reader's position from the embedded-tag channels of a
+/// measurement set. Returns nullopt when no usable measurements exist.
+std::optional<ReaderLocalizationResult> localize_reader_2d(
+    const MeasurementSet& measurements, const ReaderLocalizerConfig& config);
+
+}  // namespace rfly::localize

@@ -1,0 +1,49 @@
+#include "localize/rssi.h"
+
+#include <cmath>
+#include <limits>
+
+namespace rfly::localize {
+
+double rssi_distance(cdouble isolated_channel, double reference_magnitude_at_1m) {
+  const double mag = std::abs(isolated_channel);
+  if (mag <= 0.0) return std::numeric_limits<double>::infinity();
+  return std::sqrt(reference_magnitude_at_1m / mag);
+}
+
+RssiResult rssi_localize(const DisentangledSet& set, const RssiConfig& config,
+                         double z_plane) {
+  std::vector<double> distances;
+  distances.reserve(set.channels.size());
+  for (const auto& h : set.channels) {
+    distances.push_back(rssi_distance(h, config.reference_magnitude_at_1m));
+  }
+
+  RssiResult best;
+  double best_cost = std::numeric_limits<double>::infinity();
+  const auto& grid = config.grid;
+  for (std::size_t iy = 0; iy < grid.ny(); ++iy) {
+    const double y = grid.y_at(iy);
+    for (std::size_t ix = 0; ix < grid.nx(); ++ix) {
+      const double x = grid.x_at(ix);
+      double cost = 0.0;
+      for (std::size_t l = 0; l < set.positions.size(); ++l) {
+        if (!std::isfinite(distances[l])) continue;
+        const double d = set.positions[l].distance_to({x, y, z_plane});
+        const double err = d - distances[l];
+        cost += err * err;
+      }
+      if (cost < best_cost) {
+        best_cost = cost;
+        best.x = x;
+        best.y = y;
+      }
+    }
+  }
+  if (!set.positions.empty() && std::isfinite(best_cost)) {
+    best.residual = std::sqrt(best_cost / static_cast<double>(set.positions.size()));
+  }
+  return best;
+}
+
+}  // namespace rfly::localize

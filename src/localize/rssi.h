@@ -1,0 +1,37 @@
+// RSSI-based localization baseline (compared against SAR in paper Fig. 13
+// and Fig. 14). Distance per trajectory point is inverted from received
+// signal strength through the free-space model, then the position is the
+// least-squares fit over the candidate grid. Roughly 20x worse than the
+// SAR projection because amplitude carries far less spatial information
+// than phase.
+#pragma once
+
+#include "localize/disentangle.h"
+#include "localize/sar.h"
+
+namespace rfly::localize {
+
+struct RssiConfig {
+  /// Magnitude of the isolated half-link channel at 1 m range — the
+  /// calibration constant the free-space inversion needs. The caller
+  /// derives it from a reference measurement (or, in simulation, from the
+  /// ground-truth link budget).
+  double reference_magnitude_at_1m = 1.0;
+  GridSpec grid{};
+};
+
+/// Estimated distance from the relay for one isolated channel value:
+/// |h| = ref / d^2  =>  d = sqrt(ref / |h|).  (Round-trip free-space decay.)
+double rssi_distance(cdouble isolated_channel, double reference_magnitude_at_1m);
+
+struct RssiResult {
+  double x = 0.0;
+  double y = 0.0;
+  double residual = 0.0;  // RMS range misfit at the chosen point
+};
+
+/// Least-squares multilateration over the grid at plane z = `z_plane`.
+RssiResult rssi_localize(const DisentangledSet& set, const RssiConfig& config,
+                         double z_plane = 0.0);
+
+}  // namespace rfly::localize

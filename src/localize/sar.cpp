@@ -1,0 +1,64 @@
+#include "localize/sar.h"
+
+#include <cmath>
+
+#include "common/constants.h"
+
+namespace rfly::localize {
+
+std::size_t GridSpec::nx() const {
+  return static_cast<std::size_t>(std::floor((x_max - x_min) / resolution_m)) + 1;
+}
+
+std::size_t GridSpec::ny() const {
+  return static_cast<std::size_t>(std::floor((y_max - y_min) / resolution_m)) + 1;
+}
+
+double Heatmap::max_value() const {
+  double best = 0.0;
+  for (double v : values) best = std::max(best, v);
+  return best;
+}
+
+double sar_projection(const DisentangledSet& set, const channel::Vec3& p,
+                      double freq_hz) {
+  const double k = kTwoPi * freq_hz * 2.0 / kSpeedOfLight;  // round trip
+  cdouble acc{0.0, 0.0};
+  for (std::size_t l = 0; l < set.channels.size(); ++l) {
+    const double d = set.positions[l].distance_to(p);
+    acc += set.channels[l] * cis(k * d);
+  }
+  return std::abs(acc);
+}
+
+Heatmap sar_heatmap(const DisentangledSet& set, const GridSpec& grid, double freq_hz,
+                    double z_plane) {
+  Heatmap map;
+  map.grid = grid;
+  const std::size_t nx = grid.nx();
+  const std::size_t ny = grid.ny();
+  map.values.assign(nx * ny, 0.0);
+  const double k = kTwoPi * freq_hz * 2.0 / kSpeedOfLight;
+
+  for (std::size_t iy = 0; iy < ny; ++iy) {
+    const double y = grid.y_at(iy);
+    for (std::size_t ix = 0; ix < nx; ++ix) {
+      const double x = grid.x_at(ix);
+      cdouble acc{0.0, 0.0};
+      for (std::size_t l = 0; l < set.channels.size(); ++l) {
+        const auto& pos = set.positions[l];
+        const double dx = x - pos.x;
+        const double dy = y - pos.y;
+        const double dz = z_plane - pos.z;
+        const double d = std::sqrt(dx * dx + dy * dy + dz * dz);
+        // cis() is cheap but this is the innermost loop of the system;
+        // sincos through std::polar keeps it a single libm call pair.
+        acc += set.channels[l] * cis(k * d);
+      }
+      map.values[iy * nx + ix] = std::abs(acc);
+    }
+  }
+  return map;
+}
+
+}  // namespace rfly::localize

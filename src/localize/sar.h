@@ -1,0 +1,46 @@
+// Non-linear SAR projection (paper Eq. 11-12): the matched filter
+//   P(x, y) = | sum_l h_l * e^{+j 2 pi f (2 d_l(x,y)) / c} |
+// evaluated over a 2D grid, where d_l is the distance from trajectory point
+// l to the candidate location and h_l is the isolated relay->tag half-link
+// channel. The conjugate phase compensates the round-trip delay, so P peaks
+// where the hypothesized location explains every measurement coherently.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "localize/disentangle.h"
+
+namespace rfly::localize {
+
+struct GridSpec {
+  double x_min = 0.0, x_max = 1.0;
+  double y_min = 0.0, y_max = 1.0;
+  double resolution_m = 0.01;
+
+  std::size_t nx() const;
+  std::size_t ny() const;
+  double x_at(std::size_t ix) const { return x_min + static_cast<double>(ix) * resolution_m; }
+  double y_at(std::size_t iy) const { return y_min + static_cast<double>(iy) * resolution_m; }
+};
+
+/// Row-major heatmap of P(x, y) values.
+struct Heatmap {
+  GridSpec grid;
+  std::vector<double> values;  // ny rows of nx
+
+  double at(std::size_t ix, std::size_t iy) const { return values[iy * grid.nx() + ix]; }
+  double max_value() const;
+};
+
+/// Evaluate P over the grid at plane height `z` (tags on the floor: z=0).
+/// `freq_hz` is the relay-tag half-link carrier f2 — the paper notes f is
+/// an acceptable stand-in since (f - f2)/f < 0.01.
+Heatmap sar_heatmap(const DisentangledSet& set, const GridSpec& grid, double freq_hz,
+                    double z_plane = 0.0);
+
+/// Evaluate P at a single 3D point (used by the 3D extension and tests).
+double sar_projection(const DisentangledSet& set, const channel::Vec3& p,
+                      double freq_hz);
+
+}  // namespace rfly::localize

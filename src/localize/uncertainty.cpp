@@ -1,0 +1,62 @@
+#include "localize/uncertainty.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rfly::localize {
+
+namespace {
+
+/// Distance along +/-direction until P drops below half the peak.
+double half_power_halfwidth(const DisentangledSet& set, double x, double y,
+                            double dx, double dy, double peak, double freq_hz,
+                            double step, double z_plane) {
+  const double threshold = peak / 2.0;
+  for (double d = step; d <= 2.0; d += step) {
+    const double v =
+        sar_projection(set, {x + dx * d, y + dy * d, z_plane}, freq_hz);
+    if (v < threshold) return d;
+  }
+  return 2.0;  // flat beyond the probe range: effectively unresolved
+}
+
+}  // namespace
+
+Confidence assess_confidence(const MeasurementSet& measurements,
+                             const LocalizationResult& result, double freq_hz,
+                             const ConfidenceConfig& config) {
+  Confidence confidence;
+  const DisentangledSet set = disentangle(measurements);
+  if (set.channels.empty() || result.peak_value <= 0.0) return confidence;
+
+  // Ambiguity: strongest candidate other than the chosen location.
+  double runner_up = 0.0;
+  for (const auto& peak : result.candidates) {
+    const double dist = std::hypot(peak.x - result.x, peak.y - result.y);
+    if (dist < 0.2) continue;  // same lobe
+    runner_up = std::max(runner_up, peak.value);
+  }
+  confidence.ambiguity =
+      std::min(1.0, runner_up / std::max(result.peak_value, 1e-300));
+
+  // Spread: average of the two probe directions per axis.
+  const double px = result.peak_value;
+  confidence.halfwidth_x_m =
+      0.5 * (half_power_halfwidth(set, result.x, result.y, 1, 0, px, freq_hz,
+                                  config.probe_step_m, config.z_plane_m) +
+             half_power_halfwidth(set, result.x, result.y, -1, 0, px, freq_hz,
+                                  config.probe_step_m, config.z_plane_m));
+  confidence.halfwidth_y_m =
+      0.5 * (half_power_halfwidth(set, result.x, result.y, 0, 1, px, freq_hz,
+                                  config.probe_step_m, config.z_plane_m) +
+             half_power_halfwidth(set, result.x, result.y, 0, -1, px, freq_hz,
+                                  config.probe_step_m, config.z_plane_m));
+
+  confidence.reliable =
+      confidence.ambiguity < config.ambiguity_threshold &&
+      std::min(confidence.halfwidth_x_m, confidence.halfwidth_y_m) <
+          config.max_halfwidth_m;
+  return confidence;
+}
+
+}  // namespace rfly::localize

@@ -1,0 +1,41 @@
+// Localization confidence reporting. A warehouse robot acting on an
+// estimate needs to know how much to trust it; two complementary signals:
+//  - ambiguity: how close the runner-up peak is to the chosen one (ghost
+//    risk — the failure mode of heavy multipath),
+//  - spread: the -3 dB footprint of the chosen peak (SNR/aperture-limited
+//    precision; shrinks with aperture per paper Fig. 13).
+#pragma once
+
+#include "localize/localizer.h"
+
+namespace rfly::localize {
+
+struct Confidence {
+  /// Ratio of the runner-up candidate's value to the chosen peak's (0 when
+  /// there is no runner-up). Above ~0.8 the scene is ambiguous.
+  double ambiguity = 0.0;
+  /// Half-power half-widths of the chosen peak along x and y [m].
+  double halfwidth_x_m = 0.0;
+  double halfwidth_y_m = 0.0;
+  /// True when the estimate should be trusted for robotic manipulation:
+  /// unambiguous, and precise along its tight axis (a 1D aperture resolves
+  /// the along-track axis sharply; the cross-range axis is naturally broad
+  /// and is refined by flying a second, orthogonal leg).
+  bool reliable = false;
+};
+
+struct ConfidenceConfig {
+  double ambiguity_threshold = 0.85;
+  double max_halfwidth_m = 0.5;
+  /// Probe step for the half-power search [m].
+  double probe_step_m = 0.01;
+  double z_plane_m = 0.0;
+};
+
+/// Assess the chosen estimate in `result` against the measurement set it
+/// came from. `chosen_value` must be result.peak_value.
+Confidence assess_confidence(const MeasurementSet& measurements,
+                             const LocalizationResult& result, double freq_hz,
+                             const ConfidenceConfig& config = {});
+
+}  // namespace rfly::localize

@@ -1,0 +1,43 @@
+#include "reader/channel_estimator.h"
+
+#include "gen2/miller.h"
+
+namespace rfly::reader {
+
+std::optional<DecodedReply> decode_reply(const signal::Waveform& rx,
+                                         std::size_t n_bits,
+                                         const ChannelEstimatorConfig& config) {
+  // FM0 half-bits and Miller chips both run at 2 * BLF.
+  const double samples_per_slot = rx.sample_rate() / (2.0 * config.blf_hz);
+  if (config.modulation == gen2::Miller::kFm0) {
+    const auto decoded = gen2::fm0_decode(rx.samples(), samples_per_slot, n_bits,
+                                          config.pilot, config.min_sync);
+    if (!decoded) return std::nullopt;
+    return DecodedReply{decoded->bits, decoded->channel, decoded->sync_metric};
+  }
+  const auto decoded =
+      gen2::miller_decode(rx.samples(), samples_per_slot, n_bits,
+                          config.modulation, config.pilot, config.min_sync);
+  if (!decoded) return std::nullopt;
+  return DecodedReply{decoded->bits, decoded->channel, decoded->sync_metric};
+}
+
+std::optional<std::uint16_t> decode_rn16_reply(const signal::Waveform& rx,
+                                               const ChannelEstimatorConfig& config) {
+  const auto decoded = decode_reply(rx, gen2::kRn16Bits, config);
+  if (!decoded) return std::nullopt;
+  const auto rn16 = gen2::decode_rn16(decoded->bits);
+  if (!rn16) return std::nullopt;
+  return rn16->rn16;
+}
+
+std::optional<EpcResult> decode_epc_response(const signal::Waveform& rx,
+                                             const ChannelEstimatorConfig& config) {
+  const auto decoded = decode_reply(rx, gen2::kEpcReplyBits, config);
+  if (!decoded) return std::nullopt;
+  const auto reply = gen2::decode_epc_reply(decoded->bits);
+  if (!reply) return std::nullopt;  // CRC-16 failure
+  return EpcResult{*reply, decoded->channel};
+}
+
+}  // namespace rfly::reader

@@ -1,0 +1,47 @@
+// Receive-side processing: decode a tag reply from the received complex
+// baseband and estimate its complex channel. The channel estimates feed
+// RFly's localization (Section 5); the decoded bits feed the inventory MAC.
+#pragma once
+
+#include <optional>
+
+#include "gen2/commands.h"
+#include "gen2/fm0.h"
+#include "signal/waveform.h"
+
+namespace rfly::reader {
+
+struct DecodedReply {
+  gen2::Bits bits;
+  cdouble channel{0.0, 0.0};
+  double sync_metric = 0.0;
+};
+
+struct ChannelEstimatorConfig {
+  double blf_hz = 500e3;
+  bool pilot = false;
+  double min_sync = 0.6;
+  /// Expected line code (the M field the reader put in its Query).
+  gen2::Miller modulation = gen2::Miller::kFm0;
+};
+
+/// Decode an `n_bits` tag reply from `rx` (the reply window of a received
+/// frame, CW leakage included). Returns nullopt when no reply is found —
+/// an empty inventory slot or an undecodable (collided/too-weak) response.
+std::optional<DecodedReply> decode_reply(const signal::Waveform& rx,
+                                         std::size_t n_bits,
+                                         const ChannelEstimatorConfig& config);
+
+/// Convenience wrappers validating frame structure.
+std::optional<std::uint16_t> decode_rn16_reply(const signal::Waveform& rx,
+                                               const ChannelEstimatorConfig& config);
+
+struct EpcResult {
+  gen2::EpcReply reply;
+  cdouble channel{0.0, 0.0};
+};
+
+std::optional<EpcResult> decode_epc_response(const signal::Waveform& rx,
+                                             const ChannelEstimatorConfig& config);
+
+}  // namespace rfly::reader

@@ -1,0 +1,26 @@
+#include "reader/q_algorithm.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rfly::reader {
+
+QAlgorithm::QAlgorithm(double initial_q, double c) : qfp_(initial_q), c_(c) {}
+
+int QAlgorithm::on_slot(SlotOutcome outcome) {
+  switch (outcome) {
+    case SlotOutcome::kEmpty:
+      qfp_ = std::max(0.0, qfp_ - c_);
+      break;
+    case SlotOutcome::kSingle:
+      break;
+    case SlotOutcome::kCollision:
+      qfp_ = std::min(15.0, qfp_ + c_);
+      break;
+  }
+  return q();
+}
+
+int QAlgorithm::q() const { return static_cast<int>(std::lround(qfp_)); }
+
+}  // namespace rfly::reader

@@ -1,0 +1,25 @@
+// Gen2 slot-count (Q) adaptation. The reader adjusts the number of slots
+// per inventory round from the observed slot outcomes: collisions push Q
+// up, empty slots pull it down (the standard Qfp floating-point variant).
+#pragma once
+
+namespace rfly::reader {
+
+enum class SlotOutcome { kEmpty, kSingle, kCollision };
+
+class QAlgorithm {
+ public:
+  explicit QAlgorithm(double initial_q = 4.0, double c = 0.3);
+
+  /// Update from a slot outcome; returns the integer Q to use next.
+  int on_slot(SlotOutcome outcome);
+
+  int q() const;
+  double qfp() const { return qfp_; }
+
+ private:
+  double qfp_;
+  double c_;
+};
+
+}  // namespace rfly::reader

@@ -1,0 +1,65 @@
+#include "reader/reader.h"
+
+#include <cmath>
+
+#include "common/units.h"
+#include "gen2/fm0.h"
+#include "gen2/miller.h"
+
+namespace rfly::reader {
+
+Reader::Reader(const ReaderConfig& config) : config_(config) {
+  // The PIE layer must run at the reader's sample rate.
+  config_.pie.sample_rate_hz = config_.sample_rate_hz;
+}
+
+double Reader::tx_amplitude() const {
+  return std::sqrt(dbm_to_watts(config_.tx_power_dbm));
+}
+
+TxFrame Reader::make_command_frame(const gen2::Command& cmd, std::size_t reply_bits,
+                                   double blf_hz, bool pilot,
+                                   gen2::Miller modulation) const {
+  const gen2::Bits bits = gen2::encode_command(cmd);
+  const bool with_trcal = std::holds_alternative<gen2::QueryCommand>(cmd);
+  const std::vector<double> envelope = gen2::pie_encode(bits, config_.pie, with_trcal);
+
+  const double fs = config_.sample_rate_hz;
+  const double amp = tx_amplitude();
+
+  const std::size_t pre_cw = static_cast<std::size_t>(config_.pre_cw_s * fs);
+  TxFrame frame;
+  frame.cw_amplitude = amp;
+  frame.reply_window_start = pre_cw + envelope.size();
+
+  const std::size_t t1 = static_cast<std::size_t>(config_.t1_s * fs);
+  const double slots = static_cast<double>(
+      modulation == gen2::Miller::kFm0
+          ? gen2::fm0_half_bits(reply_bits, pilot)
+          : gen2::miller_total_chips(reply_bits, modulation, pilot));
+  const std::size_t reply_len = static_cast<std::size_t>(
+      std::ceil(slots * fs / (2.0 * blf_hz)));
+  const std::size_t tail = static_cast<std::size_t>(config_.cw_tail_s * fs);
+
+  signal::Waveform w(pre_cw + envelope.size() + t1 + reply_len + tail, fs);
+  for (std::size_t i = 0; i < pre_cw; ++i) w[i] = cdouble{amp, 0.0};
+  for (std::size_t i = 0; i < envelope.size(); ++i) {
+    w[pre_cw + i] = cdouble{amp * envelope[i], 0.0};
+  }
+  for (std::size_t i = pre_cw + envelope.size(); i < w.size(); ++i) {
+    w[i] = cdouble{amp, 0.0};
+  }
+  frame.samples = std::move(w);
+  return frame;
+}
+
+signal::Waveform Reader::make_cw(double duration_s) const {
+  const double fs = config_.sample_rate_hz;
+  const auto n = static_cast<std::size_t>(duration_s * fs);
+  signal::Waveform w(n, fs);
+  const double amp = tx_amplitude();
+  for (auto& s : w.data()) s = cdouble{amp, 0.0};
+  return w;
+}
+
+}  // namespace rfly::reader

@@ -1,0 +1,64 @@
+// Software-defined Gen2 reader, the stand-in for the paper's USRP N210
+// implementation (Section 6.3). Produces transmit waveforms (PIE commands
+// followed by continuous wave for the tag reply) and decodes tag responses
+// from received complex baseband, reporting the full-precision complex
+// channel per response — the capability commercial readers lack and the
+// reason the paper used a USRP.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "gen2/commands.h"
+#include "gen2/pie.h"
+#include "gen2/tag.h"
+#include "signal/waveform.h"
+
+namespace rfly::reader {
+
+struct ReaderConfig {
+  double sample_rate_hz = 4e6;
+  double tx_power_dbm = 30.0;  // EIRP (FCC limit: 36 dBm; 30 typical)
+  double antenna_gain_dbi = 6.0;
+  double noise_figure_db = 6.0;
+  gen2::PieConfig pie{};
+  /// Gap between command end and tag reply (Gen2 T1), and the post-reply
+  /// CW tail the reader keeps transmitting.
+  double t1_s = 62.5e-6;
+  double cw_tail_s = 250e-6;
+  /// CW transmitted before the command. Readers emit carrier continuously
+  /// between commands; relay AGCs and filters settle during this period.
+  double pre_cw_s = 0.0;
+};
+
+/// A transmit frame: samples plus where the tag reply window begins.
+struct TxFrame {
+  signal::Waveform samples;
+  std::size_t reply_window_start = 0;  // sample index where CW (reply) begins
+  double cw_amplitude = 0.0;
+};
+
+class Reader {
+ public:
+  explicit Reader(const ReaderConfig& config);
+
+  const ReaderConfig& config() const { return config_; }
+
+  /// PIE-encode `cmd` and append CW long enough for a reply of
+  /// `reply_bits` bits at `blf_hz` in the given line code (plus T1 and
+  /// tail).
+  TxFrame make_command_frame(const gen2::Command& cmd, std::size_t reply_bits,
+                             double blf_hz, bool pilot = false,
+                             gen2::Miller modulation = gen2::Miller::kFm0) const;
+
+  /// Plain CW frame (used while the relay sweeps for the center frequency).
+  signal::Waveform make_cw(double duration_s) const;
+
+  /// Transmit amplitude (sqrt of EIRP in watts).
+  double tx_amplitude() const;
+
+ private:
+  ReaderConfig config_;
+};
+
+}  // namespace rfly::reader

@@ -1,0 +1,61 @@
+// Downlink automatic gain control. The paper's gain plan is static ("tuned
+// according to the communication range needed", Section 6.1); an untended
+// relay flying toward the reader eventually overdrives its PA so far past
+// compression that the PIE modulation depth collapses (see
+// tests/test_cross_validation.cpp). This AGC implements the re-tuning rule
+// as a slow loop: track the pre-PA envelope peak and back the VGA off so
+// the PA runs at a configurable input backoff.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+namespace rfly::relay {
+
+struct AgcConfig {
+  /// Target peak power at the PA input, as backoff below the input that
+  /// produces the 1-dB compression point [dB]. 0 = drive exactly to P1dB.
+  double input_backoff_db = 0.0;
+  /// Envelope tracking time constant [samples]: fast attack on a rising
+  /// peak, slow decay (standard AGC asymmetry).
+  double decay_samples = 4000.0;
+  /// Gain-adjustment loop speed [dB per sample] once the error is known.
+  double slew_db_per_sample = 0.01;
+  /// Gain reduction range [dB] (the VGA's attenuation span).
+  double max_attenuation_db = 40.0;
+};
+
+/// Streaming AGC element: call track() with the pre-PA sample amplitude; it
+/// returns the attenuation (<= 0 dB as gain) to apply ahead of the PA.
+class DownlinkAgc {
+ public:
+  DownlinkAgc(const AgcConfig& config, double p1db_input_amplitude)
+      : config_(config), target_amplitude_(p1db_input_amplitude *
+                                           std::pow(10.0, -config.input_backoff_db / 20.0)) {}
+
+  /// Update with one pre-AGC sample amplitude; returns the linear gain
+  /// (<= 1) to apply to this sample.
+  double track(double amplitude) {
+    // Peak detector: instant attack, exponential decay.
+    envelope_ = std::max(amplitude, envelope_ * (1.0 - 1.0 / config_.decay_samples));
+    const double wanted_db =
+        envelope_ > 0.0
+            ? std::clamp(20.0 * std::log10(target_amplitude_ / envelope_),
+                         -config_.max_attenuation_db, 0.0)
+            : 0.0;
+    // Slew the applied attenuation toward the wanted value.
+    const double step = config_.slew_db_per_sample;
+    attenuation_db_ += std::clamp(wanted_db - attenuation_db_, -step, step);
+    return std::pow(10.0, attenuation_db_ / 20.0);
+  }
+
+  double attenuation_db() const { return attenuation_db_; }
+
+ private:
+  AgcConfig config_;
+  double target_amplitude_;
+  double envelope_ = 0.0;
+  double attenuation_db_ = 0.0;  // <= 0
+};
+
+}  // namespace rfly::relay

@@ -1,0 +1,12 @@
+#include "relay/analog_relay.h"
+
+namespace rfly::relay {
+
+AnalogRelay::AnalogRelay(const AnalogRelayConfig& config)
+    : downlink_(config.downlink_gain_db), uplink_(config.uplink_gain_db) {}
+
+Relay::TxSample AnalogRelay::step(cdouble downlink_rx, cdouble uplink_rx) {
+  return {downlink_.process(downlink_rx), uplink_.process(uplink_rx)};
+}
+
+}  // namespace rfly::relay

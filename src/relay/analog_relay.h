@@ -1,0 +1,31 @@
+// Baseline amplify-and-forward relay (the "Analog Relay" of Fig. 9): no
+// frequency plan, no baseband filtering — isolation comes only from antenna
+// separation and polarization. It forwards both directions at the original
+// frequency, so its loop gain is bounded by that antenna isolation alone and
+// it cannot amplify beyond it without ringing.
+#pragma once
+
+#include "common/rng.h"
+#include "relay/rfly_relay.h"
+#include "signal/amplifier.h"
+
+namespace rfly::relay {
+
+struct AnalogRelayConfig {
+  double downlink_gain_db = 20.0;
+  double uplink_gain_db = 20.0;
+};
+
+class AnalogRelay final : public Relay {
+ public:
+  explicit AnalogRelay(const AnalogRelayConfig& config);
+
+  TxSample step(cdouble downlink_rx, cdouble uplink_rx) override;
+  double frequency_shift_hz() const override { return 0.0; }
+
+ private:
+  signal::Vga downlink_;
+  signal::Vga uplink_;
+};
+
+}  // namespace rfly::relay

@@ -1,0 +1,54 @@
+#include "relay/coupling.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.h"
+
+namespace rfly::relay {
+
+namespace {
+
+double iso_db(cdouble c) {
+  const double mag = std::abs(c);
+  if (mag <= 0.0) return 300.0;  // effectively infinite isolation
+  return -amplitude_to_db(mag);
+}
+
+}  // namespace
+
+double Coupling::intra_down_db() const { return iso_db(tx_down_to_rx_down); }
+double Coupling::intra_up_db() const { return iso_db(tx_up_to_rx_up); }
+double Coupling::inter_du_db() const { return iso_db(tx_down_to_rx_up); }
+double Coupling::inter_ud_db() const { return iso_db(tx_up_to_rx_down); }
+
+Coupling draw_coupling(const CouplingConfig& config, Rng& rng) {
+  auto coefficient = [&](double extra_db) {
+    const double iso =
+        config.antenna_isolation_db + extra_db + rng.gaussian(0.0, config.spread_db);
+    return db_to_amplitude(-iso) * cis(rng.phase());
+  };
+  Coupling c;
+  c.tx_down_to_rx_down = coefficient(0.0);
+  c.tx_up_to_rx_up = coefficient(0.0);
+  c.tx_down_to_rx_up = coefficient(config.cross_polarization_db);
+  c.tx_up_to_rx_down = coefficient(config.cross_polarization_db);
+  return c;
+}
+
+CoupledRelay::CoupledRelay(Relay& relay, const Coupling& coupling)
+    : relay_(relay), coupling_(coupling) {}
+
+Relay::TxSample CoupledRelay::step(cdouble ext_downlink_rx, cdouble ext_uplink_rx) {
+  const cdouble rx_down = ext_downlink_rx +
+                          prev_.downlink * coupling_.tx_down_to_rx_down +
+                          prev_.uplink * coupling_.tx_up_to_rx_down;
+  const cdouble rx_up = ext_uplink_rx + prev_.uplink * coupling_.tx_up_to_rx_up +
+                        prev_.downlink * coupling_.tx_down_to_rx_up;
+  prev_ = relay_.step(rx_down, rx_up);
+  peak_tx_amplitude_ = std::max(
+      {peak_tx_amplitude_, std::abs(prev_.downlink), std::abs(prev_.uplink)});
+  return prev_;
+}
+
+}  // namespace rfly::relay

@@ -1,0 +1,79 @@
+#include "relay/freq_discovery.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/constants.h"
+
+namespace rfly::relay {
+
+std::vector<double> channel_grid(double lo_hz, double hi_hz, double spacing_hz) {
+  std::vector<double> grid;
+  for (double f = lo_hz; f <= hi_hz + spacing_hz / 2.0; f += spacing_hz) {
+    grid.push_back(f);
+  }
+  return grid;
+}
+
+FreqDiscoveryResult discover_center_frequency(const signal::Waveform& rx,
+                                              const std::vector<double>& candidates,
+                                              const FreqDiscoveryConfig& config) {
+  FreqDiscoveryResult result;
+  if (candidates.empty() || rx.empty()) return result;
+
+  const double fs = rx.sample_rate();
+  const auto chunk_len = static_cast<std::size_t>(config.chunk_s * fs);
+  if (chunk_len == 0) return result;
+
+  // Accumulated correlation power per candidate across chunks.
+  std::vector<double> acc(candidates.size(), 0.0);
+  // Per-candidate rotating phasors, advanced sample by sample (streaming).
+  std::vector<cdouble> rot(candidates.size(), cdouble{1.0, 0.0});
+  std::vector<cdouble> step(candidates.size());
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    step[c] = cis(-kTwoPi * candidates[c] / fs);
+  }
+
+  int streak = 0;
+  std::size_t chunks =
+      std::min<std::size_t>(rx.size() / chunk_len,
+                            static_cast<std::size_t>(config.max_chunks));
+  for (std::size_t chunk = 0; chunk < chunks; ++chunk) {
+    std::vector<cdouble> corr(candidates.size(), cdouble{0.0, 0.0});
+    for (std::size_t i = 0; i < chunk_len; ++i) {
+      const cdouble x = rx[chunk * chunk_len + i];
+      for (std::size_t c = 0; c < candidates.size(); ++c) {
+        corr[c] += x * rot[c];
+        rot[c] *= step[c];
+      }
+    }
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      acc[c] += std::norm(corr[c]);
+    }
+
+    // Best vs runner-up.
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < candidates.size(); ++c) {
+      if (acc[c] > acc[best]) best = c;
+    }
+    double second = 0.0;
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      if (c != best) second = std::max(second, acc[c]);
+    }
+    const double ratio = second > 0.0 ? acc[best] / second
+                                      : std::numeric_limits<double>::infinity();
+    streak = (ratio >= config.lock_threshold) ? streak + 1 : 0;
+
+    result.freq_hz = candidates[best];
+    result.peak_ratio = ratio;
+    result.elapsed_s = static_cast<double>(chunk + 1) * config.chunk_s;
+    if (streak >= config.confirm_chunks) {
+      result.locked = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+}  // namespace rfly::relay

@@ -1,0 +1,41 @@
+// Streaming center-frequency discovery (paper Section 4.2, Eq. 5). Instead
+// of a wideband Fourier transform, the relay correlates contiguous 1-ms
+// chunks of the incoming signal against every candidate ISM-channel
+// frequency and locks when one candidate's correlation dominates for a few
+// consecutive chunks. With multiple readers in range the strongest one wins,
+// which is also the relay's interference-management rule (Section 4.3).
+#pragma once
+
+#include <vector>
+
+#include "signal/waveform.h"
+
+namespace rfly::relay {
+
+struct FreqDiscoveryConfig {
+  double chunk_s = 1e-3;
+  /// Lock when best/second-best correlation power exceeds this ratio...
+  double lock_threshold = 4.0;
+  /// ...for this many consecutive chunks.
+  int confirm_chunks = 2;
+  /// Upper bound on chunks to process (20 ms sweep budget per the paper).
+  int max_chunks = 20;
+};
+
+struct FreqDiscoveryResult {
+  bool locked = false;
+  double freq_hz = 0.0;     // winning candidate (baseband frame)
+  double elapsed_s = 0.0;   // time spent listening before lock
+  double peak_ratio = 0.0;  // best/second correlation power at decision time
+};
+
+/// Candidate grid spanning [lo, hi] in `spacing` steps (inclusive).
+std::vector<double> channel_grid(double lo_hz, double hi_hz, double spacing_hz);
+
+/// Run discovery over `rx` (complex baseband). Candidates are offsets in
+/// the same baseband frame.
+FreqDiscoveryResult discover_center_frequency(const signal::Waveform& rx,
+                                              const std::vector<double>& candidates,
+                                              const FreqDiscoveryConfig& config = {});
+
+}  // namespace rfly::relay

@@ -1,0 +1,45 @@
+#include "relay/gain_control.h"
+
+#include <algorithm>
+
+namespace rfly::relay {
+
+bool is_stable(const GainPlanInput& in, double g_down, double g_up) {
+  if (g_down > in.intra_downlink_isolation_db - in.margin_db) return false;
+  if (g_up > in.intra_uplink_isolation_db - in.margin_db) return false;
+  // Inter-link round trip: downlink TX -> uplink RX -> uplink TX ->
+  // downlink RX -> downlink TX. Loop gain = g_down + g_up minus both
+  // inter-link isolations.
+  const double inter_total = in.inter_downlink_uplink_isolation_db +
+                             in.inter_uplink_downlink_isolation_db;
+  return g_down + g_up <= inter_total - in.margin_db;
+}
+
+GainPlan plan_gains(const GainPlanInput& in) {
+  GainPlan plan;
+  const double inter_total = in.inter_downlink_uplink_isolation_db +
+                             in.inter_uplink_downlink_isolation_db;
+
+  // Downlink first (powers the tags), capped by its intra loop and by the
+  // inter loop even with zero uplink gain.
+  plan.downlink_gain_db =
+      std::min({in.max_downlink_gain_db, in.intra_downlink_isolation_db - in.margin_db,
+                inter_total - in.margin_db});
+  if (plan.downlink_gain_db < 0.0) {
+    plan.downlink_gain_db = 0.0;
+    return plan;  // infeasible: even a passive downlink would ring
+  }
+
+  plan.uplink_gain_db =
+      std::min({in.max_uplink_gain_db, in.intra_uplink_isolation_db - in.margin_db,
+                inter_total - in.margin_db - plan.downlink_gain_db});
+  if (plan.uplink_gain_db < 0.0) {
+    plan.uplink_gain_db = 0.0;
+    return plan;
+  }
+
+  plan.feasible = is_stable(in, plan.downlink_gain_db, plan.uplink_gain_db);
+  return plan;
+}
+
+}  // namespace rfly::relay

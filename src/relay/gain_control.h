@@ -1,0 +1,37 @@
+// VGA gain planning (paper Section 6.1). The programmable gains must keep
+// every self-interference loop below unity gain:
+//   - each path's gain is bounded by its own intra-link isolation,
+//   - the sum of both paths' gains is bounded by the inter-link isolation
+//     around the two-path loop (downlink -> uplink -> downlink),
+//   - subject to those bounds, downlink gain is maximized first (it must
+//     power tags), and the uplink takes what margin remains.
+#pragma once
+
+namespace rfly::relay {
+
+struct GainPlanInput {
+  double intra_downlink_isolation_db = 0.0;
+  double intra_uplink_isolation_db = 0.0;
+  double inter_downlink_uplink_isolation_db = 0.0;
+  double inter_uplink_downlink_isolation_db = 0.0;
+  /// Stability margin below the theoretical oscillation limit.
+  double margin_db = 10.0;
+  /// Hardware ceilings for the two chains.
+  double max_downlink_gain_db = 65.0;
+  double max_uplink_gain_db = 40.0;
+};
+
+struct GainPlan {
+  double downlink_gain_db = 0.0;
+  double uplink_gain_db = 0.0;
+  bool feasible = false;
+};
+
+GainPlan plan_gains(const GainPlanInput& input);
+
+/// Loop-gain stability check for a planned configuration: true when every
+/// loop (two intra, one inter round trip) stays below unity by `margin_db`.
+bool is_stable(const GainPlanInput& input, double downlink_gain_db,
+               double uplink_gain_db);
+
+}  // namespace rfly::relay

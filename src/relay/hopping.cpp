@@ -1,0 +1,67 @@
+#include "relay/hopping.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rfly::relay {
+
+HoppingTracker::HoppingTracker(HoppingTrackerConfig config)
+    : config_(std::move(config)) {}
+
+HoppingTracker::DwellReport HoppingTracker::on_dwell(const signal::Waveform& rx) {
+  DwellReport report;
+
+  if (following_ && full_pattern_) {
+    // Predict the channel from the learned pattern, then verify cheaply:
+    // correlate this dwell against the predicted channel alone (one
+    // correlator instead of a full sweep).
+    const double predicted = pattern_[position_ % pattern_.size()];
+    const auto check =
+        discover_center_frequency(rx, {predicted, predicted + 1e6}, config_.discovery);
+    // (The +1 MHz ghost candidate gives the ratio test something to beat.)
+    if (check.locked && check.freq_hz == predicted) {
+      ++position_;
+      misses_ = 0;
+      report.locked = true;
+      report.freq_hz = predicted;
+      report.predicted = true;
+      return report;
+    }
+    if (++misses_ < config_.max_misses) {
+      // Tolerate an occasional miss (deep fade): stay on the pattern.
+      ++position_;
+      report.locked = true;
+      report.freq_hz = predicted;
+      report.predicted = true;
+      return report;
+    }
+    // Lost the pattern: fall through to a full re-acquisition.
+    following_ = false;
+    full_pattern_ = false;
+    pattern_.clear();
+    position_ = 0;
+    misses_ = 0;
+  }
+
+  // (Re)acquire with the full sweep.
+  const auto result =
+      discover_center_frequency(rx, config_.channel_grid, config_.discovery);
+  report.listen_s = result.elapsed_s;
+  if (!result.locked) return report;
+
+  report.locked = true;
+  report.freq_hz = result.freq_hz;
+  following_ = true;
+
+  // Learn the pattern: it repeats once we see a frequency we already saw
+  // at the start.
+  if (!pattern_.empty() && result.freq_hz == pattern_.front()) {
+    full_pattern_ = true;
+    position_ = 1;  // we just consumed the pattern's first slot
+  } else {
+    pattern_.push_back(result.freq_hz);
+  }
+  return report;
+}
+
+}  // namespace rfly::relay

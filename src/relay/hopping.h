@@ -1,0 +1,54 @@
+// Frequency-hop tracking (paper Section 4.2, footnote 3): in regions where
+// regulation makes the reader hop channels every ~0.4 s over a pseudo-random
+// pattern, the relay discovers the center frequency once, then predicts and
+// follows the hops. After a configurable number of consecutive mispredictions
+// (pattern changed, reader restarted) it falls back to a full re-sweep.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "relay/freq_discovery.h"
+
+namespace rfly::relay {
+
+struct HoppingTrackerConfig {
+  /// The candidate channel grid the relay can tune to.
+  std::vector<double> channel_grid;
+  /// Dwell time per hop (FCC: <= 0.4 s per channel).
+  double dwell_s = 0.4;
+  /// Mispredictions tolerated before declaring loss of lock.
+  int max_misses = 2;
+  FreqDiscoveryConfig discovery{};
+};
+
+/// Tracks a hopping reader. Feed it one received dwell at a time.
+class HoppingTracker {
+ public:
+  explicit HoppingTracker(HoppingTrackerConfig config);
+
+  struct DwellReport {
+    bool locked = false;        // relay is following the reader
+    double freq_hz = 0.0;       // frequency used for this dwell
+    bool predicted = false;     // true if served from the learned pattern
+    double listen_s = 0.0;      // time spent re-discovering (0 if predicted)
+  };
+
+  /// Process the baseband capture of one dwell. `rx` should span at least
+  /// the discovery budget when the tracker needs to (re)acquire.
+  DwellReport on_dwell(const signal::Waveform& rx);
+
+  /// Pattern learned so far (frequencies in hop order).
+  const std::vector<double>& learned_pattern() const { return pattern_; }
+  bool has_full_pattern() const { return full_pattern_; }
+
+ private:
+  HoppingTrackerConfig config_;
+  std::vector<double> pattern_;
+  std::size_t position_ = 0;     // next index into pattern_ when following
+  bool following_ = false;
+  bool full_pattern_ = false;
+  int misses_ = 0;
+};
+
+}  // namespace rfly::relay

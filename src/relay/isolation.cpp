@@ -1,0 +1,122 @@
+#include "relay/isolation.h"
+
+#include <cmath>
+
+#include "common/units.h"
+#include "signal/spectrum.h"
+#include "signal/waveform.h"
+
+namespace rfly::relay {
+
+namespace {
+
+enum class Side { kDownlink, kUplink };
+
+/// Drive `relay` with a tone on one path input (other input zero) and
+/// return the output power at `out_freq_hz` on the same side's output.
+double drive_and_measure_dbm(Relay& relay, Side side, double in_freq_hz,
+                             double out_freq_hz,
+                             const IsolationMeasurementConfig& cfg) {
+  const double fs = cfg.sample_rate_hz;
+  const auto settle = static_cast<std::size_t>(cfg.settle_s * fs);
+  const auto measure = static_cast<std::size_t>(cfg.measure_s * fs);
+  const double amp = std::sqrt(dbm_to_watts(cfg.input_power_dbm));
+  const auto tone =
+      signal::make_tone(in_freq_hz, amp, settle + measure, fs);
+
+  signal::Waveform out(measure, fs);
+  for (std::size_t i = 0; i < tone.size(); ++i) {
+    const cdouble in = tone[i];
+    const auto tx = (side == Side::kDownlink) ? relay.step(in, {0.0, 0.0})
+                                              : relay.step({0.0, 0.0}, in);
+    const cdouble sample = (side == Side::kDownlink) ? tx.downlink : tx.uplink;
+    if (i >= settle) out[i - settle] = sample;
+  }
+  return signal::tone_power_dbm(out, out_freq_hz);
+}
+
+/// Passband gain of a path: drive at the wanted frequency, measure at the
+/// wanted (frequency-shifted) output.
+double measure_path_gain_db(const RelayFactory& factory, Side side, double shift_hz,
+                            const IsolationMeasurementConfig& cfg) {
+  auto relay = factory();
+  double in_freq = 0.0;
+  double out_freq = 0.0;
+  if (side == Side::kDownlink) {
+    in_freq = cfg.query_offset_hz;          // inside the LPF passband
+    out_freq = shift_hz + cfg.query_offset_hz;
+  } else {
+    in_freq = shift_hz + cfg.response_offset_hz;  // inside the BPF passband
+    out_freq = cfg.response_offset_hz;
+  }
+  const double out_dbm = drive_and_measure_dbm(*relay, side, in_freq, out_freq, cfg);
+  return out_dbm - cfg.input_power_dbm;
+}
+
+}  // namespace
+
+IsolationResult measure_isolation(const RelayFactory& factory, IsolationKind kind,
+                                  double frequency_shift_hz,
+                                  const IsolationMeasurementConfig& cfg) {
+  const double shift = frequency_shift_hz;
+  Side side = Side::kDownlink;
+  double in_freq = 0.0;
+  double out_freq = 0.0;
+  switch (kind) {
+    case IsolationKind::kIntraDownlink:
+      // Query-like tone into the downlink; leakage at the *unshifted*
+      // input frequency at the downlink output (mixer feedthrough).
+      side = Side::kDownlink;
+      in_freq = cfg.query_offset_hz;
+      out_freq = cfg.query_offset_hz;
+      break;
+    case IsolationKind::kIntraUplink:
+      side = Side::kUplink;
+      in_freq = shift + cfg.response_offset_hz;
+      out_freq = shift + cfg.response_offset_hz;
+      break;
+    case IsolationKind::kInterDownlinkUplink:
+      // A relayed query (at f2) leaking into the uplink input; the uplink
+      // band-pass must reject it before it reaches the uplink output at f1.
+      side = Side::kUplink;
+      in_freq = shift + cfg.query_offset_hz;
+      out_freq = cfg.query_offset_hz;
+      break;
+    case IsolationKind::kInterUplinkDownlink:
+      // A tag response (at f1-side input of the downlink); the downlink
+      // low-pass must reject it before it reaches the downlink output at f2.
+      side = Side::kDownlink;
+      in_freq = cfg.response_offset_hz;
+      out_freq = shift + cfg.response_offset_hz;
+      break;
+  }
+
+  IsolationResult result;
+  {
+    auto relay = factory();
+    const double out_dbm =
+        drive_and_measure_dbm(*relay, side, in_freq, out_freq, cfg);
+    result.attenuation_db = cfg.input_power_dbm - out_dbm;
+  }
+  result.path_gain_db = measure_path_gain_db(factory, side, shift, cfg);
+  result.isolation_db =
+      result.attenuation_db + result.path_gain_db + cfg.antenna_isolation_db;
+  return result;
+}
+
+IsolationTrial measure_all_isolations(const RelayFactory& factory,
+                                      double frequency_shift_hz,
+                                      const IsolationMeasurementConfig& cfg) {
+  IsolationTrial trial;
+  trial.intra_downlink = measure_isolation(factory, IsolationKind::kIntraDownlink,
+                                           frequency_shift_hz, cfg);
+  trial.intra_uplink = measure_isolation(factory, IsolationKind::kIntraUplink,
+                                         frequency_shift_hz, cfg);
+  trial.inter_downlink_uplink = measure_isolation(
+      factory, IsolationKind::kInterDownlinkUplink, frequency_shift_hz, cfg);
+  trial.inter_uplink_downlink = measure_isolation(
+      factory, IsolationKind::kInterUplinkDownlink, frequency_shift_hz, cfg);
+  return trial;
+}
+
+}  // namespace rfly::relay

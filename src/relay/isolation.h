@@ -1,0 +1,65 @@
+// Self-interference isolation measurement, reproducing the methodology of
+// paper Section 7.1(a): inject a tone into one relay path, measure the power
+// at the interference frequency at the path output with a (simulated)
+// spectrum analyzer, and report
+//     isolation = attenuation + gain + antenna isolation
+// where attenuation is input-minus-output power at the leakage frequency and
+// gain is the path's passband gain (measured the same way), so the chain
+// gain is factored out exactly as the paper does.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "relay/coupling.h"
+#include "relay/rfly_relay.h"
+
+namespace rfly::relay {
+
+/// Builds a fresh relay (clean filter/LO state) for each sub-measurement of
+/// one trial. Re-using one seed across calls models re-probing one board.
+using RelayFactory = std::function<std::unique_ptr<Relay>()>;
+
+/// The four measurements of Fig. 9.
+enum class IsolationKind {
+  kIntraDownlink,  // query-band tone into downlink, leak at its own frequency
+  kIntraUplink,    // response-band tone into uplink, leak at its own frequency
+  kInterDownlinkUplink,  // query-band tone into uplink, filter must kill it
+  kInterUplinkDownlink,  // response-band tone into downlink, filter must kill it
+};
+
+struct IsolationMeasurementConfig {
+  double sample_rate_hz = 4e6;
+  double query_offset_hz = 50e3;      // "f + 50 kHz" in the paper
+  double response_offset_hz = 500e3;  // "f + 500 kHz"
+  double input_power_dbm = -30.0;
+  double settle_s = 0.5e-3;    // discard filter transients
+  double measure_s = 2e-3;     // spectrum-analyzer integration window
+  double antenna_isolation_db = 30.0;  // counted toward the total, per paper
+};
+
+struct IsolationResult {
+  double isolation_db = 0.0;
+  double path_gain_db = 0.0;
+  double attenuation_db = 0.0;
+};
+
+/// Run one isolation measurement on a fresh relay from `factory`.
+/// `frequency_shift_hz` must match the relay's plan (0 for analog relays).
+IsolationResult measure_isolation(const RelayFactory& factory, IsolationKind kind,
+                                  double frequency_shift_hz,
+                                  const IsolationMeasurementConfig& config);
+
+/// All four, as one Fig. 9 trial.
+struct IsolationTrial {
+  IsolationResult intra_downlink;
+  IsolationResult intra_uplink;
+  IsolationResult inter_downlink_uplink;
+  IsolationResult inter_uplink_downlink;
+};
+
+IsolationTrial measure_all_isolations(const RelayFactory& factory,
+                                      double frequency_shift_hz,
+                                      const IsolationMeasurementConfig& config);
+
+}  // namespace rfly::relay

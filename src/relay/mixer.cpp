@@ -1,0 +1,16 @@
+#include "relay/mixer.h"
+
+#include "common/units.h"
+
+namespace rfly::relay {
+
+Mixer::Mixer(signal::Oscillator lo, MixDirection direction, double feedthrough_db)
+    : lo_(lo), direction_(direction), feedthrough_amp_(db_to_amplitude(feedthrough_db)) {}
+
+cdouble Mixer::process(cdouble x) {
+  const cdouble lo = lo_.next();
+  const cdouble wanted = (direction_ == MixDirection::kUp) ? x * lo : x * std::conj(lo);
+  return wanted + feedthrough_amp_ * x;
+}
+
+}  // namespace rfly::relay

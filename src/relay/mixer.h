@@ -1,0 +1,32 @@
+// RF mixer with finite port isolation. Besides the wanted product, a real
+// mixer leaks a copy of its RF input straight to the output (feedthrough);
+// that leakage is what bounds the relay's intra-link isolation in the paper
+// (Fig. 9c/d) because it bypasses the frequency shift.
+#pragma once
+
+#include "common/math_util.h"
+#include "signal/oscillator.h"
+
+namespace rfly::relay {
+
+enum class MixDirection { kDown, kUp };
+
+class Mixer {
+ public:
+  /// `feedthrough_db` is the RF-to-output leakage relative to the input
+  /// (negative; -200 dB effectively disables it for ideal-mixer tests).
+  Mixer(signal::Oscillator lo, MixDirection direction, double feedthrough_db);
+
+  /// Process one sample: wanted product plus input feedthrough. Advances
+  /// the LO by one sample.
+  cdouble process(cdouble x);
+
+  double lo_freq_hz() const { return lo_.frequency(); }
+
+ private:
+  signal::Oscillator lo_;
+  MixDirection direction_;
+  double feedthrough_amp_;
+};
+
+}  // namespace rfly::relay

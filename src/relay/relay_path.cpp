@@ -1,0 +1,47 @@
+#include "relay/relay_path.h"
+
+#include "common/units.h"
+
+namespace rfly::relay {
+
+RelayPath::RelayPath(Mixer downconverter, std::unique_ptr<signal::BasebandFilter> filter,
+                     Mixer upconverter, const RelayPathConfig& config)
+    : down_(downconverter),
+      filter_(std::move(filter)),
+      pre_vga_(config.pre_gain_db),
+      up_(upconverter),
+      post_vga_(config.post_gain_db),
+      bypass_amp_(db_to_amplitude(config.rf_bypass_db)) {
+  if (config.pa_p1db_dbm) {
+    pa_.emplace(config.pa_gain_db, *config.pa_p1db_dbm);
+    if (config.agc) {
+      agc_.emplace(*config.agc, pa_->p1db_input_amplitude());
+    }
+  }
+}
+
+cdouble RelayPath::process(cdouble x) {
+  cdouble y = down_.process(x);
+  y = filter_->process(y);
+  y = pre_vga_.process(y);
+  y = up_.process(y);
+  y += bypass_amp_ * x;  // board-level coupling joins before final gain
+  y = post_vga_.process(y);
+  if (agc_) y *= agc_->track(std::abs(y));
+  if (pa_) y = pa_->process(y);
+  return y;
+}
+
+signal::Waveform RelayPath::process(const signal::Waveform& in) {
+  signal::Waveform out = in;
+  for (auto& s : out.data()) s = process(s);
+  return out;
+}
+
+double RelayPath::total_gain_db() const {
+  double g = pre_vga_.gain_db() + post_vga_.gain_db();
+  if (pa_) g += pa_->gain_db();
+  return g;
+}
+
+}  // namespace rfly::relay

@@ -1,0 +1,58 @@
+// One forwarding path of the relay (Fig. 8, top or bottom row):
+//   RX -> downconvert mixer -> baseband filter -> VGA -> upconvert mixer
+//      -> optional drive amp + PA -> TX
+// processed sample by sample so it can sit inside the closed
+// self-interference loop.
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "relay/agc.h"
+#include "relay/mixer.h"
+#include "signal/amplifier.h"
+#include "signal/filter.h"
+#include "signal/waveform.h"
+
+namespace rfly::relay {
+
+struct RelayPathConfig {
+  double pre_gain_db = 0.0;   // VGA before the baseband filter
+  double post_gain_db = 0.0;  // VGA after the upconverter (uplink puts most
+                              // of its gain here to avoid input saturation)
+  std::optional<double> pa_p1db_dbm;  // power amplifier at the TX (downlink)
+  double pa_gain_db = 20.0;
+  /// Board-level RF coupling from the path input straight to the
+  /// upconverter output (bypassing mixers and filter, but amplified by the
+  /// post-VGA/PA). Dominates the uplink's intra-link leakage.
+  double rf_bypass_db = -200.0;
+  /// Optional downlink AGC ahead of the PA (see relay/agc.h).
+  std::optional<AgcConfig> agc;
+};
+
+class RelayPath {
+ public:
+  RelayPath(Mixer downconverter, std::unique_ptr<signal::BasebandFilter> filter,
+            Mixer upconverter, const RelayPathConfig& config);
+
+  cdouble process(cdouble x);
+  signal::Waveform process(const signal::Waveform& in);
+
+  /// Total small-signal gain through the path in dB (VGAs + PA linear gain).
+  double total_gain_db() const;
+
+  void set_pre_gain_db(double db) { pre_vga_.set_gain_db(db); }
+  void set_post_gain_db(double db) { post_vga_.set_gain_db(db); }
+
+ private:
+  Mixer down_;
+  std::unique_ptr<signal::BasebandFilter> filter_;
+  signal::Vga pre_vga_;
+  Mixer up_;
+  signal::Vga post_vga_;
+  std::optional<signal::PowerAmplifier> pa_;
+  std::optional<DownlinkAgc> agc_;
+  double bypass_amp_ = 0.0;
+};
+
+}  // namespace rfly::relay

@@ -1,0 +1,100 @@
+#include "relay/rfly_relay.h"
+
+#include <vector>
+namespace rfly::relay {
+
+RflyRelay::RflyRelay(const RflyRelayConfig& config, Rng& rng) : config_(config) {
+  SynthesizerConfig synth_a_cfg;
+  synth_a_cfg.nominal_freq_hz = config.discovery_offset_hz;
+  synth_a_cfg.freq_error_std_hz = config.synth_freq_error_std_hz;
+  synth_a_cfg.sample_rate_hz = config.sample_rate_hz;
+  synth_a_cfg.phase_noise_std = config.synth_phase_noise_std;
+
+  SynthesizerConfig synth_b_cfg = synth_a_cfg;
+  synth_b_cfg.nominal_freq_hz = config.discovery_offset_hz + config.freq_shift_hz;
+
+  const Synthesizer synth_a(synth_a_cfg, rng);
+  const Synthesizer synth_b(synth_b_cfg, rng);
+  synth_a_freq_hz_ = synth_a.actual_freq_hz();
+  synth_b_freq_hz_ = synth_b.actual_freq_hz();
+
+  // Per-unit component draws around the configured means.
+  const double ft_down =
+      config.mixer_feedthrough_down_db + rng.gaussian(0.0, config.component_spread_db);
+  const double ft_up =
+      config.mixer_feedthrough_up_db + rng.gaussian(0.0, config.component_spread_db);
+  const double bypass_down =
+      config.rf_bypass_down_db + rng.gaussian(0.0, config.component_spread_db);
+  const double bypass_up =
+      config.rf_bypass_up_db + rng.gaussian(0.0, config.component_spread_db);
+
+  // Downlink: downconvert with A, low-pass, upconvert with B (to f2).
+  RelayPathConfig dl_cfg;
+  dl_cfg.pre_gain_db = config.downlink_pre_gain_db;
+  dl_cfg.post_gain_db = 0.0;
+  dl_cfg.rf_bypass_db = bypass_down;
+  if (config.enable_pa) {
+    dl_cfg.pa_p1db_dbm = config.pa_p1db_dbm;
+    dl_cfg.pa_gain_db = config.pa_gain_db;
+    if (config.enable_downlink_agc) dl_cfg.agc = AgcConfig{};
+  }
+  downlink_ = std::make_unique<RelayPath>(
+      Mixer(synth_a.make_oscillator(), MixDirection::kDown, ft_down),
+      std::make_unique<signal::IirBasebandFilter>(
+          signal::butterworth_lowpass(config.lpf_order, config.lpf_cutoff_hz,
+                                      config.sample_rate_hz),
+          config.sample_rate_hz),
+      Mixer(synth_b.make_oscillator(), MixDirection::kUp, ft_down),
+      dl_cfg);
+
+  // Uplink: downconvert with B (from f2), band-pass around the tag
+  // response, upconvert with A (back to f1). Mirrored = reuse A and B;
+  // otherwise draw independent synthesizers C and D.
+  RelayPathConfig ul_cfg;
+  ul_cfg.pre_gain_db = config.uplink_pre_gain_db;
+  ul_cfg.post_gain_db = config.uplink_post_gain_db;
+  ul_cfg.rf_bypass_db = bypass_up;
+
+  const Synthesizer* up_down_synth = &synth_b;
+  const Synthesizer* up_up_synth = &synth_a;
+  std::unique_ptr<Synthesizer> synth_c;
+  std::unique_ptr<Synthesizer> synth_d;
+  if (!config.mirrored) {
+    synth_c = std::make_unique<Synthesizer>(synth_b_cfg, rng);
+    synth_d = std::make_unique<Synthesizer>(synth_a_cfg, rng);
+    up_down_synth = synth_c.get();
+    up_up_synth = synth_d.get();
+  }
+
+  // Real-coefficient band-pass: steep high-pass edge rejects the query
+  // band; the gentle low-pass bounds the top. Being symmetric in +-f it
+  // passes both FM0 sidebands undistorted; the price is that amplified
+  // feedback can fold into the mirror band, which is why the uplink gain
+  // budget must stay below the antenna isolation (Section 6.1's rule).
+  std::vector<signal::Biquad> bpf_sections =
+      signal::butterworth_highpass(config.bpf_low_edge_order, config.bpf_low_hz,
+                                   config.sample_rate_hz)
+          .sections();
+  const auto bpf_top = signal::butterworth_lowpass(
+      config.bpf_high_edge_order, config.bpf_high_hz, config.sample_rate_hz);
+  bpf_sections.insert(bpf_sections.end(), bpf_top.sections().begin(),
+                      bpf_top.sections().end());
+  uplink_ = std::make_unique<RelayPath>(
+      Mixer(up_down_synth->make_oscillator(), MixDirection::kDown, ft_up),
+      std::make_unique<signal::IirBasebandFilter>(
+          signal::BiquadCascade(std::move(bpf_sections)), config.sample_rate_hz),
+      Mixer(up_up_synth->make_oscillator(), MixDirection::kUp, ft_up),
+      ul_cfg);
+}
+
+Relay::TxSample RflyRelay::step(cdouble downlink_rx, cdouble uplink_rx) {
+  return {downlink_->process(downlink_rx), uplink_->process(uplink_rx)};
+}
+
+std::unique_ptr<RflyRelay> make_rfly_relay(const RflyRelayConfig& config,
+                                           std::uint64_t seed) {
+  Rng rng(seed);
+  return std::make_unique<RflyRelay>(config, rng);
+}
+
+}  // namespace rfly::relay

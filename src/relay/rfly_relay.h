@@ -1,0 +1,133 @@
+// RFly's full-duplex, phase-preserving relay (paper Section 4 / Fig. 8).
+//
+// Everything is simulated in the baseband frame of the reader's carrier f1:
+// a tone the reader transmits sits at 0 Hz (+ small offsets), the relay's
+// downlink output sits around the frequency shift f2 - f1 (default 1 MHz),
+// and tag backscatter around (f2 - f1) +- BLF.
+//
+// Mirrored wiring: synthesizer A drives the downlink downconverter and the
+// uplink upconverter; synthesizer B drives the downlink upconverter and the
+// uplink downconverter. The round trip therefore multiplies by
+// conj(A) * B * conj(B) * A = 1: the relay's oscillator errors cancel and
+// phase is preserved (Fig. 10). With `mirrored = false` the uplink gets its
+// own independent synthesizers C and D, reproducing the random-phase
+// baseline.
+#pragma once
+
+#include <memory>
+
+#include "common/rng.h"
+#include "relay/relay_path.h"
+#include "relay/synthesizer.h"
+
+namespace rfly::relay {
+
+/// Common interface for relays inside the self-interference loop.
+class Relay {
+ public:
+  struct TxSample {
+    cdouble downlink{0.0, 0.0};
+    cdouble uplink{0.0, 0.0};
+  };
+
+  virtual ~Relay() = default;
+
+  /// Process one sample arriving at each receive antenna; returns the two
+  /// transmit-antenna samples.
+  virtual TxSample step(cdouble downlink_rx, cdouble uplink_rx) = 0;
+
+  /// Frequency shift between the reader-facing and tag-facing sides
+  /// (f2 - f1); 0 for a plain analog relay.
+  virtual double frequency_shift_hz() const = 0;
+};
+
+struct RflyRelayConfig {
+  double sample_rate_hz = 4e6;
+
+  /// f2 - f1. Small enough that (f - f2)/f < 0.01 so the reader can keep
+  /// using f in the SAR equations (paper Section 5.2).
+  double freq_shift_hz = 1e6;
+
+  /// Residual offset of the relay's estimate of the reader's frequency
+  /// after frequency discovery (0 = perfect lock).
+  double discovery_offset_hz = 0.0;
+
+  /// Baseband filters (paper Section 6.1): 100 kHz low-pass on the
+  /// downlink, band-pass around the 500 kHz tag response on the uplink.
+  /// FM0 at BLF 500 kHz occupies ~200-900 kHz (runs of '1' bits sit at
+  /// 250 kHz), so the passband is wide; the steep high-pass edge supplies
+  /// the query rejection (the guard band of paper Fig. 4 is below 125 kHz)
+  /// while the gentle low-pass bound keeps in-band group-delay dispersion
+  /// (ISI on the FM0 reply) small.
+  int lpf_order = 6;
+  double lpf_cutoff_hz = 100e3;
+  int bpf_low_edge_order = 6;
+  int bpf_high_edge_order = 4;
+  double bpf_low_hz = 150e3;
+  double bpf_high_hz = 1.2e6;
+
+  /// Intra-link leakage mechanisms, calibrated to the prototype's Fig. 9
+  /// medians. On the downlink the dominant leak is mixer RF feedthrough:
+  /// the leaked 50 kHz tone sits inside the LPF passband, so the whole gain
+  /// chain amplifies it. On the uplink the feedthrough path is crushed by
+  /// the band-pass filter, and the dominant leak is board-level RF coupling
+  /// straight to the output stage (rf bypass).
+  double mixer_feedthrough_down_db = -47.0;
+  double mixer_feedthrough_up_db = -47.0;
+  double rf_bypass_down_db = -60.0;
+  double rf_bypass_up_db = -29.0;
+  /// 1-sigma unit-to-unit / trial-to-trial spread applied to the two
+  /// leakage mechanisms (component tolerances, temperature, drive level).
+  double component_spread_db = 3.0;
+
+  /// Gain plan (see gain_control.h). Downlink is maximized to power tags
+  /// (45 + 20 dB PA = 65 dB, inside the intra-downlink isolation budget);
+  /// uplink gain sits after the band-pass filter to avoid input saturation.
+  double downlink_pre_gain_db = 45.0;
+  double uplink_pre_gain_db = 5.0;
+  double uplink_post_gain_db = 25.0;
+  double pa_gain_db = 20.0;
+  double pa_p1db_dbm = 29.0;
+  bool enable_pa = true;
+  /// Downlink AGC: automatically backs the gain off when the relay flies
+  /// close to the reader, keeping the PA at its compression point instead
+  /// of far past it (where the PIE modulation depth collapses). Off by
+  /// default to match the paper's statically tuned prototype.
+  bool enable_downlink_agc = false;
+
+  /// Synthesizer non-idealities.
+  double synth_freq_error_std_hz = 150.0;
+  double synth_phase_noise_std = 0.0;
+
+  /// Mirrored architecture on/off (off = independent uplink synthesizers,
+  /// the "No-Mirror" baseline of Fig. 10).
+  bool mirrored = true;
+};
+
+class RflyRelay final : public Relay {
+ public:
+  RflyRelay(const RflyRelayConfig& config, Rng& rng);
+
+  TxSample step(cdouble downlink_rx, cdouble uplink_rx) override;
+  double frequency_shift_hz() const override { return config_.freq_shift_hz; }
+
+  const RflyRelayConfig& config() const { return config_; }
+
+  /// Actual (error-inclusive) LO frequencies, for tests.
+  double synth_a_freq_hz() const { return synth_a_freq_hz_; }
+  double synth_b_freq_hz() const { return synth_b_freq_hz_; }
+
+ private:
+  RflyRelayConfig config_;
+  double synth_a_freq_hz_ = 0.0;
+  double synth_b_freq_hz_ = 0.0;
+  std::unique_ptr<RelayPath> downlink_;
+  std::unique_ptr<RelayPath> uplink_;
+};
+
+/// Factory with fresh filter/oscillator state but identical hardware draws:
+/// reconstructing from the same seed models re-measuring one physical board.
+std::unique_ptr<RflyRelay> make_rfly_relay(const RflyRelayConfig& config,
+                                           std::uint64_t seed);
+
+}  // namespace rfly::relay

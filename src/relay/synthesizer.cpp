@@ -1,0 +1,16 @@
+#include "relay/synthesizer.h"
+
+namespace rfly::relay {
+
+Synthesizer::Synthesizer(const SynthesizerConfig& config, Rng& rng)
+    : config_(config),
+      actual_freq_hz_(config.nominal_freq_hz +
+                      rng.gaussian(0.0, config.freq_error_std_hz)),
+      initial_phase_(rng.phase()) {}
+
+signal::Oscillator Synthesizer::make_oscillator(Rng* phase_noise_rng) const {
+  return signal::Oscillator(actual_freq_hz_, config_.sample_rate_hz, initial_phase_,
+                            config_.phase_noise_std, phase_noise_rng);
+}
+
+}  // namespace rfly::relay

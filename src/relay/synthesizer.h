@@ -1,0 +1,53 @@
+// Frequency synthesizer model. A synthesizer owns one phase trajectory
+// (nominal frequency + a small random frequency error + a random power-on
+// phase). Every oscillator created from the same synthesizer shares that
+// trajectory — which is the property RFly's mirrored architecture exploits:
+// using synthesizer A for the downlink downconverter AND the uplink
+// upconverter (and B for the other pair) makes the round-trip phase
+// A*conj(A)*B*conj(B) cancel exactly (paper Section 4.3).
+//
+// Frequencies here are in the simulation's baseband frame (relative to the
+// reader's carrier), so a synthesizer "at" the reader frequency has nominal
+// 0 Hz plus its error.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.h"
+#include "signal/oscillator.h"
+
+namespace rfly::relay {
+
+struct SynthesizerConfig {
+  double nominal_freq_hz = 0.0;
+  /// 1-sigma frequency error [Hz]. A 915 MHz LO with a +-0.2 ppm TCXO is
+  /// ~200 Hz; the paper notes f' - f stays under a few hundred Hz.
+  double freq_error_std_hz = 150.0;
+  double sample_rate_hz = 4e6;
+  double phase_noise_std = 0.0;  // per-sample random-walk sigma [rad]
+};
+
+class Synthesizer {
+ public:
+  /// Draws the frequency error and power-on phase from `rng` once; they are
+  /// then fixed for the synthesizer's lifetime (a warm oscillator).
+  Synthesizer(const SynthesizerConfig& config, Rng& rng);
+
+  /// Actual output frequency (nominal + error) in the baseband frame.
+  double actual_freq_hz() const { return actual_freq_hz_; }
+  double nominal_freq_hz() const { return config_.nominal_freq_hz; }
+  double freq_error_hz() const { return actual_freq_hz_ - config_.nominal_freq_hz; }
+  double initial_phase() const { return initial_phase_; }
+
+  /// A fresh oscillator following this synthesizer's phase trajectory from
+  /// t = 0. Two oscillators from one synthesizer stay phase-identical as
+  /// long as they advance in lockstep (one next() per simulation sample).
+  signal::Oscillator make_oscillator(Rng* phase_noise_rng = nullptr) const;
+
+ private:
+  SynthesizerConfig config_;
+  double actual_freq_hz_;
+  double initial_phase_;
+};
+
+}  // namespace rfly::relay

@@ -1,0 +1,61 @@
+#include "signal/amplifier.h"
+
+#include <cmath>
+
+#include "common/units.h"
+
+namespace rfly::signal {
+
+Vga::Vga(double gain_db) : gain_db_(gain_db), gain_linear_(db_to_amplitude(gain_db)) {}
+
+void Vga::set_gain_db(double gain_db) {
+  gain_db_ = gain_db;
+  gain_linear_ = db_to_amplitude(gain_db);
+}
+
+Waveform Vga::process(const Waveform& in) const {
+  Waveform out = in;
+  out.scale(cdouble{gain_linear_, 0.0});
+  return out;
+}
+
+PowerAmplifier::PowerAmplifier(double gain_db, double p1db_out_dbm, double smoothness)
+    : gain_db_(gain_db),
+      p1db_out_dbm_(p1db_out_dbm),
+      smoothness_(smoothness),
+      gain_linear_(db_to_amplitude(gain_db)) {
+  // At the 1-dB compression point the Rapp curve sits 1 dB below the linear
+  // extrapolation. Solving (1 + r^{2p})^{1/(2p)} = 10^{1/20} for
+  // r = A_lin / A_sat gives r = (10^{p/10} - 1)^{1/(2p)}, where A_lin is the
+  // *linear* (uncompressed) output amplitude at that drive level, i.e. the
+  // measured P1dB output plus 1 dB.
+  const double p = smoothness_;
+  const double r = std::pow(std::pow(10.0, p / 10.0) - 1.0, 1.0 / (2.0 * p));
+  const double lin_amp_at_1db = std::sqrt(dbm_to_watts(p1db_out_dbm_ + 1.0));
+  sat_amplitude_ = lin_amp_at_1db / r;
+}
+
+double PowerAmplifier::am_am(double input_amplitude) const {
+  const double lin = gain_linear_ * input_amplitude;
+  const double p = smoothness_;
+  return lin / std::pow(1.0 + std::pow(lin / sat_amplitude_, 2.0 * p), 1.0 / (2.0 * p));
+}
+
+double PowerAmplifier::p1db_input_amplitude() const {
+  // Linear (uncompressed) output at the compression point is P1dB + 1 dB.
+  return std::sqrt(dbm_to_watts(p1db_out_dbm_ + 1.0)) / gain_linear_;
+}
+
+cdouble PowerAmplifier::process(cdouble x) const {
+  const double amp = std::abs(x);
+  if (amp == 0.0) return x;
+  return x * (am_am(amp) / amp);
+}
+
+Waveform PowerAmplifier::process(const Waveform& in) const {
+  Waveform out = in;
+  for (auto& s : out.data()) s = process(s);
+  return out;
+}
+
+}  // namespace rfly::signal

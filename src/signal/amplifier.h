@@ -1,0 +1,56 @@
+// Amplifier models for the relay's gain chains: ideal variable-gain
+// amplifiers (VGAs) and a Rapp-model power amplifier whose 1-dB compression
+// point matches the paper's 29 dBm output PA.
+#pragma once
+
+#include "common/math_util.h"
+#include "signal/waveform.h"
+
+namespace rfly::signal {
+
+/// Ideal variable-gain amplifier. Gain may be re-tuned between frames,
+/// mirroring the VGAs the relay's gain controller programs.
+class Vga {
+ public:
+  explicit Vga(double gain_db = 0.0);
+
+  void set_gain_db(double gain_db);
+  double gain_db() const { return gain_db_; }
+
+  cdouble process(cdouble x) const { return x * gain_linear_; }
+  Waveform process(const Waveform& in) const;
+
+ private:
+  double gain_db_;
+  double gain_linear_;  // amplitude gain
+};
+
+/// Rapp-model power amplifier: smooth AM/AM saturation with no AM/PM.
+/// `p1db_out_dbm` is the output power at the 1-dB compression point;
+/// `smoothness` is the Rapp knee parameter (2-3 typical for class-AB).
+class PowerAmplifier {
+ public:
+  PowerAmplifier(double gain_db, double p1db_out_dbm, double smoothness = 2.0);
+
+  cdouble process(cdouble x) const;
+  Waveform process(const Waveform& in) const;
+
+  double gain_db() const { return gain_db_; }
+  double p1db_out_dbm() const { return p1db_out_dbm_; }
+
+  /// Output amplitude for a given input amplitude (the AM/AM curve).
+  double am_am(double input_amplitude) const;
+
+  /// Input amplitude that drives the amplifier to its 1-dB compression
+  /// point (useful for AGC targets).
+  double p1db_input_amplitude() const;
+
+ private:
+  double gain_db_;
+  double p1db_out_dbm_;
+  double smoothness_;
+  double gain_linear_;
+  double sat_amplitude_;  // asymptotic output amplitude
+};
+
+}  // namespace rfly::signal

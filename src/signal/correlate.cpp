@@ -1,0 +1,49 @@
+#include "signal/correlate.h"
+
+#include <cmath>
+
+namespace rfly::signal {
+
+std::vector<cdouble> cross_correlate(std::span<const cdouble> haystack,
+                                     std::span<const cdouble> needle) {
+  if (needle.empty() || needle.size() > haystack.size()) return {};
+  const std::size_t out_size = haystack.size() - needle.size() + 1;
+  std::vector<cdouble> out(out_size);
+  for (std::size_t k = 0; k < out_size; ++k) {
+    cdouble acc{0.0, 0.0};
+    for (std::size_t n = 0; n < needle.size(); ++n) {
+      acc += haystack[k + n] * std::conj(needle[n]);
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+std::size_t peak_index(std::span<const cdouble> values) {
+  std::size_t best = 0;
+  double best_mag = -1.0;
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    const double mag = std::norm(values[i]);
+    if (mag > best_mag) {
+      best_mag = mag;
+      best = i;
+    }
+  }
+  return best;
+}
+
+double correlation_coefficient(std::span<const cdouble> a, std::span<const cdouble> b) {
+  if (a.empty() || a.size() != b.size()) return 0.0;
+  cdouble dot{0.0, 0.0};
+  double na = 0.0;
+  double nb = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    dot += a[i] * std::conj(b[i]);
+    na += std::norm(a[i]);
+    nb += std::norm(b[i]);
+  }
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return std::abs(dot) / std::sqrt(na * nb);
+}
+
+}  // namespace rfly::signal

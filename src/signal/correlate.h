@@ -1,0 +1,26 @@
+// Correlation utilities used by the reader's matched-filter decoder and by
+// the relay's streaming center-frequency discovery.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/math_util.h"
+
+namespace rfly::signal {
+
+/// Sliding cross-correlation of `haystack` against `needle`:
+/// out[k] = sum_n haystack[k+n] * conj(needle[n]), for each alignment k
+/// where the needle fits entirely (out size = haystack - needle + 1).
+/// Empty needle or needle longer than haystack -> empty result.
+std::vector<cdouble> cross_correlate(std::span<const cdouble> haystack,
+                                     std::span<const cdouble> needle);
+
+/// Index of the maximum-magnitude element; 0 for empty input.
+std::size_t peak_index(std::span<const cdouble> values);
+
+/// Normalized correlation coefficient in [0, 1] at a single alignment.
+double correlation_coefficient(std::span<const cdouble> a, std::span<const cdouble> b);
+
+}  // namespace rfly::signal

@@ -1,0 +1,60 @@
+#include "signal/fft.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/constants.h"
+
+namespace rfly::signal {
+
+namespace {
+
+bool is_pow2(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+void bit_reverse_permute(std::vector<cdouble>& x) {
+  const std::size_t n = x.size();
+  std::size_t j = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+}
+
+void transform(std::vector<cdouble>& x, bool inverse) {
+  const std::size_t n = x.size();
+  if (!is_pow2(n)) throw std::invalid_argument("fft: size must be a power of two");
+  bit_reverse_permute(x);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = (inverse ? kTwoPi : -kTwoPi) / static_cast<double>(len);
+    const cdouble wlen = cis(ang);
+    for (std::size_t i = 0; i < n; i += len) {
+      cdouble w{1.0, 0.0};
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cdouble u = x[i + k];
+        const cdouble v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& v : x) v /= static_cast<double>(n);
+  }
+}
+
+}  // namespace
+
+void fft(std::vector<cdouble>& x) { transform(x, /*inverse=*/false); }
+
+void ifft(std::vector<cdouble>& x) { transform(x, /*inverse=*/true); }
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace rfly::signal

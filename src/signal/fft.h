@@ -1,0 +1,23 @@
+// Radix-2 FFT, self-contained (no external dependency). Used by the
+// periodogram and by spectrum plots; the relay's frequency discovery
+// deliberately does NOT use it (the paper replaces the Fourier transform
+// with a streaming correlator, see relay/freq_discovery.h).
+#pragma once
+
+#include <vector>
+
+#include "common/math_util.h"
+
+namespace rfly::signal {
+
+/// In-place iterative radix-2 DIT FFT. Size must be a power of two
+/// (std::invalid_argument otherwise).
+void fft(std::vector<cdouble>& x);
+
+/// Inverse FFT (normalized by 1/N).
+void ifft(std::vector<cdouble>& x);
+
+/// Next power of two >= n (n == 0 -> 1).
+std::size_t next_pow2(std::size_t n);
+
+}  // namespace rfly::signal

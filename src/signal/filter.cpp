@@ -1,0 +1,173 @@
+#include "signal/filter.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/constants.h"
+#include "common/units.h"
+
+namespace rfly::signal {
+
+cdouble Biquad::process(cdouble x) {
+  // Direct Form II transposed.
+  const cdouble y = b0 * x + s1;
+  s1 = b1 * x - a1 * y + s2;
+  s2 = b2 * x - a2 * y;
+  return y;
+}
+
+void Biquad::reset() {
+  s1 = {0.0, 0.0};
+  s2 = {0.0, 0.0};
+}
+
+cdouble Biquad::response(double freq_hz, double sample_rate_hz) const {
+  const double w = kTwoPi * freq_hz / sample_rate_hz;
+  const cdouble z1 = cis(-w);
+  const cdouble z2 = z1 * z1;
+  return (b0 + b1 * z1 + b2 * z2) / (1.0 + a1 * z1 + a2 * z2);
+}
+
+cdouble BiquadCascade::process(cdouble x) {
+  for (auto& s : sections_) x = s.process(x);
+  return x;
+}
+
+Waveform BiquadCascade::process(const Waveform& in) {
+  Waveform out = in;
+  for (auto& sample : out.data()) sample = process(sample);
+  return out;
+}
+
+void BiquadCascade::reset() {
+  for (auto& s : sections_) s.reset();
+}
+
+cdouble BiquadCascade::response(double freq_hz, double sample_rate_hz) const {
+  cdouble h{1.0, 0.0};
+  for (const auto& s : sections_) h *= s.response(freq_hz, sample_rate_hz);
+  return h;
+}
+
+double BiquadCascade::response_db(double freq_hz, double sample_rate_hz) const {
+  return amplitude_to_db(std::abs(response(freq_hz, sample_rate_hz)));
+}
+
+namespace {
+
+void validate(int order, double cutoff_hz, double sample_rate_hz) {
+  if (order <= 0 || order % 2 != 0) {
+    throw std::invalid_argument("Butterworth design requires a positive even order");
+  }
+  if (cutoff_hz <= 0.0 || cutoff_hz >= sample_rate_hz / 2.0) {
+    throw std::invalid_argument("cutoff must lie in (0, fs/2)");
+  }
+}
+
+/// Butterworth pole-pair quality factors for an even-order design:
+/// Q_k = 1 / (2 cos(theta_k)), theta_k = pi (2k + 1) / (2 N).
+std::vector<double> butterworth_qs(int order) {
+  std::vector<double> qs;
+  for (int k = 0; k < order / 2; ++k) {
+    const double theta = kPi * (2.0 * k + 1.0) / (2.0 * order);
+    qs.push_back(1.0 / (2.0 * std::cos(theta)));
+  }
+  return qs;
+}
+
+// RBJ cookbook biquads.
+Biquad rbj_lowpass(double cutoff_hz, double sample_rate_hz, double q) {
+  const double w0 = kTwoPi * cutoff_hz / sample_rate_hz;
+  const double cw = std::cos(w0);
+  const double alpha = std::sin(w0) / (2.0 * q);
+  const double a0 = 1.0 + alpha;
+  Biquad s;
+  s.b0 = (1.0 - cw) / 2.0 / a0;
+  s.b1 = (1.0 - cw) / a0;
+  s.b2 = (1.0 - cw) / 2.0 / a0;
+  s.a1 = -2.0 * cw / a0;
+  s.a2 = (1.0 - alpha) / a0;
+  return s;
+}
+
+Biquad rbj_highpass(double cutoff_hz, double sample_rate_hz, double q) {
+  const double w0 = kTwoPi * cutoff_hz / sample_rate_hz;
+  const double cw = std::cos(w0);
+  const double alpha = std::sin(w0) / (2.0 * q);
+  const double a0 = 1.0 + alpha;
+  Biquad s;
+  s.b0 = (1.0 + cw) / 2.0 / a0;
+  s.b1 = -(1.0 + cw) / a0;
+  s.b2 = (1.0 + cw) / 2.0 / a0;
+  s.a1 = -2.0 * cw / a0;
+  s.a2 = (1.0 - alpha) / a0;
+  return s;
+}
+
+}  // namespace
+
+BiquadCascade butterworth_lowpass(int order, double cutoff_hz, double sample_rate_hz) {
+  validate(order, cutoff_hz, sample_rate_hz);
+  std::vector<Biquad> sections;
+  for (double q : butterworth_qs(order)) {
+    sections.push_back(rbj_lowpass(cutoff_hz, sample_rate_hz, q));
+  }
+  return BiquadCascade(std::move(sections));
+}
+
+BiquadCascade butterworth_highpass(int order, double cutoff_hz, double sample_rate_hz) {
+  validate(order, cutoff_hz, sample_rate_hz);
+  std::vector<Biquad> sections;
+  for (double q : butterworth_qs(order)) {
+    sections.push_back(rbj_highpass(cutoff_hz, sample_rate_hz, q));
+  }
+  return BiquadCascade(std::move(sections));
+}
+
+ComplexBandpass::ComplexBandpass(double low_hz, double high_hz, int hp_order,
+                                 int lp_order, double sample_rate_hz)
+    : hp_(butterworth_highpass(hp_order, low_hz, sample_rate_hz)),
+      lp_(butterworth_lowpass(lp_order, (high_hz - low_hz) / 2.0, sample_rate_hz)),
+      center_hz_((low_hz + high_hz) / 2.0),
+      sample_rate_hz_(sample_rate_hz),
+      rot_step_(cis(kTwoPi * center_hz_ / sample_rate_hz)) {
+  if (low_hz >= high_hz) {
+    throw std::invalid_argument("ComplexBandpass requires low_hz < high_hz");
+  }
+}
+
+cdouble ComplexBandpass::process(cdouble x) {
+  const cdouble y = hp_.process(x);
+  // Shift the band center to DC, low-pass, shift back — one rotation value
+  // per sample keeps the shift/unshift phase-coherent.
+  const cdouble shifted = y * std::conj(rot_);
+  const cdouble filtered = lp_.process(shifted);
+  const cdouble out = filtered * rot_;
+  rot_ *= rot_step_;
+  return out;
+}
+
+void ComplexBandpass::reset() {
+  hp_.reset();
+  lp_.reset();
+  rot_ = {1.0, 0.0};
+}
+
+cdouble ComplexBandpass::response(double freq_hz) const {
+  return hp_.response(freq_hz, sample_rate_hz_) *
+         lp_.response(freq_hz - center_hz_, sample_rate_hz_);
+}
+
+BiquadCascade butterworth_bandpass(int order_per_edge, double low_hz, double high_hz,
+                                   double sample_rate_hz) {
+  if (low_hz >= high_hz) {
+    throw std::invalid_argument("bandpass requires low_hz < high_hz");
+  }
+  auto hp = butterworth_highpass(order_per_edge, low_hz, sample_rate_hz);
+  auto lp = butterworth_lowpass(order_per_edge, high_hz, sample_rate_hz);
+  std::vector<Biquad> sections = hp.sections();
+  sections.insert(sections.end(), lp.sections().begin(), lp.sections().end());
+  return BiquadCascade(std::move(sections));
+}
+
+}  // namespace rfly::signal

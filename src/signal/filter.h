@@ -1,0 +1,118 @@
+// IIR filtering for the relay's baseband stages. The relay's inter-link
+// isolation comes from a 100 kHz low-pass on the downlink and a band-pass
+// centered at 500 kHz on the uplink (paper Section 6.1); both are realized
+// here as Butterworth biquad cascades so the isolation the benches measure
+// is the rolloff of a real, causal filter rather than an ideal brick wall.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/math_util.h"
+#include "signal/waveform.h"
+
+namespace rfly::signal {
+
+/// One second-order IIR section (Direct Form II transposed), normalized so
+/// a0 == 1. Coefficients are real; samples are complex baseband.
+struct Biquad {
+  double b0 = 1.0, b1 = 0.0, b2 = 0.0;
+  double a1 = 0.0, a2 = 0.0;
+
+  cdouble process(cdouble x);
+  void reset();
+
+  /// Complex frequency response H(e^{j*2*pi*f/fs}).
+  cdouble response(double freq_hz, double sample_rate_hz) const;
+
+  cdouble s1{0.0, 0.0};
+  cdouble s2{0.0, 0.0};
+};
+
+/// Cascade of biquads with streaming state. Copyable; copies carry state.
+class BiquadCascade {
+ public:
+  BiquadCascade() = default;
+  explicit BiquadCascade(std::vector<Biquad> sections)
+      : sections_(std::move(sections)) {}
+
+  cdouble process(cdouble x);
+  Waveform process(const Waveform& in);
+  void reset();
+
+  cdouble response(double freq_hz, double sample_rate_hz) const;
+  double response_db(double freq_hz, double sample_rate_hz) const;
+
+  std::size_t order() const { return sections_.size() * 2; }
+  const std::vector<Biquad>& sections() const { return sections_; }
+
+ private:
+  std::vector<Biquad> sections_;
+};
+
+/// Polymorphic baseband filter, so relay paths can mix plain IIR cascades
+/// with image-reject (complex) designs.
+class BasebandFilter {
+ public:
+  virtual ~BasebandFilter() = default;
+  virtual cdouble process(cdouble x) = 0;
+  virtual void reset() = 0;
+  /// Complex response at `freq_hz` (may be asymmetric in +-f).
+  virtual cdouble response(double freq_hz) const = 0;
+};
+
+/// Plain real-coefficient IIR cascade as a BasebandFilter.
+class IirBasebandFilter final : public BasebandFilter {
+ public:
+  IirBasebandFilter(BiquadCascade cascade, double sample_rate_hz)
+      : cascade_(std::move(cascade)), sample_rate_hz_(sample_rate_hz) {}
+
+  cdouble process(cdouble x) override { return cascade_.process(x); }
+  void reset() override { cascade_.reset(); }
+  cdouble response(double freq_hz) const override {
+    return cascade_.response(freq_hz, sample_rate_hz_);
+  }
+
+ private:
+  BiquadCascade cascade_;
+  double sample_rate_hz_;
+};
+
+/// Image-reject band-pass: a real Butterworth high-pass supplies the steep
+/// low edge (adjacent-band rejection), and a low-pass slid up to the band
+/// center by complex frequency shifting bounds the high edge while
+/// rejecting *negative* frequencies entirely. A filter that is symmetric
+/// in +-f would return mirror-frequency feedback into the passband; this
+/// one does not, which keeps the relay's uplink feedback loop dead.
+class ComplexBandpass final : public BasebandFilter {
+ public:
+  /// Pass +[low_hz, high_hz]; reject -f. `hp_order`/`lp_order` even.
+  ComplexBandpass(double low_hz, double high_hz, int hp_order, int lp_order,
+                  double sample_rate_hz);
+
+  cdouble process(cdouble x) override;
+  void reset() override;
+  cdouble response(double freq_hz) const override;
+
+ private:
+  BiquadCascade hp_;
+  BiquadCascade lp_;          // designed at cutoff = (high - low) / 2
+  double center_hz_;
+  double sample_rate_hz_;
+  cdouble rot_{1.0, 0.0};     // e^{+j 2 pi center t}, advanced per sample
+  cdouble rot_step_{1.0, 0.0};
+};
+
+/// Butterworth low-pass of even `order` with -3 dB cutoff `cutoff_hz`.
+/// Throws std::invalid_argument for odd orders or cutoff outside (0, fs/2).
+BiquadCascade butterworth_lowpass(int order, double cutoff_hz, double sample_rate_hz);
+
+/// Butterworth high-pass of even `order` with -3 dB cutoff `cutoff_hz`.
+BiquadCascade butterworth_highpass(int order, double cutoff_hz, double sample_rate_hz);
+
+/// Band-pass realized as high-pass(low_hz) cascaded with low-pass(high_hz).
+/// Each edge gets `order_per_edge` (even) Butterworth sections.
+BiquadCascade butterworth_bandpass(int order_per_edge, double low_hz, double high_hz,
+                                   double sample_rate_hz);
+
+}  // namespace rfly::signal

@@ -1,0 +1,52 @@
+#include "signal/impairments.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.h"
+
+namespace rfly::signal {
+
+namespace {
+
+double quantize(double v, double step, double full_scale) {
+  const double clamped = std::clamp(v, -full_scale, full_scale);
+  return std::round(clamped / step) * step;
+}
+
+}  // namespace
+
+void apply_front_end(Waveform& w, const FrontEndImpairments& imp) {
+  const double g = db_to_amplitude(imp.iq_gain_imbalance_db);
+  const double cphi = std::cos(imp.iq_phase_skew_rad);
+  const double sphi = std::sin(imp.iq_phase_skew_rad);
+  const bool quantizing = imp.adc_bits > 0;
+  const double step =
+      quantizing ? imp.adc_full_scale / static_cast<double>(1 << (imp.adc_bits - 1))
+                 : 0.0;
+
+  for (auto& s : w.data()) {
+    const double i = s.real();
+    const double q = s.imag();
+    double oi = i;
+    double oq = g * (q * cphi + i * sphi);
+    oi += imp.dc_offset.real();
+    oq += imp.dc_offset.imag();
+    if (quantizing) {
+      oi = quantize(oi, step, imp.adc_full_scale);
+      oq = quantize(oq, step, imp.adc_full_scale);
+    }
+    s = {oi, oq};
+  }
+}
+
+double image_rejection_ratio_db(double iq_gain_imbalance_db,
+                                double iq_phase_skew_rad) {
+  const double g = db_to_amplitude(iq_gain_imbalance_db);
+  const double c = std::cos(iq_phase_skew_rad);
+  const double num = 1.0 + 2.0 * g * c + g * g;
+  const double den = 1.0 - 2.0 * g * c + g * g;
+  return 10.0 * std::log10(num / std::max(den, 1e-300));
+}
+
+}  // namespace rfly::signal

@@ -1,0 +1,34 @@
+// Receiver front-end impairments the USRP-class reader exhibits: IQ gain
+// and phase imbalance, DC offset, and quantization. The coherent decoder's
+// channel estimates absorb small versions of these; larger ones bound how
+// good the phase measurements that feed localization can be.
+#pragma once
+
+#include "common/math_util.h"
+#include "signal/waveform.h"
+
+namespace rfly::signal {
+
+struct FrontEndImpairments {
+  /// I/Q amplitude imbalance [dB]: the Q rail's gain relative to I.
+  double iq_gain_imbalance_db = 0.0;
+  /// I/Q phase skew [radians]: the Q rail's deviation from quadrature.
+  double iq_phase_skew_rad = 0.0;
+  /// Residual DC offset added to every sample (LO leakage after
+  /// calibration), as an amplitude relative to full scale = 1.0 W^1/2.
+  cdouble dc_offset{0.0, 0.0};
+  /// ADC bits (0 = ideal). Full scale is `adc_full_scale` amplitude.
+  int adc_bits = 0;
+  double adc_full_scale = 1.0;
+};
+
+/// Apply the impairment model in place:
+/// y = I + j * g * (Q cos(phi) + I sin(phi)) + dc, then quantize.
+void apply_front_end(Waveform& w, const FrontEndImpairments& impairments);
+
+/// Image rejection ratio implied by an IQ imbalance, in dB:
+/// IRR = 10 log10( (1 + 2 g cos(phi) + g^2) / (1 - 2 g cos(phi) + g^2) )
+/// where g is the linear gain imbalance.
+double image_rejection_ratio_db(double iq_gain_imbalance_db, double iq_phase_skew_rad);
+
+}  // namespace rfly::signal

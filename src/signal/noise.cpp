@@ -1,0 +1,31 @@
+#include "signal/noise.h"
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/units.h"
+
+namespace rfly::signal {
+
+double thermal_noise_power(double bandwidth_hz, double noise_figure_db) {
+  const double dbm =
+      kThermalNoiseDbmPerHz + 10.0 * std::log10(bandwidth_hz) + noise_figure_db;
+  return dbm_to_watts(dbm);
+}
+
+void add_awgn(Waveform& w, double noise_power_watts, Rng& rng) {
+  if (noise_power_watts <= 0.0) return;
+  const double sigma = std::sqrt(noise_power_watts / 2.0);
+  for (auto& s : w.data()) {
+    s += cdouble{rng.gaussian(0.0, sigma), rng.gaussian(0.0, sigma)};
+  }
+}
+
+Waveform make_awgn(std::size_t n, double sample_rate_hz, double noise_power_watts,
+                   Rng& rng) {
+  Waveform w(n, sample_rate_hz);
+  add_awgn(w, noise_power_watts, rng);
+  return w;
+}
+
+}  // namespace rfly::signal

@@ -1,0 +1,22 @@
+// Additive white Gaussian noise at the thermal floor. Noise power follows
+// the usual kTB budget: -174 dBm/Hz + 10*log10(bandwidth) + noise figure.
+#pragma once
+
+#include "common/rng.h"
+#include "signal/waveform.h"
+
+namespace rfly::signal {
+
+/// Thermal noise power in watts over `bandwidth_hz` with receiver noise
+/// figure `noise_figure_db`.
+double thermal_noise_power(double bandwidth_hz, double noise_figure_db = 0.0);
+
+/// Add complex AWGN of total power `noise_power_watts` (variance split
+/// evenly between I and Q) to every sample.
+void add_awgn(Waveform& w, double noise_power_watts, Rng& rng);
+
+/// Generate a pure noise waveform.
+Waveform make_awgn(std::size_t n, double sample_rate_hz, double noise_power_watts,
+                   Rng& rng);
+
+}  // namespace rfly::signal

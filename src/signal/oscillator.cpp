@@ -1,0 +1,54 @@
+#include "signal/oscillator.h"
+
+#include "common/constants.h"
+
+namespace rfly::signal {
+
+Oscillator::Oscillator(double freq_hz, double sample_rate_hz, double initial_phase,
+                       double phase_noise_std, Rng* rng)
+    : freq_hz_(freq_hz),
+      sample_rate_hz_(sample_rate_hz),
+      dphi_(kTwoPi * freq_hz / sample_rate_hz),
+      phase_(initial_phase),
+      phase_noise_std_(phase_noise_std),
+      rng_(rng) {}
+
+cdouble Oscillator::next() {
+  const cdouble out = cis(phase_);
+  phase_ += dphi_;
+  if (phase_noise_std_ > 0.0 && rng_ != nullptr) {
+    phase_ += rng_->gaussian(0.0, phase_noise_std_);
+  }
+  phase_ = wrap_phase(phase_);
+  return out;
+}
+
+void Oscillator::skip(std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    phase_ += dphi_;
+    if (phase_noise_std_ > 0.0 && rng_ != nullptr) {
+      phase_ += rng_->gaussian(0.0, phase_noise_std_);
+    }
+  }
+  phase_ = wrap_phase(phase_);
+}
+
+Waveform Oscillator::generate(std::size_t n) {
+  Waveform w(n, sample_rate_hz_);
+  for (std::size_t i = 0; i < n; ++i) w[i] = next();
+  return w;
+}
+
+Waveform downconvert(const Waveform& in, Oscillator& lo) {
+  Waveform out = in;
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] *= std::conj(lo.next());
+  return out;
+}
+
+Waveform upconvert(const Waveform& in, Oscillator& lo) {
+  Waveform out = in;
+  for (std::size_t i = 0; i < out.size(); ++i) out[i] *= lo.next();
+  return out;
+}
+
+}  // namespace rfly::signal

@@ -1,0 +1,53 @@
+// Numerically controlled oscillator with optional frequency error and phase
+// noise. Models the relay's frequency synthesizers: two Oscillators created
+// from the same Synthesizer share one phase trajectory, which is exactly the
+// property RFly's mirrored architecture exploits.
+#pragma once
+
+#include <cstddef>
+
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "signal/waveform.h"
+
+namespace rfly::signal {
+
+/// Streaming complex oscillator: successive calls to next() emit
+/// e^{j*phase(t)} where phase advances by 2*pi*f/fs plus a random-walk phase
+/// noise term per sample.
+class Oscillator {
+ public:
+  /// `phase_noise_std` is the per-sample standard deviation of the phase
+  /// random walk in radians (0 = ideal oscillator).
+  Oscillator(double freq_hz, double sample_rate_hz, double initial_phase = 0.0,
+             double phase_noise_std = 0.0, Rng* rng = nullptr);
+
+  /// Current sample e^{j*phase}, then advance one sample.
+  cdouble next();
+
+  /// Advance `n` samples without emitting (keeps phase continuous when the
+  /// oscillator idles between frames).
+  void skip(std::size_t n);
+
+  /// Generate `n` samples as a waveform.
+  Waveform generate(std::size_t n);
+
+  double frequency() const { return freq_hz_; }
+  double phase() const { return phase_; }
+
+ private:
+  double freq_hz_;
+  double sample_rate_hz_;
+  double dphi_;
+  double phase_;
+  double phase_noise_std_;
+  Rng* rng_;
+};
+
+/// Mix `in` with a streaming local oscillator. Downconversion multiplies by
+/// the conjugate LO (shifts spectrum down by the LO frequency); upconversion
+/// multiplies by the LO directly.
+Waveform downconvert(const Waveform& in, Oscillator& lo);
+Waveform upconvert(const Waveform& in, Oscillator& lo);
+
+}  // namespace rfly::signal

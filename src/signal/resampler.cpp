@@ -1,0 +1,46 @@
+#include "signal/resampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/math_util.h"
+
+namespace rfly::signal {
+
+Waveform resample(const Waveform& in, double out_rate_hz,
+                  const ResamplerConfig& config) {
+  if (in.empty() || out_rate_hz <= 0.0) return Waveform(0, out_rate_hz);
+  const double in_rate = in.sample_rate();
+  const auto out_len =
+      static_cast<std::size_t>(std::floor(in.duration() * out_rate_hz));
+  Waveform out(out_len, out_rate_hz);
+
+  // Anti-aliasing: when downsampling, the sinc cutoff shrinks to the output
+  // Nyquist (relative cutoff in input-sample units).
+  const double cutoff = std::min(1.0, out_rate_hz / in_rate);
+  const int half = config.taps_per_side;
+
+  for (std::size_t k = 0; k < out_len; ++k) {
+    const double t_in = static_cast<double>(k) * in_rate / out_rate_hz;
+    const auto center = static_cast<long>(std::floor(t_in));
+    cdouble acc{0.0, 0.0};
+    double norm = 0.0;
+    for (long i = center - half + 1; i <= center + half; ++i) {
+      if (i < 0 || i >= static_cast<long>(in.size())) continue;
+      const double dt = t_in - static_cast<double>(i);
+      // Hann-windowed sinc.
+      const double win =
+          0.5 * (1.0 + std::cos(kPi * dt / static_cast<double>(half)));
+      const double tap = cutoff * sinc(cutoff * dt) * win;
+      acc += in[static_cast<std::size_t>(i)] * tap;
+      norm += tap;
+    }
+    // Per-sample tap normalization keeps DC gain at exactly 1 everywhere,
+    // including at the buffer edges where the kernel is truncated.
+    out[k] = norm != 0.0 ? acc / norm : cdouble{0.0, 0.0};
+  }
+  return out;
+}
+
+}  // namespace rfly::signal

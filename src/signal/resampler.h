@@ -1,0 +1,24 @@
+// Rational resampling with a windowed-sinc polyphase kernel. The relay and
+// the reader need not share a sample clock: the reader runs at its USRP
+// rate while sub-modules (e.g. the wideband discovery front end at 8 MS/s)
+// run at their own, and the resampler bridges them.
+#pragma once
+
+#include <cstddef>
+
+#include "signal/waveform.h"
+
+namespace rfly::signal {
+
+struct ResamplerConfig {
+  /// Half-width of the windowed-sinc kernel in input samples.
+  int taps_per_side = 16;
+};
+
+/// Resample `in` to `out_rate_hz` with windowed-sinc interpolation. The
+/// anti-alias cutoff is min(in, out) Nyquist. Output length is
+/// floor(duration * out_rate).
+Waveform resample(const Waveform& in, double out_rate_hz,
+                  const ResamplerConfig& config = {});
+
+}  // namespace rfly::signal

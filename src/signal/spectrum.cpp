@@ -1,0 +1,78 @@
+#include "signal/spectrum.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/constants.h"
+#include "common/units.h"
+#include "signal/fft.h"
+
+namespace rfly::signal {
+
+double tone_power(const Waveform& w, double freq_hz) {
+  if (w.empty()) return 0.0;
+  cdouble acc{0.0, 0.0};
+  const double dphi = -kTwoPi * freq_hz / w.sample_rate();
+  // Recurrence instead of per-sample trig: rotate by e^{-j dphi} each step.
+  cdouble rot{1.0, 0.0};
+  const cdouble step = cis(dphi);
+  for (const auto& s : w.data()) {
+    acc += s * rot;
+    rot *= step;
+  }
+  acc /= static_cast<double>(w.size());
+  return std::norm(acc);
+}
+
+double tone_power_dbm(const Waveform& w, double freq_hz) {
+  const double p = tone_power(w, freq_hz);
+  if (p <= 0.0) return -std::numeric_limits<double>::infinity();
+  return watts_to_dbm(p);
+}
+
+std::vector<SpectrumBin> periodogram(const Waveform& w, std::size_t nfft) {
+  if (w.empty()) return {};
+  if (nfft == 0) nfft = next_pow2(w.size());
+  std::vector<cdouble> x(nfft, cdouble{0.0, 0.0});
+  // Hann window over the available samples; track window power for scaling.
+  const std::size_t n = std::min(w.size(), nfft);
+  double win_sum_sq = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double win =
+        0.5 * (1.0 - std::cos(kTwoPi * static_cast<double>(i) /
+                              static_cast<double>(n > 1 ? n - 1 : 1)));
+    x[i] = w[i] * win;
+    win_sum_sq += win * win;
+  }
+  fft(x);
+  std::vector<SpectrumBin> bins(nfft);
+  const double fs = w.sample_rate();
+  for (std::size_t k = 0; k < nfft; ++k) {
+    // fftshift: map bin k to frequency in [-fs/2, fs/2).
+    const std::size_t shifted = (k + nfft / 2) % nfft;
+    double freq = static_cast<double>(k) * fs / static_cast<double>(nfft);
+    if (freq >= fs / 2.0) freq -= fs;
+    // Parseval with the window: sum_k |X_k|^2 = N * sum_n |x_n w_n|^2, so
+    // each bin's contribution to total power is |X_k|^2 / (N * sum w^2).
+    const double p = std::norm(x[k]) /
+                     ((win_sum_sq > 0 ? win_sum_sq : 1.0) *
+                      static_cast<double>(nfft));
+    bins[shifted].freq_hz = freq;
+    bins[shifted].power_dbm =
+        p > 0.0 ? watts_to_dbm(p) : -std::numeric_limits<double>::infinity();
+  }
+  return bins;
+}
+
+double band_power(const Waveform& w, double f_lo_hz, double f_hi_hz, std::size_t nfft) {
+  double total = 0.0;
+  for (const auto& bin : periodogram(w, nfft)) {
+    if (bin.freq_hz >= f_lo_hz && bin.freq_hz <= f_hi_hz &&
+        std::isfinite(bin.power_dbm)) {
+      total += dbm_to_watts(bin.power_dbm);
+    }
+  }
+  return total;
+}
+
+}  // namespace rfly::signal

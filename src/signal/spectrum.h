@@ -1,0 +1,34 @@
+// Spectrum measurement: the software stand-in for the paper's spectrum
+// analyzer. Isolation experiments (Fig. 9) inject a tone and measure power
+// at one output frequency; tone_power() computes exactly that single-bin
+// measurement. periodogram() provides the Fig. 4 style overview spectrum.
+#pragma once
+
+#include <vector>
+
+#include "signal/waveform.h"
+
+namespace rfly::signal {
+
+/// Power of the complex-exponential component of `w` at `freq_hz`, in watts:
+/// |(1/N) * sum x[n] e^{-j 2 pi f n / fs}|^2. For a clean tone of power P at
+/// exactly freq_hz this returns P; other components average out.
+double tone_power(const Waveform& w, double freq_hz);
+
+/// tone_power in dBm; returns -infinity for zero power.
+double tone_power_dbm(const Waveform& w, double freq_hz);
+
+/// One periodogram bin.
+struct SpectrumBin {
+  double freq_hz = 0.0;   // baseband frequency, negative to positive
+  double power_dbm = 0.0; // band power in this bin
+};
+
+/// Hann-windowed, fftshifted periodogram. `nfft` 0 means next_pow2(size).
+std::vector<SpectrumBin> periodogram(const Waveform& w, std::size_t nfft = 0);
+
+/// Total power in [f_lo, f_hi] from a periodogram (watts).
+double band_power(const Waveform& w, double f_lo_hz, double f_hi_hz,
+                  std::size_t nfft = 0);
+
+}  // namespace rfly::signal

@@ -1,0 +1,79 @@
+#include "signal/waveform.h"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/units.h"
+
+namespace rfly::signal {
+
+double Waveform::power() const {
+  if (samples_.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& s : samples_) acc += std::norm(s);
+  return acc / static_cast<double>(samples_.size());
+}
+
+double Waveform::power_dbm() const {
+  const double p = power();
+  if (p <= 0.0) return -std::numeric_limits<double>::infinity();
+  return watts_to_dbm(p);
+}
+
+double Waveform::peak_power() const {
+  double peak = 0.0;
+  for (const auto& s : samples_) peak = std::max(peak, std::norm(s));
+  return peak;
+}
+
+void Waveform::scale(cdouble factor) {
+  for (auto& s : samples_) s *= factor;
+}
+
+void Waveform::accumulate(const Waveform& other) {
+  if (other.size() != size()) {
+    throw std::invalid_argument("Waveform::accumulate: size mismatch");
+  }
+  for (std::size_t i = 0; i < samples_.size(); ++i) samples_[i] += other[i];
+}
+
+Waveform Waveform::slice(std::size_t begin, std::size_t count) const {
+  if (begin >= samples_.size()) return Waveform(0, sample_rate_hz_);
+  const std::size_t end = std::min(begin + count, samples_.size());
+  return Waveform(std::vector<cdouble>(samples_.begin() + static_cast<long>(begin),
+                                       samples_.begin() + static_cast<long>(end)),
+                  sample_rate_hz_);
+}
+
+void Waveform::append(const Waveform& other) {
+  if (!other.empty() && other.sample_rate() != sample_rate_hz_) {
+    throw std::invalid_argument("Waveform::append: sample rate mismatch");
+  }
+  samples_.insert(samples_.end(), other.data().begin(), other.data().end());
+}
+
+void Waveform::append_silence(std::size_t n) {
+  samples_.insert(samples_.end(), n, cdouble{0.0, 0.0});
+}
+
+Waveform make_tone(double freq_hz, double amplitude, std::size_t n,
+                   double sample_rate_hz, double phase0) {
+  Waveform w(n, sample_rate_hz);
+  const double dphi = kTwoPi * freq_hz / sample_rate_hz;
+  for (std::size_t i = 0; i < n; ++i) {
+    w[i] = amplitude * cis(phase0 + dphi * static_cast<double>(i));
+  }
+  return w;
+}
+
+Waveform frequency_shift(const Waveform& in, double df_hz, double phase0) {
+  Waveform out = in;
+  const double dphi = kTwoPi * df_hz / in.sample_rate();
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] *= cis(phase0 + dphi * static_cast<double>(i));
+  }
+  return out;
+}
+
+}  // namespace rfly::signal

@@ -1,0 +1,78 @@
+// Complex-baseband IQ sample buffer. The unit convention throughout RFly is
+// that |sample|^2 is instantaneous power in watts, so dBm conversions apply
+// directly to waveform power.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/constants.h"
+#include "common/math_util.h"
+
+namespace rfly::signal {
+
+class Waveform {
+ public:
+  Waveform() = default;
+
+  /// Zero-filled waveform of `n` samples.
+  Waveform(std::size_t n, double sample_rate_hz)
+      : samples_(n), sample_rate_hz_(sample_rate_hz) {}
+
+  Waveform(std::vector<cdouble> samples, double sample_rate_hz)
+      : samples_(std::move(samples)), sample_rate_hz_(sample_rate_hz) {}
+
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double sample_rate() const { return sample_rate_hz_; }
+  double duration() const {
+    return static_cast<double>(samples_.size()) / sample_rate_hz_;
+  }
+
+  cdouble& operator[](std::size_t i) { return samples_[i]; }
+  const cdouble& operator[](std::size_t i) const { return samples_[i]; }
+
+  std::span<cdouble> samples() { return samples_; }
+  std::span<const cdouble> samples() const { return samples_; }
+  std::vector<cdouble>& data() { return samples_; }
+  const std::vector<cdouble>& data() const { return samples_; }
+
+  /// Mean power (watts): (1/N) * sum |x|^2. Empty -> 0.
+  double power() const;
+
+  /// Mean power in dBm. Empty waveform -> -inf.
+  double power_dbm() const;
+
+  /// Peak instantaneous power (watts).
+  double peak_power() const;
+
+  /// Multiply every sample by a complex scalar (gain and/or phase).
+  void scale(cdouble factor);
+
+  /// In-place sum: this += other (sizes must match; checked).
+  void accumulate(const Waveform& other);
+
+  /// Extract [begin, begin+count) as a new waveform; clamps to bounds.
+  Waveform slice(std::size_t begin, std::size_t count) const;
+
+  /// Append another waveform (same sample rate; checked).
+  void append(const Waveform& other);
+
+  /// Append `n` zero samples (inter-frame gaps).
+  void append_silence(std::size_t n);
+
+ private:
+  std::vector<cdouble> samples_;
+  double sample_rate_hz_ = kDefaultSampleRateHz;
+};
+
+/// A constant-amplitude complex tone: amp * e^{j(2*pi*f*t + phase0)}.
+Waveform make_tone(double freq_hz, double amplitude, std::size_t n,
+                   double sample_rate_hz, double phase0 = 0.0);
+
+/// Shift the spectrum of `in` by `df` (positive = up): out[n] = in[n]*e^{j 2 pi df n / fs + j phase0}.
+Waveform frequency_shift(const Waveform& in, double df_hz, double phase0 = 0.0);
+
+}  // namespace rfly::signal

@@ -1,0 +1,77 @@
+#include "signal/window.h"
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+
+#include "common/constants.h"
+
+namespace rfly::signal {
+
+std::vector<double> make_window(WindowKind kind, std::size_t n) {
+  std::vector<double> w(n, 1.0);
+  if (n <= 1) return w;
+  const double denom = static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = kTwoPi * static_cast<double>(i) / denom;
+    switch (kind) {
+      case WindowKind::kRectangular:
+        w[i] = 1.0;
+        break;
+      case WindowKind::kHann:
+        w[i] = 0.5 - 0.5 * std::cos(x);
+        break;
+      case WindowKind::kHamming:
+        w[i] = 0.54 - 0.46 * std::cos(x);
+        break;
+      case WindowKind::kBlackman:
+        w[i] = 0.42 - 0.5 * std::cos(x) + 0.08 * std::cos(2.0 * x);
+        break;
+      case WindowKind::kBlackmanHarris:
+        w[i] = 0.35875 - 0.48829 * std::cos(x) + 0.14128 * std::cos(2.0 * x) -
+               0.01168 * std::cos(3.0 * x);
+        break;
+    }
+  }
+  return w;
+}
+
+double window_power(const std::vector<double>& window) {
+  double acc = 0.0;
+  for (double v : window) acc += v * v;
+  return acc;
+}
+
+double equivalent_noise_bandwidth(const std::vector<double>& window) {
+  double sum = 0.0;
+  for (double v : window) sum += v;
+  if (sum == 0.0) return 0.0;
+  return static_cast<double>(window.size()) * window_power(window) / (sum * sum);
+}
+
+double peak_sidelobe_db(WindowKind kind, std::size_t n) {
+  const auto w = make_window(kind, n);
+  // Dense DTFT sampling; find the main-lobe peak and the largest sidelobe
+  // past the first null.
+  const std::size_t oversample = 16;
+  const std::size_t bins = n * oversample;
+  std::vector<double> mag(bins / 2);
+  for (std::size_t k = 0; k < mag.size(); ++k) {
+    std::complex<double> acc{0.0, 0.0};
+    const double omega = kTwoPi * static_cast<double>(k) / static_cast<double>(bins);
+    for (std::size_t i = 0; i < n; ++i) {
+      acc += w[i] * std::complex<double>(std::cos(omega * static_cast<double>(i)),
+                                         -std::sin(omega * static_cast<double>(i)));
+    }
+    mag[k] = std::abs(acc);
+  }
+  const double main = mag[0];
+  // First null: first local minimum.
+  std::size_t null_at = 1;
+  while (null_at + 1 < mag.size() && mag[null_at + 1] < mag[null_at]) ++null_at;
+  double side = 0.0;
+  for (std::size_t k = null_at; k < mag.size(); ++k) side = std::max(side, mag[k]);
+  return 20.0 * std::log10(main / std::max(side, 1e-300));
+}
+
+}  // namespace rfly::signal

@@ -1,0 +1,212 @@
+#include <gtest/gtest.h>
+
+#include "gen2/access.h"
+#include "gen2/tag.h"
+
+namespace rfly::gen2 {
+namespace {
+
+TagConfig make_config() {
+  TagConfig cfg;
+  cfg.epc = Epc{0x30, 0x14, 0xAA, 0xBB, 0, 0, 0, 0, 0, 0, 0, 0x01};
+  cfg.user_memory = {0x1111, 0x2222, 0x3333, 0x4444, 0, 0, 0, 0};
+  return cfg;
+}
+
+CommandContext powered_ctx() {
+  CommandContext ctx;
+  ctx.incident_power_dbm = -10.0;
+  ctx.trcal_s = 64.0 / 3.0 / 500e3;
+  return ctx;
+}
+
+/// Drive a tag to the acknowledged state.
+void acknowledge(Tag& tag) {
+  QueryCommand q;
+  q.q = 0;
+  ASSERT_TRUE(tag.on_command(Command{q}, powered_ctx()).has_value());
+  ASSERT_TRUE(
+      tag.on_command(Command{AckCommand{tag.current_rn16()}}, powered_ctx())
+          .has_value());
+}
+
+TEST(Access, WireRoundTrips) {
+  const auto req = encode(ReqRnCommand{0xBEEF});
+  const auto req_back = decode_req_rn(req);
+  ASSERT_TRUE(req_back.has_value());
+  EXPECT_EQ(req_back->rn16, 0xBEEF);
+
+  ReadCommand read;
+  read.bank = MemoryBank::kTid;
+  read.word_pointer = 2;
+  read.word_count = 3;
+  read.handle = 0x1234;
+  const auto read_back = decode_read(encode(read));
+  ASSERT_TRUE(read_back.has_value());
+  EXPECT_EQ(read_back->bank, MemoryBank::kTid);
+  EXPECT_EQ(read_back->word_pointer, 2);
+  EXPECT_EQ(read_back->word_count, 3);
+  EXPECT_EQ(read_back->handle, 0x1234);
+
+  WriteCommand write;
+  write.word_pointer = 1;
+  write.cover_coded_data = 0x5A5A;
+  write.handle = 0x4321;
+  const auto write_back = decode_write(encode(write));
+  ASSERT_TRUE(write_back.has_value());
+  EXPECT_EQ(write_back->cover_coded_data, 0x5A5A);
+}
+
+TEST(Access, CorruptionRejected) {
+  auto bits = encode(ReqRnCommand{0xBEEF});
+  bits[12] ^= 1;
+  EXPECT_FALSE(decode_req_rn(bits).has_value());
+  EXPECT_FALSE(decode_command(bits).has_value());
+}
+
+TEST(Access, CommandVariantDispatch) {
+  const auto decoded = decode_command(encode(ReadCommand{}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(std::holds_alternative<ReadCommand>(*decoded));
+  const auto req = decode_command(encode(ReqRnCommand{7}));
+  ASSERT_TRUE(req.has_value());
+  EXPECT_TRUE(std::holds_alternative<ReqRnCommand>(*req));
+}
+
+TEST(Access, ReqRnIssuesHandle) {
+  Tag tag(make_config(), 3);
+  acknowledge(tag);
+  const auto reply =
+      tag.on_command(Command{ReqRnCommand{tag.current_rn16()}}, powered_ctx());
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->kind, ReplyKind::kHandle);
+  const auto handle = decode_handle_reply(reply->bits);
+  ASSERT_TRUE(handle.has_value());
+  EXPECT_EQ(*handle, tag.current_handle());
+  EXPECT_EQ(tag.state(), TagState::kOpen);
+}
+
+TEST(Access, ReqRnWithWrongRn16Ignored) {
+  Tag tag(make_config(), 4);
+  acknowledge(tag);
+  const auto reply = tag.on_command(
+      Command{ReqRnCommand{static_cast<std::uint16_t>(tag.current_rn16() ^ 1)}},
+      powered_ctx());
+  EXPECT_FALSE(reply.has_value());
+  EXPECT_EQ(tag.state(), TagState::kAcknowledged);
+}
+
+TEST(Access, ReadUserMemory) {
+  Tag tag(make_config(), 5);
+  acknowledge(tag);
+  tag.on_command(Command{ReqRnCommand{tag.current_rn16()}}, powered_ctx());
+
+  ReadCommand read;
+  read.bank = MemoryBank::kUser;
+  read.word_pointer = 1;
+  read.word_count = 2;
+  read.handle = tag.current_handle();
+  const auto reply = tag.on_command(Command{read}, powered_ctx());
+  ASSERT_TRUE(reply.has_value());
+  const auto decoded = decode_read_reply(reply->bits, 2);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->words, (std::vector<std::uint16_t>{0x2222, 0x3333}));
+  EXPECT_EQ(decoded->handle, tag.current_handle());
+}
+
+TEST(Access, ReadTidAndEpcBanks) {
+  Tag tag(make_config(), 6);
+  acknowledge(tag);
+  tag.on_command(Command{ReqRnCommand{tag.current_rn16()}}, powered_ctx());
+
+  ReadCommand tid;
+  tid.bank = MemoryBank::kTid;
+  tid.word_pointer = 0;
+  tid.word_count = 2;
+  tid.handle = tag.current_handle();
+  const auto tid_reply = tag.on_command(Command{tid}, powered_ctx());
+  ASSERT_TRUE(tid_reply.has_value());
+  const auto tid_words = decode_read_reply(tid_reply->bits, 2);
+  ASSERT_TRUE(tid_words.has_value());
+  EXPECT_EQ(tid_words->words[0], 0xE280);  // EPCglobal class identifier
+
+  ReadCommand epc;
+  epc.bank = MemoryBank::kEpc;
+  epc.word_pointer = 0;
+  epc.word_count = 1;
+  epc.handle = tag.current_handle();
+  const auto epc_reply = tag.on_command(Command{epc}, powered_ctx());
+  ASSERT_TRUE(epc_reply.has_value());
+  const auto epc_words = decode_read_reply(epc_reply->bits, 1);
+  ASSERT_TRUE(epc_words.has_value());
+  EXPECT_EQ(epc_words->words[0], 0x3014);
+}
+
+TEST(Access, ReadOutOfBoundsIgnored) {
+  Tag tag(make_config(), 7);
+  acknowledge(tag);
+  tag.on_command(Command{ReqRnCommand{tag.current_rn16()}}, powered_ctx());
+  ReadCommand read;
+  read.bank = MemoryBank::kUser;
+  read.word_pointer = 7;
+  read.word_count = 4;  // runs past the end
+  read.handle = tag.current_handle();
+  EXPECT_FALSE(tag.on_command(Command{read}, powered_ctx()).has_value());
+}
+
+TEST(Access, ReadWithWrongHandleIgnored) {
+  Tag tag(make_config(), 8);
+  acknowledge(tag);
+  tag.on_command(Command{ReqRnCommand{tag.current_rn16()}}, powered_ctx());
+  ReadCommand read;
+  read.handle = static_cast<std::uint16_t>(tag.current_handle() ^ 0xFFFF);
+  EXPECT_FALSE(tag.on_command(Command{read}, powered_ctx()).has_value());
+}
+
+TEST(Access, WriteUserMemoryWithCoverCode) {
+  Tag tag(make_config(), 9);
+  acknowledge(tag);
+  tag.on_command(Command{ReqRnCommand{tag.current_rn16()}}, powered_ctx());
+
+  const std::uint16_t data = 0xC0DE;
+  WriteCommand write;
+  write.bank = MemoryBank::kUser;
+  write.word_pointer = 5;
+  write.cover_coded_data = static_cast<std::uint16_t>(data ^ tag.current_handle());
+  write.handle = tag.current_handle();
+  const auto reply = tag.on_command(Command{write}, powered_ctx());
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->kind, ReplyKind::kWriteAck);
+  EXPECT_TRUE(decode_write_reply(reply->bits).has_value());
+  EXPECT_EQ(tag.user_memory()[5], data);
+}
+
+TEST(Access, WriteToTidRejected) {
+  Tag tag(make_config(), 10);
+  acknowledge(tag);
+  tag.on_command(Command{ReqRnCommand{tag.current_rn16()}}, powered_ctx());
+  WriteCommand write;
+  write.bank = MemoryBank::kTid;  // permalocked
+  write.handle = tag.current_handle();
+  EXPECT_FALSE(tag.on_command(Command{write}, powered_ctx()).has_value());
+}
+
+TEST(Access, QueryRepClosesOpenTransaction) {
+  Tag tag(make_config(), 11);
+  acknowledge(tag);
+  tag.on_command(Command{ReqRnCommand{tag.current_rn16()}}, powered_ctx());
+  ASSERT_EQ(tag.state(), TagState::kOpen);
+  tag.on_command(Command{QueryRepCommand{}}, powered_ctx());
+  EXPECT_EQ(tag.state(), TagState::kReady);
+  EXPECT_EQ(tag.inventoried(Session::kS0), InventoryFlag::kB);
+}
+
+TEST(Access, AckStillDecodesDespiteSharedPrefix) {
+  // Regression: Req_RN shares ACK's '01' prefix; length disambiguates.
+  const auto ack = decode_command(encode(AckCommand{0x1234}));
+  ASSERT_TRUE(ack.has_value());
+  EXPECT_TRUE(std::holds_alternative<AckCommand>(*ack));
+}
+
+}  // namespace
+}  // namespace rfly::gen2

@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/adaptive_survey.h"
+#include "drone/trajectory.h"
+
+namespace rfly::core {
+namespace {
+
+SystemConfig clean_system() {
+  SystemConfig cfg;
+  cfg.channel_noise = false;
+  cfg.amplitude_ripple_std_db = 0.0;
+  cfg.phase_ripple_std_rad = 0.0;
+  return cfg;
+}
+
+TEST(AdaptiveSurvey, FliesRefinementWhenCrossRangeIsBroad) {
+  const RflySystem system(clean_system(), channel::Environment{}, {0, 0, 1});
+  const Vec3 tag{10.0, 5.0, 0.0};
+  // Short initial aperture: along-track ok, cross-range broad.
+  const auto plan = drone::linear_trajectory({9.6, 7.0, 1.0}, {10.4, 7.1, 1.0}, 25);
+
+  AdaptiveSurveyConfig cfg;
+  const auto result = adaptive_localize(system, plan, tag, cfg, 11);
+  ASSERT_TRUE(result.localized);
+  EXPECT_TRUE(result.refinement_flown);
+  // The orthogonal leg tightens the previously broad axis.
+  const double before = std::max(result.initial_confidence.halfwidth_x_m,
+                                 result.initial_confidence.halfwidth_y_m);
+  const double after = std::max(result.final_confidence.halfwidth_x_m,
+                                result.final_confidence.halfwidth_y_m);
+  EXPECT_LT(after, before);
+  EXPECT_LT(std::hypot(result.estimate.x - tag.x, result.estimate.y - tag.y), 0.15);
+}
+
+TEST(AdaptiveSurvey, SkipsRefinementWhenFirstPassSuffices) {
+  const RflySystem system(clean_system(), channel::Environment{}, {0, 0, 1});
+  const Vec3 tag{10.0, 5.5, 0.0};
+  // Long, strongly tilted pass close to the tag: the tilt breaks the
+  // mirror ambiguity, so the first pass is both tight and unambiguous.
+  const auto plan = drone::linear_trajectory({7.0, 6.6, 1.0}, {13.0, 7.6, 1.0}, 60);
+
+  AdaptiveSurveyConfig cfg;
+  cfg.refine_if_halfwidth_above_m = 2.0;  // generous: accept the first pass
+  const auto result = adaptive_localize(system, plan, tag, cfg, 12);
+  ASSERT_TRUE(result.localized);
+  EXPECT_LT(std::hypot(result.estimate.x - tag.x, result.estimate.y - tag.y), 0.15);
+  EXPECT_FALSE(result.refinement_flown);
+}
+
+TEST(AdaptiveSurvey, RefinementImprovesAccuracyInNoise) {
+  SystemConfig cfg = SystemConfig{};  // with default impairments
+  const RflySystem system(cfg, channel::Environment{}, {0, 0, 1});
+  const Vec3 tag{10.0, 5.0, 0.0};
+  const auto plan = drone::linear_trajectory({9.5, 7.0, 1.0}, {10.5, 7.1, 1.0}, 25);
+
+  AdaptiveSurveyConfig scfg;
+  int refined_better = 0;
+  int trials = 0;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const auto adaptive = adaptive_localize(system, plan, tag, scfg, 100 + seed);
+    if (!adaptive.localized || !adaptive.refinement_flown) continue;
+    ++trials;
+    // Re-run without refinement for comparison.
+    AdaptiveSurveyConfig no_refine = scfg;
+    no_refine.refine_if_halfwidth_above_m = 1e9;
+    const auto single = adaptive_localize(system, plan, tag, no_refine, 100 + seed);
+    const double err_adaptive =
+        std::hypot(adaptive.estimate.x - tag.x, adaptive.estimate.y - tag.y);
+    const double err_single =
+        std::hypot(single.estimate.x - tag.x, single.estimate.y - tag.y);
+    if (err_adaptive <= err_single + 0.02) ++refined_better;
+  }
+  ASSERT_GE(trials, 4);
+  EXPECT_GE(refined_better, trials - 1);
+}
+
+TEST(AdaptiveSurvey, OutOfRangeTagFails) {
+  const RflySystem system(clean_system(), channel::Environment{}, {0, 0, 1});
+  const auto plan = drone::linear_trajectory({9.5, 7.0, 1.0}, {10.5, 7.1, 1.0}, 25);
+  const auto result =
+      adaptive_localize(system, plan, {300.0, 300.0, 0.0}, AdaptiveSurveyConfig{}, 4);
+  EXPECT_FALSE(result.localized);
+}
+
+TEST(AdaptiveSurvey, DegeneratePlanFails) {
+  const RflySystem system(clean_system(), channel::Environment{}, {0, 0, 1});
+  const auto result = adaptive_localize(system, {{1, 1, 1}}, {10.0, 5.0, 0.0},
+                                        AdaptiveSurveyConfig{}, 5);
+  EXPECT_FALSE(result.localized);
+}
+
+}  // namespace
+}  // namespace rfly::core

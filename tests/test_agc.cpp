@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/units.h"
+#include "core/airtime.h"
+#include "core/system.h"
+#include "reader/channel_estimator.h"
+#include "relay/agc.h"
+
+namespace rfly::relay {
+namespace {
+
+TEST(Agc, BacksOffToTarget) {
+  AgcConfig cfg;
+  cfg.slew_db_per_sample = 0.05;
+  DownlinkAgc agc(cfg, /*p1db_input_amplitude=*/0.1);
+  // Drive 20 dB above the target: the AGC should converge to -20 dB gain.
+  double gain = 1.0;
+  for (int i = 0; i < 5000; ++i) gain = agc.track(1.0);
+  EXPECT_NEAR(agc.attenuation_db(), -20.0, 1.0);
+  EXPECT_NEAR(amplitude_to_db(gain), -20.0, 1.0);
+}
+
+TEST(Agc, PassesWeakSignalsUnchanged) {
+  DownlinkAgc agc(AgcConfig{}, 0.1);
+  double gain = 1.0;
+  for (int i = 0; i < 5000; ++i) gain = agc.track(0.001);  // 40 dB under target
+  EXPECT_NEAR(amplitude_to_db(gain), 0.0, 0.1);
+}
+
+TEST(Agc, AttenuationIsBounded) {
+  AgcConfig cfg;
+  cfg.max_attenuation_db = 10.0;
+  cfg.slew_db_per_sample = 0.1;
+  DownlinkAgc agc(cfg, 0.1);
+  for (int i = 0; i < 5000; ++i) agc.track(100.0);
+  EXPECT_GE(agc.attenuation_db(), -10.0 - 1e-9);
+}
+
+TEST(Agc, RestoresOverdrivenQueryDepth) {
+  // The scenario of ChannelVsWaveform.PaOverdriveKillsQueryDepth: relay
+  // 4 m from the reader. With AGC enabled the tag decodes again without
+  // manual re-tuning.
+  core::SystemConfig sys_cfg;
+  sys_cfg.channel_noise = false;
+  const core::RflySystem system(sys_cfg, channel::Environment{}, {0, 0, 1});
+  const core::Vec3 relay_pos{4.0, 0.0, 1.0};
+  const core::Vec3 tag_pos{6.0, 0.0, 1.0};
+
+  gen2::TagConfig tag_cfg;
+  reader::ReaderConfig rdr_cfg;
+  rdr_cfg.pre_cw_s = 2e-3;  // readers emit CW between commands; AGC settles
+  reader::Reader rdr{rdr_cfg};
+  core::ExchangeConfig air;
+  air.noise = false;
+  air.h_reader_relay = system.reader_relay_channel(relay_pos);
+  air.h_relay_tag = system.relay_tag_channel(relay_pos, tag_pos);
+  gen2::QueryCommand q;
+  q.q = 0;
+
+  RflyRelayConfig agc_cfg;
+  agc_cfg.enable_downlink_agc = true;
+  gen2::Tag tag(tag_cfg, 9);
+  Rng rng(3);
+  auto r1 = make_rfly_relay(agc_cfg, 1);
+  auto r2 = make_rfly_relay(agc_cfg, 1);
+  const auto result = core::run_relay_exchange(
+      rdr, gen2::Command{q}, gen2::kRn16Bits, tag, *r1, *r2, Coupling{}, air,
+      rng);
+  EXPECT_TRUE(result.tag_replied);
+}
+
+TEST(Agc, DoesNotDisturbNormalRangeOperation) {
+  // At 30 m the PA runs near (not past) compression; AGC on vs off must
+  // both read the tag.
+  core::SystemConfig sys_cfg;
+  sys_cfg.channel_noise = false;
+  const core::RflySystem system(sys_cfg, channel::Environment{}, {0, 0, 1});
+  const core::Vec3 relay_pos{30.0, 0.0, 1.0};
+  const core::Vec3 tag_pos{32.0, 0.0, 1.0};
+
+  gen2::TagConfig tag_cfg;
+  reader::Reader rdr{reader::ReaderConfig{}};
+  core::ExchangeConfig air;
+  air.noise = false;
+  air.h_reader_relay = system.reader_relay_channel(relay_pos);
+  air.h_relay_tag = system.relay_tag_channel(relay_pos, tag_pos);
+  gen2::QueryCommand q;
+  q.q = 0;
+
+  for (bool agc : {false, true}) {
+    RflyRelayConfig cfg;
+    cfg.enable_downlink_agc = agc;
+    gen2::Tag tag(tag_cfg, 9);
+    Rng rng(3);
+    auto r1 = make_rfly_relay(cfg, 1);
+    auto r2 = make_rfly_relay(cfg, 1);
+    const auto result = core::run_relay_exchange(
+        rdr, gen2::Command{q}, gen2::kRn16Bits, tag, *r1, *r2, Coupling{}, air,
+        rng);
+    EXPECT_TRUE(result.tag_replied) << "agc=" << agc;
+  }
+}
+
+}  // namespace
+}  // namespace rfly::relay

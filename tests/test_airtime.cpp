@@ -1,0 +1,211 @@
+// Full waveform-level integration: PIE query through the relay's real
+// filter/mixer chain, tag state machine decode, FM0 backscatter, coherent
+// reader decode — the whole Fig. 1 loop at IQ-sample granularity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+#include "common/units.h"
+#include "core/airtime.h"
+
+namespace rfly::core {
+namespace {
+
+gen2::TagConfig tag_config() {
+  gen2::TagConfig cfg;
+  cfg.epc = gen2::Epc{0x30, 0x14, 0xAB, 0, 0, 0, 0, 0, 0, 0, 0, 0x07};
+  return cfg;
+}
+
+reader::Reader make_reader() {
+  reader::ReaderConfig cfg;
+  cfg.tx_power_dbm = 30.0;
+  return reader::Reader(cfg);
+}
+
+TEST(Airtime, DirectExchangeReadsTag) {
+  const auto rdr = make_reader();
+  gen2::Tag tag(tag_config(), 7);
+  Rng rng(1);
+  ExchangeConfig cfg;
+  // 2 m free space, one way ~ -38 dB amplitude.
+  const cdouble h = cdouble{db_to_amplitude(-38.0), 0.0};
+
+  gen2::QueryCommand q;
+  q.q = 0;
+  const auto result = run_direct_exchange(rdr, gen2::Command{q}, gen2::kRn16Bits,
+                                          tag, h, cfg, rng);
+  ASSERT_TRUE(result.tag_replied);
+  EXPECT_GT(result.tag_incident_dbm, tag_config().sensitivity_dbm);
+
+  const auto rx = result.reader_rx.slice(result.reply_window_start,
+                                         result.reader_rx.size());
+  reader::ChannelEstimatorConfig est;
+  const auto rn16 = reader::decode_rn16_reply(rx, est);
+  ASSERT_TRUE(rn16.has_value());
+  EXPECT_EQ(*rn16, tag.current_rn16());
+}
+
+TEST(Airtime, DirectExchangeTooFarNoReply) {
+  const auto rdr = make_reader();
+  gen2::Tag tag(tag_config(), 7);
+  Rng rng(2);
+  ExchangeConfig cfg;
+  // 20 m: the tag cannot power up.
+  const cdouble h = cdouble{db_to_amplitude(-58.0), 0.0};
+  gen2::QueryCommand q;
+  q.q = 0;
+  const auto result = run_direct_exchange(rdr, gen2::Command{q}, gen2::kRn16Bits,
+                                          tag, h, cfg, rng);
+  EXPECT_FALSE(result.tag_replied);
+}
+
+class RelayExchangeTest : public ::testing::Test {
+ protected:
+  ExchangeResult run(std::uint64_t relay_seed, double reader_phase,
+                     bool mirrored, gen2::Tag& tag, Rng& rng,
+                     std::size_t reply_bits = gen2::kRn16Bits,
+                     const gen2::Command& cmd = gen2::Command{[] {
+                       gen2::QueryCommand q;
+                       q.q = 0;
+                       return q;
+                     }()},
+                     bool wired = false) {
+    relay::RflyRelayConfig rcfg;
+    rcfg.mirrored = mirrored;
+    auto relay1 = relay::make_rfly_relay(rcfg, relay_seed);
+    auto relay2 = relay::make_rfly_relay(rcfg, relay_seed);
+
+    // "Wired" replicates the paper's Fig. 10 bench: relay cabled to the
+    // reader, no antenna self-interference in the loop.
+    Rng coupling_rng(relay_seed + 1000);
+    const auto coupling =
+        wired ? relay::Coupling{}
+              : relay::draw_coupling(relay::rfly_flight_coupling(), coupling_rng);
+
+    ExchangeConfig cfg;
+    // Reader 30 m from relay; relay 2 m from tag.
+    cfg.h_reader_relay = cdouble{db_to_amplitude(-61.2), 0.0};
+    cfg.h_relay_tag = cdouble{db_to_amplitude(-37.7), 0.0};
+    cfg.reader_carrier_phase_rad = reader_phase;
+
+    return run_relay_exchange(make_reader(), cmd, reply_bits, tag, *relay1,
+                              *relay2, coupling, cfg, rng);
+  }
+};
+
+TEST_F(RelayExchangeTest, TagPowersUpThroughRelay) {
+  gen2::Tag tag(tag_config(), 9);
+  Rng rng(3);
+  const auto result = run(11, 0.0, true, tag, rng);
+  EXPECT_GT(result.tag_incident_dbm, tag_config().sensitivity_dbm);
+  EXPECT_TRUE(result.tag_replied);
+}
+
+TEST_F(RelayExchangeTest, ReaderDecodesRn16ThroughRelay) {
+  gen2::Tag tag(tag_config(), 9);
+  Rng rng(4);
+  const auto result = run(12, 0.3, true, tag, rng);
+  ASSERT_TRUE(result.tag_replied);
+  const auto rx = result.reader_rx.slice(result.reply_window_start,
+                                         result.reader_rx.size());
+  reader::ChannelEstimatorConfig est;
+  const auto rn16 = reader::decode_rn16_reply(rx, est);
+  ASSERT_TRUE(rn16.has_value());
+  EXPECT_EQ(*rn16, tag.current_rn16());
+}
+
+TEST_F(RelayExchangeTest, FullEpcTransactionThroughRelay) {
+  gen2::Tag tag(tag_config(), 9);
+  Rng rng(5);
+  gen2::QueryCommand q;
+  q.q = 0;
+  const auto query_result =
+      run(13, 0.0, true, tag, rng, gen2::kRn16Bits, gen2::Command{q});
+  ASSERT_TRUE(query_result.tag_replied);
+
+  gen2::AckCommand ack{tag.current_rn16()};
+  const auto ack_result =
+      run(13, 0.0, true, tag, rng, gen2::kEpcReplyBits, gen2::Command{ack});
+  ASSERT_TRUE(ack_result.tag_replied);
+  const auto rx = ack_result.reader_rx.slice(ack_result.reply_window_start,
+                                             ack_result.reader_rx.size());
+  reader::ChannelEstimatorConfig est;
+  const auto epc = reader::decode_epc_response(rx, est);
+  ASSERT_TRUE(epc.has_value());
+  EXPECT_EQ(epc->reply.epc, tag_config().epc);
+}
+
+TEST_F(RelayExchangeTest, PhasePreservedAcrossTrials) {
+  // Fig. 10 methodology at the waveform level: random reader phase per
+  // trial, fresh relay oscillators per trial; the decoded channel's phase
+  // must be stable with the mirrored architecture.
+  std::vector<double> phases;
+  for (std::uint64_t trial = 0; trial < 6; ++trial) {
+    gen2::Tag tag(tag_config(), 9);
+    Rng rng(100 + trial);
+    const double reader_phase = Rng(200 + trial).phase();
+    gen2::QueryCommand q;
+    q.q = 0;
+    const auto result = run(300 + trial * 17, reader_phase, true, tag, rng,
+                            gen2::kRn16Bits, gen2::Command{q}, /*wired=*/true);
+    ASSERT_TRUE(result.tag_replied);
+    const auto rx = result.reader_rx.slice(result.reply_window_start,
+                                           result.reader_rx.size());
+    reader::ChannelEstimatorConfig est;
+    const auto decoded = reader::decode_reply(rx, gen2::kRn16Bits, est);
+    ASSERT_TRUE(decoded.has_value());
+    // The estimate carries the reader's transmitted phase once; remove it.
+    phases.push_back(wrap_phase(std::arg(decoded->channel) - reader_phase));
+  }
+  for (double p : phases) {
+    EXPECT_LT(rad_to_deg(phase_distance(p, phases.front())), 8.0);
+  }
+}
+
+TEST_F(RelayExchangeTest, MillerModeReadThroughRelay) {
+  // Query with M = Miller-4: the tag switches line codes and the reader
+  // decodes with the matching Viterbi.
+  gen2::Tag tag(tag_config(), 9);
+  Rng rng(6);
+  gen2::QueryCommand q;
+  q.q = 0;
+  q.m = gen2::Miller::kM4;
+  const auto result =
+      run(21, 0.1, true, tag, rng, gen2::kRn16Bits, gen2::Command{q});
+  ASSERT_TRUE(result.tag_replied);
+  EXPECT_EQ(result.reply->modulation, gen2::Miller::kM4);
+  const auto rx = result.reader_rx.slice(result.reply_window_start,
+                                         result.reader_rx.size());
+  reader::ChannelEstimatorConfig est;
+  est.modulation = gen2::Miller::kM4;
+  const auto rn16 = reader::decode_rn16_reply(rx, est);
+  ASSERT_TRUE(rn16.has_value());
+  EXPECT_EQ(*rn16, tag.current_rn16());
+}
+
+TEST_F(RelayExchangeTest, NoMirrorPhaseRandom) {
+  std::vector<double> phases;
+  for (std::uint64_t trial = 0; trial < 6; ++trial) {
+    gen2::Tag tag(tag_config(), 9);
+    Rng rng(400 + trial);
+    const auto result = run(500 + trial * 13, 0.0, false, tag, rng);
+    if (!result.tag_replied) continue;
+    const auto rx = result.reader_rx.slice(result.reply_window_start,
+                                           result.reader_rx.size());
+    reader::ChannelEstimatorConfig est;
+    const auto decoded = reader::decode_reply(rx, gen2::kRn16Bits, est);
+    if (!decoded) continue;
+    phases.push_back(std::arg(decoded->channel));
+  }
+  ASSERT_GE(phases.size(), 4u);
+  double max_spread = 0.0;
+  for (double p : phases) {
+    max_spread = std::max(max_spread, rad_to_deg(phase_distance(p, phases.front())));
+  }
+  EXPECT_GT(max_spread, 30.0);
+}
+
+}  // namespace
+}  // namespace rfly::core

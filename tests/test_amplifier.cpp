@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/units.h"
+#include "signal/amplifier.h"
+#include "signal/waveform.h"
+
+namespace rfly::signal {
+namespace {
+
+TEST(Vga, GainIsApplied) {
+  Vga vga(20.0);
+  const cdouble out = vga.process(cdouble{0.1, 0.0});
+  EXPECT_NEAR(std::abs(out), 1.0, 1e-9);
+}
+
+TEST(Vga, Retunable) {
+  Vga vga(0.0);
+  vga.set_gain_db(6.0);
+  EXPECT_NEAR(std::abs(vga.process(cdouble{1.0, 0.0})), db_to_amplitude(6.0), 1e-12);
+  EXPECT_NEAR(vga.gain_db(), 6.0, 1e-12);
+}
+
+TEST(Vga, PreservesPhase) {
+  Vga vga(10.0);
+  const cdouble in = cis(0.77) * 0.01;
+  EXPECT_NEAR(std::arg(vga.process(in)), 0.77, 1e-12);
+}
+
+TEST(Pa, LinearInSmallSignal) {
+  PowerAmplifier pa(20.0, 29.0);
+  // -20 dBm in -> 0 dBm out, far below P1dB: gain within 0.05 dB of linear.
+  const double in_amp = std::sqrt(dbm_to_watts(-20.0));
+  const double out_dbm = watts_to_dbm(std::pow(pa.am_am(in_amp), 2.0));
+  EXPECT_NEAR(out_dbm, 0.0, 0.05);
+}
+
+TEST(Pa, OneDbCompressionAtP1db) {
+  PowerAmplifier pa(20.0, 29.0);
+  // Input that would linearly produce 30 dBm output -> actual 29 dBm.
+  const double in_amp = std::sqrt(dbm_to_watts(10.0));
+  const double out_dbm = watts_to_dbm(std::pow(pa.am_am(in_amp), 2.0));
+  EXPECT_NEAR(out_dbm, 29.0, 0.1);
+}
+
+TEST(Pa, SaturatesBeyondP1db) {
+  PowerAmplifier pa(20.0, 29.0);
+  const double big_in = std::sqrt(dbm_to_watts(30.0));
+  const double out_dbm = watts_to_dbm(std::pow(pa.am_am(big_in), 2.0));
+  // Deep saturation: output approaches the saturation amplitude, well under
+  // the linear extrapolation (50 dBm).
+  EXPECT_LT(out_dbm, 32.0);
+  EXPECT_GT(out_dbm, 28.0);
+}
+
+TEST(Pa, AmAmMonotone) {
+  PowerAmplifier pa(20.0, 29.0);
+  double prev = 0.0;
+  for (double a = 0.001; a < 10.0; a *= 1.3) {
+    const double out = pa.am_am(a);
+    EXPECT_GT(out, prev);
+    prev = out;
+  }
+}
+
+TEST(Pa, NoAmPm) {
+  PowerAmplifier pa(20.0, 29.0);
+  const cdouble in = cis(1.1) * 3.0;  // deep saturation
+  EXPECT_NEAR(std::arg(pa.process(in)), 1.1, 1e-12);
+}
+
+TEST(Pa, ZeroInZeroOut) {
+  PowerAmplifier pa(20.0, 29.0);
+  const cdouble out = pa.process(cdouble{0.0, 0.0});
+  EXPECT_EQ(out, cdouble(0.0, 0.0));
+}
+
+TEST(Pa, WaveformProcessing) {
+  PowerAmplifier pa(10.0, 29.0);
+  const auto tone = make_tone(10e3, 0.001, 1000, 4e6);
+  const auto out = pa.process(tone);
+  EXPECT_NEAR(out.power_dbm() - tone.power_dbm(), 10.0, 0.05);
+}
+
+}  // namespace
+}  // namespace rfly::signal

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include "gen2/commands.h"
+
+namespace rfly::gen2 {
+namespace {
+
+TEST(Commands, QueryRoundTrip) {
+  QueryCommand q;
+  q.dr = DivideRatio::kDr8;
+  q.m = Miller::kFm0;
+  q.tr_ext = true;
+  q.sel = SelTarget::kSl;
+  q.session = Session::kS2;
+  q.target = InventoryFlag::kB;
+  q.q = 7;
+  const Bits bits = encode(q);
+  EXPECT_EQ(bits.size(), 22u);
+  const auto decoded = decode_command(bits);
+  ASSERT_TRUE(decoded.has_value());
+  const auto* dq = std::get_if<QueryCommand>(&*decoded);
+  ASSERT_NE(dq, nullptr);
+  EXPECT_EQ(dq->q, 7);
+  EXPECT_EQ(dq->session, Session::kS2);
+  EXPECT_EQ(dq->target, InventoryFlag::kB);
+  EXPECT_EQ(dq->sel, SelTarget::kSl);
+  EXPECT_TRUE(dq->tr_ext);
+}
+
+TEST(Commands, QueryCrcCorruptionRejected) {
+  Bits bits = encode(QueryCommand{});
+  bits[10] ^= 1;
+  EXPECT_FALSE(decode_command(bits).has_value());
+}
+
+TEST(Commands, QueryRepRoundTrip) {
+  QueryRepCommand c;
+  c.session = Session::kS3;
+  const Bits bits = encode(c);
+  EXPECT_EQ(bits.size(), 4u);
+  const auto decoded = decode_command(bits);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<QueryRepCommand>(*decoded).session, Session::kS3);
+}
+
+TEST(Commands, AckRoundTrip) {
+  AckCommand ack{0xBEEF};
+  const Bits bits = encode(ack);
+  EXPECT_EQ(bits.size(), 18u);
+  const auto decoded = decode_command(bits);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<AckCommand>(*decoded).rn16, 0xBEEF);
+}
+
+TEST(Commands, NakRoundTrip) {
+  const Bits bits = encode(NakCommand{});
+  EXPECT_EQ(bits.size(), 8u);
+  const auto decoded = decode_command(bits);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_TRUE(std::holds_alternative<NakCommand>(*decoded));
+}
+
+TEST(Commands, QueryAdjustRoundTrip) {
+  for (int delta : {-1, 0, 1}) {
+    QueryAdjustCommand c;
+    c.session = Session::kS1;
+    c.q_delta = delta;
+    const auto decoded = decode_command(encode(c));
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(std::get<QueryAdjustCommand>(*decoded).q_delta, delta);
+  }
+}
+
+TEST(Commands, SelectRoundTrip) {
+  SelectCommand s;
+  s.target = SelTarget::kSl;
+  s.action = 0;
+  s.pointer = 16;
+  s.mask = Bits{1, 0, 1, 1, 0, 0, 1, 0};
+  const auto decoded = decode_command(encode(s));
+  ASSERT_TRUE(decoded.has_value());
+  const auto* ds = std::get_if<SelectCommand>(&*decoded);
+  ASSERT_NE(ds, nullptr);
+  EXPECT_EQ(ds->pointer, 16);
+  EXPECT_EQ(ds->mask, s.mask);
+}
+
+TEST(Commands, SelectCrcProtects) {
+  Bits bits = encode(SelectCommand{});
+  bits[5] ^= 1;
+  EXPECT_FALSE(decode_command(bits).has_value());
+}
+
+TEST(Commands, EmptyAndGarbageRejected) {
+  EXPECT_FALSE(decode_command({}).has_value());
+  EXPECT_FALSE(decode_command(Bits{1, 1, 1}).has_value());
+  EXPECT_FALSE(decode_command(Bits{1, 1, 1, 1, 1, 1, 1, 1}).has_value());
+}
+
+TEST(Commands, WrongLengthRejected) {
+  Bits ack = encode(AckCommand{0x1234});
+  ack.pop_back();
+  EXPECT_FALSE(decode_command(ack).has_value());
+}
+
+TEST(Commands, EpcReplyRoundTrip) {
+  EpcReply reply;
+  for (std::size_t i = 0; i < reply.epc.size(); ++i) {
+    reply.epc[i] = static_cast<std::uint8_t>(i * 17 + 3);
+  }
+  const Bits bits = encode(reply);
+  EXPECT_EQ(bits.size(), kEpcReplyBits);
+  const auto decoded = decode_epc_reply(bits);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->epc, reply.epc);
+  EXPECT_EQ(decoded->pc, reply.pc);
+}
+
+TEST(Commands, EpcReplyCorruptionRejected) {
+  Bits bits = encode(EpcReply{});
+  bits[40] ^= 1;
+  EXPECT_FALSE(decode_epc_reply(bits).has_value());
+}
+
+TEST(Commands, Rn16RoundTrip) {
+  const auto decoded = decode_rn16(encode(Rn16Reply{0xCAFE}));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->rn16, 0xCAFE);
+}
+
+/// Property: every Q value survives the Query round trip.
+class QueryQProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(QueryQProperty, RoundTrip) {
+  QueryCommand q;
+  q.q = static_cast<std::uint8_t>(GetParam());
+  const auto decoded = decode_command(encode(q));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(std::get<QueryCommand>(*decoded).q, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQ, QueryQProperty, ::testing::Range(0, 16));
+
+}  // namespace
+}  // namespace rfly::gen2

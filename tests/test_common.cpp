@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/units.h"
+
+namespace rfly {
+namespace {
+
+using namespace rfly::literals;
+
+TEST(Units, DbRoundTrip) {
+  EXPECT_NEAR(from_db(to_db(42.0)), 42.0, 1e-12);
+  EXPECT_NEAR(to_db(100.0), 20.0, 1e-12);
+  EXPECT_NEAR(to_db(0.5), -3.0103, 1e-3);
+}
+
+TEST(Units, AmplitudeDb) {
+  EXPECT_NEAR(amplitude_to_db(10.0), 20.0, 1e-12);
+  EXPECT_NEAR(db_to_amplitude(6.0), 1.9953, 1e-3);
+  // Amplitude dB is twice power dB for the same ratio.
+  EXPECT_NEAR(amplitude_to_db(3.0), 2.0 * to_db(3.0), 1e-12);
+}
+
+TEST(Units, DbmWatts) {
+  EXPECT_NEAR(dbm_to_watts(0.0), 1e-3, 1e-15);
+  EXPECT_NEAR(dbm_to_watts(30.0), 1.0, 1e-12);
+  EXPECT_NEAR(watts_to_dbm(1e-3), 0.0, 1e-12);
+  EXPECT_NEAR(watts_to_dbm(dbm_to_watts(-15.0)), -15.0, 1e-12);
+}
+
+TEST(Units, FrequencyLiterals) {
+  EXPECT_DOUBLE_EQ(915.0_MHz, 915e6);
+  EXPECT_DOUBLE_EQ(500_kHz, 500e3);
+  EXPECT_DOUBLE_EQ(1_GHz, 1e9);
+  EXPECT_DOUBLE_EQ(12.5_us, 12.5e-6);
+}
+
+TEST(Constants, Wavelength) {
+  EXPECT_NEAR(wavelength(915e6), 0.3276, 1e-3);
+  EXPECT_NEAR(wavelength(kSpeedOfLight), 1.0, 1e-12);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+  }
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng a(7);
+  Rng child = a.fork();
+  // Consuming the child must not change the parent's subsequent stream
+  // relative to a parent that forked but never used the child.
+  Rng a2(7);
+  Rng child2 = a2.fork();
+  for (int i = 0; i < 50; ++i) child.uniform(0, 1);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), a2.uniform(0, 1));
+  }
+  (void)child2;
+}
+
+TEST(Rng, UniformBounds) {
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(42);
+  std::vector<double> xs(20000);
+  for (auto& x : xs) x = rng.gaussian(5.0, 2.0);
+  EXPECT_NEAR(mean(xs), 5.0, 0.1);
+  EXPECT_NEAR(stddev(xs), 2.0, 0.1);
+}
+
+TEST(Rng, PhaseRange) {
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) {
+    const double p = rng.phase();
+    EXPECT_GE(p, 0.0);
+    EXPECT_LT(p, kTwoPi);
+  }
+}
+
+TEST(Stats, PercentileBasics) {
+  const std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+}
+
+TEST(Stats, PercentileUnsortedInput) {
+  const std::vector<double> v{5, 1, 4, 2, 3};
+  EXPECT_DOUBLE_EQ(median(v), 3.0);
+}
+
+TEST(Stats, PercentileEmptyIsNan) {
+  EXPECT_TRUE(std::isnan(percentile({}, 50)));
+  EXPECT_TRUE(std::isnan(mean({})));
+}
+
+TEST(Stats, SingleElement) {
+  const std::vector<double> v{7.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 10), 7.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 90), 7.0);
+  EXPECT_DOUBLE_EQ(stddev(v), 0.0);
+}
+
+TEST(Stats, EmpiricalCdfMonotone) {
+  const std::vector<double> v{3, 1, 2, 2, 5};
+  const auto cdf = empirical_cdf(v);
+  ASSERT_EQ(cdf.size(), 5u);
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].value, cdf[i - 1].value);
+    EXPECT_GT(cdf[i].fraction, cdf[i - 1].fraction);
+  }
+}
+
+TEST(Stats, SummaryOrdering) {
+  Rng rng(3);
+  std::vector<double> v(1000);
+  for (auto& x : v) x = rng.uniform(0, 1);
+  const Summary s = summarize(v);
+  EXPECT_LT(s.p10, s.p50);
+  EXPECT_LT(s.p50, s.p90);
+  EXPECT_LT(s.p90, s.p99);
+  EXPECT_NEAR(s.mean, 0.5, 0.05);
+}
+
+TEST(MathUtil, WrapPhase) {
+  EXPECT_NEAR(wrap_phase(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(wrap_phase(kTwoPi), 0.0, 1e-12);
+  EXPECT_NEAR(wrap_phase(3.0 * kPi), kPi, 1e-9);
+  EXPECT_NEAR(wrap_phase(-3.0 * kPi), kPi, 1e-9);
+  EXPECT_NEAR(wrap_phase(kPi + 0.1), -kPi + 0.1, 1e-9);
+}
+
+TEST(MathUtil, PhaseDistance) {
+  EXPECT_NEAR(phase_distance(0.1, kTwoPi + 0.1), 0.0, 1e-9);
+  EXPECT_NEAR(phase_distance(-kPi + 0.05, kPi - 0.05), 0.1, 1e-9);
+}
+
+TEST(MathUtil, Cis) {
+  const cdouble c = cis(kPi / 2.0);
+  EXPECT_NEAR(c.real(), 0.0, 1e-12);
+  EXPECT_NEAR(c.imag(), 1.0, 1e-12);
+  EXPECT_NEAR(std::abs(cis(1.234)), 1.0, 1e-12);
+}
+
+TEST(MathUtil, Sinc) {
+  EXPECT_DOUBLE_EQ(sinc(0.0), 1.0);
+  EXPECT_NEAR(sinc(1.0), 0.0, 1e-12);
+  EXPECT_NEAR(sinc(0.5), 2.0 / kPi, 1e-12);
+}
+
+TEST(MathUtil, DegRad) {
+  EXPECT_NEAR(deg_to_rad(180.0), kPi, 1e-12);
+  EXPECT_NEAR(rad_to_deg(kPi / 4.0), 45.0, 1e-12);
+  EXPECT_NEAR(rad_to_deg(deg_to_rad(33.3)), 33.3, 1e-12);
+}
+
+/// Property sweep: percentile is monotone in p and bounded by min/max.
+class PercentileProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PercentileProperty, MonotoneAndBounded) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<double> v(100 + GetParam() * 13);
+  for (auto& x : v) x = rng.gaussian(0, 10);
+  const double lo = percentile(v, 0);
+  const double hi = percentile(v, 100);
+  double prev = lo;
+  for (double p = 0; p <= 100; p += 5) {
+    const double q = percentile(v, p);
+    EXPECT_GE(q, prev - 1e-12);
+    EXPECT_GE(q, lo);
+    EXPECT_LE(q, hi);
+    prev = q;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileProperty, ::testing::Range(1, 8));
+
+}  // namespace
+}  // namespace rfly

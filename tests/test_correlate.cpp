@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "signal/correlate.h"
+#include "signal/waveform.h"
+
+namespace rfly::signal {
+namespace {
+
+TEST(Correlate, FindsEmbeddedNeedle) {
+  Rng rng(10);
+  std::vector<cdouble> needle(32);
+  for (auto& v : needle) v = {rng.gaussian(), rng.gaussian()};
+  std::vector<cdouble> haystack(256, cdouble{0.0, 0.0});
+  const std::size_t where = 100;
+  for (std::size_t i = 0; i < needle.size(); ++i) haystack[where + i] = needle[i];
+
+  const auto corr = cross_correlate(haystack, needle);
+  EXPECT_EQ(peak_index(corr), where);
+}
+
+TEST(Correlate, PeakSurvivesPhaseRotation) {
+  Rng rng(11);
+  std::vector<cdouble> needle(32);
+  for (auto& v : needle) v = {rng.gaussian(), rng.gaussian()};
+  std::vector<cdouble> haystack(128, cdouble{0.0, 0.0});
+  for (std::size_t i = 0; i < needle.size(); ++i) {
+    haystack[40 + i] = needle[i] * cis(2.2);
+  }
+  const auto corr = cross_correlate(haystack, needle);
+  EXPECT_EQ(peak_index(corr), 40u);
+}
+
+TEST(Correlate, OutputSize) {
+  std::vector<cdouble> haystack(100);
+  std::vector<cdouble> needle(30);
+  EXPECT_EQ(cross_correlate(haystack, needle).size(), 71u);
+}
+
+TEST(Correlate, DegenerateInputs) {
+  std::vector<cdouble> haystack(10);
+  std::vector<cdouble> needle(20);
+  EXPECT_TRUE(cross_correlate(haystack, needle).empty());
+  EXPECT_TRUE(cross_correlate(haystack, {}).empty());
+  EXPECT_EQ(peak_index({}), 0u);
+}
+
+TEST(Correlate, CoefficientSelfIsOne) {
+  Rng rng(12);
+  std::vector<cdouble> a(64);
+  for (auto& v : a) v = {rng.gaussian(), rng.gaussian()};
+  EXPECT_NEAR(correlation_coefficient(a, a), 1.0, 1e-12);
+}
+
+TEST(Correlate, CoefficientScaleAndPhaseInvariant) {
+  Rng rng(13);
+  std::vector<cdouble> a(64), b(64);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = {rng.gaussian(), rng.gaussian()};
+    b[i] = a[i] * cis(0.9) * 3.0;
+  }
+  EXPECT_NEAR(correlation_coefficient(a, b), 1.0, 1e-12);
+}
+
+TEST(Correlate, CoefficientUncorrelatedIsSmall) {
+  Rng rng(14);
+  std::vector<cdouble> a(4096), b(4096);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = {rng.gaussian(), rng.gaussian()};
+    b[i] = {rng.gaussian(), rng.gaussian()};
+  }
+  EXPECT_LT(correlation_coefficient(a, b), 0.1);
+}
+
+TEST(Correlate, CoefficientMismatchedSizes) {
+  std::vector<cdouble> a(10), b(11);
+  EXPECT_DOUBLE_EQ(correlation_coefficient(a, b), 0.0);
+}
+
+}  // namespace
+}  // namespace rfly::signal

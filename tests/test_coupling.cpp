@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+#include "common/units.h"
+#include "relay/analog_relay.h"
+#include "relay/coupling.h"
+#include "signal/waveform.h"
+
+namespace rfly::relay {
+namespace {
+
+constexpr double kFs = 4e6;
+
+Coupling fixed_coupling(double iso_db) {
+  Coupling c;
+  const double amp = db_to_amplitude(-iso_db);
+  c.tx_down_to_rx_down = {amp, 0.0};
+  c.tx_up_to_rx_up = {amp, 0.0};
+  c.tx_down_to_rx_up = {amp * 0.1, 0.0};
+  c.tx_up_to_rx_down = {amp * 0.1, 0.0};
+  return c;
+}
+
+/// Drive the coupled loop with a modest tone and report the peak TX
+/// amplitude relative to the expected forced response.
+double run_loop(Relay& relay, const Coupling& coupling, std::size_t n = 40000) {
+  CoupledRelay loop(relay, coupling);
+  const double amp = std::sqrt(dbm_to_watts(-40.0));
+  const auto tone = signal::make_tone(20e3, amp, n, kFs);
+  for (std::size_t i = 0; i < n; ++i) {
+    loop.step(tone[i], cdouble{0.0, 0.0});
+  }
+  return loop.peak_tx_amplitude();
+}
+
+TEST(Coupling, DrawStatisticsMatchConfig) {
+  CouplingConfig cfg;
+  Rng rng(50);
+  std::vector<double> intra;
+  std::vector<double> inter;
+  for (int i = 0; i < 300; ++i) {
+    const Coupling c = draw_coupling(cfg, rng);
+    intra.push_back(c.intra_down_db());
+    inter.push_back(c.inter_du_db());
+  }
+  EXPECT_NEAR(mean(intra), cfg.antenna_isolation_db, 1.0);
+  EXPECT_NEAR(mean(inter), cfg.antenna_isolation_db + cfg.cross_polarization_db,
+              1.0);
+  EXPECT_NEAR(rfly::stddev(intra), cfg.spread_db, 1.0);
+}
+
+TEST(Coupling, IsolationAccessorsInvertCoefficients) {
+  Coupling c = fixed_coupling(40.0);
+  EXPECT_NEAR(c.intra_down_db(), 40.0, 1e-9);
+  EXPECT_NEAR(c.inter_du_db(), 60.0, 1e-9);  // 0.1 of the amplitude
+}
+
+TEST(Coupling, AnalogRelayStableBelowIsolation) {
+  // Gain 20 dB against 30 dB isolation: loop gain -10 dB, must settle.
+  AnalogRelayConfig cfg;
+  cfg.downlink_gain_db = 20.0;
+  cfg.uplink_gain_db = 0.0;
+  AnalogRelay relay(cfg);
+  const double peak = run_loop(relay, fixed_coupling(30.0));
+  // Forced response bound: |gain| * |input| / (1 - loop gain).
+  const double drive = std::sqrt(dbm_to_watts(-40.0)) * db_to_amplitude(20.0);
+  EXPECT_LT(peak, drive * 2.0);
+}
+
+TEST(Coupling, AnalogRelayRingsAboveIsolation) {
+  // Gain 35 dB against 30 dB isolation: loop gain +5 dB -> divergence.
+  // This is the instability of paper Section 4.1 (Eq. 3 violated).
+  AnalogRelayConfig cfg;
+  cfg.downlink_gain_db = 35.0;
+  cfg.uplink_gain_db = 0.0;
+  AnalogRelay relay(cfg);
+  const double peak = run_loop(relay, fixed_coupling(30.0), 4000);
+  const double drive = std::sqrt(dbm_to_watts(-40.0)) * db_to_amplitude(35.0);
+  EXPECT_GT(peak, drive * 100.0);
+}
+
+TEST(Coupling, RflyRelayStableAtHighGainWithPoorAntennaIsolation) {
+  // 65 dB of downlink gain against only 30 dB of antenna isolation would
+  // ring in an analog relay; RFly's frequency plan keeps every loop's gain
+  // below unity because fed-back energy lands outside the baseband filters.
+  auto relay = make_rfly_relay(RflyRelayConfig{}, 60);
+  CoupledRelay loop(*relay, fixed_coupling(30.0));
+  const double amp = std::sqrt(dbm_to_watts(-40.0));
+  const auto tone = signal::make_tone(20e3, amp, 60000, kFs);
+  for (std::size_t i = 0; i < tone.size(); ++i) {
+    loop.step(tone[i], cdouble{0.0, 0.0});
+  }
+  // Output stays bounded by the PA compression point (~29 dBm, amplitude
+  // ~0.9) instead of growing exponentially.
+  EXPECT_LT(loop.peak_tx_amplitude(), 2.0);
+}
+
+TEST(Coupling, DivergedFlagsRunaway) {
+  AnalogRelayConfig cfg;
+  cfg.downlink_gain_db = 40.0;
+  AnalogRelay relay(cfg);
+  CoupledRelay loop(relay, fixed_coupling(30.0));
+  const double amp = std::sqrt(dbm_to_watts(-40.0));
+  for (int i = 0; i < 2000; ++i) {
+    loop.step(cdouble{amp, 0.0}, cdouble{0.0, 0.0});
+  }
+  EXPECT_TRUE(loop.diverged(1.0));
+}
+
+TEST(Coupling, ZeroCouplingIsTransparent) {
+  AnalogRelayConfig cfg;
+  cfg.downlink_gain_db = 20.0;
+  AnalogRelay relay(cfg);
+  Coupling none;
+  CoupledRelay loop(relay, none);
+  const cdouble in{0.01, 0.0};
+  const auto out = loop.step(in, cdouble{0.0, 0.0});
+  EXPECT_NEAR(std::abs(out.downlink), 0.01 * db_to_amplitude(20.0), 1e-9);
+}
+
+}  // namespace
+}  // namespace rfly::relay

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gen2/crc.h"
+
+namespace rfly::gen2 {
+namespace {
+
+Bits random_bits(Rng& rng, std::size_t n) {
+  Bits bits(n);
+  for (auto& b : bits) b = rng.chance(0.5) ? 1 : 0;
+  return bits;
+}
+
+TEST(Crc5, AppendedCrcValidates) {
+  Rng rng(1);
+  for (int trial = 0; trial < 50; ++trial) {
+    Bits payload = random_bits(rng, 17);  // Query payload length
+    Bits frame = payload;
+    append_bits(frame, crc5(payload), 5);
+    EXPECT_TRUE(crc5_check(frame));
+  }
+}
+
+TEST(Crc5, DetectsSingleBitFlips) {
+  Rng rng(2);
+  Bits payload = random_bits(rng, 17);
+  Bits frame = payload;
+  append_bits(frame, crc5(payload), 5);
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    Bits corrupted = frame;
+    corrupted[i] ^= 1;
+    EXPECT_FALSE(crc5_check(corrupted)) << "undetected flip at bit " << i;
+  }
+}
+
+TEST(Crc5, TooShortFrameFails) {
+  EXPECT_FALSE(crc5_check(Bits{1, 0, 1}));
+}
+
+TEST(Crc16, AppendedCrcValidates) {
+  Rng rng(3);
+  for (int trial = 0; trial < 50; ++trial) {
+    Bits payload = random_bits(rng, 112);  // PC + EPC
+    Bits frame = payload;
+    append_bits(frame, crc16(payload), 16);
+    EXPECT_TRUE(crc16_check(frame));
+  }
+}
+
+TEST(Crc16, DetectsSingleBitFlips) {
+  Rng rng(4);
+  Bits payload = random_bits(rng, 112);
+  Bits frame = payload;
+  append_bits(frame, crc16(payload), 16);
+  for (std::size_t i = 0; i < frame.size(); ++i) {
+    Bits corrupted = frame;
+    corrupted[i] ^= 1;
+    EXPECT_FALSE(crc16_check(corrupted)) << "undetected flip at bit " << i;
+  }
+}
+
+TEST(Crc16, DetectsDoubleBitFlips) {
+  Rng rng(5);
+  Bits payload = random_bits(rng, 64);
+  Bits frame = payload;
+  append_bits(frame, crc16(payload), 16);
+  for (int trial = 0; trial < 200; ++trial) {
+    Bits corrupted = frame;
+    const auto i = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(frame.size()) - 1));
+    auto j = i;
+    while (j == i) {
+      j = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(frame.size()) - 1));
+    }
+    corrupted[i] ^= 1;
+    corrupted[j] ^= 1;
+    EXPECT_FALSE(crc16_check(corrupted));
+  }
+}
+
+TEST(Crc16, KnownVector) {
+  // CRC-16/CCITT-FALSE of ASCII "123456789" is 0x29B1; Gen2 transmits the
+  // complement: 0xD64E.
+  Bits bits;
+  for (char c : std::string("123456789")) {
+    append_bits(bits, static_cast<std::uint32_t>(c), 8);
+  }
+  EXPECT_EQ(crc16(bits), 0xD64E);
+}
+
+TEST(Crc16, EmptyPayload) {
+  // Register preset 0xFFFF, complemented on transmit.
+  EXPECT_EQ(crc16(Bits{}), static_cast<std::uint16_t>(~0xFFFF));
+}
+
+/// Burst-error property: CRC-16 catches all bursts up to 16 bits.
+class CrcBurstProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrcBurstProperty, DetectsBurst) {
+  Rng rng(static_cast<std::uint64_t>(100 + GetParam()));
+  Bits payload = random_bits(rng, 96);
+  Bits frame = payload;
+  append_bits(frame, crc16(payload), 16);
+  const int burst_len = GetParam();
+  for (std::size_t start = 0; start + burst_len <= frame.size(); start += 7) {
+    Bits corrupted = frame;
+    for (int k = 0; k < burst_len; ++k) corrupted[start + static_cast<std::size_t>(k)] ^= 1;
+    EXPECT_FALSE(crc16_check(corrupted));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BurstLengths, CrcBurstProperty,
+                         ::testing::Values(2, 3, 5, 8, 13, 16));
+
+}  // namespace
+}  // namespace rfly::gen2

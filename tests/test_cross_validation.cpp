@@ -1,0 +1,204 @@
+// Cross-validation of the two simulation fidelities (DESIGN.md): the
+// channel-level RflySystem predicts the complex channel the reader's
+// waveform-level decoder should estimate. The localization benches rely on
+// the channel level; this suite is what justifies that shortcut.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/units.h"
+#include "core/airtime.h"
+#include "core/system.h"
+#include "reader/channel_estimator.h"
+
+namespace rfly::core {
+namespace {
+
+struct Scenario {
+  double reader_relay_m;
+  double relay_tag_m;
+};
+
+class ChannelVsWaveform : public ::testing::TestWithParam<Scenario> {};
+
+TEST_P(ChannelVsWaveform, DecodedChannelMatchesPrediction) {
+  const auto [d1, d2] = GetParam();
+
+  // Geometry along a line; antennas per system defaults.
+  SystemConfig sys_cfg;
+  sys_cfg.channel_noise = false;
+  sys_cfg.include_direct_path = false;
+  sys_cfg.amplitude_ripple_std_db = 0.0;
+  sys_cfg.phase_ripple_std_rad = 0.0;
+  // Match the waveform relay's default gain plan exactly; the wired
+  // waveform sim has no reader antenna, so remove that gain too.
+  sys_cfg.relay_downlink_gain_db = 65.0;
+  sys_cfg.relay_uplink_gain_db = 30.0;
+  sys_cfg.reader_rx_gain_dbi = 0.0;
+  const RflySystem system(sys_cfg, channel::Environment{}, {0, 0, 1});
+  const Vec3 relay_pos{d1, 0.0, 1.0};
+  const Vec3 tag_pos{d1 + d2, 0.0, 1.0};
+
+  // --- Channel-level prediction.
+  const cdouble predicted = system.measured_target_channel(relay_pos, tag_pos);
+
+  // --- Waveform-level measurement: run a real exchange and decode.
+  gen2::TagConfig tag_cfg;
+  tag_cfg.epc = gen2::Epc{0x30, 0x14, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0x2A};
+  gen2::Tag tag(tag_cfg, 9);
+  reader::Reader rdr{reader::ReaderConfig{}};
+
+  relay::RflyRelayConfig rcfg;
+  // An ideal-oscillator relay isolates the comparison from CFO draws; the
+  // constant hardware phase of the real chain remains and is absorbed
+  // below, exactly as the embedded-tag division absorbs it in the system.
+  rcfg.synth_freq_error_std_hz = 0.0;
+  rcfg.component_spread_db = 0.0;
+  auto r1 = relay::make_rfly_relay(rcfg, 1);
+  auto r2 = relay::make_rfly_relay(rcfg, 1);
+
+  ExchangeConfig air;
+  air.noise = false;
+  air.h_reader_relay = system.reader_relay_channel(relay_pos);
+  air.h_relay_tag = system.relay_tag_channel(relay_pos, tag_pos);
+
+  gen2::QueryCommand q;
+  q.q = 0;
+  Rng rng(3);
+  const auto result = run_relay_exchange(rdr, gen2::Command{q}, gen2::kRn16Bits,
+                                         tag, *r1, *r2, relay::Coupling{}, air,
+                                         rng);
+  ASSERT_TRUE(result.tag_replied) << "d1=" << d1 << " d2=" << d2;
+  const auto rx = result.reader_rx.slice(result.reply_window_start,
+                                         result.reader_rx.size());
+  reader::ChannelEstimatorConfig est;
+  const auto decoded = reader::decode_reply(rx, gen2::kRn16Bits, est);
+  ASSERT_TRUE(decoded.has_value());
+
+  // The decoder reports the backscatter swing channel; scale to the
+  // round-trip channel convention: measured = channel / tx_amplitude.
+  const cdouble measured = decoded->channel / rdr.tx_amplitude();
+
+  // Compare magnitudes (dB) — the relay's constant hardware phase differs
+  // between the two models, so compare phase only up to that constant by
+  // checking consistency across the parameter sweep in the companion test.
+  const double predicted_db = amplitude_to_db(std::abs(predicted));
+  const double measured_db = amplitude_to_db(std::abs(measured));
+  // 2-3.5 dB of decoder implementation loss (DC-removal bias, guarded
+  // quarter-slot integration, filter passband ripple) separates the two
+  // levels across the sweep; the bound documents it.
+  EXPECT_NEAR(measured_db, predicted_db, 4.0)
+      << "d1=" << d1 << " d2=" << d2;
+  EXPECT_LE(measured_db, predicted_db + 0.5)
+      << "the waveform level must not exceed the budget prediction";
+}
+
+// Geometries keep the relay's PA near (not far past) its compression
+// point: closer in, the over-compressed PA squashes the PIE modulation
+// depth below what a tag can decode — see PaOverdriveKillsQueryDepth.
+INSTANTIATE_TEST_SUITE_P(Geometries, ChannelVsWaveform,
+                         ::testing::Values(Scenario{25.0, 2.0},
+                                           Scenario{30.0, 1.5},
+                                           Scenario{38.0, 2.5},
+                                           Scenario{45.0, 2.0}));
+
+TEST(ChannelVsWaveform, PaOverdriveKillsQueryDepth) {
+  // A relay parked 4 m from a full-power reader drives its PA ~25 dB past
+  // compression: output power still caps near P1dB (so the channel-level
+  // power budget stays right), but the PIE modulation depth collapses and
+  // the tag can no longer decode the query. Real deployments re-tune the
+  // downlink VGA for short range (Section 6.1's "tuned according to the
+  // communication range needed").
+  SystemConfig sys_cfg;
+  sys_cfg.channel_noise = false;
+  const RflySystem system(sys_cfg, channel::Environment{}, {0, 0, 1});
+  const Vec3 relay_pos{4.0, 0.0, 1.0};
+  const Vec3 tag_pos{6.0, 0.0, 1.0};
+
+  gen2::TagConfig tag_cfg;
+  gen2::Tag tag(tag_cfg, 9);
+  reader::Reader rdr{reader::ReaderConfig{}};
+  relay::RflyRelayConfig rcfg;
+  auto r1 = relay::make_rfly_relay(rcfg, 1);
+  auto r2 = relay::make_rfly_relay(rcfg, 1);
+  ExchangeConfig air;
+  air.noise = false;
+  air.h_reader_relay = system.reader_relay_channel(relay_pos);
+  air.h_relay_tag = system.relay_tag_channel(relay_pos, tag_pos);
+  gen2::QueryCommand q;
+  q.q = 0;
+  Rng rng(3);
+  const auto overdriven = run_relay_exchange(
+      rdr, gen2::Command{q}, gen2::kRn16Bits, tag, *r1, *r2, relay::Coupling{},
+      air, rng);
+  EXPECT_FALSE(overdriven.tag_replied);
+
+  // Re-tuning the downlink gain for the short range restores the depth.
+  relay::RflyRelayConfig tuned = rcfg;
+  tuned.downlink_pre_gain_db = 25.0;  // 20 dB backoff
+  auto t1 = relay::make_rfly_relay(tuned, 1);
+  auto t2 = relay::make_rfly_relay(tuned, 1);
+  gen2::Tag tag2(tag_cfg, 9);
+  const auto retuned = run_relay_exchange(
+      rdr, gen2::Command{q}, gen2::kRn16Bits, tag2, *t1, *t2, relay::Coupling{},
+      air, rng);
+  EXPECT_TRUE(retuned.tag_replied);
+}
+
+TEST(ChannelVsWaveform, PhaseTracksGeometryLikeThePrediction) {
+  // The hardware phase is constant, so the *difference* between two
+  // geometries' decoded phases must match the predicted difference. This is
+  // precisely the property SAR needs (constants cancel via the embedded tag).
+  SystemConfig sys_cfg;
+  sys_cfg.channel_noise = false;
+  sys_cfg.include_direct_path = false;
+  sys_cfg.amplitude_ripple_std_db = 0.0;
+  sys_cfg.phase_ripple_std_rad = 0.0;
+  sys_cfg.relay_downlink_gain_db = 65.0;
+  sys_cfg.relay_uplink_gain_db = 30.0;
+  sys_cfg.reader_rx_gain_dbi = 0.0;
+  const RflySystem system(sys_cfg, channel::Environment{}, {0, 0, 1});
+
+  reader::Reader rdr{reader::ReaderConfig{}};
+  relay::RflyRelayConfig rcfg;
+  rcfg.synth_freq_error_std_hz = 0.0;
+  rcfg.component_spread_db = 0.0;
+
+  auto measure_phase = [&](double d2) {
+    const Vec3 relay_pos{30.0, 0.0, 1.0};
+    const Vec3 tag_pos{30.0 + d2, 0.0, 1.0};
+    gen2::TagConfig tag_cfg;
+    gen2::Tag tag(tag_cfg, 9);
+    auto r1 = relay::make_rfly_relay(rcfg, 1);
+    auto r2 = relay::make_rfly_relay(rcfg, 1);
+    ExchangeConfig air;
+    air.noise = false;
+    air.h_reader_relay = system.reader_relay_channel(relay_pos);
+    air.h_relay_tag = system.relay_tag_channel(relay_pos, tag_pos);
+    gen2::QueryCommand q;
+    q.q = 0;
+    Rng rng(3);
+    const auto result = run_relay_exchange(rdr, gen2::Command{q}, gen2::kRn16Bits,
+                                           tag, *r1, *r2, relay::Coupling{}, air,
+                                           rng);
+    EXPECT_TRUE(result.tag_replied);
+    const auto rx = result.reader_rx.slice(result.reply_window_start,
+                                           result.reader_rx.size());
+    reader::ChannelEstimatorConfig est;
+    const auto decoded = reader::decode_reply(rx, gen2::kRn16Bits, est);
+    EXPECT_TRUE(decoded.has_value());
+    const cdouble predicted = system.measured_target_channel(relay_pos, tag_pos);
+    // Residual = measured phase minus predicted phase: should be the same
+    // hardware constant for every geometry.
+    return wrap_phase(std::arg(decoded->channel) - std::arg(predicted));
+  };
+
+  const double r1 = measure_phase(1.3);
+  const double r2 = measure_phase(1.55);
+  const double r3 = measure_phase(2.1);
+  EXPECT_NEAR(phase_distance(r1, r2), 0.0, deg_to_rad(5.0));
+  EXPECT_NEAR(phase_distance(r1, r3), 0.0, deg_to_rad(5.0));
+}
+
+}  // namespace
+}  // namespace rfly::core

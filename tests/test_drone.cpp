@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.h"
+#include "drone/flight.h"
+#include "drone/trajectory.h"
+
+namespace rfly::drone {
+namespace {
+
+TEST(Trajectory, LinearEndpointsAndSpacing) {
+  const auto t = linear_trajectory({0, 0, 1}, {2, 0, 1}, 5);
+  ASSERT_EQ(t.size(), 5u);
+  EXPECT_DOUBLE_EQ(t.front().x, 0.0);
+  EXPECT_DOUBLE_EQ(t.back().x, 2.0);
+  EXPECT_DOUBLE_EQ(t[2].x, 1.0);
+  EXPECT_DOUBLE_EQ(t[1].z, 1.0);
+}
+
+TEST(Trajectory, SinglePoint) {
+  const auto t = linear_trajectory({1, 2, 3}, {9, 9, 9}, 1);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_DOUBLE_EQ(t[0].x, 1.0);
+}
+
+TEST(Trajectory, Length) {
+  const auto t = linear_trajectory({0, 0, 0}, {3, 4, 0}, 11);
+  EXPECT_NEAR(trajectory_length(t), 5.0, 1e-9);
+}
+
+TEST(Trajectory, LawnmowerCoversRowsAlternating) {
+  const auto t = lawnmower_trajectory(0, 0, 10, 6, 1.5, 3, 5);
+  ASSERT_EQ(t.size(), 15u);
+  // Row 0 goes left->right, row 1 right->left.
+  EXPECT_DOUBLE_EQ(t[0].x, 0.0);
+  EXPECT_DOUBLE_EQ(t[4].x, 10.0);
+  EXPECT_DOUBLE_EQ(t[5].x, 10.0);
+  EXPECT_DOUBLE_EQ(t[9].x, 0.0);
+  for (const auto& p : t) EXPECT_DOUBLE_EQ(p.z, 1.5);
+  EXPECT_DOUBLE_EQ(t[0].y, 0.0);
+  EXPECT_DOUBLE_EQ(t[14].y, 6.0);
+}
+
+TEST(Trajectory, DistanceToTrajectory) {
+  const auto t = linear_trajectory({0, 0, 0}, {10, 0, 0}, 11);
+  EXPECT_NEAR(distance_to_trajectory(t, {5, 3, 0}), 3.0, 1e-9);
+  EXPECT_NEAR(distance_to_trajectory(t, {-4, 3, 0}), 5.0, 1e-9);  // beyond end
+  EXPECT_NEAR(distance_to_trajectory(t, {5, 0, 2}), 2.0, 1e-9);   // altitude
+}
+
+TEST(Trajectory, DistanceToEmptyOrSingle) {
+  EXPECT_DOUBLE_EQ(distance_to_trajectory({}, {1, 1, 1}), 0.0);
+  EXPECT_NEAR(distance_to_trajectory({{0, 0, 0}}, {3, 4, 0}), 5.0, 1e-12);
+}
+
+TEST(Flight, JitterStatsMatchConfig) {
+  Rng rng(80);
+  FlightConfig flight;
+  flight.position_jitter_std_m = 0.05;
+  TrackingConfig tracking;
+  tracking.noise_std_m = 0.0;
+  const auto plan = linear_trajectory({0, 0, 1}, {0, 0, 1}, 2000);
+  const auto flown = fly(plan, flight, tracking, rng);
+  std::vector<double> dx;
+  for (const auto& p : flown) dx.push_back(p.actual.x);
+  EXPECT_NEAR(stddev(dx), 0.05, 0.01);
+}
+
+TEST(Flight, OptiTrackReportsNearActual) {
+  Rng rng(81);
+  const auto plan = linear_trajectory({0, 0, 1}, {5, 0, 1}, 100);
+  const auto flown = fly(plan, FlightConfig{}, optitrack_tracking(), rng);
+  for (const auto& p : flown) {
+    EXPECT_LT(p.reported.distance_to(p.actual), 0.02);
+  }
+}
+
+TEST(Flight, OdometryDriftsMoreThanOptiTrack) {
+  Rng rng1(82);
+  Rng rng2(82);
+  const auto plan = linear_trajectory({0, 0, 1}, {5, 0, 1}, 200);
+  const auto opti = fly(plan, FlightConfig{}, optitrack_tracking(), rng1);
+  const auto odo = fly(plan, FlightConfig{}, odometry_tracking(), rng2);
+  double opti_err = 0.0;
+  double odo_err = 0.0;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    opti_err += opti[i].reported.distance_to(opti[i].actual);
+    odo_err += odo[i].reported.distance_to(odo[i].actual);
+  }
+  EXPECT_GT(odo_err, opti_err);
+}
+
+TEST(Flight, DeterministicGivenSeed) {
+  const auto plan = linear_trajectory({0, 0, 1}, {5, 0, 1}, 50);
+  Rng rng1(83);
+  Rng rng2(83);
+  const auto a = fly(plan, FlightConfig{}, optitrack_tracking(), rng1);
+  const auto b = fly(plan, FlightConfig{}, optitrack_tracking(), rng2);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].actual.x, b[i].actual.x);
+    EXPECT_DOUBLE_EQ(a[i].reported.y, b[i].reported.y);
+  }
+}
+
+}  // namespace
+}  // namespace rfly::drone

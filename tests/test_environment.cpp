@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "channel/channel_model.h"
+#include "channel/environment.h"
+#include "common/units.h"
+
+namespace rfly::channel {
+namespace {
+
+TEST(Environment, EmptyHasOnlyDirectPath) {
+  Environment env;
+  const auto paths = env.paths_between({0, 0, 0}, {10, 0, 0});
+  ASSERT_EQ(paths.size(), 1u);
+  EXPECT_TRUE(paths[0].is_direct);
+  EXPECT_NEAR(paths[0].distance_m, 10.0, 1e-12);
+  EXPECT_DOUBLE_EQ(paths[0].extra_loss_db, 0.0);
+}
+
+TEST(Environment, DirectPathIncludesHeightDifference) {
+  Environment env;
+  const auto paths = env.paths_between({0, 0, 0}, {3, 0, 4});
+  EXPECT_NEAR(paths[0].distance_m, 5.0, 1e-12);
+}
+
+TEST(Environment, WallAttenuatesDirectPath) {
+  Environment env;
+  env.add_obstacle({{{5, -10}, {5, 10}}, concrete()});
+  const auto paths = env.paths_between({0, 0, 1}, {10, 0, 1});
+  const auto direct =
+      std::find_if(paths.begin(), paths.end(), [](const Path& p) { return p.is_direct; });
+  ASSERT_NE(direct, paths.end());
+  EXPECT_NEAR(direct->extra_loss_db, concrete().transmission_loss_db, 1e-12);
+}
+
+TEST(Environment, TwoWallsDoubleLoss) {
+  Environment env;
+  env.add_obstacle({{{3, -10}, {3, 10}}, drywall()});
+  env.add_obstacle({{{6, -10}, {6, 10}}, drywall()});
+  EXPECT_NEAR(env.obstruction_loss_db({0, 0, 1}, {10, 0, 1}),
+              2.0 * drywall().transmission_loss_db, 1e-12);
+}
+
+TEST(Environment, ReflectionPathExistsAndIsLonger) {
+  Environment env;
+  env.add_obstacle({{{0, 5}, {20, 5}}, steel_shelf()});
+  const auto paths = env.paths_between({2, 0, 1}, {8, 0, 1});
+  ASSERT_EQ(paths.size(), 2u);
+  const auto& bounce = paths[1];
+  EXPECT_FALSE(bounce.is_direct);
+  EXPECT_GT(bounce.distance_m, paths[0].distance_m);
+  // Unfolded geometry: direct 6 m, bounce sqrt(6^2 + 10^2) = 11.66 m.
+  EXPECT_NEAR(bounce.distance_m, std::sqrt(36.0 + 100.0), 1e-9);
+  EXPECT_NEAR(bounce.extra_loss_db, steel_shelf().reflection_loss_db, 1e-12);
+}
+
+TEST(Environment, NoSpecularPointNoReflection) {
+  Environment env;
+  // Reflector segment too short/offset for a valid bounce between the nodes.
+  env.add_obstacle({{{100, 5}, {101, 5}}, steel_shelf()});
+  const auto paths = env.paths_between({0, 0, 1}, {5, 0, 1});
+  EXPECT_EQ(paths.size(), 1u);
+}
+
+TEST(Environment, WarehouseBuilder) {
+  const auto env = warehouse_environment(40.0, 30.0, 3);
+  EXPECT_EQ(env.obstacles().size(), 4u + 3u);
+  // A path across the shelves picks up transmission loss.
+  const double loss = env.obstruction_loss_db({20, 1, 1}, {20, 29, 1});
+  EXPECT_NEAR(loss, 3.0 * steel_shelf().transmission_loss_db, 1e-9);
+}
+
+TEST(ChannelModel, SinglePathMatchesPropagationCoefficient) {
+  Environment env;
+  const cdouble h = point_to_point_channel(env, {0, 0, 0}, {7, 0, 0}, 915e6);
+  EXPECT_NEAR(std::abs(h - propagation_coefficient(7.0, 915e6)), 0.0, 1e-15);
+}
+
+TEST(ChannelModel, GainsScaleAmplitude) {
+  Environment env;
+  LinkGains gains{3.0, 3.0};
+  const cdouble h0 = point_to_point_channel(env, {0, 0, 0}, {7, 0, 0}, 915e6);
+  const cdouble hg = point_to_point_channel(env, {0, 0, 0}, {7, 0, 0}, 915e6, gains);
+  EXPECT_NEAR(std::abs(hg) / std::abs(h0), db_to_amplitude(6.0), 1e-9);
+}
+
+TEST(ChannelModel, MultipathInterferes) {
+  // With a strong reflector, |h| oscillates with position (fading).
+  Environment env;
+  env.add_obstacle({{{-5, 3}, {25, 3}}, steel_shelf()});
+  double min_mag = 1e9;
+  double max_mag = 0.0;
+  for (double x = 5.0; x < 5.5; x += 0.01) {
+    const double mag =
+        std::abs(point_to_point_channel(env, {0, 0, 1}, {x, 0, 1}, 915e6));
+    min_mag = std::min(min_mag, mag);
+    max_mag = std::max(max_mag, mag);
+  }
+  EXPECT_GT(max_mag / min_mag, 1.5);  // constructive vs destructive swings
+}
+
+TEST(ChannelModel, ApplyChannelScales) {
+  signal::Waveform w(100, 4e6);
+  for (auto& s : w.data()) s = {1.0, 0.0};
+  const auto out = apply_channel(w, cdouble{0.0, 0.5});
+  EXPECT_NEAR(std::abs(out[50]), 0.5, 1e-12);
+  EXPECT_NEAR(std::arg(out[50]), kPi / 2.0, 1e-12);
+}
+
+TEST(Environment, TallPathClearsShortObstacle) {
+  // A 2.5 m shelf blocks a waist-height path but not a ray from a
+  // ceiling-mounted reader shooting down the hall.
+  Environment env;
+  env.add_obstacle({{{10, -5}, {10, 5}}, steel_shelf(), 2.5});
+  EXPECT_GT(env.obstruction_loss_db({0, 0, 1.0}, {20, 0, 1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(env.obstruction_loss_db({0, 0, 6.0}, {20, 0, 6.0}), 0.0);
+  // Slanted ray: crosses x=10 at z = 3.5 > 2.5 -> clears.
+  EXPECT_DOUBLE_EQ(env.obstruction_loss_db({0, 0, 6.0}, {20, 0, 1.0}), 0.0);
+  // Slanted ray entering low: crosses at z = 1.75 -> blocked.
+  EXPECT_GT(env.obstruction_loss_db({0, 0, 0.5}, {20, 0, 3.0}), 0.0);
+}
+
+TEST(Environment, DefaultObstaclesAreFullHeight) {
+  Environment env;
+  env.add_obstacle({{{10, -5}, {10, 5}}, concrete()});
+  EXPECT_GT(env.obstruction_loss_db({0, 0, 50.0}, {20, 0, 50.0}), 0.0);
+}
+
+TEST(Materials, Defaults) {
+  EXPECT_LT(drywall().transmission_loss_db, concrete().transmission_loss_db);
+  EXPECT_GT(steel_shelf().transmission_loss_db, concrete().transmission_loss_db);
+  EXPECT_LT(steel_shelf().reflection_loss_db, drywall().reflection_loss_db);
+}
+
+}  // namespace
+}  // namespace rfly::channel

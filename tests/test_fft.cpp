@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/rng.h"
+#include "signal/fft.h"
+
+namespace rfly::signal {
+namespace {
+
+TEST(Fft, ImpulseIsFlat) {
+  std::vector<cdouble> x(64, cdouble{0.0, 0.0});
+  x[0] = {1.0, 0.0};
+  fft(x);
+  for (const auto& v : x) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, ToneLandsInBin) {
+  const std::size_t n = 256;
+  const int bin = 17;
+  std::vector<cdouble> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = cis(kTwoPi * bin * static_cast<double>(i) / static_cast<double>(n));
+  }
+  fft(x);
+  EXPECT_NEAR(std::abs(x[bin]), static_cast<double>(n), 1e-8);
+  EXPECT_NEAR(std::abs(x[bin + 1]), 0.0, 1e-8);
+}
+
+TEST(Fft, RoundTrip) {
+  Rng rng(4);
+  std::vector<cdouble> x(512);
+  for (auto& v : x) v = {rng.gaussian(), rng.gaussian()};
+  const auto original = x;
+  fft(x);
+  ifft(x);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    EXPECT_NEAR(std::abs(x[i] - original[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft, Parseval) {
+  Rng rng(5);
+  std::vector<cdouble> x(1024);
+  double time_energy = 0.0;
+  for (auto& v : x) {
+    v = {rng.gaussian(), rng.gaussian()};
+    time_energy += std::norm(v);
+  }
+  fft(x);
+  double freq_energy = 0.0;
+  for (const auto& v : x) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy / (1024.0 * time_energy), 1.0, 1e-9);
+}
+
+TEST(Fft, Linearity) {
+  Rng rng(6);
+  std::vector<cdouble> a(128), b(128), sum(128);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    a[i] = {rng.gaussian(), rng.gaussian()};
+    b[i] = {rng.gaussian(), rng.gaussian()};
+    sum[i] = a[i] + 2.0 * b[i];
+  }
+  fft(a);
+  fft(b);
+  fft(sum);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(std::abs(sum[i] - (a[i] + 2.0 * b[i])), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft, NonPowerOfTwoThrows) {
+  std::vector<cdouble> x(100);
+  EXPECT_THROW(fft(x), std::invalid_argument);
+}
+
+TEST(Fft, NextPow2) {
+  EXPECT_EQ(next_pow2(0), 1u);
+  EXPECT_EQ(next_pow2(1), 1u);
+  EXPECT_EQ(next_pow2(2), 2u);
+  EXPECT_EQ(next_pow2(3), 4u);
+  EXPECT_EQ(next_pow2(1024), 1024u);
+  EXPECT_EQ(next_pow2(1025), 2048u);
+}
+
+}  // namespace
+}  // namespace rfly::signal

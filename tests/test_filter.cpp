@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/units.h"
+#include "signal/filter.h"
+#include "signal/spectrum.h"
+
+namespace rfly::signal {
+namespace {
+
+constexpr double kFs = 4e6;
+
+TEST(Filter, LowpassDcGainIsUnity) {
+  const auto lp = butterworth_lowpass(6, 100e3, kFs);
+  EXPECT_NEAR(std::abs(lp.response(0.0, kFs)), 1.0, 1e-9);
+}
+
+TEST(Filter, LowpassCutoffIsMinus3Db) {
+  const auto lp = butterworth_lowpass(4, 100e3, kFs);
+  EXPECT_NEAR(lp.response_db(100e3, kFs), -3.01, 0.2);
+}
+
+TEST(Filter, LowpassStopbandMatchesButterworthSlope) {
+  // |H(f)|^2 = 1 / (1 + (f/fc)^(2n)): at 5x cutoff, order 6 -> ~-84 dB.
+  const auto lp = butterworth_lowpass(6, 100e3, kFs);
+  const double expected = -10.0 * std::log10(1.0 + std::pow(5.0, 12.0));
+  // Bilinear warping makes the digital filter attenuate slightly *more*
+  // than the analog prototype this far into the stopband.
+  EXPECT_NEAR(lp.response_db(500e3, kFs), expected, 4.0);
+  EXPECT_LE(lp.response_db(500e3, kFs), expected + 0.5);
+}
+
+TEST(Filter, HighpassMirrorsLowpass) {
+  const auto hp = butterworth_highpass(4, 300e3, kFs);
+  EXPECT_NEAR(std::abs(hp.response(0.0, kFs)), 0.0, 1e-9);
+  EXPECT_NEAR(hp.response_db(300e3, kFs), -3.01, 0.2);
+  // Passband (well above cutoff) is flat.
+  EXPECT_NEAR(hp.response_db(1.2e6, kFs), 0.0, 0.5);
+}
+
+TEST(Filter, HighpassStopbandSlope) {
+  const auto hp = butterworth_highpass(4, 300e3, kFs);
+  // At f = fc/6 an order-4 highpass attenuates ~ 40*log10(6) ~= 62 dB.
+  EXPECT_NEAR(hp.response_db(50e3, kFs), -62.3, 2.0);
+}
+
+TEST(Filter, BandpassPassesCenterKillsEdges) {
+  const auto bp = butterworth_bandpass(4, 300e3, 700e3, kFs);
+  EXPECT_NEAR(bp.response_db(500e3, kFs), 0.0, 0.6);
+  EXPECT_LT(bp.response_db(50e3, kFs), -55.0);
+  EXPECT_LT(bp.response_db(2e6, kFs), -30.0);
+}
+
+TEST(Filter, StreamingMatchesFrequencyResponse) {
+  auto lp = butterworth_lowpass(6, 100e3, kFs);
+  const double test_freq = 50e3;
+  const auto tone = make_tone(test_freq, 1.0, 40000, kFs);
+  const auto out = lp.process(tone);
+  // Skip the transient, then the steady-state gain equals |H|.
+  const auto steady = out.slice(8000, 32000);
+  const double gain_db = tone_power_dbm(steady, test_freq) - 30.0;  // in: 1 W
+  EXPECT_NEAR(gain_db, lp.response_db(test_freq, kFs), 0.1);
+}
+
+TEST(Filter, StreamingStopbandAttenuation) {
+  auto lp = butterworth_lowpass(6, 100e3, kFs);
+  const auto tone = make_tone(500e3, 1.0, 40000, kFs);
+  const auto out = lp.process(tone);
+  const auto steady = out.slice(8000, 32000);
+  const double gain_db = tone_power_dbm(steady, 500e3) - 30.0;
+  EXPECT_LT(gain_db, -80.0);
+}
+
+TEST(Filter, ResetClearsState) {
+  auto lp = butterworth_lowpass(4, 100e3, kFs);
+  const auto tone = make_tone(50e3, 1.0, 1000, kFs);
+  const auto first = lp.process(tone);
+  lp.reset();
+  const auto second = lp.process(tone);
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_NEAR(std::abs(first[i] - second[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(Filter, OddOrderThrows) {
+  EXPECT_THROW(butterworth_lowpass(3, 100e3, kFs), std::invalid_argument);
+  EXPECT_THROW(butterworth_highpass(5, 100e3, kFs), std::invalid_argument);
+}
+
+TEST(Filter, BadCutoffThrows) {
+  EXPECT_THROW(butterworth_lowpass(4, 0.0, kFs), std::invalid_argument);
+  EXPECT_THROW(butterworth_lowpass(4, 2.1e6, kFs), std::invalid_argument);
+  EXPECT_THROW(butterworth_bandpass(4, 700e3, 300e3, kFs), std::invalid_argument);
+}
+
+TEST(Filter, OrderCountsSections) {
+  EXPECT_EQ(butterworth_lowpass(6, 100e3, kFs).order(), 6u);
+  EXPECT_EQ(butterworth_bandpass(4, 300e3, 700e3, kFs).order(), 8u);
+}
+
+/// Parameterized sweep: the analytic Butterworth magnitude holds across
+/// orders and frequencies.
+class ButterworthProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ButterworthProperty, MagnitudeMatchesAnalytic) {
+  const int order = GetParam();
+  const double fc = 150e3;
+  const auto lp = butterworth_lowpass(order, fc, kFs);
+  for (double f : {10e3, 75e3, 150e3, 300e3, 450e3}) {
+    const double analytic_db =
+        -10.0 * std::log10(1.0 + std::pow(f / fc, 2.0 * order));
+    // Bilinear warping grows with frequency; tolerance is loose above fc.
+    const double tol = f <= fc ? 0.5 : 4.0;
+    EXPECT_NEAR(lp.response_db(f, kFs), analytic_db, tol) << "order " << order
+                                                          << " f " << f;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, ButterworthProperty, ::testing::Values(2, 4, 6, 8));
+
+/// Stability property: impulse response decays for every designed filter.
+class FilterStability : public ::testing::TestWithParam<int> {};
+
+TEST_P(FilterStability, ImpulseResponseDecays) {
+  auto lp = butterworth_lowpass(GetParam(), 100e3, kFs);
+  Waveform impulse(20000, kFs);
+  impulse[0] = {1.0, 0.0};
+  const auto out = lp.process(impulse);
+  double tail = 0.0;
+  for (std::size_t i = 15000; i < out.size(); ++i) tail += std::norm(out[i]);
+  EXPECT_LT(tail, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, FilterStability, ::testing::Values(2, 4, 6, 8));
+
+}  // namespace
+}  // namespace rfly::signal

@@ -1,0 +1,186 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "gen2/fm0.h"
+
+namespace rfly::gen2 {
+namespace {
+
+Bits random_bits(Rng& rng, std::size_t n) {
+  Bits bits(n);
+  for (auto& b : bits) b = rng.chance(0.5) ? 1 : 0;
+  return bits;
+}
+
+/// Build a complex capture from levels: DC + h * level + noise.
+std::vector<cdouble> synthesize(const std::vector<int>& levels,
+                                double samples_per_half_bit, cdouble h, cdouble dc,
+                                double noise_std, Rng& rng,
+                                std::size_t lead_in = 0) {
+  const auto total = static_cast<std::size_t>(
+      std::ceil(samples_per_half_bit * static_cast<double>(levels.size())));
+  std::vector<cdouble> x(lead_in + total + 64, dc);
+  for (std::size_t i = 0; i < total; ++i) {
+    const auto k = static_cast<std::size_t>(static_cast<double>(i) /
+                                            samples_per_half_bit);
+    x[lead_in + i] += h * static_cast<double>(levels[std::min(k, levels.size() - 1)]);
+  }
+  if (noise_std > 0.0) {
+    for (auto& v : x) v += cdouble{rng.gaussian(0.0, noise_std),
+                                   rng.gaussian(0.0, noise_std)};
+  }
+  return x;
+}
+
+TEST(Fm0, LevelCount) {
+  EXPECT_EQ(fm0_levels(Bits(16, 0)).size(), fm0_half_bits(16));
+  EXPECT_EQ(fm0_half_bits(16), 2u * (6 + 16 + 1));
+  EXPECT_EQ(fm0_half_bits(16, true), 2u * (12 + 6 + 16 + 1));
+}
+
+TEST(Fm0, LevelsAreBipolar) {
+  for (int v : fm0_levels(Bits{1, 0, 1, 1, 0})) {
+    EXPECT_TRUE(v == 1 || v == -1);
+  }
+}
+
+TEST(Fm0, DataBitStructure) {
+  // After the preamble: a '1' holds its level across the symbol, a '0'
+  // flips mid-symbol; every symbol boundary flips.
+  const Bits bits{1, 0, 1};
+  const auto levels = fm0_levels(bits);
+  const std::size_t data_start = 12;  // 6 preamble symbols
+  // Symbol 0 (bit 1): halves equal.
+  EXPECT_EQ(levels[data_start], levels[data_start + 1]);
+  // Symbol 1 (bit 0): halves differ.
+  EXPECT_NE(levels[data_start + 2], levels[data_start + 3]);
+  // Boundary between symbols 0 and 1 inverts.
+  EXPECT_NE(levels[data_start + 1], levels[data_start + 2]);
+}
+
+TEST(Fm0, PreambleContainsExactlyOneViolation) {
+  // FM0 guarantees a transition at every symbol boundary except at the
+  // deliberate violation; count boundary non-transitions in the preamble.
+  const auto levels = fm0_levels(Bits{});
+  int violations = 0;
+  for (std::size_t sym = 1; sym < 6; ++sym) {
+    if (levels[2 * sym - 1] == levels[2 * sym]) ++violations;
+  }
+  EXPECT_EQ(violations, 1);
+}
+
+TEST(Fm0, CleanDecode) {
+  Rng rng(20);
+  const Bits bits = random_bits(rng, 16);
+  const auto levels = fm0_levels(bits);
+  const auto x = synthesize(levels, 4.0, cdouble{1e-6, 0.0}, cdouble{1e-3, 0.0},
+                            0.0, rng);
+  const auto decoded = fm0_decode(x, 4.0, 16);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->bits, bits);
+  EXPECT_GT(decoded->sync_metric, 0.9);
+}
+
+TEST(Fm0, ChannelEstimateMatchesTruth) {
+  Rng rng(21);
+  const Bits bits = random_bits(rng, 16);
+  const cdouble h = cdouble{3e-6, -4e-6};
+  const auto x = synthesize(fm0_levels(bits), 4.0, h, cdouble{2e-3, 1e-3}, 0.0, rng);
+  const auto decoded = fm0_decode(x, 4.0, 16);
+  ASSERT_TRUE(decoded.has_value());
+  // The estimator recovers h up to the mean-removal bias (small for a
+  // balanced frame).
+  EXPECT_NEAR(std::arg(decoded->channel), std::arg(h), 0.05);
+  EXPECT_NEAR(std::abs(decoded->channel) / std::abs(h), 1.0, 0.1);
+}
+
+TEST(Fm0, DecodeWithPhaseRotation) {
+  Rng rng(22);
+  const Bits bits = random_bits(rng, 32);
+  const cdouble h = 1e-6 * cis(2.5);
+  const auto x = synthesize(fm0_levels(bits), 4.0, h, cdouble{0.0, 0.0}, 0.0, rng);
+  const auto decoded = fm0_decode(x, 4.0, 32);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->bits, bits);
+}
+
+TEST(Fm0, DecodeWithTimingOffset) {
+  Rng rng(23);
+  const Bits bits = random_bits(rng, 16);
+  const auto x = synthesize(fm0_levels(bits), 4.0, cdouble{1e-6, 0.0},
+                            cdouble{1e-3, 0.0}, 0.0, rng, /*lead_in=*/37);
+  const auto decoded = fm0_decode(x, 4.0, 16);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->bits, bits);
+}
+
+TEST(Fm0, DecodeWithNoise) {
+  Rng rng(24);
+  int ok = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    const Bits bits = random_bits(rng, 16);
+    // SNR per half-bit sample ~ 14 dB.
+    const auto x = synthesize(fm0_levels(bits), 4.0, cdouble{1e-6, 0.0},
+                              cdouble{1e-3, 0.0}, 2e-7, rng);
+    const auto decoded = fm0_decode(x, 4.0, 16);
+    if (decoded && decoded->bits == bits) ++ok;
+  }
+  EXPECT_GE(ok, 18);
+}
+
+TEST(Fm0, PilotToneDecode) {
+  Rng rng(25);
+  const Bits bits = random_bits(rng, 16);
+  const auto levels = fm0_levels(bits, /*pilot=*/true);
+  const auto x = synthesize(levels, 4.0, cdouble{1e-6, 0.0}, cdouble{1e-3, 0.0},
+                            0.0, rng);
+  const auto decoded = fm0_decode(x, 4.0, 16, /*pilot=*/true);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->bits, bits);
+}
+
+TEST(Fm0, RejectsPureNoise) {
+  Rng rng(26);
+  std::vector<cdouble> x(2048);
+  for (auto& v : x) v = {rng.gaussian(0.0, 1e-7), rng.gaussian(0.0, 1e-7)};
+  const auto decoded = fm0_decode(x, 4.0, 16, false, /*min_sync=*/0.8);
+  EXPECT_FALSE(decoded.has_value());
+}
+
+TEST(Fm0, TooShortCaptureFails) {
+  std::vector<cdouble> x(10);
+  EXPECT_FALSE(fm0_decode(x, 4.0, 16).has_value());
+}
+
+TEST(Fm0, FractionalSamplesPerHalfBit) {
+  Rng rng(27);
+  const Bits bits = random_bits(rng, 24);
+  // BLF 640 kHz at 4 MS/s: 3.125 samples per half bit.
+  const double spb = 4e6 / (2.0 * 640e3);
+  const auto x =
+      synthesize(fm0_levels(bits), spb, cdouble{1e-6, 0.0}, cdouble{0, 0}, 0.0, rng);
+  const auto decoded = fm0_decode(x, spb, 24);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->bits, bits);
+}
+
+/// Property: round trip holds across payload sizes (RN16, EPC reply, ...).
+class Fm0RoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(Fm0RoundTrip, CleanRoundTrip) {
+  Rng rng(static_cast<std::uint64_t>(300 + GetParam()));
+  const Bits bits = random_bits(rng, static_cast<std::size_t>(GetParam()));
+  const auto x = synthesize(fm0_levels(bits), 4.0, cdouble{1e-6, 5e-7},
+                            cdouble{1e-3, 0.0}, 0.0, rng);
+  const auto decoded = fm0_decode(x, 4.0, static_cast<std::size_t>(GetParam()));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->bits, bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, Fm0RoundTrip,
+                         ::testing::Values(8, 16, 32, 64, 128));
+
+}  // namespace
+}  // namespace rfly::gen2

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "relay/freq_discovery.h"
+#include "signal/noise.h"
+
+namespace rfly::relay {
+namespace {
+
+TEST(FreqDiscovery, ChannelGrid) {
+  const auto grid = channel_grid(-2e6, 2e6, 500e3);
+  EXPECT_EQ(grid.size(), 9u);
+  EXPECT_DOUBLE_EQ(grid.front(), -2e6);
+  EXPECT_DOUBLE_EQ(grid.back(), 2e6);
+}
+
+TEST(FreqDiscovery, LocksOntoReaderTone) {
+  Rng rng(70);
+  const double fs = 8e6;
+  auto rx = signal::make_tone(1.5e6, 1e-4, static_cast<std::size_t>(0.02 * fs), fs);
+  signal::add_awgn(rx, 1e-12, rng);
+  const auto result =
+      discover_center_frequency(rx, channel_grid(-3e6, 3e6, 500e3));
+  EXPECT_TRUE(result.locked);
+  EXPECT_DOUBLE_EQ(result.freq_hz, 1.5e6);
+}
+
+TEST(FreqDiscovery, LockWithinPaperBudget) {
+  // Section 4.2: the sweep takes at most 20 ms; a clean carrier locks in a
+  // couple of chunks.
+  Rng rng(71);
+  const double fs = 8e6;
+  auto rx = signal::make_tone(-1e6, 1e-4, static_cast<std::size_t>(0.02 * fs), fs);
+  signal::add_awgn(rx, 1e-12, rng);
+  const auto result =
+      discover_center_frequency(rx, channel_grid(-3e6, 3e6, 500e3));
+  ASSERT_TRUE(result.locked);
+  EXPECT_LE(result.elapsed_s, 20e-3);
+}
+
+TEST(FreqDiscovery, StrongestReaderWins) {
+  // Two readers: the relay must lock onto the stronger one (interference
+  // management, Section 4.3).
+  const double fs = 8e6;
+  const std::size_t n = static_cast<std::size_t>(0.02 * fs);
+  auto rx = signal::make_tone(0.5e6, 1e-4, n, fs);
+  rx.accumulate(signal::make_tone(-1.5e6, 3e-5, n, fs));
+  const auto result =
+      discover_center_frequency(rx, channel_grid(-3e6, 3e6, 500e3));
+  ASSERT_TRUE(result.locked);
+  EXPECT_DOUBLE_EQ(result.freq_hz, 0.5e6);
+}
+
+TEST(FreqDiscovery, NoCarrierNoLock) {
+  Rng rng(72);
+  const double fs = 8e6;
+  const auto rx =
+      signal::make_awgn(static_cast<std::size_t>(0.02 * fs), fs, 1e-10, rng);
+  const auto result =
+      discover_center_frequency(rx, channel_grid(-3e6, 3e6, 500e3));
+  EXPECT_FALSE(result.locked);
+}
+
+TEST(FreqDiscovery, ModulatedCarrierStillLocks) {
+  // The reader's query is amplitude-modulated; most energy stays at the
+  // carrier, so discovery still locks.
+  Rng rng(73);
+  const double fs = 8e6;
+  const std::size_t n = static_cast<std::size_t>(0.02 * fs);
+  auto rx = signal::make_tone(1e6, 1e-4, n, fs);
+  // Crude PIE-like 90% AM dips, ~10% duty.
+  for (std::size_t i = 0; i < n; ++i) {
+    if ((i / 50) % 10 == 0) rx[i] *= 0.1;
+  }
+  signal::add_awgn(rx, 1e-12, rng);
+  const auto result =
+      discover_center_frequency(rx, channel_grid(-3e6, 3e6, 500e3));
+  ASSERT_TRUE(result.locked);
+  EXPECT_DOUBLE_EQ(result.freq_hz, 1e6);
+}
+
+TEST(FreqDiscovery, EmptyInputsFailCleanly) {
+  signal::Waveform empty;
+  EXPECT_FALSE(discover_center_frequency(empty, channel_grid(-1e6, 1e6, 500e3))
+                   .locked);
+  const auto rx = signal::make_tone(0.0, 1.0, 1000, 4e6);
+  EXPECT_FALSE(discover_center_frequency(rx, {}).locked);
+}
+
+TEST(FreqDiscovery, SlightlyDriftedCarrierPicksNearestChannel) {
+  const double fs = 8e6;
+  const std::size_t n = static_cast<std::size_t>(0.02 * fs);
+  // Carrier drifted 20.4 kHz off its channel center (off the exact 1/T
+  // correlation nulls): the nearest channel still dominates.
+  const auto rx = signal::make_tone(1e6 + 20.4e3, 1e-4, n, fs);
+  FreqDiscoveryConfig cfg;
+  cfg.lock_threshold = 2.0;
+  const auto result =
+      discover_center_frequency(rx, channel_grid(-3e6, 3e6, 500e3), cfg);
+  EXPECT_DOUBLE_EQ(result.freq_hz, 1e6);
+}
+
+}  // namespace
+}  // namespace rfly::relay

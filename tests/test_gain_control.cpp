@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "relay/gain_control.h"
+
+namespace rfly::relay {
+namespace {
+
+GainPlanInput prototype_isolations() {
+  GainPlanInput in;
+  in.intra_downlink_isolation_db = 77.0;
+  in.intra_uplink_isolation_db = 64.0;
+  in.inter_downlink_uplink_isolation_db = 92.0;
+  in.inter_uplink_downlink_isolation_db = 110.0;
+  return in;
+}
+
+TEST(GainControl, PrototypePlanIsFeasible) {
+  const auto plan = plan_gains(prototype_isolations());
+  EXPECT_TRUE(plan.feasible);
+  EXPECT_GT(plan.downlink_gain_db, 0.0);
+  EXPECT_GT(plan.uplink_gain_db, 0.0);
+}
+
+TEST(GainControl, DownlinkMaximizedFirst) {
+  // With the prototype's isolations the downlink reaches its hardware cap.
+  auto in = prototype_isolations();
+  in.max_downlink_gain_db = 45.0;
+  const auto plan = plan_gains(in);
+  EXPECT_DOUBLE_EQ(plan.downlink_gain_db, 45.0);
+}
+
+TEST(GainControl, IntraIsolationCapsPathGain) {
+  auto in = prototype_isolations();
+  in.intra_downlink_isolation_db = 40.0;
+  in.margin_db = 10.0;
+  const auto plan = plan_gains(in);
+  EXPECT_DOUBLE_EQ(plan.downlink_gain_db, 30.0);
+}
+
+TEST(GainControl, InterLoopCapsSumOfGains) {
+  auto in = prototype_isolations();
+  in.inter_downlink_uplink_isolation_db = 40.0;
+  in.inter_uplink_downlink_isolation_db = 40.0;
+  in.margin_db = 10.0;
+  in.max_downlink_gain_db = 60.0;
+  in.max_uplink_gain_db = 60.0;
+  const auto plan = plan_gains(in);
+  EXPECT_LE(plan.downlink_gain_db + plan.uplink_gain_db, 70.0 + 1e-9);
+  EXPECT_TRUE(plan.feasible);
+}
+
+TEST(GainControl, InfeasibleWhenIsolationTiny) {
+  GainPlanInput in;
+  in.intra_downlink_isolation_db = 5.0;
+  in.intra_uplink_isolation_db = 5.0;
+  in.inter_downlink_uplink_isolation_db = 5.0;
+  in.inter_uplink_downlink_isolation_db = 5.0;
+  in.margin_db = 10.0;
+  const auto plan = plan_gains(in);
+  EXPECT_FALSE(plan.feasible);
+}
+
+TEST(GainControl, PlannedGainsPassStabilityCheck) {
+  const auto in = prototype_isolations();
+  const auto plan = plan_gains(in);
+  EXPECT_TRUE(is_stable(in, plan.downlink_gain_db, plan.uplink_gain_db));
+}
+
+TEST(GainControl, StabilityCheckRejectsExcessGain) {
+  const auto in = prototype_isolations();
+  EXPECT_FALSE(is_stable(in, 80.0, 0.0));   // beyond intra-downlink
+  EXPECT_FALSE(is_stable(in, 45.0, 60.0));  // beyond intra-uplink
+  EXPECT_FALSE(is_stable(in, 100.0, 100.0));
+}
+
+TEST(GainControl, MarginReducesGains) {
+  auto in = prototype_isolations();
+  in.max_downlink_gain_db = 200.0;  // not the binding constraint
+  in.max_uplink_gain_db = 200.0;
+  in.margin_db = 5.0;
+  const auto loose = plan_gains(in);
+  in.margin_db = 20.0;
+  const auto tight = plan_gains(in);
+  EXPECT_GT(loose.downlink_gain_db, tight.downlink_gain_db);
+}
+
+TEST(GainControl, MoreIsolationMoreRangeBudget) {
+  // The planner converts isolation directly into usable gain: the chain
+  // the paper uses to argue relay range scales with isolation.
+  auto in = prototype_isolations();
+  in.max_downlink_gain_db = 200.0;
+  const double g1 = plan_gains(in).downlink_gain_db;
+  in.intra_downlink_isolation_db += 10.0;
+  const double g2 = plan_gains(in).downlink_gain_db;
+  EXPECT_NEAR(g2 - g1, 10.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace rfly::relay

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/geometry.h"
+
+namespace rfly::channel {
+namespace {
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1, 2, 3};
+  const Vec3 b{4, 5, 6};
+  const Vec3 sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.x, 5.0);
+  EXPECT_DOUBLE_EQ((a * 2.0).y, 4.0);
+  EXPECT_DOUBLE_EQ((b / 2.0).z, 3.0);
+  EXPECT_DOUBLE_EQ(a.dot(b), 32.0);
+}
+
+TEST(Vec3, Distance) {
+  EXPECT_DOUBLE_EQ((Vec3{3, 4, 0}).norm(), 5.0);
+  EXPECT_DOUBLE_EQ((Vec3{0, 0, 0}).distance_to({1, 1, 1}), std::sqrt(3.0));
+}
+
+TEST(Geometry, SegmentsCross) {
+  const Segment2 wall{{0, -1}, {0, 1}};
+  EXPECT_TRUE(segments_intersect({-1, 0}, {1, 0}, wall));
+  EXPECT_FALSE(segments_intersect({1, 0}, {2, 0}, wall));
+  EXPECT_FALSE(segments_intersect({-1, 2}, {1, 2}, wall));  // passes above
+}
+
+TEST(Geometry, ParallelSegmentsDoNotIntersect) {
+  const Segment2 wall{{0, 0}, {10, 0}};
+  EXPECT_FALSE(segments_intersect({0, 1}, {10, 1}, wall));
+}
+
+TEST(Geometry, EndpointTouchDoesNotBlock) {
+  const Segment2 wall{{0, 0}, {0, 1}};
+  // Path exactly grazing the wall's endpoint.
+  EXPECT_FALSE(segments_intersect({-1, 1}, {1, 1}, wall));
+}
+
+TEST(Geometry, ReflectAcrossVerticalLine) {
+  const Segment2 mirror{{2, 0}, {2, 10}};
+  const Vec2 image = reflect_across({0, 5}, mirror);
+  EXPECT_NEAR(image.x, 4.0, 1e-12);
+  EXPECT_NEAR(image.y, 5.0, 1e-12);
+}
+
+TEST(Geometry, ReflectAcrossDiagonal) {
+  const Segment2 mirror{{0, 0}, {1, 1}};
+  const Vec2 image = reflect_across({1, 0}, mirror);
+  EXPECT_NEAR(image.x, 0.0, 1e-12);
+  EXPECT_NEAR(image.y, 1.0, 1e-12);
+}
+
+TEST(Geometry, ReflectPointOnLineIsFixed) {
+  const Segment2 mirror{{0, 0}, {10, 0}};
+  const Vec2 image = reflect_across({5, 0}, mirror);
+  EXPECT_NEAR(image.x, 5.0, 1e-12);
+  EXPECT_NEAR(image.y, 0.0, 1e-12);
+}
+
+TEST(Geometry, SegmentLineIntersectionInside) {
+  const Segment2 s{{0, -1}, {0, 1}};
+  const auto hit = segment_line_intersection({-1, 0}, {1, 0}, s);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->x, 0.0, 1e-12);
+  EXPECT_NEAR(hit->y, 0.0, 1e-12);
+}
+
+TEST(Geometry, SegmentLineIntersectionOutsideSegment) {
+  const Segment2 s{{0, 2}, {0, 3}};
+  EXPECT_FALSE(segment_line_intersection({-1, 0}, {1, 0}, s).has_value());
+}
+
+TEST(Geometry, SegmentLineIntersectionParallel) {
+  const Segment2 s{{0, 0}, {10, 0}};
+  EXPECT_FALSE(segment_line_intersection({0, 1}, {10, 1}, s).has_value());
+}
+
+TEST(Geometry, ImageSourcePathLengthEqualsUnfolded) {
+  // The reflected path a->bounce->b has the same length as image(a)->b.
+  const Segment2 mirror{{0, 5}, {10, 5}};
+  const Vec2 a{2, 0};
+  const Vec2 b{8, 0};
+  const Vec2 image = reflect_across(a, mirror);
+  const auto bounce = segment_line_intersection(image, b, mirror);
+  ASSERT_TRUE(bounce.has_value());
+  const double via_bounce = distance2(a, *bounce) + distance2(*bounce, b);
+  EXPECT_NEAR(via_bounce, distance2(image, b), 1e-9);
+}
+
+}  // namespace
+}  // namespace rfly::channel

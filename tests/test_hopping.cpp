@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "relay/hopping.h"
+#include "signal/noise.h"
+
+namespace rfly::relay {
+namespace {
+
+constexpr double kFs = 8e6;
+
+HoppingTrackerConfig make_config() {
+  HoppingTrackerConfig cfg;
+  cfg.channel_grid = channel_grid(-3e6, 3e6, 500e3);
+  return cfg;
+}
+
+signal::Waveform dwell_at(double freq_hz, Rng& rng) {
+  auto rx = signal::make_tone(freq_hz, 1e-4,
+                              static_cast<std::size_t>(0.02 * kFs), kFs,
+                              rng.phase());
+  signal::add_awgn(rx, 1e-12, rng);
+  return rx;
+}
+
+// A 4-channel repeating hop pattern.
+const double kPattern[] = {0.5e6, -1.5e6, 2.0e6, -0.5e6};
+
+TEST(Hopping, LearnsAndFollowsThePattern) {
+  HoppingTracker tracker(make_config());
+  Rng rng(1);
+
+  int predicted = 0;
+  for (int dwell = 0; dwell < 12; ++dwell) {
+    const double f = kPattern[dwell % 4];
+    const auto report = tracker.on_dwell(dwell_at(f, rng));
+    ASSERT_TRUE(report.locked) << "dwell " << dwell;
+    EXPECT_DOUBLE_EQ(report.freq_hz, f) << "dwell " << dwell;
+    if (report.predicted) ++predicted;
+  }
+  EXPECT_TRUE(tracker.has_full_pattern());
+  EXPECT_EQ(tracker.learned_pattern().size(), 4u);
+  // Once the pattern repeats (dwell 4 onward), dwells are served by
+  // prediction, not full sweeps.
+  EXPECT_GE(predicted, 7);
+}
+
+TEST(Hopping, PredictedDwellsSkipTheSweep) {
+  HoppingTracker tracker(make_config());
+  Rng rng(2);
+  double sweep_time = 0.0;
+  double predicted_time = 0.0;
+  for (int dwell = 0; dwell < 12; ++dwell) {
+    const auto report = tracker.on_dwell(dwell_at(kPattern[dwell % 4], rng));
+    if (report.predicted) {
+      predicted_time += report.listen_s;
+    } else {
+      sweep_time += report.listen_s;
+    }
+  }
+  EXPECT_GT(sweep_time, 0.0);
+  EXPECT_DOUBLE_EQ(predicted_time, 0.0);
+}
+
+TEST(Hopping, ToleratesOneFadedDwell) {
+  HoppingTracker tracker(make_config());
+  Rng rng(3);
+  // Learn the pattern.
+  for (int dwell = 0; dwell < 8; ++dwell) {
+    tracker.on_dwell(dwell_at(kPattern[dwell % 4], rng));
+  }
+  ASSERT_TRUE(tracker.has_full_pattern());
+  // One dwell arrives as pure noise (deep fade): the tracker stays on the
+  // pattern.
+  const auto faded = tracker.on_dwell(
+      signal::make_awgn(static_cast<std::size_t>(0.02 * kFs), kFs, 1e-10, rng));
+  EXPECT_TRUE(faded.locked);
+  EXPECT_TRUE(faded.predicted);
+  // And the next real dwell still matches.
+  const auto next = tracker.on_dwell(dwell_at(kPattern[1], rng));
+  EXPECT_TRUE(next.locked);
+  EXPECT_DOUBLE_EQ(next.freq_hz, kPattern[1]);
+}
+
+TEST(Hopping, ReacquiresAfterPatternChange) {
+  HoppingTracker tracker(make_config());
+  Rng rng(4);
+  for (int dwell = 0; dwell < 8; ++dwell) {
+    tracker.on_dwell(dwell_at(kPattern[dwell % 4], rng));
+  }
+  ASSERT_TRUE(tracker.has_full_pattern());
+
+  // The reader switches to a different pattern: after max_misses the
+  // tracker re-sweeps and locks onto the new frequencies.
+  const double kNewPattern[] = {1.5e6, -2.5e6, 0.0};
+  bool reacquired = false;
+  for (int dwell = 0; dwell < 10; ++dwell) {
+    const double f = kNewPattern[dwell % 3];
+    const auto report = tracker.on_dwell(dwell_at(f, rng));
+    if (report.locked && report.freq_hz == f && !report.predicted) {
+      reacquired = true;
+    }
+  }
+  EXPECT_TRUE(reacquired);
+}
+
+}  // namespace
+}  // namespace rfly::relay

@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/inventory.h"
+
+namespace rfly::core {
+namespace {
+
+std::vector<gen2::Tag> make_tags(std::size_t n) {
+  std::vector<gen2::Tag> tags;
+  tags.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    gen2::TagConfig cfg;
+    cfg.epc = make_epc(static_cast<std::uint32_t>(i));
+    tags.emplace_back(cfg, 1000 + i);
+  }
+  return tags;
+}
+
+std::vector<TagAgent> make_agents(std::vector<gen2::Tag>& tags,
+                                  double power_dbm = -5.0, double snr_db = 20.0) {
+  std::vector<TagAgent> agents;
+  for (auto& tag : tags) agents.push_back({&tag, power_dbm, snr_db});
+  return agents;
+}
+
+TEST(InventoryDatabase, AddAndLookup) {
+  InventoryDatabase db;
+  db.add(make_epc(1), "pallet of drills");
+  db.add(make_epc(2), "box of shirts");
+  EXPECT_EQ(db.lookup(make_epc(1)), "pallet of drills");
+  EXPECT_EQ(db.lookup(make_epc(2)), "box of shirts");
+  EXPECT_EQ(db.lookup(make_epc(3)), "");
+  EXPECT_EQ(db.size(), 2u);
+}
+
+TEST(InventoryDatabase, OverwriteKeepsLatest) {
+  InventoryDatabase db;
+  db.add(make_epc(1), "old");
+  db.add(make_epc(1), "new");
+  EXPECT_EQ(db.lookup(make_epc(1)), "new");
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(MakeEpc, DistinctPerIndex) {
+  EXPECT_NE(make_epc(1), make_epc(2));
+  EXPECT_EQ(make_epc(77), make_epc(77));
+}
+
+TEST(Inventory, SingleTagReadInOneRound) {
+  auto tags = make_tags(1);
+  auto agents = make_agents(tags);
+  reader::QAlgorithm q(1.0);
+  Rng rng(1);
+  InventoryRoundConfig cfg;
+  cfg.q = 1;
+  const auto outcome = run_inventory(agents, cfg, q, rng);
+  ASSERT_EQ(outcome.epcs.size(), 1u);
+  EXPECT_EQ(outcome.epcs[0], make_epc(0));
+}
+
+TEST(Inventory, ReadsAllTagsInPopulation) {
+  auto tags = make_tags(12);
+  auto agents = make_agents(tags);
+  reader::QAlgorithm q(4.0);
+  Rng rng(2);
+  InventoryRoundConfig cfg;
+  cfg.q = 4;
+  cfg.max_rounds = 10;
+  const auto outcome = run_inventory(agents, cfg, q, rng);
+  EXPECT_EQ(outcome.epcs.size(), 12u);
+  // All EPCs distinct.
+  auto epcs = outcome.epcs;
+  std::sort(epcs.begin(), epcs.end());
+  EXPECT_EQ(std::adjacent_find(epcs.begin(), epcs.end()), epcs.end());
+}
+
+TEST(Inventory, CollisionsHappenWithLowQ) {
+  auto tags = make_tags(16);
+  auto agents = make_agents(tags);
+  reader::QAlgorithm q(1.0);
+  Rng rng(3);
+  InventoryRoundConfig cfg;
+  cfg.q = 1;  // 2 slots for 16 tags
+  cfg.max_rounds = 1;
+  const auto outcome = run_inventory(agents, cfg, q, rng);
+  EXPECT_GT(outcome.collisions, 0);
+}
+
+TEST(Inventory, QAdaptationResolvesUndersizedRound) {
+  // 32 tags against an initial 2-slot round: collisions drive Q up via
+  // mid-round QueryAdjust until every tag is read.
+  auto tags = make_tags(32);
+  auto agents = make_agents(tags);
+  reader::QAlgorithm q(1.0);
+  Rng rng(4);
+  InventoryRoundConfig cfg;
+  cfg.q = 1;
+  cfg.max_rounds = 8;
+  const auto outcome = run_inventory(agents, cfg, q, rng);
+  EXPECT_GT(outcome.collisions, 0);
+  EXPECT_EQ(outcome.epcs.size(), 32u);
+}
+
+TEST(Inventory, UnpoweredTagsNotRead) {
+  auto tags = make_tags(4);
+  auto agents = make_agents(tags);
+  agents[1].incident_power_dbm = -40.0;  // dead zone
+  agents[3].incident_power_dbm = -40.0;
+  reader::QAlgorithm q(3.0);
+  Rng rng(5);
+  InventoryRoundConfig cfg;
+  cfg.q = 3;
+  const auto outcome = run_inventory(agents, cfg, q, rng);
+  EXPECT_EQ(outcome.epcs.size(), 2u);
+  for (const auto& epc : outcome.epcs) {
+    EXPECT_TRUE(epc == make_epc(0) || epc == make_epc(2));
+  }
+}
+
+TEST(Inventory, LowSnrTagsFailToDecode) {
+  auto tags = make_tags(2);
+  auto agents = make_agents(tags);
+  agents[0].reply_snr_db = -20.0;  // powered but unreadable
+  reader::QAlgorithm q(2.0);
+  Rng rng(6);
+  InventoryRoundConfig cfg;
+  cfg.q = 2;
+  cfg.max_rounds = 4;
+  const auto outcome = run_inventory(agents, cfg, q, rng);
+  ASSERT_EQ(outcome.epcs.size(), 1u);
+  EXPECT_EQ(outcome.epcs[0], make_epc(1));
+}
+
+TEST(Inventory, SlotAccountingConsistent) {
+  auto tags = make_tags(6);
+  auto agents = make_agents(tags);
+  reader::QAlgorithm q(3.0);
+  Rng rng(7);
+  InventoryRoundConfig cfg;
+  cfg.q = 3;
+  const auto outcome = run_inventory(agents, cfg, q, rng);
+  EXPECT_EQ(outcome.slots, outcome.empties + outcome.singles + outcome.collisions);
+  EXPECT_GE(outcome.singles, static_cast<int>(outcome.epcs.size()));
+}
+
+TEST(Inventory, SecondInventoryTargetsFlippedFlag) {
+  auto tags = make_tags(3);
+  auto agents = make_agents(tags);
+  reader::QAlgorithm q(2.0);
+  Rng rng(8);
+  InventoryRoundConfig cfg;
+  cfg.q = 2;
+  const auto first = run_inventory(agents, cfg, q, rng);
+  EXPECT_EQ(first.epcs.size(), 3u);
+
+  // Same target again: every tag is now inventoried (flag B), so nothing
+  // answers.
+  reader::QAlgorithm q2(2.0);
+  const auto second = run_inventory(agents, cfg, q2, rng);
+  EXPECT_TRUE(second.epcs.empty());
+
+  // Target B reads them again.
+  InventoryRoundConfig cfg_b = cfg;
+  cfg_b.target = gen2::InventoryFlag::kB;
+  reader::QAlgorithm q3(2.0);
+  const auto third = run_inventory(agents, cfg_b, q3, rng);
+  EXPECT_EQ(third.epcs.size(), 3u);
+}
+
+/// Property: populations of every size are fully inventoried.
+class InventoryPopulationProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(InventoryPopulationProperty, AllRead) {
+  auto tags = make_tags(static_cast<std::size_t>(GetParam()));
+  auto agents = make_agents(tags);
+  reader::QAlgorithm q(4.0);
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  InventoryRoundConfig cfg;
+  cfg.q = 4;
+  cfg.max_rounds = 32;
+  const auto outcome = run_inventory(agents, cfg, q, rng);
+  EXPECT_EQ(outcome.epcs.size(), static_cast<std::size_t>(GetParam()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Populations, InventoryPopulationProperty,
+                         ::testing::Values(1, 2, 5, 10, 25, 50));
+
+}  // namespace
+}  // namespace rfly::core

@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include "channel/link_budget.h"
+#include "common/constants.h"
+
+namespace rfly::channel {
+namespace {
+
+// The paper quotes Eq. 4 numerically with lambda = 0.3 m: 30 dB isolation
+// -> 0.75 m range, 80 dB -> 238 m.
+constexpr double kF300mm = kSpeedOfLight / 0.3;
+
+TEST(LinkBudget, PaperNumber30Db) {
+  EXPECT_NEAR(max_relay_range_m(30.0, kF300mm), 0.755, 0.01);
+}
+
+TEST(LinkBudget, PaperNumber80Db) {
+  EXPECT_NEAR(max_relay_range_m(80.0, kF300mm), 238.7, 1.0);
+}
+
+TEST(LinkBudget, SeventyDbGivesTensOfMeters) {
+  // Section 7.2: >70 dB isolation -> theoretical range ~83 m (at 915 MHz).
+  EXPECT_NEAR(max_relay_range_m(70.0, 915e6), 82.4, 1.0);
+}
+
+TEST(LinkBudget, InverseRelation) {
+  for (double iso : {20.0, 40.0, 60.0, 90.0}) {
+    const double r = max_relay_range_m(iso, 915e6);
+    EXPECT_NEAR(required_isolation_db(r, 915e6), iso, 1e-9);
+  }
+}
+
+TEST(LinkBudget, MoreIsolationMoreRange) {
+  EXPECT_LT(max_relay_range_m(40.0, 915e6), max_relay_range_m(60.0, 915e6));
+}
+
+TEST(LinkBudget, DirectPoweringRange) {
+  // 30 dBm EIRP, 2 dBi tag, -15 dBm sensitivity: few meters (Section 2).
+  const double r = direct_powering_range_m(30.0, 2.0, -15.0, 915e6);
+  EXPECT_GT(r, 3.0);
+  EXPECT_LT(r, 8.0);
+}
+
+TEST(LinkBudget, BetterSensitivityLongerRange) {
+  const double r1 = direct_powering_range_m(30.0, 2.0, -15.0, 915e6);
+  const double r2 = direct_powering_range_m(30.0, 2.0, -18.0, 915e6);
+  EXPECT_GT(r2, r1);
+}
+
+}  // namespace
+}  // namespace rfly::channel

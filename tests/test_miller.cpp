@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "gen2/miller.h"
+
+namespace rfly::gen2 {
+namespace {
+
+Bits random_bits(Rng& rng, std::size_t n) {
+  Bits bits(n);
+  for (auto& b : bits) b = rng.chance(0.5) ? 1 : 0;
+  return bits;
+}
+
+std::vector<cdouble> synthesize(const std::vector<int>& chips,
+                                double samples_per_chip, cdouble h, cdouble dc,
+                                double noise_std, Rng& rng,
+                                std::size_t lead_in = 0) {
+  const auto total = static_cast<std::size_t>(
+      std::ceil(samples_per_chip * static_cast<double>(chips.size())));
+  std::vector<cdouble> x(lead_in + total + 64, dc);
+  for (std::size_t i = 0; i < total; ++i) {
+    const auto k =
+        static_cast<std::size_t>(static_cast<double>(i) / samples_per_chip);
+    x[lead_in + i] += h * static_cast<double>(chips[std::min(k, chips.size() - 1)]);
+  }
+  if (noise_std > 0.0) {
+    for (auto& v : x) v += cdouble{rng.gaussian(0.0, noise_std),
+                                   rng.gaussian(0.0, noise_std)};
+  }
+  return x;
+}
+
+TEST(Miller, ChipsPerSymbol) {
+  EXPECT_EQ(miller_chips_per_symbol(Miller::kM2), 4u);
+  EXPECT_EQ(miller_chips_per_symbol(Miller::kM4), 8u);
+  EXPECT_EQ(miller_chips_per_symbol(Miller::kM8), 16u);
+}
+
+TEST(Miller, ChipCountMatchesFormula) {
+  const Bits bits(16, 0);
+  EXPECT_EQ(miller_chips(bits, Miller::kM4).size(),
+            miller_total_chips(16, Miller::kM4));
+  // Preamble (4 zeros + 6 tail) + 16 data + dummy = 27 symbols, 8 chips each.
+  EXPECT_EQ(miller_total_chips(16, Miller::kM4), 27u * 8u);
+}
+
+TEST(Miller, ChipsAreBipolar) {
+  for (int v : miller_chips(Bits{1, 0, 1, 1, 0}, Miller::kM2)) {
+    EXPECT_TRUE(v == 1 || v == -1);
+  }
+}
+
+TEST(Miller, SubcarrierAlternatesWithinSymbols) {
+  // A '0' symbol (no mid-symbol inversion) must alternate every chip.
+  const auto chips = miller_chips(Bits{}, Miller::kM4);  // starts with zeros
+  for (std::size_t c = 1; c < 8; ++c) {
+    EXPECT_EQ(chips[c], -chips[c - 1]);
+  }
+}
+
+TEST(Miller, OneSymbolHasMidInversion) {
+  // In a '1' symbol, the alternation breaks exactly once, at mid-symbol:
+  // the baseband flip cancels the subcarrier flip there.
+  MillerDecodeResult unused;
+  (void)unused;
+  const auto with_one = miller_chips(Bits{1}, Miller::kM4);
+  const auto with_zero = miller_chips(Bits{0}, Miller::kM4);
+  const std::size_t data_start = with_one.size() - 2 * 8;  // data + dummy
+  int breaks_one = 0;
+  int breaks_zero = 0;
+  for (std::size_t c = 1; c < 8; ++c) {
+    if (with_one[data_start + c] == with_one[data_start + c - 1]) ++breaks_one;
+    if (with_zero[data_start + c] == with_zero[data_start + c - 1]) ++breaks_zero;
+  }
+  EXPECT_EQ(breaks_one, 1);
+  EXPECT_EQ(breaks_zero, 0);
+}
+
+TEST(Miller, CleanDecode) {
+  Rng rng(40);
+  const Bits bits = random_bits(rng, 16);
+  const auto chips = miller_chips(bits, Miller::kM4);
+  const auto x =
+      synthesize(chips, 4.0, cdouble{1e-6, 0.0}, cdouble{1e-3, 0.0}, 0.0, rng);
+  const auto decoded = miller_decode(x, 4.0, 16, Miller::kM4);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->bits, bits);
+  EXPECT_GT(decoded->sync_metric, 0.9);
+}
+
+TEST(Miller, DecodeWithPhaseRotationAndOffset) {
+  Rng rng(41);
+  const Bits bits = random_bits(rng, 32);
+  const auto chips = miller_chips(bits, Miller::kM2);
+  const auto x = synthesize(chips, 4.0, 1e-6 * cis(1.9), cdouble{0, 0}, 0.0, rng,
+                            /*lead_in=*/53);
+  const auto decoded = miller_decode(x, 4.0, 32, Miller::kM2);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->bits, bits);
+}
+
+TEST(Miller, ChannelEstimateMatchesTruth) {
+  Rng rng(42);
+  const Bits bits = random_bits(rng, 16);
+  const cdouble h = cdouble{2e-6, -3e-6};
+  const auto x = synthesize(miller_chips(bits, Miller::kM4), 4.0, h,
+                            cdouble{1e-3, 0.0}, 0.0, rng);
+  const auto decoded = miller_decode(x, 4.0, 16, Miller::kM4);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_NEAR(std::arg(decoded->channel), std::arg(h), 0.05);
+}
+
+TEST(Miller, MoreRobustToNoiseThanItsRate) {
+  // Miller-4 spends 4x the airtime of FM0 per bit; the matched filter
+  // should therefore survive noise levels where chips are individually
+  // unreliable.
+  Rng rng(43);
+  int ok = 0;
+  for (int t = 0; t < 10; ++t) {
+    const Bits bits = random_bits(rng, 16);
+    const auto x = synthesize(miller_chips(bits, Miller::kM4), 4.0,
+                              cdouble{1e-6, 0.0}, cdouble{1e-3, 0.0}, 1e-6, rng);
+    const auto decoded = miller_decode(x, 4.0, 16, Miller::kM4, false, 0.3);
+    if (decoded && decoded->bits == bits) ++ok;
+  }
+  EXPECT_GE(ok, 8);
+}
+
+TEST(Miller, PilotDecode) {
+  Rng rng(44);
+  const Bits bits = random_bits(rng, 16);
+  const auto chips = miller_chips(bits, Miller::kM2, /*pilot=*/true);
+  const auto x =
+      synthesize(chips, 4.0, cdouble{1e-6, 0.0}, cdouble{1e-3, 0.0}, 0.0, rng);
+  const auto decoded = miller_decode(x, 4.0, 16, Miller::kM2, /*pilot=*/true);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->bits, bits);
+}
+
+TEST(Miller, RejectsPureNoise) {
+  Rng rng(45);
+  std::vector<cdouble> x(4096);
+  for (auto& v : x) v = {rng.gaussian(0.0, 1e-7), rng.gaussian(0.0, 1e-7)};
+  EXPECT_FALSE(miller_decode(x, 4.0, 16, Miller::kM4, false, 0.8).has_value());
+}
+
+TEST(Miller, TooShortFails) {
+  std::vector<cdouble> x(10);
+  EXPECT_FALSE(miller_decode(x, 4.0, 16, Miller::kM4).has_value());
+}
+
+TEST(Miller, Fm0ModeRejected) {
+  std::vector<cdouble> x(65536);
+  EXPECT_FALSE(miller_decode(x, 4.0, 16, Miller::kFm0).has_value());
+}
+
+/// Property: round trip across M modes and payload sizes.
+class MillerRoundTrip
+    : public ::testing::TestWithParam<std::tuple<Miller, int>> {};
+
+TEST_P(MillerRoundTrip, CleanRoundTrip) {
+  const auto [m, n_bits] = GetParam();
+  Rng rng(600 + static_cast<std::uint64_t>(n_bits) * 3 +
+          static_cast<std::uint64_t>(m));
+  const Bits bits = random_bits(rng, static_cast<std::size_t>(n_bits));
+  const auto x = synthesize(miller_chips(bits, m), 3.5, cdouble{1e-6, 4e-7},
+                            cdouble{1e-3, 0.0}, 0.0, rng);
+  const auto decoded =
+      miller_decode(x, 3.5, static_cast<std::size_t>(n_bits), m);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->bits, bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ModesAndLengths, MillerRoundTrip,
+    ::testing::Combine(::testing::Values(Miller::kM2, Miller::kM4, Miller::kM8),
+                       ::testing::Values(8, 16, 64, 128)));
+
+}  // namespace
+}  // namespace rfly::gen2

@@ -1,0 +1,54 @@
+#include <gtest/gtest.h>
+
+#include "common/constants.h"
+#include "common/units.h"
+#include "signal/noise.h"
+#include "signal/spectrum.h"
+
+namespace rfly::signal {
+namespace {
+
+TEST(Noise, ThermalFloorFormula) {
+  // kTB at 1 Hz is -174 dBm; at 1 MHz with NF 6 dB: -174 + 60 + 6 = -108 dBm.
+  EXPECT_NEAR(watts_to_dbm(thermal_noise_power(1.0)), -174.0, 1e-9);
+  EXPECT_NEAR(watts_to_dbm(thermal_noise_power(1e6, 6.0)), -108.0, 1e-9);
+}
+
+TEST(Noise, AddedPowerMatchesRequest) {
+  Rng rng(77);
+  Waveform w(200000, 4e6);
+  const double target = 1e-9;
+  add_awgn(w, target, rng);
+  EXPECT_NEAR(w.power() / target, 1.0, 0.05);
+}
+
+TEST(Noise, ZeroPowerIsNoop) {
+  Rng rng(1);
+  Waveform w(100, 4e6);
+  add_awgn(w, 0.0, rng);
+  EXPECT_DOUBLE_EQ(w.power(), 0.0);
+}
+
+TEST(Noise, IqBalanced) {
+  Rng rng(7);
+  const auto w = make_awgn(100000, 4e6, 2e-6, rng);
+  double pi = 0.0;
+  double pq = 0.0;
+  for (const auto& s : w.data()) {
+    pi += s.real() * s.real();
+    pq += s.imag() * s.imag();
+  }
+  EXPECT_NEAR(pi / pq, 1.0, 0.1);
+}
+
+TEST(Noise, SpectrallyFlat) {
+  Rng rng(3);
+  const auto w = make_awgn(1 << 16, 4e6, 1e-6, rng);
+  // Compare band power in two disjoint quarters of the band.
+  const double p1 = band_power(w, -1.5e6, -0.5e6);
+  const double p2 = band_power(w, 0.5e6, 1.5e6);
+  EXPECT_NEAR(p1 / p2, 1.0, 0.2);
+}
+
+}  // namespace
+}  // namespace rfly::signal

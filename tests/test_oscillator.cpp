@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "common/constants.h"
+#include "relay/synthesizer.h"
+#include "signal/oscillator.h"
+#include "signal/spectrum.h"
+
+namespace rfly::signal {
+namespace {
+
+TEST(Oscillator, GeneratesRequestedFrequency) {
+  Oscillator osc(250e3, 4e6);
+  const auto w = osc.generate(8192);
+  EXPECT_NEAR(tone_power(w, 250e3), 1.0, 1e-6);
+}
+
+TEST(Oscillator, ZeroFrequencyIsDc) {
+  Oscillator osc(0.0, 4e6, 0.5);
+  const auto w = osc.generate(100);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(std::arg(w[i]), 0.5, 1e-9);
+  }
+}
+
+TEST(Oscillator, PhaseContinuityAcrossSkip) {
+  Oscillator a(100e3, 4e6);
+  Oscillator b(100e3, 4e6);
+  // a emits 50 then 50; b skips 50 then emits 50: second halves must match.
+  for (int i = 0; i < 50; ++i) a.next();
+  b.skip(50);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_NEAR(std::abs(a.next() - b.next()), 0.0, 1e-9);
+  }
+}
+
+TEST(Oscillator, DownThenUpconvertIsIdentity) {
+  const auto original = make_tone(120e3, 1.0, 4096, 4e6, 0.3);
+  Oscillator down_lo(500e3, 4e6, 1.1);
+  Oscillator up_lo(500e3, 4e6, 1.1);
+  const auto down = downconvert(original, down_lo);
+  const auto up = upconvert(down, up_lo);
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_NEAR(std::abs(up[i] - original[i]), 0.0, 1e-9);
+  }
+}
+
+TEST(Oscillator, DownconvertShiftsSpectrumDown) {
+  const auto tone = make_tone(600e3, 1.0, 8192, 4e6);
+  Oscillator lo(500e3, 4e6);
+  const auto base = downconvert(tone, lo);
+  EXPECT_NEAR(tone_power(base, 100e3), 1.0, 1e-6);
+}
+
+TEST(Oscillator, PhaseNoiseBroadensLine) {
+  Rng rng(5);
+  Oscillator clean(200e3, 4e6);
+  Oscillator noisy(200e3, 4e6, 0.0, 0.02, &rng);
+  const auto wc = clean.generate(16384);
+  const auto wn = noisy.generate(16384);
+  // Phase noise leaks power out of the exact bin.
+  EXPECT_GT(tone_power(wc, 200e3), tone_power(wn, 200e3));
+}
+
+TEST(Synthesizer, SharedTrajectory) {
+  Rng rng(9);
+  relay::SynthesizerConfig cfg;
+  cfg.nominal_freq_hz = 1e6;
+  cfg.sample_rate_hz = 4e6;
+  relay::Synthesizer synth(cfg, rng);
+  auto a = synth.make_oscillator();
+  auto b = synth.make_oscillator();
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_NEAR(std::abs(a.next() - b.next()), 0.0, 1e-12);
+  }
+}
+
+TEST(Synthesizer, IndependentDrawsDiffer) {
+  Rng rng(9);
+  relay::SynthesizerConfig cfg;
+  cfg.nominal_freq_hz = 1e6;
+  cfg.freq_error_std_hz = 200.0;
+  relay::Synthesizer s1(cfg, rng);
+  relay::Synthesizer s2(cfg, rng);
+  EXPECT_NE(s1.actual_freq_hz(), s2.actual_freq_hz());
+  EXPECT_NE(s1.initial_phase(), s2.initial_phase());
+}
+
+TEST(Synthesizer, FrequencyErrorIsSmall) {
+  Rng rng(11);
+  relay::SynthesizerConfig cfg;
+  cfg.nominal_freq_hz = 1e6;
+  cfg.freq_error_std_hz = 150.0;
+  for (int i = 0; i < 50; ++i) {
+    relay::Synthesizer s(cfg, rng);
+    EXPECT_LT(std::abs(s.freq_error_hz()), 150.0 * 5);
+  }
+}
+
+}  // namespace
+}  // namespace rfly::signal

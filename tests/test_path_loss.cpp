@@ -1,0 +1,66 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/path_loss.h"
+#include "common/constants.h"
+#include "common/units.h"
+
+namespace rfly::channel {
+namespace {
+
+TEST(PathLoss, KnownValueAt915MHz) {
+  // FSPL(1 m, 915 MHz) = 20 log10(4*pi*1/0.3276) = 31.7 dB.
+  EXPECT_NEAR(free_space_path_loss_db(1.0, 915e6), 31.7, 0.1);
+}
+
+TEST(PathLoss, SixDbPerDoubling) {
+  const double l1 = free_space_path_loss_db(10.0, 915e6);
+  const double l2 = free_space_path_loss_db(20.0, 915e6);
+  EXPECT_NEAR(l2 - l1, 6.02, 0.01);
+}
+
+TEST(PathLoss, NearFieldClamp) {
+  // Below 1 cm the model clamps rather than diverging to -inf.
+  EXPECT_DOUBLE_EQ(free_space_path_loss_db(0.0, 915e6),
+                   free_space_path_loss_db(0.01, 915e6));
+}
+
+TEST(PathLoss, CoefficientMagnitudeMatchesFspl) {
+  const double d = 12.0;
+  const double f = 915e6;
+  const cdouble h = propagation_coefficient(d, f);
+  EXPECT_NEAR(-amplitude_to_db(std::abs(h)), free_space_path_loss_db(d, f), 1e-9);
+}
+
+TEST(PathLoss, CoefficientPhaseIsMinusKd) {
+  const double f = 915e6;
+  const double lambda = wavelength(f);
+  // One full wavelength -> phase wraps to the same value as a tiny distance.
+  const cdouble h1 = propagation_coefficient(5.0, f);
+  const cdouble h2 = propagation_coefficient(5.0 + lambda, f);
+  EXPECT_NEAR(std::arg(h1), std::arg(h2), 1e-6);
+  // Half wavelength -> opposite phase.
+  const cdouble h3 = propagation_coefficient(5.0 + lambda / 2.0, f);
+  EXPECT_NEAR(std::abs(wrap_phase(std::arg(h1) - std::arg(h3))), kPi, 1e-6);
+}
+
+TEST(PathLoss, ReceivedPowerBudget) {
+  // 30 dBm EIRP, 2 dBi RX, 10 m at 915 MHz: 30 + 2 - 51.7 = -19.7 dBm.
+  EXPECT_NEAR(received_power_dbm(30.0, 0.0, 2.0, 10.0, 915e6), -19.7, 0.1);
+}
+
+TEST(PathLoss, RangeInversionRoundTrip) {
+  const double range = range_for_received_power(30.0, 0.0, 2.0, -15.0, 915e6);
+  EXPECT_NEAR(received_power_dbm(30.0, 0.0, 2.0, range, 915e6), -15.0, 1e-9);
+}
+
+TEST(PathLoss, TypicalTagRangeIsFewMeters) {
+  // The Section 2 claim: passive tags power up within 3-6 m of a reader.
+  const double range = range_for_received_power(30.0, 0.0, 2.0, -15.0, 915e6);
+  EXPECT_GT(range, 3.0);
+  EXPECT_LT(range, 8.0);
+}
+
+}  // namespace
+}  // namespace rfly::channel

@@ -1,0 +1,95 @@
+// Session persistence: Gen2 inventoried flags decay when a tag loses power
+// for longer than the session's persistence time (S0: none while unpowered;
+// S1: 0.5-5 s regardless of power; S2/S3: > 2 s while unpowered). This is
+// what lets a drone pass re-read tags on the next aisle sweep without an
+// explicit target flip.
+#include <gtest/gtest.h>
+
+#include "gen2/tag.h"
+
+namespace rfly::gen2 {
+namespace {
+
+TagConfig make_config() {
+  TagConfig cfg;
+  cfg.epc = Epc{0x30, 0x14, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0x11};
+  return cfg;
+}
+
+CommandContext powered_ctx() {
+  CommandContext ctx;
+  ctx.incident_power_dbm = -10.0;
+  ctx.trcal_s = 64.0 / 3.0 / 500e3;
+  return ctx;
+}
+
+void inventory_once(Tag& tag, Session session) {
+  QueryCommand q;
+  q.q = 0;
+  q.session = session;
+  ASSERT_TRUE(tag.on_command(Command{q}, powered_ctx()).has_value());
+  ASSERT_TRUE(
+      tag.on_command(Command{AckCommand{tag.current_rn16()}}, powered_ctx())
+          .has_value());
+  QueryRepCommand rep;
+  rep.session = session;
+  tag.on_command(Command{rep}, powered_ctx());
+}
+
+TEST(Persistence, S0FlagDecaysOnPowerLoss) {
+  Tag tag(make_config(), 1);
+  inventory_once(tag, Session::kS0);
+  ASSERT_EQ(tag.inventoried(Session::kS0), InventoryFlag::kB);
+  // Any unpowered gap resets S0.
+  tag.on_power_gap(0.01);
+  EXPECT_EQ(tag.inventoried(Session::kS0), InventoryFlag::kA);
+}
+
+TEST(Persistence, S2SurvivesShortGapDecaysAfterLongGap) {
+  Tag tag(make_config(), 2);
+  inventory_once(tag, Session::kS2);
+  ASSERT_EQ(tag.inventoried(Session::kS2), InventoryFlag::kB);
+  tag.on_power_gap(0.5);  // shorter than the 2 s persistence
+  EXPECT_EQ(tag.inventoried(Session::kS2), InventoryFlag::kB);
+  tag.on_power_gap(3.0);  // past persistence
+  EXPECT_EQ(tag.inventoried(Session::kS2), InventoryFlag::kA);
+}
+
+TEST(Persistence, SessionsAreIndependent) {
+  Tag tag(make_config(), 3);
+  inventory_once(tag, Session::kS2);
+  inventory_once(tag, Session::kS3);
+  tag.on_power_gap(0.5);
+  EXPECT_EQ(tag.inventoried(Session::kS2), InventoryFlag::kB);
+  EXPECT_EQ(tag.inventoried(Session::kS3), InventoryFlag::kB);
+  // S0 was never flipped; it stays A regardless.
+  EXPECT_EQ(tag.inventoried(Session::kS0), InventoryFlag::kA);
+}
+
+TEST(Persistence, DecayedTagAnswersTheNextSweep) {
+  Tag tag(make_config(), 4);
+  inventory_once(tag, Session::kS2);
+  // Same-target query right away: ignored (flag is B).
+  QueryCommand q;
+  q.q = 0;
+  q.session = Session::kS2;
+  EXPECT_FALSE(tag.on_command(Command{q}, powered_ctx()).has_value());
+  // The drone leaves (tag unpowered 10 s) and returns: tag answers again.
+  tag.on_power_gap(10.0);
+  EXPECT_TRUE(tag.on_command(Command{q}, powered_ctx()).has_value());
+}
+
+TEST(Persistence, SlFlagDecaysLikeS2) {
+  Tag tag(make_config(), 5);
+  SelectCommand sel;
+  sel.mask = Bits{0, 0, 1, 1};  // EPC starts 0x30
+  tag.on_command(Command{sel}, powered_ctx());
+  ASSERT_TRUE(tag.sl_flag());
+  tag.on_power_gap(0.5);
+  EXPECT_TRUE(tag.sl_flag());
+  tag.on_power_gap(3.0);
+  EXPECT_FALSE(tag.sl_flag());
+}
+
+}  // namespace
+}  // namespace rfly::gen2

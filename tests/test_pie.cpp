@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gen2/commands.h"
+#include "gen2/pie.h"
+
+namespace rfly::gen2 {
+namespace {
+
+PieConfig default_cfg() {
+  PieConfig cfg;
+  cfg.sample_rate_hz = 4e6;
+  return cfg;
+}
+
+Bits random_bits(Rng& rng, std::size_t n) {
+  Bits bits(n);
+  for (auto& b : bits) b = rng.chance(0.5) ? 1 : 0;
+  return bits;
+}
+
+TEST(Pie, QueryPreambleRoundTrip) {
+  const auto cfg = default_cfg();
+  const Bits bits = encode(QueryCommand{});
+  const auto env = pie_encode(bits, cfg, /*with_trcal=*/true);
+  const auto decoded = pie_decode(env, cfg);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->bits, bits);
+  ASSERT_TRUE(decoded->trcal_s.has_value());
+  EXPECT_NEAR(*decoded->trcal_s, cfg.trcal_s, 1e-6);
+  EXPECT_NEAR(decoded->rtcal_s, cfg.tari_s * (1.0 + cfg.data1_tari), 1e-6);
+}
+
+TEST(Pie, FrameSyncHasNoTrcal) {
+  const auto cfg = default_cfg();
+  const Bits bits = encode(AckCommand{0x1234});
+  const auto env = pie_encode(bits, cfg, /*with_trcal=*/false);
+  const auto decoded = pie_decode(env, cfg);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->bits, bits);
+  EXPECT_FALSE(decoded->trcal_s.has_value());
+}
+
+TEST(Pie, EnvelopeLevelsAreBounded) {
+  const auto cfg = default_cfg();
+  const auto env = pie_encode(Bits{1, 0, 1}, cfg, true);
+  for (double v : env) {
+    EXPECT_GE(v, 1.0 - cfg.modulation_depth - 1e-12);
+    EXPECT_LE(v, 1.0 + 1e-12);
+  }
+}
+
+TEST(Pie, ShallowModulationStillDecodes) {
+  auto cfg = default_cfg();
+  cfg.modulation_depth = 0.5;
+  const Bits bits{1, 1, 0, 0, 1, 0, 1};
+  const auto decoded = pie_decode(pie_encode(bits, cfg, true), cfg);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->bits, bits);
+}
+
+TEST(Pie, NoModulationFailsCleanly) {
+  const std::vector<double> flat(10000, 1.0);
+  EXPECT_FALSE(pie_decode(flat, default_cfg()).has_value());
+}
+
+TEST(Pie, TooShortFailsCleanly) {
+  EXPECT_FALSE(pie_decode({1.0, 0.0, 1.0}, default_cfg()).has_value());
+}
+
+TEST(Pie, DecodeSurvivesAmplitudeScaling) {
+  const auto cfg = default_cfg();
+  const Bits bits{0, 1, 1, 0, 1};
+  auto env = pie_encode(bits, cfg, true);
+  for (auto& v : env) v *= 3.7e-4;  // path loss
+  const auto decoded = pie_decode(env, cfg);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->bits, bits);
+}
+
+TEST(Pie, DecodeSurvivesNoise) {
+  const auto cfg = default_cfg();
+  Rng rng(6);
+  const Bits bits = random_bits(rng, 22);
+  auto env = pie_encode(bits, cfg, true);
+  for (auto& v : env) v += rng.gaussian(0.0, 0.03);
+  const auto decoded = pie_decode(env, cfg);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->bits, bits);
+}
+
+TEST(Pie, FrameDurationMatchesEncodedLength) {
+  const auto cfg = default_cfg();
+  const Bits bits = encode(QueryCommand{});
+  const double duration = pie_frame_duration(bits, cfg, true);
+  const auto env = pie_encode(bits, cfg, true);
+  EXPECT_NEAR(duration, static_cast<double>(env.size()) / cfg.sample_rate_hz, 1e-12);
+}
+
+TEST(Pie, LongerTariStillDecodes) {
+  auto cfg = default_cfg();
+  cfg.tari_s = 25e-6;
+  cfg.trcal_s = 85e-6;  // > RTcal = 75 us
+  const Bits bits{1, 0, 0, 1, 1, 1, 0};
+  const auto decoded = pie_decode(pie_encode(bits, cfg, true), cfg);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->bits, bits);
+}
+
+/// Property: random payloads of many lengths survive the PIE round trip.
+class PieRoundTripProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(PieRoundTripProperty, RoundTrip) {
+  const auto cfg = default_cfg();
+  Rng rng(static_cast<std::uint64_t>(40 + GetParam()));
+  const Bits bits = random_bits(rng, static_cast<std::size_t>(GetParam()));
+  const auto decoded = pie_decode(pie_encode(bits, cfg, true), cfg);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->bits, bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, PieRoundTripProperty,
+                         ::testing::Values(1, 2, 4, 9, 18, 22, 44, 100));
+
+}  // namespace
+}  // namespace rfly::gen2

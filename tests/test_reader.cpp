@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "gen2/pie.h"
+#include "reader/channel_estimator.h"
+#include "reader/q_algorithm.h"
+#include "reader/reader.h"
+
+namespace rfly::reader {
+namespace {
+
+TEST(Reader, TxAmplitudeFollowsPower) {
+  ReaderConfig cfg;
+  cfg.tx_power_dbm = 30.0;  // 1 W
+  Reader rdr(cfg);
+  EXPECT_NEAR(rdr.tx_amplitude(), 1.0, 1e-9);
+}
+
+TEST(Reader, CommandFrameHasQueryThenCw) {
+  Reader rdr(ReaderConfig{});
+  const auto frame = rdr.make_command_frame(gen2::Command{gen2::QueryCommand{}},
+                                            gen2::kRn16Bits, 500e3);
+  ASSERT_GT(frame.samples.size(), frame.reply_window_start);
+  // After the envelope, the reader transmits flat CW.
+  for (std::size_t i = frame.reply_window_start + 1; i < frame.samples.size();
+       ++i) {
+    EXPECT_NEAR(std::abs(frame.samples[i]), frame.cw_amplitude, 1e-12);
+  }
+}
+
+TEST(Reader, FrameEnvelopeDecodesBackToCommand) {
+  Reader rdr(ReaderConfig{});
+  gen2::QueryCommand q;
+  q.q = 5;
+  const auto frame =
+      rdr.make_command_frame(gen2::Command{q}, gen2::kRn16Bits, 500e3);
+  const auto env = gen2::envelope_of(frame.samples);
+  const auto decoded = gen2::pie_decode(env, rdr.config().pie);
+  ASSERT_TRUE(decoded.has_value());
+  const auto cmd = gen2::decode_command(decoded->bits);
+  ASSERT_TRUE(cmd.has_value());
+  EXPECT_EQ(std::get<gen2::QueryCommand>(*cmd).q, 5);
+}
+
+TEST(Reader, ReplyWindowLongEnough) {
+  ReaderConfig cfg;
+  Reader rdr(cfg);
+  const auto frame = rdr.make_command_frame(gen2::Command{gen2::QueryCommand{}},
+                                            gen2::kEpcReplyBits, 500e3);
+  const double window_s =
+      static_cast<double>(frame.samples.size() - frame.reply_window_start) /
+      cfg.sample_rate_hz;
+  // T1 + 270 half-bits at 1 us + tail.
+  const double reply_s = gen2::fm0_half_bits(gen2::kEpcReplyBits) * 1e-6;
+  EXPECT_GT(window_s, cfg.t1_s + reply_s);
+}
+
+TEST(Reader, MakeCw) {
+  Reader rdr(ReaderConfig{});
+  const auto cw = rdr.make_cw(1e-3);
+  EXPECT_EQ(cw.size(), 4000u);
+  EXPECT_NEAR(std::abs(cw[100]), rdr.tx_amplitude(), 1e-12);
+}
+
+TEST(QAlgorithm, CollisionsRaiseQ) {
+  QAlgorithm q(4.0, 0.5);
+  for (int i = 0; i < 4; ++i) q.on_slot(SlotOutcome::kCollision);
+  EXPECT_GT(q.q(), 4);
+}
+
+TEST(QAlgorithm, EmptiesLowerQ) {
+  QAlgorithm q(4.0, 0.5);
+  for (int i = 0; i < 4; ++i) q.on_slot(SlotOutcome::kEmpty);
+  EXPECT_LT(q.q(), 4);
+}
+
+TEST(QAlgorithm, SinglesKeepQ) {
+  QAlgorithm q(4.0, 0.5);
+  for (int i = 0; i < 10; ++i) q.on_slot(SlotOutcome::kSingle);
+  EXPECT_EQ(q.q(), 4);
+}
+
+TEST(QAlgorithm, Bounded) {
+  QAlgorithm q(0.0, 0.5);
+  for (int i = 0; i < 10; ++i) q.on_slot(SlotOutcome::kEmpty);
+  EXPECT_GE(q.q(), 0);
+  QAlgorithm q2(15.0, 0.5);
+  for (int i = 0; i < 10; ++i) q2.on_slot(SlotOutcome::kCollision);
+  EXPECT_LE(q2.q(), 15);
+}
+
+TEST(ChannelEstimator, NoReplyInWindowReturnsNullopt) {
+  signal::Waveform cw(4000, 4e6);
+  for (auto& s : cw.data()) s = {1.0, 0.0};
+  ChannelEstimatorConfig cfg;
+  EXPECT_FALSE(decode_reply(cw, gen2::kRn16Bits, cfg).has_value());
+}
+
+}  // namespace
+}  // namespace rfly::reader

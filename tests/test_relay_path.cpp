@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "relay/analog_relay.h"
+#include "relay/rfly_relay.h"
+#include "signal/spectrum.h"
+
+namespace rfly::relay {
+namespace {
+
+constexpr double kFs = 4e6;
+
+RflyRelayConfig ideal_config() {
+  RflyRelayConfig cfg;
+  cfg.synth_freq_error_std_hz = 0.0;  // exact frequency plan for spectral tests
+  cfg.component_spread_db = 0.0;
+  cfg.enable_pa = false;  // pure linear gain for spectral accounting
+  return cfg;
+}
+
+signal::Waveform run_downlink(Relay& relay, const signal::Waveform& in) {
+  signal::Waveform out(in.size(), in.sample_rate());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = relay.step(in[i], cdouble{0.0, 0.0}).downlink;
+  }
+  return out;
+}
+
+signal::Waveform run_uplink(Relay& relay, const signal::Waveform& in) {
+  signal::Waveform out(in.size(), in.sample_rate());
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = relay.step(cdouble{0.0, 0.0}, in[i]).uplink;
+  }
+  return out;
+}
+
+TEST(RelayPath, DownlinkShiftsQueryToF2) {
+  auto relay = make_rfly_relay(ideal_config(), 1);
+  // Query-band tone at f1 + 50 kHz, -30 dBm.
+  const double amp = std::sqrt(dbm_to_watts(-30.0));
+  const auto in = signal::make_tone(50e3, amp, 20000, kFs);
+  const auto out = run_downlink(*relay, in);
+  const auto steady = out.slice(4000, 16000);
+  // Energy appears at shift + 50 kHz with the downlink gain.
+  const double out_dbm = signal::tone_power_dbm(steady, 1e6 + 50e3);
+  EXPECT_NEAR(out_dbm - (-30.0), 45.0, 1.0);  // pre-gain 45 dB, no PA
+}
+
+TEST(RelayPath, DownlinkRejectsTagBand) {
+  auto relay = make_rfly_relay(ideal_config(), 2);
+  const double amp = std::sqrt(dbm_to_watts(-30.0));
+  const auto in = signal::make_tone(500e3, amp, 20000, kFs);
+  const auto out = run_downlink(*relay, in);
+  const auto steady = out.slice(4000, 16000);
+  // The 500 kHz tone is outside the 100 kHz LPF: heavily attenuated at the
+  // shifted output frequency.
+  const double out_dbm = signal::tone_power_dbm(steady, 1e6 + 500e3);
+  EXPECT_LT(out_dbm - (-30.0), 45.0 - 70.0);
+}
+
+TEST(RelayPath, UplinkShiftsResponseBackToF1) {
+  auto relay = make_rfly_relay(ideal_config(), 3);
+  const double amp = std::sqrt(dbm_to_watts(-30.0));
+  // Tag response at f2 + 500 kHz (baseband: 1.5 MHz).
+  const auto in = signal::make_tone(1.5e6, amp, 20000, kFs);
+  const auto out = run_uplink(*relay, in);
+  const auto steady = out.slice(4000, 16000);
+  const double out_dbm = signal::tone_power_dbm(steady, 500e3);
+  EXPECT_NEAR(out_dbm - (-30.0), 30.0, 1.0);  // uplink 5 + 25 dB
+}
+
+TEST(RelayPath, UplinkRejectsQueryBand) {
+  auto relay = make_rfly_relay(ideal_config(), 4);
+  const double amp = std::sqrt(dbm_to_watts(-30.0));
+  // Relayed query leaking into the uplink input at f2 + 50 kHz.
+  const auto in = signal::make_tone(1e6 + 50e3, amp, 20000, kFs);
+  const auto out = run_uplink(*relay, in);
+  const auto steady = out.slice(4000, 16000);
+  const double out_dbm = signal::tone_power_dbm(steady, 50e3);
+  EXPECT_LT(out_dbm - (-30.0), 35.0 - 55.0);
+}
+
+TEST(RelayPath, PaLimitsDownlinkOutput) {
+  auto cfg = ideal_config();
+  cfg.enable_pa = true;
+  auto relay = make_rfly_relay(cfg, 5);
+  // Strong input: linear output would be -5 + 65 = 60 dBm >> P1dB 29 dBm.
+  const double amp = std::sqrt(dbm_to_watts(-5.0));
+  const auto in = signal::make_tone(50e3, amp, 20000, kFs);
+  const auto out = run_downlink(*relay, in);
+  const auto steady = out.slice(4000, 16000);
+  EXPECT_LT(steady.power_dbm(), 32.0);
+}
+
+TEST(RelayPath, FrequencyShiftReportedByInterface) {
+  auto relay = make_rfly_relay(ideal_config(), 6);
+  EXPECT_DOUBLE_EQ(relay->frequency_shift_hz(), 1e6);
+  AnalogRelay analog(AnalogRelayConfig{});
+  EXPECT_DOUBLE_EQ(analog.frequency_shift_hz(), 0.0);
+}
+
+TEST(RelayPath, SynthesizerErrorsAreDrawn) {
+  RflyRelayConfig cfg;  // default 150 Hz error sigma
+  auto r1 = make_rfly_relay(cfg, 7);
+  auto r2 = make_rfly_relay(cfg, 8);
+  EXPECT_NE(r1->synth_a_freq_hz(), r2->synth_a_freq_hz());
+  EXPECT_LT(std::abs(r1->synth_a_freq_hz()), 1e3);
+  EXPECT_NEAR(r1->synth_b_freq_hz(), 1e6, 1e3);
+}
+
+TEST(RelayPath, SameSeedSameHardware) {
+  RflyRelayConfig cfg;
+  auto r1 = make_rfly_relay(cfg, 42);
+  auto r2 = make_rfly_relay(cfg, 42);
+  EXPECT_DOUBLE_EQ(r1->synth_a_freq_hz(), r2->synth_a_freq_hz());
+  EXPECT_DOUBLE_EQ(r1->synth_b_freq_hz(), r2->synth_b_freq_hz());
+}
+
+TEST(AnalogRelay, ForwardsWithGainNoShift) {
+  AnalogRelayConfig cfg;
+  cfg.downlink_gain_db = 20.0;
+  AnalogRelay relay(cfg);
+  const double amp = std::sqrt(dbm_to_watts(-30.0));
+  const auto in = signal::make_tone(50e3, amp, 8192, kFs);
+  signal::Waveform out(in.size(), kFs);
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    out[i] = relay.step(in[i], cdouble{0.0, 0.0}).downlink;
+  }
+  EXPECT_NEAR(signal::tone_power_dbm(out, 50e3) - (-30.0), 20.0, 0.1);
+}
+
+}  // namespace
+}  // namespace rfly::relay

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "gen2/sgtin.h"
+
+namespace rfly::gen2 {
+namespace {
+
+TEST(Sgtin96, RoundTrip) {
+  Sgtin96 s;
+  s.filter = 3;  // pallet
+  s.partition = 5;
+  s.company_prefix = 0x123456;   // 24 bits
+  s.item_reference = 0x54321;    // 20 bits
+  s.serial = 0x1122334455ull;    // 38 bits? 0x1122334455 = 36-ish bits, ok
+  const auto epc = sgtin96_encode(s);
+  ASSERT_TRUE(epc.has_value());
+  const auto back = sgtin96_decode(*epc);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->filter, s.filter);
+  EXPECT_EQ(back->partition, s.partition);
+  EXPECT_EQ(back->company_prefix, s.company_prefix);
+  EXPECT_EQ(back->item_reference, s.item_reference);
+  EXPECT_EQ(back->serial, s.serial);
+}
+
+TEST(Sgtin96, HeaderByteIsSgtin) {
+  const auto epc = sgtin96_encode(Sgtin96{});
+  ASSERT_TRUE(epc.has_value());
+  EXPECT_EQ((*epc)[0], 0x30);
+}
+
+TEST(Sgtin96, PartitionTable) {
+  EXPECT_EQ(sgtin96_company_bits(0), 40);
+  EXPECT_EQ(sgtin96_company_bits(5), 24);
+  EXPECT_EQ(sgtin96_company_bits(6), 20);
+  EXPECT_EQ(sgtin96_company_bits(7), -1);
+}
+
+TEST(Sgtin96, OverflowRejected) {
+  Sgtin96 s;
+  s.partition = 5;
+  s.company_prefix = 1ull << 24;  // one too many bits
+  EXPECT_FALSE(sgtin96_encode(s).has_value());
+
+  Sgtin96 serial_overflow;
+  serial_overflow.serial = 1ull << 38;
+  EXPECT_FALSE(sgtin96_encode(serial_overflow).has_value());
+
+  Sgtin96 bad_partition;
+  bad_partition.partition = 9;
+  EXPECT_FALSE(sgtin96_encode(bad_partition).has_value());
+}
+
+TEST(Sgtin96, NonSgtinHeaderRejected) {
+  Epc epc{};
+  epc[0] = 0x31;  // SSCC-96, not SGTIN-96
+  EXPECT_FALSE(sgtin96_decode(epc).has_value());
+}
+
+TEST(Sgtin96, DistinctSerialsDistinctEpcs) {
+  Sgtin96 a;
+  a.serial = 1;
+  Sgtin96 b = a;
+  b.serial = 2;
+  EXPECT_NE(*sgtin96_encode(a), *sgtin96_encode(b));
+}
+
+/// Property: random fields in range always round trip, for every partition.
+class SgtinProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(SgtinProperty, RandomRoundTrip) {
+  const auto partition = static_cast<std::uint8_t>(GetParam());
+  Rng rng(static_cast<std::uint64_t>(GetParam()) + 77);
+  const int company_bits = sgtin96_company_bits(partition);
+  for (int trial = 0; trial < 50; ++trial) {
+    Sgtin96 s;
+    s.partition = partition;
+    s.filter = static_cast<std::uint8_t>(rng.uniform_int(0, 7));
+    s.company_prefix = static_cast<std::uint64_t>(
+        rng.uniform_int(0, (std::int64_t{1} << company_bits) - 1));
+    s.item_reference = static_cast<std::uint64_t>(
+        rng.uniform_int(0, (std::int64_t{1} << (44 - company_bits)) - 1));
+    s.serial = static_cast<std::uint64_t>(
+        rng.uniform_int(0, (std::int64_t{1} << 38) - 1));
+    const auto epc = sgtin96_encode(s);
+    ASSERT_TRUE(epc.has_value());
+    const auto back = sgtin96_decode(*epc);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->company_prefix, s.company_prefix);
+    EXPECT_EQ(back->item_reference, s.item_reference);
+    EXPECT_EQ(back->serial, s.serial);
+    EXPECT_EQ(back->filter, s.filter);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Partitions, SgtinProperty, ::testing::Range(0, 7));
+
+}  // namespace
+}  // namespace rfly::gen2

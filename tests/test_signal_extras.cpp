@@ -1,0 +1,165 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "signal/impairments.h"
+#include "signal/resampler.h"
+#include "signal/spectrum.h"
+#include "signal/window.h"
+
+namespace rfly::signal {
+namespace {
+
+// ---------------------------------------------------------------- windows
+
+TEST(Window, CoefficientsBounded) {
+  for (auto kind : {WindowKind::kRectangular, WindowKind::kHann,
+                    WindowKind::kHamming, WindowKind::kBlackman,
+                    WindowKind::kBlackmanHarris}) {
+    const auto w = make_window(kind, 128);
+    for (double v : w) {
+      EXPECT_GE(v, -1e-6);
+      EXPECT_LE(v, 1.0 + 1e-12);
+    }
+  }
+}
+
+TEST(Window, HannEndpointsAreZero) {
+  const auto w = make_window(WindowKind::kHann, 64);
+  EXPECT_NEAR(w.front(), 0.0, 1e-12);
+  EXPECT_NEAR(w.back(), 0.0, 1e-12);
+  EXPECT_NEAR(w[31], 1.0, 0.01);  // ~center
+}
+
+TEST(Window, EnbwOrdering) {
+  // Rectangular has the narrowest ENBW (1 bin); heavier windows are wider.
+  const double rect = equivalent_noise_bandwidth(
+      make_window(WindowKind::kRectangular, 256));
+  const double hann = equivalent_noise_bandwidth(make_window(WindowKind::kHann, 256));
+  const double bh =
+      equivalent_noise_bandwidth(make_window(WindowKind::kBlackmanHarris, 256));
+  EXPECT_NEAR(rect, 1.0, 1e-9);
+  EXPECT_NEAR(hann, 1.5, 0.02);
+  EXPECT_GT(bh, hann);
+}
+
+TEST(Window, SidelobeOrdering) {
+  // Textbook sidelobe levels: rect ~13 dB, Hann ~31 dB, BH ~92 dB.
+  const double rect = peak_sidelobe_db(WindowKind::kRectangular);
+  const double hann = peak_sidelobe_db(WindowKind::kHann);
+  const double bh = peak_sidelobe_db(WindowKind::kBlackmanHarris);
+  EXPECT_NEAR(rect, 13.3, 1.0);
+  EXPECT_GT(hann, 28.0);
+  EXPECT_GT(bh, 80.0);
+}
+
+// -------------------------------------------------------------- resampler
+
+TEST(Resampler, PreservesToneThroughUpsampling) {
+  const auto in = make_tone(100e3, 1.0, 4000, 1e6);
+  const auto out = resample(in, 4e6);
+  EXPECT_NEAR(out.sample_rate(), 4e6, 1e-9);
+  EXPECT_NEAR(out.duration(), in.duration(), 1e-3);
+  const auto steady = out.slice(200, out.size() - 400);
+  EXPECT_NEAR(tone_power(steady, 100e3), 1.0, 0.02);
+}
+
+TEST(Resampler, PreservesToneThroughDownsampling) {
+  const auto in = make_tone(100e3, 1.0, 16000, 4e6);
+  const auto out = resample(in, 1e6);
+  const auto steady = out.slice(100, out.size() - 200);
+  EXPECT_NEAR(tone_power(steady, 100e3), 1.0, 0.05);
+}
+
+TEST(Resampler, AntiAliasesOnDownsample) {
+  // A 450 kHz tone is beyond the 250 kHz Nyquist of a 500 kS/s output;
+  // it must be attenuated, not folded to 50 kHz at full strength.
+  const auto in = make_tone(450e3, 1.0, 16000, 4e6);
+  const auto out = resample(in, 500e3);
+  const auto steady = out.slice(50, out.size() - 100);
+  EXPECT_LT(tone_power(steady, -50e3) + tone_power(steady, 50e3), 0.1);
+}
+
+TEST(Resampler, DcGainIsUnity) {
+  Waveform in(1000, 1e6);
+  for (auto& s : in.data()) s = {0.7, -0.2};
+  const auto out = resample(in, 3e6);
+  EXPECT_NEAR(out[500].real(), 0.7, 1e-6);
+  EXPECT_NEAR(out[500].imag(), -0.2, 1e-6);
+}
+
+TEST(Resampler, EmptyInput) {
+  EXPECT_TRUE(resample(Waveform(0, 1e6), 2e6).empty());
+}
+
+// ------------------------------------------------------------ impairments
+
+TEST(Impairments, IdealFrontEndIsTransparent) {
+  auto w = make_tone(100e3, 1.0, 1000, 4e6);
+  const auto original = w;
+  apply_front_end(w, FrontEndImpairments{});
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(std::abs(w[i] - original[i]), 0.0, 1e-12);
+  }
+}
+
+TEST(Impairments, DcOffsetAdds) {
+  Waveform w(100, 4e6);
+  FrontEndImpairments imp;
+  imp.dc_offset = {0.01, -0.02};
+  apply_front_end(w, imp);
+  EXPECT_NEAR(w[50].real(), 0.01, 1e-12);
+  EXPECT_NEAR(w[50].imag(), -0.02, 1e-12);
+}
+
+TEST(Impairments, IqImbalanceCreatesImage) {
+  auto w = make_tone(200e3, 1.0, 16384, 4e6);
+  FrontEndImpairments imp;
+  imp.iq_gain_imbalance_db = 0.5;
+  imp.iq_phase_skew_rad = 0.03;
+  apply_front_end(w, imp);
+  const double signal = tone_power(w, 200e3);
+  const double image = tone_power(w, -200e3);
+  EXPECT_GT(image, 1e-6);  // an image exists...
+  const double measured_irr = 10.0 * std::log10(signal / image);
+  const double predicted_irr =
+      image_rejection_ratio_db(imp.iq_gain_imbalance_db, imp.iq_phase_skew_rad);
+  EXPECT_NEAR(measured_irr, predicted_irr, 1.0);  // ...at the analytic level
+}
+
+TEST(Impairments, QuantizationNoiseFloorScalesWithBits) {
+  Rng rng(9);
+  auto make_quantized = [&](int bits) {
+    auto w = make_tone(100e3, 0.25, 65536, 4e6);
+    FrontEndImpairments imp;
+    imp.adc_bits = bits;
+    imp.adc_full_scale = 1.0;
+    apply_front_end(w, imp);
+    // Error power vs the clean tone.
+    const auto clean = make_tone(100e3, 0.25, 65536, 4e6);
+    double err = 0.0;
+    for (std::size_t i = 0; i < w.size(); ++i) err += std::norm(w[i] - clean[i]);
+    return err / static_cast<double>(w.size());
+  };
+  const double e8 = make_quantized(8);
+  const double e12 = make_quantized(12);
+  // Each extra bit halves the step: 4 bits -> ~24 dB less error power
+  // (the deterministic-signal error is not perfectly white, so allow slack).
+  EXPECT_NEAR(10.0 * std::log10(e8 / e12), 24.0, 6.0);
+}
+
+TEST(Impairments, ClippingAtFullScale) {
+  Waveform w(10, 4e6);
+  for (auto& s : w.data()) s = {3.0, -3.0};
+  FrontEndImpairments imp;
+  imp.adc_bits = 12;
+  imp.adc_full_scale = 1.0;
+  apply_front_end(w, imp);
+  EXPECT_NEAR(w[0].real(), 1.0, 1e-9);
+  EXPECT_NEAR(w[0].imag(), -1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace rfly::signal

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+#include "common/units.h"
+#include "signal/noise.h"
+#include "signal/spectrum.h"
+
+namespace rfly::signal {
+namespace {
+
+TEST(Spectrum, TonePowerExact) {
+  const auto w = make_tone(500e3, std::sqrt(2.0), 8000, 4e6);
+  EXPECT_NEAR(tone_power(w, 500e3), 2.0, 1e-6);
+  EXPECT_NEAR(tone_power_dbm(w, 500e3), watts_to_dbm(2.0), 1e-4);
+}
+
+TEST(Spectrum, TonePowerRejectsOffFrequency) {
+  const auto w = make_tone(500e3, 1.0, 8000, 4e6);
+  // 10 kHz away with a 2 ms window: deep sidelobe suppression.
+  EXPECT_LT(tone_power(w, 510e3), 1e-3);
+}
+
+TEST(Spectrum, TonePowerInNoise) {
+  Rng rng(8);
+  auto w = make_tone(200e3, 1.0, 40000, 4e6);
+  add_awgn(w, 0.1, rng);
+  // Averaging over 40k samples: noise contributes ~0.1/40000 per estimate.
+  EXPECT_NEAR(tone_power(w, 200e3), 1.0, 0.02);
+}
+
+TEST(Spectrum, PeriodogramPeakAtToneFrequency) {
+  const auto w = make_tone(-750e3, 1.0, 16384, 4e6);
+  const auto bins = periodogram(w);
+  const auto peak = std::max_element(
+      bins.begin(), bins.end(),
+      [](const SpectrumBin& a, const SpectrumBin& b) { return a.power_dbm < b.power_dbm; });
+  EXPECT_NEAR(peak->freq_hz, -750e3, 4e6 / 16384.0 * 2);
+}
+
+TEST(Spectrum, PeriodogramFrequencyAxisCoversBand) {
+  const auto w = make_tone(0.0, 1.0, 1024, 4e6);
+  const auto bins = periodogram(w);
+  EXPECT_NEAR(bins.front().freq_hz, -2e6, 4e3);
+  EXPECT_LT(bins.back().freq_hz, 2e6);
+  for (std::size_t i = 1; i < bins.size(); ++i) {
+    EXPECT_GT(bins[i].freq_hz, bins[i - 1].freq_hz);
+  }
+}
+
+TEST(Spectrum, BandPowerCapturesTone) {
+  const auto w = make_tone(300e3, 1.0, 16384, 4e6);
+  const double in_band = band_power(w, 250e3, 350e3);
+  const double out_band = band_power(w, -1e6, -0.5e6);
+  EXPECT_NEAR(in_band, 1.0, 0.05);
+  EXPECT_LT(out_band, 1e-6);
+}
+
+TEST(Spectrum, EmptyWaveform) {
+  Waveform w;
+  EXPECT_DOUBLE_EQ(tone_power(w, 100e3), 0.0);
+  EXPECT_TRUE(periodogram(w).empty());
+}
+
+TEST(Spectrum, TwoTonesResolved) {
+  auto w = make_tone(100e3, 1.0, 16384, 4e6);
+  w.accumulate(make_tone(900e3, 0.1, 16384, 4e6));
+  EXPECT_NEAR(tone_power(w, 100e3), 1.0, 1e-3);
+  EXPECT_NEAR(tone_power(w, 900e3), 0.01, 1e-3);
+}
+
+}  // namespace
+}  // namespace rfly::signal

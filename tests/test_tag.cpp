@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include "gen2/tag.h"
+
+namespace rfly::gen2 {
+namespace {
+
+TagConfig make_config() {
+  TagConfig cfg;
+  cfg.epc = Epc{0x30, 0x14, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0x42};
+  return cfg;
+}
+
+CommandContext powered_ctx() {
+  CommandContext ctx;
+  ctx.incident_power_dbm = -10.0;
+  ctx.trcal_s = 64.0 / 3.0 / 500e3;
+  return ctx;
+}
+
+TEST(Tag, UnpoweredTagStaysSilent) {
+  Tag tag(make_config(), 1);
+  CommandContext ctx;
+  ctx.incident_power_dbm = -20.0;  // below -15 dBm sensitivity
+  QueryCommand q;
+  q.q = 0;
+  EXPECT_FALSE(tag.on_command(Command{q}, ctx).has_value());
+  EXPECT_EQ(tag.state(), TagState::kReady);
+}
+
+TEST(Tag, QueryWithQZeroRepliesImmediately) {
+  Tag tag(make_config(), 2);
+  QueryCommand q;
+  q.q = 0;
+  const auto reply = tag.on_command(Command{q}, powered_ctx());
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->kind, ReplyKind::kRn16);
+  EXPECT_EQ(reply->bits.size(), kRn16Bits);
+  EXPECT_EQ(tag.state(), TagState::kReply);
+}
+
+TEST(Tag, BlfDerivedFromTrcal) {
+  Tag tag(make_config(), 3);
+  QueryCommand q;
+  q.q = 0;
+  q.dr = DivideRatio::kDr64Over3;
+  auto ctx = powered_ctx();
+  ctx.trcal_s = 64.0 / 3.0 / 500e3;
+  const auto reply = tag.on_command(Command{q}, ctx);
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_NEAR(reply->blf_hz, 500e3, 1.0);
+
+  // DR = 8 with a short TRcal also lands on 500 kHz.
+  Tag tag2(make_config(), 3);
+  QueryCommand q8;
+  q8.q = 0;
+  q8.dr = DivideRatio::kDr8;
+  auto ctx8 = powered_ctx();
+  ctx8.trcal_s = 16e-6;
+  const auto reply8 = tag2.on_command(Command{q8}, ctx8);
+  ASSERT_TRUE(reply8.has_value());
+  EXPECT_NEAR(reply8->blf_hz, 500e3, 1.0);
+}
+
+TEST(Tag, AckWithMatchingRn16YieldsEpc) {
+  Tag tag(make_config(), 4);
+  QueryCommand q;
+  q.q = 0;
+  const auto rn16_reply = tag.on_command(Command{q}, powered_ctx());
+  ASSERT_TRUE(rn16_reply.has_value());
+
+  AckCommand ack{tag.current_rn16()};
+  const auto epc_reply = tag.on_command(Command{ack}, powered_ctx());
+  ASSERT_TRUE(epc_reply.has_value());
+  EXPECT_EQ(epc_reply->kind, ReplyKind::kEpc);
+  const auto decoded = decode_epc_reply(epc_reply->bits);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->epc, make_config().epc);
+  EXPECT_EQ(tag.state(), TagState::kAcknowledged);
+}
+
+TEST(Tag, AckWithWrongRn16Rejected) {
+  Tag tag(make_config(), 5);
+  QueryCommand q;
+  q.q = 0;
+  ASSERT_TRUE(tag.on_command(Command{q}, powered_ctx()).has_value());
+  AckCommand bad{static_cast<std::uint16_t>(tag.current_rn16() ^ 0xFFFF)};
+  EXPECT_FALSE(tag.on_command(Command{bad}, powered_ctx()).has_value());
+  EXPECT_EQ(tag.state(), TagState::kArbitrate);
+}
+
+TEST(Tag, SlottedArbitrationEventuallyReplies) {
+  Tag tag(make_config(), 6);
+  QueryCommand q;
+  q.q = 4;
+  auto reply = tag.on_command(Command{q}, powered_ctx());
+  int reps = 0;
+  while (!reply.has_value() && reps < (1 << 4) + 1) {
+    QueryRepCommand rep;
+    reply = tag.on_command(Command{rep}, powered_ctx());
+    ++reps;
+  }
+  EXPECT_TRUE(reply.has_value());
+  EXPECT_LE(reps, 16);
+}
+
+TEST(Tag, InventoriedFlagFlipsAfterAckAndQueryRep) {
+  Tag tag(make_config(), 7);
+  QueryCommand q;
+  q.q = 0;
+  ASSERT_TRUE(tag.on_command(Command{q}, powered_ctx()).has_value());
+  ASSERT_TRUE(
+      tag.on_command(Command{AckCommand{tag.current_rn16()}}, powered_ctx())
+          .has_value());
+  EXPECT_EQ(tag.inventoried(Session::kS0), InventoryFlag::kA);
+  // QueryRep ends the transaction: flag flips to B.
+  tag.on_command(Command{QueryRepCommand{}}, powered_ctx());
+  EXPECT_EQ(tag.inventoried(Session::kS0), InventoryFlag::kB);
+  // A new A-targeted query is now ignored.
+  EXPECT_FALSE(tag.on_command(Command{q}, powered_ctx()).has_value());
+  EXPECT_EQ(tag.state(), TagState::kReady);
+}
+
+TEST(Tag, BTargetedQueryReachesFlippedTag) {
+  Tag tag(make_config(), 8);
+  QueryCommand q;
+  q.q = 0;
+  ASSERT_TRUE(tag.on_command(Command{q}, powered_ctx()).has_value());
+  ASSERT_TRUE(
+      tag.on_command(Command{AckCommand{tag.current_rn16()}}, powered_ctx())
+          .has_value());
+  tag.on_command(Command{QueryRepCommand{}}, powered_ctx());
+
+  QueryCommand qb;
+  qb.q = 0;
+  qb.target = InventoryFlag::kB;
+  EXPECT_TRUE(tag.on_command(Command{qb}, powered_ctx()).has_value());
+}
+
+TEST(Tag, SelectSetsAndClearsSlFlag) {
+  Tag tag(make_config(), 9);
+  SelectCommand sel;
+  sel.pointer = 0;
+  sel.mask = Bits{0, 0, 1, 1};  // EPC starts 0x30 = 00110000
+  tag.on_command(Command{sel}, powered_ctx());
+  EXPECT_TRUE(tag.sl_flag());
+
+  sel.mask = Bits{1, 1, 1, 1};  // mismatch
+  tag.on_command(Command{sel}, powered_ctx());
+  EXPECT_FALSE(tag.sl_flag());
+}
+
+TEST(Tag, SelQueryFiltersBySlFlag) {
+  Tag tag(make_config(), 10);
+  QueryCommand q;
+  q.q = 0;
+  q.sel = SelTarget::kSl;
+  // SL not asserted: stays quiet.
+  EXPECT_FALSE(tag.on_command(Command{q}, powered_ctx()).has_value());
+
+  SelectCommand sel;
+  sel.mask = Bits{0, 0, 1, 1};
+  tag.on_command(Command{sel}, powered_ctx());
+  EXPECT_TRUE(tag.on_command(Command{q}, powered_ctx()).has_value());
+}
+
+TEST(Tag, NakReturnsToArbitrate) {
+  Tag tag(make_config(), 11);
+  QueryCommand q;
+  q.q = 0;
+  ASSERT_TRUE(tag.on_command(Command{q}, powered_ctx()).has_value());
+  tag.on_command(Command{NakCommand{}}, powered_ctx());
+  EXPECT_EQ(tag.state(), TagState::kArbitrate);
+}
+
+TEST(Tag, PowerLossResetsState) {
+  Tag tag(make_config(), 12);
+  QueryCommand q;
+  q.q = 0;
+  ASSERT_TRUE(tag.on_command(Command{q}, powered_ctx()).has_value());
+  CommandContext dark;
+  dark.incident_power_dbm = -40.0;
+  tag.on_command(Command{QueryRepCommand{}}, dark);
+  EXPECT_EQ(tag.state(), TagState::kReady);
+}
+
+TEST(Tag, ModulateReplyUsesReflectionStates) {
+  Tag tag(make_config(), 13);
+  QueryCommand q;
+  q.q = 0;
+  const auto reply = tag.on_command(Command{q}, powered_ctx());
+  ASSERT_TRUE(reply.has_value());
+  const auto rho = modulate_reply(*reply, make_config(), 4e6);
+  ASSERT_GT(rho.size(), 0u);
+  for (const auto& s : rho.data()) {
+    const double v = s.real();
+    EXPECT_TRUE(std::abs(v - make_config().rho_on) < 1e-12 ||
+                std::abs(v - make_config().rho_off) < 1e-12);
+  }
+  EXPECT_NEAR(rho.duration(), reply_duration(*reply, 4e6), 1e-9);
+}
+
+TEST(Tag, DifferentSeedsDifferentSlots) {
+  // Slots must be random across tags or collisions never resolve.
+  int distinct = 0;
+  std::uint16_t first_rn16 = 0;
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    Tag tag(make_config(), seed);
+    QueryCommand q;
+    q.q = 0;
+    const auto reply = tag.on_command(Command{q}, powered_ctx());
+    ASSERT_TRUE(reply.has_value());
+    if (seed == 0) {
+      first_rn16 = tag.current_rn16();
+    } else if (tag.current_rn16() != first_rn16) {
+      ++distinct;
+    }
+  }
+  EXPECT_GT(distinct, 0);
+}
+
+}  // namespace
+}  // namespace rfly::gen2

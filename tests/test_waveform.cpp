@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "signal/spectrum.h"
+#include "signal/waveform.h"
+
+namespace rfly::signal {
+namespace {
+
+TEST(Waveform, EmptyPower) {
+  Waveform w;
+  EXPECT_DOUBLE_EQ(w.power(), 0.0);
+  EXPECT_TRUE(std::isinf(w.power_dbm()));
+}
+
+TEST(Waveform, TonePowerIsAmplitudeSquared) {
+  const auto w = make_tone(100e3, 2.0, 4000, 4e6);
+  EXPECT_NEAR(w.power(), 4.0, 1e-9);
+  EXPECT_NEAR(w.peak_power(), 4.0, 1e-9);
+}
+
+TEST(Waveform, PowerDbm) {
+  // amplitude 1 -> 1 W -> 30 dBm.
+  const auto w = make_tone(0.0, 1.0, 100, 4e6);
+  EXPECT_NEAR(w.power_dbm(), 30.0, 1e-9);
+}
+
+TEST(Waveform, Scale) {
+  auto w = make_tone(50e3, 1.0, 1000, 4e6);
+  w.scale({0.5, 0.0});
+  EXPECT_NEAR(w.power(), 0.25, 1e-9);
+}
+
+TEST(Waveform, ScaleByPhaseKeepsPower) {
+  auto w = make_tone(50e3, 1.0, 1000, 4e6);
+  w.scale(cis(1.2345));
+  EXPECT_NEAR(w.power(), 1.0, 1e-9);
+}
+
+TEST(Waveform, AccumulateSizeMismatchThrows) {
+  Waveform a(10, 4e6);
+  Waveform b(11, 4e6);
+  EXPECT_THROW(a.accumulate(b), std::invalid_argument);
+}
+
+TEST(Waveform, AccumulateAdds) {
+  auto a = make_tone(0.0, 1.0, 100, 4e6);
+  auto b = make_tone(0.0, 1.0, 100, 4e6);
+  a.accumulate(b);
+  EXPECT_NEAR(a.power(), 4.0, 1e-9);  // coherent sum doubles amplitude
+}
+
+TEST(Waveform, SliceBounds) {
+  Waveform w(100, 4e6);
+  EXPECT_EQ(w.slice(90, 50).size(), 10u);
+  EXPECT_EQ(w.slice(200, 10).size(), 0u);
+  EXPECT_EQ(w.slice(0, 100).size(), 100u);
+}
+
+TEST(Waveform, AppendAndSilence) {
+  Waveform w(10, 4e6);
+  Waveform other(5, 4e6);
+  w.append(other);
+  w.append_silence(3);
+  EXPECT_EQ(w.size(), 18u);
+  EXPECT_EQ(w[17], cdouble(0.0, 0.0));
+}
+
+TEST(Waveform, AppendRateMismatchThrows) {
+  Waveform w(10, 4e6);
+  Waveform other(5, 2e6);
+  EXPECT_THROW(w.append(other), std::invalid_argument);
+}
+
+TEST(Waveform, Duration) {
+  Waveform w(4000, 4e6);
+  EXPECT_NEAR(w.duration(), 1e-3, 1e-12);
+}
+
+TEST(Waveform, ToneFrequencyIsCorrect) {
+  // The tone's energy must appear at the requested frequency.
+  const double f = 250e3;
+  const auto w = make_tone(f, 1.0, 8192, 4e6);
+  EXPECT_NEAR(tone_power(w, f), 1.0, 1e-6);
+  EXPECT_LT(tone_power(w, f + 200e3), 1e-4);
+}
+
+TEST(Waveform, FrequencyShiftMovesTone) {
+  const auto w = make_tone(100e3, 1.0, 8192, 4e6);
+  const auto shifted = frequency_shift(w, 300e3);
+  EXPECT_NEAR(tone_power(shifted, 400e3), 1.0, 1e-6);
+  EXPECT_LT(tone_power(shifted, 100e3), 1e-4);
+}
+
+TEST(Waveform, NegativeFrequencyTone) {
+  const auto w = make_tone(-500e3, 1.0, 8192, 4e6);
+  EXPECT_NEAR(tone_power(w, -500e3), 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace rfly::signal
