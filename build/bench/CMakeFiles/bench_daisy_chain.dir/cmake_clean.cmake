@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_daisy_chain.dir/daisy_chain.cpp.o"
+  "CMakeFiles/bench_daisy_chain.dir/daisy_chain.cpp.o.d"
+  "bench_daisy_chain"
+  "bench_daisy_chain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_daisy_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eq04_isolation_range.dir/eq04_isolation_range.cpp.o"
+  "CMakeFiles/bench_eq04_isolation_range.dir/eq04_isolation_range.cpp.o.d"
+  "bench_eq04_isolation_range"
+  "bench_eq04_isolation_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq04_isolation_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

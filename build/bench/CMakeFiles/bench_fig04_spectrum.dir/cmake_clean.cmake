@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_spectrum.dir/fig04_spectrum.cpp.o"
+  "CMakeFiles/bench_fig04_spectrum.dir/fig04_spectrum.cpp.o.d"
+  "bench_fig04_spectrum"
+  "bench_fig04_spectrum.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_spectrum.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_phase.dir/fig10_phase.cpp.o"
+  "CMakeFiles/bench_fig10_phase.dir/fig10_phase.cpp.o.d"
+  "bench_fig10_phase"
+  "bench_fig10_phase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_phase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

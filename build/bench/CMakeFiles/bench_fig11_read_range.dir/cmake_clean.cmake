@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_read_range.dir/fig11_read_range.cpp.o"
+  "CMakeFiles/bench_fig11_read_range.dir/fig11_read_range.cpp.o.d"
+  "bench_fig11_read_range"
+  "bench_fig11_read_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_read_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

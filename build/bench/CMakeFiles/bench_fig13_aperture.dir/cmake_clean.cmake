@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_aperture.dir/fig13_aperture.cpp.o"
+  "CMakeFiles/bench_fig13_aperture.dir/fig13_aperture.cpp.o.d"
+  "bench_fig13_aperture"
+  "bench_fig13_aperture.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_aperture.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

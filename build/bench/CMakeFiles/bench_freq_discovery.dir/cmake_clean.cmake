@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_freq_discovery.dir/freq_discovery.cpp.o"
+  "CMakeFiles/bench_freq_discovery.dir/freq_discovery.cpp.o.d"
+  "bench_freq_discovery"
+  "bench_freq_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_freq_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

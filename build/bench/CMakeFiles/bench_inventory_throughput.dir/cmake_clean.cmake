@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_inventory_throughput.dir/inventory_throughput.cpp.o"
+  "CMakeFiles/bench_inventory_throughput.dir/inventory_throughput.cpp.o.d"
+  "bench_inventory_throughput"
+  "bench_inventory_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_inventory_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_miller_robustness.dir/miller_robustness.cpp.o"
+  "CMakeFiles/bench_miller_robustness.dir/miller_robustness.cpp.o.d"
+  "bench_miller_robustness"
+  "bench_miller_robustness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_miller_robustness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

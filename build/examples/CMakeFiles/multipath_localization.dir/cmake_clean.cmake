@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multipath_localization.dir/multipath_localization.cpp.o"
+  "CMakeFiles/multipath_localization.dir/multipath_localization.cpp.o.d"
+  "multipath_localization"
+  "multipath_localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multipath_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

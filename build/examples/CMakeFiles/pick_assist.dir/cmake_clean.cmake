@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pick_assist.dir/pick_assist.cpp.o"
+  "CMakeFiles/pick_assist.dir/pick_assist.cpp.o.d"
+  "pick_assist"
+  "pick_assist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pick_assist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

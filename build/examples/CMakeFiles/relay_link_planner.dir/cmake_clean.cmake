@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relay_link_planner.dir/relay_link_planner.cpp.o"
+  "CMakeFiles/relay_link_planner.dir/relay_link_planner.cpp.o.d"
+  "relay_link_planner"
+  "relay_link_planner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relay_link_planner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/warehouse_scan.dir/warehouse_scan.cpp.o"
+  "CMakeFiles/warehouse_scan.dir/warehouse_scan.cpp.o.d"
+  "warehouse_scan"
+  "warehouse_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/warehouse_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

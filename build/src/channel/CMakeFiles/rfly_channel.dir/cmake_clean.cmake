@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfly_channel.dir/channel_model.cpp.o"
+  "CMakeFiles/rfly_channel.dir/channel_model.cpp.o.d"
+  "CMakeFiles/rfly_channel.dir/environment.cpp.o"
+  "CMakeFiles/rfly_channel.dir/environment.cpp.o.d"
+  "CMakeFiles/rfly_channel.dir/geometry.cpp.o"
+  "CMakeFiles/rfly_channel.dir/geometry.cpp.o.d"
+  "CMakeFiles/rfly_channel.dir/link_budget.cpp.o"
+  "CMakeFiles/rfly_channel.dir/link_budget.cpp.o.d"
+  "CMakeFiles/rfly_channel.dir/path_loss.cpp.o"
+  "CMakeFiles/rfly_channel.dir/path_loss.cpp.o.d"
+  "librfly_channel.a"
+  "librfly_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfly_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfly_common.dir/math_util.cpp.o"
+  "CMakeFiles/rfly_common.dir/math_util.cpp.o.d"
+  "CMakeFiles/rfly_common.dir/rng.cpp.o"
+  "CMakeFiles/rfly_common.dir/rng.cpp.o.d"
+  "CMakeFiles/rfly_common.dir/stats.cpp.o"
+  "CMakeFiles/rfly_common.dir/stats.cpp.o.d"
+  "librfly_common.a"
+  "librfly_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfly_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfly_core.dir/adaptive_survey.cpp.o"
+  "CMakeFiles/rfly_core.dir/adaptive_survey.cpp.o.d"
+  "CMakeFiles/rfly_core.dir/airtime.cpp.o"
+  "CMakeFiles/rfly_core.dir/airtime.cpp.o.d"
+  "CMakeFiles/rfly_core.dir/daisy_chain.cpp.o"
+  "CMakeFiles/rfly_core.dir/daisy_chain.cpp.o.d"
+  "CMakeFiles/rfly_core.dir/experiments.cpp.o"
+  "CMakeFiles/rfly_core.dir/experiments.cpp.o.d"
+  "CMakeFiles/rfly_core.dir/inventory.cpp.o"
+  "CMakeFiles/rfly_core.dir/inventory.cpp.o.d"
+  "CMakeFiles/rfly_core.dir/scan_mission.cpp.o"
+  "CMakeFiles/rfly_core.dir/scan_mission.cpp.o.d"
+  "CMakeFiles/rfly_core.dir/system.cpp.o"
+  "CMakeFiles/rfly_core.dir/system.cpp.o.d"
+  "librfly_core.a"
+  "librfly_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfly_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfly_drone.dir/flight.cpp.o"
+  "CMakeFiles/rfly_drone.dir/flight.cpp.o.d"
+  "CMakeFiles/rfly_drone.dir/trajectory.cpp.o"
+  "CMakeFiles/rfly_drone.dir/trajectory.cpp.o.d"
+  "librfly_drone.a"
+  "librfly_drone.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfly_drone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

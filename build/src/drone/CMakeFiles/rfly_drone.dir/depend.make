@@ -1,0 +1,2 @@
+# Empty dependencies file for rfly_drone.
+# This may be replaced when dependencies are built.

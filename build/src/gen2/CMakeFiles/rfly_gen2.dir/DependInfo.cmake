@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen2/access.cpp" "src/gen2/CMakeFiles/rfly_gen2.dir/access.cpp.o" "gcc" "src/gen2/CMakeFiles/rfly_gen2.dir/access.cpp.o.d"
+  "/root/repo/src/gen2/commands.cpp" "src/gen2/CMakeFiles/rfly_gen2.dir/commands.cpp.o" "gcc" "src/gen2/CMakeFiles/rfly_gen2.dir/commands.cpp.o.d"
+  "/root/repo/src/gen2/crc.cpp" "src/gen2/CMakeFiles/rfly_gen2.dir/crc.cpp.o" "gcc" "src/gen2/CMakeFiles/rfly_gen2.dir/crc.cpp.o.d"
+  "/root/repo/src/gen2/fm0.cpp" "src/gen2/CMakeFiles/rfly_gen2.dir/fm0.cpp.o" "gcc" "src/gen2/CMakeFiles/rfly_gen2.dir/fm0.cpp.o.d"
+  "/root/repo/src/gen2/miller.cpp" "src/gen2/CMakeFiles/rfly_gen2.dir/miller.cpp.o" "gcc" "src/gen2/CMakeFiles/rfly_gen2.dir/miller.cpp.o.d"
+  "/root/repo/src/gen2/pie.cpp" "src/gen2/CMakeFiles/rfly_gen2.dir/pie.cpp.o" "gcc" "src/gen2/CMakeFiles/rfly_gen2.dir/pie.cpp.o.d"
+  "/root/repo/src/gen2/sgtin.cpp" "src/gen2/CMakeFiles/rfly_gen2.dir/sgtin.cpp.o" "gcc" "src/gen2/CMakeFiles/rfly_gen2.dir/sgtin.cpp.o.d"
+  "/root/repo/src/gen2/tag.cpp" "src/gen2/CMakeFiles/rfly_gen2.dir/tag.cpp.o" "gcc" "src/gen2/CMakeFiles/rfly_gen2.dir/tag.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/signal/CMakeFiles/rfly_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/rfly_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rfly_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

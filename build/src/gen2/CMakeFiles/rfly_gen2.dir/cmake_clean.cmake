@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfly_gen2.dir/access.cpp.o"
+  "CMakeFiles/rfly_gen2.dir/access.cpp.o.d"
+  "CMakeFiles/rfly_gen2.dir/commands.cpp.o"
+  "CMakeFiles/rfly_gen2.dir/commands.cpp.o.d"
+  "CMakeFiles/rfly_gen2.dir/crc.cpp.o"
+  "CMakeFiles/rfly_gen2.dir/crc.cpp.o.d"
+  "CMakeFiles/rfly_gen2.dir/fm0.cpp.o"
+  "CMakeFiles/rfly_gen2.dir/fm0.cpp.o.d"
+  "CMakeFiles/rfly_gen2.dir/miller.cpp.o"
+  "CMakeFiles/rfly_gen2.dir/miller.cpp.o.d"
+  "CMakeFiles/rfly_gen2.dir/pie.cpp.o"
+  "CMakeFiles/rfly_gen2.dir/pie.cpp.o.d"
+  "CMakeFiles/rfly_gen2.dir/sgtin.cpp.o"
+  "CMakeFiles/rfly_gen2.dir/sgtin.cpp.o.d"
+  "CMakeFiles/rfly_gen2.dir/tag.cpp.o"
+  "CMakeFiles/rfly_gen2.dir/tag.cpp.o.d"
+  "librfly_gen2.a"
+  "librfly_gen2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfly_gen2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/localize/disentangle.cpp" "src/localize/CMakeFiles/rfly_localize.dir/disentangle.cpp.o" "gcc" "src/localize/CMakeFiles/rfly_localize.dir/disentangle.cpp.o.d"
+  "/root/repo/src/localize/heatmap_io.cpp" "src/localize/CMakeFiles/rfly_localize.dir/heatmap_io.cpp.o" "gcc" "src/localize/CMakeFiles/rfly_localize.dir/heatmap_io.cpp.o.d"
+  "/root/repo/src/localize/localizer.cpp" "src/localize/CMakeFiles/rfly_localize.dir/localizer.cpp.o" "gcc" "src/localize/CMakeFiles/rfly_localize.dir/localizer.cpp.o.d"
+  "/root/repo/src/localize/peak.cpp" "src/localize/CMakeFiles/rfly_localize.dir/peak.cpp.o" "gcc" "src/localize/CMakeFiles/rfly_localize.dir/peak.cpp.o.d"
+  "/root/repo/src/localize/reader_localizer.cpp" "src/localize/CMakeFiles/rfly_localize.dir/reader_localizer.cpp.o" "gcc" "src/localize/CMakeFiles/rfly_localize.dir/reader_localizer.cpp.o.d"
+  "/root/repo/src/localize/rssi.cpp" "src/localize/CMakeFiles/rfly_localize.dir/rssi.cpp.o" "gcc" "src/localize/CMakeFiles/rfly_localize.dir/rssi.cpp.o.d"
+  "/root/repo/src/localize/sar.cpp" "src/localize/CMakeFiles/rfly_localize.dir/sar.cpp.o" "gcc" "src/localize/CMakeFiles/rfly_localize.dir/sar.cpp.o.d"
+  "/root/repo/src/localize/uncertainty.cpp" "src/localize/CMakeFiles/rfly_localize.dir/uncertainty.cpp.o" "gcc" "src/localize/CMakeFiles/rfly_localize.dir/uncertainty.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/channel/CMakeFiles/rfly_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/drone/CMakeFiles/rfly_drone.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/rfly_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rfly_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

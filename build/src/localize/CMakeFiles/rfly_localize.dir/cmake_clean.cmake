@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfly_localize.dir/disentangle.cpp.o"
+  "CMakeFiles/rfly_localize.dir/disentangle.cpp.o.d"
+  "CMakeFiles/rfly_localize.dir/heatmap_io.cpp.o"
+  "CMakeFiles/rfly_localize.dir/heatmap_io.cpp.o.d"
+  "CMakeFiles/rfly_localize.dir/localizer.cpp.o"
+  "CMakeFiles/rfly_localize.dir/localizer.cpp.o.d"
+  "CMakeFiles/rfly_localize.dir/peak.cpp.o"
+  "CMakeFiles/rfly_localize.dir/peak.cpp.o.d"
+  "CMakeFiles/rfly_localize.dir/reader_localizer.cpp.o"
+  "CMakeFiles/rfly_localize.dir/reader_localizer.cpp.o.d"
+  "CMakeFiles/rfly_localize.dir/rssi.cpp.o"
+  "CMakeFiles/rfly_localize.dir/rssi.cpp.o.d"
+  "CMakeFiles/rfly_localize.dir/sar.cpp.o"
+  "CMakeFiles/rfly_localize.dir/sar.cpp.o.d"
+  "CMakeFiles/rfly_localize.dir/uncertainty.cpp.o"
+  "CMakeFiles/rfly_localize.dir/uncertainty.cpp.o.d"
+  "librfly_localize.a"
+  "librfly_localize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfly_localize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

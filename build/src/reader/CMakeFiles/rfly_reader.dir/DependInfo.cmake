@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reader/channel_estimator.cpp" "src/reader/CMakeFiles/rfly_reader.dir/channel_estimator.cpp.o" "gcc" "src/reader/CMakeFiles/rfly_reader.dir/channel_estimator.cpp.o.d"
+  "/root/repo/src/reader/q_algorithm.cpp" "src/reader/CMakeFiles/rfly_reader.dir/q_algorithm.cpp.o" "gcc" "src/reader/CMakeFiles/rfly_reader.dir/q_algorithm.cpp.o.d"
+  "/root/repo/src/reader/reader.cpp" "src/reader/CMakeFiles/rfly_reader.dir/reader.cpp.o" "gcc" "src/reader/CMakeFiles/rfly_reader.dir/reader.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gen2/CMakeFiles/rfly_gen2.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/rfly_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/rfly_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rfly_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

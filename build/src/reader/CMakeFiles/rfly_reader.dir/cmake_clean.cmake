@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfly_reader.dir/channel_estimator.cpp.o"
+  "CMakeFiles/rfly_reader.dir/channel_estimator.cpp.o.d"
+  "CMakeFiles/rfly_reader.dir/q_algorithm.cpp.o"
+  "CMakeFiles/rfly_reader.dir/q_algorithm.cpp.o.d"
+  "CMakeFiles/rfly_reader.dir/reader.cpp.o"
+  "CMakeFiles/rfly_reader.dir/reader.cpp.o.d"
+  "librfly_reader.a"
+  "librfly_reader.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfly_reader.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relay/analog_relay.cpp" "src/relay/CMakeFiles/rfly_relay.dir/analog_relay.cpp.o" "gcc" "src/relay/CMakeFiles/rfly_relay.dir/analog_relay.cpp.o.d"
+  "/root/repo/src/relay/coupling.cpp" "src/relay/CMakeFiles/rfly_relay.dir/coupling.cpp.o" "gcc" "src/relay/CMakeFiles/rfly_relay.dir/coupling.cpp.o.d"
+  "/root/repo/src/relay/freq_discovery.cpp" "src/relay/CMakeFiles/rfly_relay.dir/freq_discovery.cpp.o" "gcc" "src/relay/CMakeFiles/rfly_relay.dir/freq_discovery.cpp.o.d"
+  "/root/repo/src/relay/gain_control.cpp" "src/relay/CMakeFiles/rfly_relay.dir/gain_control.cpp.o" "gcc" "src/relay/CMakeFiles/rfly_relay.dir/gain_control.cpp.o.d"
+  "/root/repo/src/relay/hopping.cpp" "src/relay/CMakeFiles/rfly_relay.dir/hopping.cpp.o" "gcc" "src/relay/CMakeFiles/rfly_relay.dir/hopping.cpp.o.d"
+  "/root/repo/src/relay/isolation.cpp" "src/relay/CMakeFiles/rfly_relay.dir/isolation.cpp.o" "gcc" "src/relay/CMakeFiles/rfly_relay.dir/isolation.cpp.o.d"
+  "/root/repo/src/relay/mixer.cpp" "src/relay/CMakeFiles/rfly_relay.dir/mixer.cpp.o" "gcc" "src/relay/CMakeFiles/rfly_relay.dir/mixer.cpp.o.d"
+  "/root/repo/src/relay/relay_path.cpp" "src/relay/CMakeFiles/rfly_relay.dir/relay_path.cpp.o" "gcc" "src/relay/CMakeFiles/rfly_relay.dir/relay_path.cpp.o.d"
+  "/root/repo/src/relay/rfly_relay.cpp" "src/relay/CMakeFiles/rfly_relay.dir/rfly_relay.cpp.o" "gcc" "src/relay/CMakeFiles/rfly_relay.dir/rfly_relay.cpp.o.d"
+  "/root/repo/src/relay/synthesizer.cpp" "src/relay/CMakeFiles/rfly_relay.dir/synthesizer.cpp.o" "gcc" "src/relay/CMakeFiles/rfly_relay.dir/synthesizer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/signal/CMakeFiles/rfly_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/rfly_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rfly_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfly_relay.dir/analog_relay.cpp.o"
+  "CMakeFiles/rfly_relay.dir/analog_relay.cpp.o.d"
+  "CMakeFiles/rfly_relay.dir/coupling.cpp.o"
+  "CMakeFiles/rfly_relay.dir/coupling.cpp.o.d"
+  "CMakeFiles/rfly_relay.dir/freq_discovery.cpp.o"
+  "CMakeFiles/rfly_relay.dir/freq_discovery.cpp.o.d"
+  "CMakeFiles/rfly_relay.dir/gain_control.cpp.o"
+  "CMakeFiles/rfly_relay.dir/gain_control.cpp.o.d"
+  "CMakeFiles/rfly_relay.dir/hopping.cpp.o"
+  "CMakeFiles/rfly_relay.dir/hopping.cpp.o.d"
+  "CMakeFiles/rfly_relay.dir/isolation.cpp.o"
+  "CMakeFiles/rfly_relay.dir/isolation.cpp.o.d"
+  "CMakeFiles/rfly_relay.dir/mixer.cpp.o"
+  "CMakeFiles/rfly_relay.dir/mixer.cpp.o.d"
+  "CMakeFiles/rfly_relay.dir/relay_path.cpp.o"
+  "CMakeFiles/rfly_relay.dir/relay_path.cpp.o.d"
+  "CMakeFiles/rfly_relay.dir/rfly_relay.cpp.o"
+  "CMakeFiles/rfly_relay.dir/rfly_relay.cpp.o.d"
+  "CMakeFiles/rfly_relay.dir/synthesizer.cpp.o"
+  "CMakeFiles/rfly_relay.dir/synthesizer.cpp.o.d"
+  "librfly_relay.a"
+  "librfly_relay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfly_relay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

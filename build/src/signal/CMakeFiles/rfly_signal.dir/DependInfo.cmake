@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/signal/amplifier.cpp" "src/signal/CMakeFiles/rfly_signal.dir/amplifier.cpp.o" "gcc" "src/signal/CMakeFiles/rfly_signal.dir/amplifier.cpp.o.d"
+  "/root/repo/src/signal/correlate.cpp" "src/signal/CMakeFiles/rfly_signal.dir/correlate.cpp.o" "gcc" "src/signal/CMakeFiles/rfly_signal.dir/correlate.cpp.o.d"
+  "/root/repo/src/signal/fft.cpp" "src/signal/CMakeFiles/rfly_signal.dir/fft.cpp.o" "gcc" "src/signal/CMakeFiles/rfly_signal.dir/fft.cpp.o.d"
+  "/root/repo/src/signal/filter.cpp" "src/signal/CMakeFiles/rfly_signal.dir/filter.cpp.o" "gcc" "src/signal/CMakeFiles/rfly_signal.dir/filter.cpp.o.d"
+  "/root/repo/src/signal/impairments.cpp" "src/signal/CMakeFiles/rfly_signal.dir/impairments.cpp.o" "gcc" "src/signal/CMakeFiles/rfly_signal.dir/impairments.cpp.o.d"
+  "/root/repo/src/signal/noise.cpp" "src/signal/CMakeFiles/rfly_signal.dir/noise.cpp.o" "gcc" "src/signal/CMakeFiles/rfly_signal.dir/noise.cpp.o.d"
+  "/root/repo/src/signal/oscillator.cpp" "src/signal/CMakeFiles/rfly_signal.dir/oscillator.cpp.o" "gcc" "src/signal/CMakeFiles/rfly_signal.dir/oscillator.cpp.o.d"
+  "/root/repo/src/signal/resampler.cpp" "src/signal/CMakeFiles/rfly_signal.dir/resampler.cpp.o" "gcc" "src/signal/CMakeFiles/rfly_signal.dir/resampler.cpp.o.d"
+  "/root/repo/src/signal/spectrum.cpp" "src/signal/CMakeFiles/rfly_signal.dir/spectrum.cpp.o" "gcc" "src/signal/CMakeFiles/rfly_signal.dir/spectrum.cpp.o.d"
+  "/root/repo/src/signal/waveform.cpp" "src/signal/CMakeFiles/rfly_signal.dir/waveform.cpp.o" "gcc" "src/signal/CMakeFiles/rfly_signal.dir/waveform.cpp.o.d"
+  "/root/repo/src/signal/window.cpp" "src/signal/CMakeFiles/rfly_signal.dir/window.cpp.o" "gcc" "src/signal/CMakeFiles/rfly_signal.dir/window.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/rfly_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfly_signal.dir/amplifier.cpp.o"
+  "CMakeFiles/rfly_signal.dir/amplifier.cpp.o.d"
+  "CMakeFiles/rfly_signal.dir/correlate.cpp.o"
+  "CMakeFiles/rfly_signal.dir/correlate.cpp.o.d"
+  "CMakeFiles/rfly_signal.dir/fft.cpp.o"
+  "CMakeFiles/rfly_signal.dir/fft.cpp.o.d"
+  "CMakeFiles/rfly_signal.dir/filter.cpp.o"
+  "CMakeFiles/rfly_signal.dir/filter.cpp.o.d"
+  "CMakeFiles/rfly_signal.dir/impairments.cpp.o"
+  "CMakeFiles/rfly_signal.dir/impairments.cpp.o.d"
+  "CMakeFiles/rfly_signal.dir/noise.cpp.o"
+  "CMakeFiles/rfly_signal.dir/noise.cpp.o.d"
+  "CMakeFiles/rfly_signal.dir/oscillator.cpp.o"
+  "CMakeFiles/rfly_signal.dir/oscillator.cpp.o.d"
+  "CMakeFiles/rfly_signal.dir/resampler.cpp.o"
+  "CMakeFiles/rfly_signal.dir/resampler.cpp.o.d"
+  "CMakeFiles/rfly_signal.dir/spectrum.cpp.o"
+  "CMakeFiles/rfly_signal.dir/spectrum.cpp.o.d"
+  "CMakeFiles/rfly_signal.dir/waveform.cpp.o"
+  "CMakeFiles/rfly_signal.dir/waveform.cpp.o.d"
+  "CMakeFiles/rfly_signal.dir/window.cpp.o"
+  "CMakeFiles/rfly_signal.dir/window.cpp.o.d"
+  "librfly_signal.a"
+  "librfly_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfly_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librfly_signal.a"
+)

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfly_channel_tests.dir/test_environment.cpp.o"
+  "CMakeFiles/rfly_channel_tests.dir/test_environment.cpp.o.d"
+  "CMakeFiles/rfly_channel_tests.dir/test_geometry.cpp.o"
+  "CMakeFiles/rfly_channel_tests.dir/test_geometry.cpp.o.d"
+  "CMakeFiles/rfly_channel_tests.dir/test_link_budget.cpp.o"
+  "CMakeFiles/rfly_channel_tests.dir/test_link_budget.cpp.o.d"
+  "CMakeFiles/rfly_channel_tests.dir/test_path_loss.cpp.o"
+  "CMakeFiles/rfly_channel_tests.dir/test_path_loss.cpp.o.d"
+  "rfly_channel_tests"
+  "rfly_channel_tests.pdb"
+  "rfly_channel_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfly_channel_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_adaptive_survey.cpp" "tests/CMakeFiles/rfly_core_tests.dir/test_adaptive_survey.cpp.o" "gcc" "tests/CMakeFiles/rfly_core_tests.dir/test_adaptive_survey.cpp.o.d"
+  "/root/repo/tests/test_airtime.cpp" "tests/CMakeFiles/rfly_core_tests.dir/test_airtime.cpp.o" "gcc" "tests/CMakeFiles/rfly_core_tests.dir/test_airtime.cpp.o.d"
+  "/root/repo/tests/test_airtime_multi.cpp" "tests/CMakeFiles/rfly_core_tests.dir/test_airtime_multi.cpp.o" "gcc" "tests/CMakeFiles/rfly_core_tests.dir/test_airtime_multi.cpp.o.d"
+  "/root/repo/tests/test_cross_validation.cpp" "tests/CMakeFiles/rfly_core_tests.dir/test_cross_validation.cpp.o" "gcc" "tests/CMakeFiles/rfly_core_tests.dir/test_cross_validation.cpp.o.d"
+  "/root/repo/tests/test_daisy_chain.cpp" "tests/CMakeFiles/rfly_core_tests.dir/test_daisy_chain.cpp.o" "gcc" "tests/CMakeFiles/rfly_core_tests.dir/test_daisy_chain.cpp.o.d"
+  "/root/repo/tests/test_experiments.cpp" "tests/CMakeFiles/rfly_core_tests.dir/test_experiments.cpp.o" "gcc" "tests/CMakeFiles/rfly_core_tests.dir/test_experiments.cpp.o.d"
+  "/root/repo/tests/test_inventory.cpp" "tests/CMakeFiles/rfly_core_tests.dir/test_inventory.cpp.o" "gcc" "tests/CMakeFiles/rfly_core_tests.dir/test_inventory.cpp.o.d"
+  "/root/repo/tests/test_scan_mission.cpp" "tests/CMakeFiles/rfly_core_tests.dir/test_scan_mission.cpp.o" "gcc" "tests/CMakeFiles/rfly_core_tests.dir/test_scan_mission.cpp.o.d"
+  "/root/repo/tests/test_select_scan.cpp" "tests/CMakeFiles/rfly_core_tests.dir/test_select_scan.cpp.o" "gcc" "tests/CMakeFiles/rfly_core_tests.dir/test_select_scan.cpp.o.d"
+  "/root/repo/tests/test_system.cpp" "tests/CMakeFiles/rfly_core_tests.dir/test_system.cpp.o" "gcc" "tests/CMakeFiles/rfly_core_tests.dir/test_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rfly_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/relay/CMakeFiles/rfly_relay.dir/DependInfo.cmake"
+  "/root/repo/build/src/reader/CMakeFiles/rfly_reader.dir/DependInfo.cmake"
+  "/root/repo/build/src/localize/CMakeFiles/rfly_localize.dir/DependInfo.cmake"
+  "/root/repo/build/src/drone/CMakeFiles/rfly_drone.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen2/CMakeFiles/rfly_gen2.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/rfly_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/rfly_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rfly_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfly_core_tests.dir/test_adaptive_survey.cpp.o"
+  "CMakeFiles/rfly_core_tests.dir/test_adaptive_survey.cpp.o.d"
+  "CMakeFiles/rfly_core_tests.dir/test_airtime.cpp.o"
+  "CMakeFiles/rfly_core_tests.dir/test_airtime.cpp.o.d"
+  "CMakeFiles/rfly_core_tests.dir/test_airtime_multi.cpp.o"
+  "CMakeFiles/rfly_core_tests.dir/test_airtime_multi.cpp.o.d"
+  "CMakeFiles/rfly_core_tests.dir/test_cross_validation.cpp.o"
+  "CMakeFiles/rfly_core_tests.dir/test_cross_validation.cpp.o.d"
+  "CMakeFiles/rfly_core_tests.dir/test_daisy_chain.cpp.o"
+  "CMakeFiles/rfly_core_tests.dir/test_daisy_chain.cpp.o.d"
+  "CMakeFiles/rfly_core_tests.dir/test_experiments.cpp.o"
+  "CMakeFiles/rfly_core_tests.dir/test_experiments.cpp.o.d"
+  "CMakeFiles/rfly_core_tests.dir/test_inventory.cpp.o"
+  "CMakeFiles/rfly_core_tests.dir/test_inventory.cpp.o.d"
+  "CMakeFiles/rfly_core_tests.dir/test_scan_mission.cpp.o"
+  "CMakeFiles/rfly_core_tests.dir/test_scan_mission.cpp.o.d"
+  "CMakeFiles/rfly_core_tests.dir/test_select_scan.cpp.o"
+  "CMakeFiles/rfly_core_tests.dir/test_select_scan.cpp.o.d"
+  "CMakeFiles/rfly_core_tests.dir/test_system.cpp.o"
+  "CMakeFiles/rfly_core_tests.dir/test_system.cpp.o.d"
+  "rfly_core_tests"
+  "rfly_core_tests.pdb"
+  "rfly_core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfly_core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_access.cpp" "tests/CMakeFiles/rfly_gen2_tests.dir/test_access.cpp.o" "gcc" "tests/CMakeFiles/rfly_gen2_tests.dir/test_access.cpp.o.d"
+  "/root/repo/tests/test_commands.cpp" "tests/CMakeFiles/rfly_gen2_tests.dir/test_commands.cpp.o" "gcc" "tests/CMakeFiles/rfly_gen2_tests.dir/test_commands.cpp.o.d"
+  "/root/repo/tests/test_crc.cpp" "tests/CMakeFiles/rfly_gen2_tests.dir/test_crc.cpp.o" "gcc" "tests/CMakeFiles/rfly_gen2_tests.dir/test_crc.cpp.o.d"
+  "/root/repo/tests/test_fm0.cpp" "tests/CMakeFiles/rfly_gen2_tests.dir/test_fm0.cpp.o" "gcc" "tests/CMakeFiles/rfly_gen2_tests.dir/test_fm0.cpp.o.d"
+  "/root/repo/tests/test_miller.cpp" "tests/CMakeFiles/rfly_gen2_tests.dir/test_miller.cpp.o" "gcc" "tests/CMakeFiles/rfly_gen2_tests.dir/test_miller.cpp.o.d"
+  "/root/repo/tests/test_persistence.cpp" "tests/CMakeFiles/rfly_gen2_tests.dir/test_persistence.cpp.o" "gcc" "tests/CMakeFiles/rfly_gen2_tests.dir/test_persistence.cpp.o.d"
+  "/root/repo/tests/test_pie.cpp" "tests/CMakeFiles/rfly_gen2_tests.dir/test_pie.cpp.o" "gcc" "tests/CMakeFiles/rfly_gen2_tests.dir/test_pie.cpp.o.d"
+  "/root/repo/tests/test_sgtin.cpp" "tests/CMakeFiles/rfly_gen2_tests.dir/test_sgtin.cpp.o" "gcc" "tests/CMakeFiles/rfly_gen2_tests.dir/test_sgtin.cpp.o.d"
+  "/root/repo/tests/test_tag.cpp" "tests/CMakeFiles/rfly_gen2_tests.dir/test_tag.cpp.o" "gcc" "tests/CMakeFiles/rfly_gen2_tests.dir/test_tag.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rfly_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/relay/CMakeFiles/rfly_relay.dir/DependInfo.cmake"
+  "/root/repo/build/src/reader/CMakeFiles/rfly_reader.dir/DependInfo.cmake"
+  "/root/repo/build/src/localize/CMakeFiles/rfly_localize.dir/DependInfo.cmake"
+  "/root/repo/build/src/drone/CMakeFiles/rfly_drone.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen2/CMakeFiles/rfly_gen2.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/rfly_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/rfly_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rfly_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfly_gen2_tests.dir/test_access.cpp.o"
+  "CMakeFiles/rfly_gen2_tests.dir/test_access.cpp.o.d"
+  "CMakeFiles/rfly_gen2_tests.dir/test_commands.cpp.o"
+  "CMakeFiles/rfly_gen2_tests.dir/test_commands.cpp.o.d"
+  "CMakeFiles/rfly_gen2_tests.dir/test_crc.cpp.o"
+  "CMakeFiles/rfly_gen2_tests.dir/test_crc.cpp.o.d"
+  "CMakeFiles/rfly_gen2_tests.dir/test_fm0.cpp.o"
+  "CMakeFiles/rfly_gen2_tests.dir/test_fm0.cpp.o.d"
+  "CMakeFiles/rfly_gen2_tests.dir/test_miller.cpp.o"
+  "CMakeFiles/rfly_gen2_tests.dir/test_miller.cpp.o.d"
+  "CMakeFiles/rfly_gen2_tests.dir/test_persistence.cpp.o"
+  "CMakeFiles/rfly_gen2_tests.dir/test_persistence.cpp.o.d"
+  "CMakeFiles/rfly_gen2_tests.dir/test_pie.cpp.o"
+  "CMakeFiles/rfly_gen2_tests.dir/test_pie.cpp.o.d"
+  "CMakeFiles/rfly_gen2_tests.dir/test_sgtin.cpp.o"
+  "CMakeFiles/rfly_gen2_tests.dir/test_sgtin.cpp.o.d"
+  "CMakeFiles/rfly_gen2_tests.dir/test_tag.cpp.o"
+  "CMakeFiles/rfly_gen2_tests.dir/test_tag.cpp.o.d"
+  "rfly_gen2_tests"
+  "rfly_gen2_tests.pdb"
+  "rfly_gen2_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfly_gen2_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfly_localize_tests.dir/test_heatmap_io.cpp.o"
+  "CMakeFiles/rfly_localize_tests.dir/test_heatmap_io.cpp.o.d"
+  "CMakeFiles/rfly_localize_tests.dir/test_localize.cpp.o"
+  "CMakeFiles/rfly_localize_tests.dir/test_localize.cpp.o.d"
+  "CMakeFiles/rfly_localize_tests.dir/test_reader_localizer.cpp.o"
+  "CMakeFiles/rfly_localize_tests.dir/test_reader_localizer.cpp.o.d"
+  "CMakeFiles/rfly_localize_tests.dir/test_uncertainty.cpp.o"
+  "CMakeFiles/rfly_localize_tests.dir/test_uncertainty.cpp.o.d"
+  "rfly_localize_tests"
+  "rfly_localize_tests.pdb"
+  "rfly_localize_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfly_localize_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfly_property_tests.dir/test_properties.cpp.o"
+  "CMakeFiles/rfly_property_tests.dir/test_properties.cpp.o.d"
+  "rfly_property_tests"
+  "rfly_property_tests.pdb"
+  "rfly_property_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfly_property_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfly_reader_drone_tests.dir/test_drone.cpp.o"
+  "CMakeFiles/rfly_reader_drone_tests.dir/test_drone.cpp.o.d"
+  "CMakeFiles/rfly_reader_drone_tests.dir/test_reader.cpp.o"
+  "CMakeFiles/rfly_reader_drone_tests.dir/test_reader.cpp.o.d"
+  "rfly_reader_drone_tests"
+  "rfly_reader_drone_tests.pdb"
+  "rfly_reader_drone_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfly_reader_drone_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

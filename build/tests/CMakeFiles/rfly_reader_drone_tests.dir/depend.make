@@ -1,0 +1,2 @@
+# Empty dependencies file for rfly_reader_drone_tests.
+# This may be replaced when dependencies are built.

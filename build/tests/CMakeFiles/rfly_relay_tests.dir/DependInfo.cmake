@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_agc.cpp" "tests/CMakeFiles/rfly_relay_tests.dir/test_agc.cpp.o" "gcc" "tests/CMakeFiles/rfly_relay_tests.dir/test_agc.cpp.o.d"
+  "/root/repo/tests/test_coupling.cpp" "tests/CMakeFiles/rfly_relay_tests.dir/test_coupling.cpp.o" "gcc" "tests/CMakeFiles/rfly_relay_tests.dir/test_coupling.cpp.o.d"
+  "/root/repo/tests/test_freq_discovery.cpp" "tests/CMakeFiles/rfly_relay_tests.dir/test_freq_discovery.cpp.o" "gcc" "tests/CMakeFiles/rfly_relay_tests.dir/test_freq_discovery.cpp.o.d"
+  "/root/repo/tests/test_gain_control.cpp" "tests/CMakeFiles/rfly_relay_tests.dir/test_gain_control.cpp.o" "gcc" "tests/CMakeFiles/rfly_relay_tests.dir/test_gain_control.cpp.o.d"
+  "/root/repo/tests/test_hopping.cpp" "tests/CMakeFiles/rfly_relay_tests.dir/test_hopping.cpp.o" "gcc" "tests/CMakeFiles/rfly_relay_tests.dir/test_hopping.cpp.o.d"
+  "/root/repo/tests/test_isolation.cpp" "tests/CMakeFiles/rfly_relay_tests.dir/test_isolation.cpp.o" "gcc" "tests/CMakeFiles/rfly_relay_tests.dir/test_isolation.cpp.o.d"
+  "/root/repo/tests/test_mirrored.cpp" "tests/CMakeFiles/rfly_relay_tests.dir/test_mirrored.cpp.o" "gcc" "tests/CMakeFiles/rfly_relay_tests.dir/test_mirrored.cpp.o.d"
+  "/root/repo/tests/test_relay_path.cpp" "tests/CMakeFiles/rfly_relay_tests.dir/test_relay_path.cpp.o" "gcc" "tests/CMakeFiles/rfly_relay_tests.dir/test_relay_path.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rfly_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/relay/CMakeFiles/rfly_relay.dir/DependInfo.cmake"
+  "/root/repo/build/src/reader/CMakeFiles/rfly_reader.dir/DependInfo.cmake"
+  "/root/repo/build/src/localize/CMakeFiles/rfly_localize.dir/DependInfo.cmake"
+  "/root/repo/build/src/drone/CMakeFiles/rfly_drone.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen2/CMakeFiles/rfly_gen2.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/rfly_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/rfly_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rfly_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfly_relay_tests.dir/test_agc.cpp.o"
+  "CMakeFiles/rfly_relay_tests.dir/test_agc.cpp.o.d"
+  "CMakeFiles/rfly_relay_tests.dir/test_coupling.cpp.o"
+  "CMakeFiles/rfly_relay_tests.dir/test_coupling.cpp.o.d"
+  "CMakeFiles/rfly_relay_tests.dir/test_freq_discovery.cpp.o"
+  "CMakeFiles/rfly_relay_tests.dir/test_freq_discovery.cpp.o.d"
+  "CMakeFiles/rfly_relay_tests.dir/test_gain_control.cpp.o"
+  "CMakeFiles/rfly_relay_tests.dir/test_gain_control.cpp.o.d"
+  "CMakeFiles/rfly_relay_tests.dir/test_hopping.cpp.o"
+  "CMakeFiles/rfly_relay_tests.dir/test_hopping.cpp.o.d"
+  "CMakeFiles/rfly_relay_tests.dir/test_isolation.cpp.o"
+  "CMakeFiles/rfly_relay_tests.dir/test_isolation.cpp.o.d"
+  "CMakeFiles/rfly_relay_tests.dir/test_mirrored.cpp.o"
+  "CMakeFiles/rfly_relay_tests.dir/test_mirrored.cpp.o.d"
+  "CMakeFiles/rfly_relay_tests.dir/test_relay_path.cpp.o"
+  "CMakeFiles/rfly_relay_tests.dir/test_relay_path.cpp.o.d"
+  "rfly_relay_tests"
+  "rfly_relay_tests.pdb"
+  "rfly_relay_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfly_relay_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

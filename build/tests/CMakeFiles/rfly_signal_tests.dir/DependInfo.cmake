@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_amplifier.cpp" "tests/CMakeFiles/rfly_signal_tests.dir/test_amplifier.cpp.o" "gcc" "tests/CMakeFiles/rfly_signal_tests.dir/test_amplifier.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/rfly_signal_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/rfly_signal_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_correlate.cpp" "tests/CMakeFiles/rfly_signal_tests.dir/test_correlate.cpp.o" "gcc" "tests/CMakeFiles/rfly_signal_tests.dir/test_correlate.cpp.o.d"
+  "/root/repo/tests/test_fft.cpp" "tests/CMakeFiles/rfly_signal_tests.dir/test_fft.cpp.o" "gcc" "tests/CMakeFiles/rfly_signal_tests.dir/test_fft.cpp.o.d"
+  "/root/repo/tests/test_filter.cpp" "tests/CMakeFiles/rfly_signal_tests.dir/test_filter.cpp.o" "gcc" "tests/CMakeFiles/rfly_signal_tests.dir/test_filter.cpp.o.d"
+  "/root/repo/tests/test_noise.cpp" "tests/CMakeFiles/rfly_signal_tests.dir/test_noise.cpp.o" "gcc" "tests/CMakeFiles/rfly_signal_tests.dir/test_noise.cpp.o.d"
+  "/root/repo/tests/test_oscillator.cpp" "tests/CMakeFiles/rfly_signal_tests.dir/test_oscillator.cpp.o" "gcc" "tests/CMakeFiles/rfly_signal_tests.dir/test_oscillator.cpp.o.d"
+  "/root/repo/tests/test_signal_extras.cpp" "tests/CMakeFiles/rfly_signal_tests.dir/test_signal_extras.cpp.o" "gcc" "tests/CMakeFiles/rfly_signal_tests.dir/test_signal_extras.cpp.o.d"
+  "/root/repo/tests/test_spectrum.cpp" "tests/CMakeFiles/rfly_signal_tests.dir/test_spectrum.cpp.o" "gcc" "tests/CMakeFiles/rfly_signal_tests.dir/test_spectrum.cpp.o.d"
+  "/root/repo/tests/test_waveform.cpp" "tests/CMakeFiles/rfly_signal_tests.dir/test_waveform.cpp.o" "gcc" "tests/CMakeFiles/rfly_signal_tests.dir/test_waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/rfly_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/relay/CMakeFiles/rfly_relay.dir/DependInfo.cmake"
+  "/root/repo/build/src/reader/CMakeFiles/rfly_reader.dir/DependInfo.cmake"
+  "/root/repo/build/src/localize/CMakeFiles/rfly_localize.dir/DependInfo.cmake"
+  "/root/repo/build/src/drone/CMakeFiles/rfly_drone.dir/DependInfo.cmake"
+  "/root/repo/build/src/gen2/CMakeFiles/rfly_gen2.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/rfly_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/rfly_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/rfly_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rfly_signal_tests.dir/test_amplifier.cpp.o"
+  "CMakeFiles/rfly_signal_tests.dir/test_amplifier.cpp.o.d"
+  "CMakeFiles/rfly_signal_tests.dir/test_common.cpp.o"
+  "CMakeFiles/rfly_signal_tests.dir/test_common.cpp.o.d"
+  "CMakeFiles/rfly_signal_tests.dir/test_correlate.cpp.o"
+  "CMakeFiles/rfly_signal_tests.dir/test_correlate.cpp.o.d"
+  "CMakeFiles/rfly_signal_tests.dir/test_fft.cpp.o"
+  "CMakeFiles/rfly_signal_tests.dir/test_fft.cpp.o.d"
+  "CMakeFiles/rfly_signal_tests.dir/test_filter.cpp.o"
+  "CMakeFiles/rfly_signal_tests.dir/test_filter.cpp.o.d"
+  "CMakeFiles/rfly_signal_tests.dir/test_noise.cpp.o"
+  "CMakeFiles/rfly_signal_tests.dir/test_noise.cpp.o.d"
+  "CMakeFiles/rfly_signal_tests.dir/test_oscillator.cpp.o"
+  "CMakeFiles/rfly_signal_tests.dir/test_oscillator.cpp.o.d"
+  "CMakeFiles/rfly_signal_tests.dir/test_signal_extras.cpp.o"
+  "CMakeFiles/rfly_signal_tests.dir/test_signal_extras.cpp.o.d"
+  "CMakeFiles/rfly_signal_tests.dir/test_spectrum.cpp.o"
+  "CMakeFiles/rfly_signal_tests.dir/test_spectrum.cpp.o.d"
+  "CMakeFiles/rfly_signal_tests.dir/test_waveform.cpp.o"
+  "CMakeFiles/rfly_signal_tests.dir/test_waveform.cpp.o.d"
+  "rfly_signal_tests"
+  "rfly_signal_tests.pdb"
+  "rfly_signal_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rfly_signal_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/rfly_signal_tests[1]_include.cmake")
+include("/root/repo/build/tests/rfly_channel_tests[1]_include.cmake")
+include("/root/repo/build/tests/rfly_gen2_tests[1]_include.cmake")
+include("/root/repo/build/tests/rfly_relay_tests[1]_include.cmake")
+include("/root/repo/build/tests/rfly_reader_drone_tests[1]_include.cmake")
+include("/root/repo/build/tests/rfly_localize_tests[1]_include.cmake")
+include("/root/repo/build/tests/rfly_core_tests[1]_include.cmake")
+include("/root/repo/build/tests/rfly_property_tests[1]_include.cmake")
