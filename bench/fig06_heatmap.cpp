@@ -1,9 +1,15 @@
 // Fig. 6 — P(x, y) localization heatmaps: (a) line-of-sight, (b) strong
 // multipath from steel shelves. Rendered as ASCII intensity maps with the
 // true tag (T), the chosen estimate (X), and the flight path (=) marked.
+//
+// Also sweeps the SAR engine's thread count on the fig06-sized problem and
+// writes BENCH_sar.json (format documented in EXPERIMENTS.md) so the perf
+// trajectory of the hottest kernel is tracked from run to run.
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <thread>
 
 #include "bench_util.h"
 #include "core/system.h"
@@ -78,11 +84,87 @@ void run_scene(const char* title, int shelf_rows, std::uint64_t seed,
   (void)paper_error_hint_m;
 }
 
+/// Time the SAR engine at each thread count on the fig06-sized grid and
+/// emit BENCH_sar.json. Parity against the serial heatmap is checked on
+/// every run so a perf regression can never hide a correctness one.
+void thread_sweep(std::uint64_t seed) {
+  std::printf("\n--- SAR engine thread sweep (fig06-sized grid) ---\n");
+
+  SystemConfig sys_cfg;
+  const Vec3 reader_pos{-8.0, 1.0, 1.0};
+  RflySystem system(sys_cfg, channel::Environment{}, reader_pos);
+  const Vec3 tag{1.4, 0.9, 0.0};
+  Rng rng(seed);
+  const auto plan = drone::linear_trajectory({0.0, -0.4, 1.0}, {2.8, -0.35, 1.0}, 50);
+  const auto flight =
+      drone::fly(plan, drone::FlightConfig{}, drone::optitrack_tracking(), rng);
+  const auto measurements = system.collect_measurements(flight, tag, rng);
+  const auto iso = localize::disentangle(measurements);
+  const double freq = sys_cfg.carrier_hz + sys_cfg.freq_shift_hz;
+  const localize::GridSpec grid{-0.5, 3.0, -0.5, 2.0, 0.02};
+
+  const auto time_ms = [&](unsigned threads) {
+    double best = 1e300;
+    for (int rep = 0; rep < 5; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto map = localize::sar_heatmap(iso, grid, freq, 0.0, threads);
+      const auto t1 = std::chrono::steady_clock::now();
+      best = std::min(best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+      if (map.values.empty()) std::printf("unexpected empty heatmap\n");
+    }
+    return best;
+  };
+
+  const auto serial_map = localize::sar_heatmap(iso, grid, freq, 0.0, 1);
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  const unsigned sweep[] = {1, 2, 4, 8};
+  const double serial_ms = time_ms(1);
+
+  FILE* json = std::fopen("BENCH_sar.json", "w");
+  if (json) {
+    std::fprintf(json,
+                 "{\n  \"bench\": \"sar_heatmap\",\n"
+                 "  \"grid\": {\"nx\": %zu, \"ny\": %zu, \"cells\": %zu},\n"
+                 "  \"measurements\": %zu,\n"
+                 "  \"hardware_concurrency\": %u,\n"
+                 "  \"results\": [\n",
+                 grid.nx(), grid.ny(), grid.nx() * grid.ny(), iso.channels.size(), hw);
+  }
+  std::printf("  %-8s %12s %10s %22s\n", "threads", "best [ms]", "speedup",
+              "max |diff| vs serial");
+  for (std::size_t i = 0; i < std::size(sweep); ++i) {
+    const unsigned threads = sweep[i];
+    const double ms = threads == 1 ? serial_ms : time_ms(threads);
+    const auto map = localize::sar_heatmap(iso, grid, freq, 0.0, threads);
+    double max_diff = 0.0;
+    for (std::size_t c = 0; c < map.values.size(); ++c) {
+      max_diff = std::max(max_diff, std::abs(map.values[c] - serial_map.values[c]));
+    }
+    const double speedup = serial_ms / ms;
+    std::printf("  %-8u %12.3f %9.2fx %22.3g\n", threads, ms, speedup, max_diff);
+    if (json) {
+      std::fprintf(json,
+                   "    {\"threads\": %u, \"best_ms\": %.6f, \"speedup\": %.4f, "
+                   "\"max_abs_diff_vs_serial\": %.3g}%s\n",
+                   threads, ms, speedup, max_diff,
+                   i + 1 < std::size(sweep) ? "," : "");
+    }
+  }
+  if (json) {
+    std::fprintf(json, "  ]\n}\n");
+    std::fclose(json);
+    std::printf("wrote BENCH_sar.json\n");
+  }
+  bench::paper_vs_ours("SAR heatmap speedup at 8 threads", "(n/a: ours)",
+                       serial_ms / time_ms(8), "x");
+}
+
 }  // namespace
 
 int main() {
   bench::header("Fig. 6", "P(x,y) heatmaps: line-of-sight vs strong multipath");
   run_scene("(a) line of sight", 0, 31, 0.07);
   run_scene("(b) strong multipath (steel shelves)", 2, 32, 0.2);
+  thread_sweep(33);
   return 0;
 }

@@ -30,15 +30,19 @@ localize::DisentangledSet make_set(std::size_t n_points) {
 
 void BM_SarHeatmap(benchmark::State& state) {
   const auto set = make_set(static_cast<std::size_t>(state.range(0)));
+  const auto threads = static_cast<unsigned>(state.range(1));
   localize::GridSpec grid{4.0, 6.0, -0.5, 1.5, 0.05};
   for (auto _ : state) {
-    benchmark::DoNotOptimize(localize::sar_heatmap(set, grid, 916e6));
+    benchmark::DoNotOptimize(localize::sar_heatmap(set, grid, 916e6, 0.0, threads));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(grid.nx() * grid.ny() *
                                                     set.channels.size()));
 }
-BENCHMARK(BM_SarHeatmap)->Arg(10)->Arg(40)->Arg(160);
+// Second arg: SAR engine threads (1 = legacy serial path).
+BENCHMARK(BM_SarHeatmap)
+    ->ArgsProduct({{10, 40, 160}, {1, 2, 8}})
+    ->ArgNames({"points", "threads"});
 
 void BM_RelayStep(benchmark::State& state) {
   auto relay_hw = relay::make_rfly_relay(relay::RflyRelayConfig{}, 1);

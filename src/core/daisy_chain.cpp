@@ -5,6 +5,7 @@
 
 #include "channel/channel_model.h"
 #include "channel/path_loss.h"
+#include "common/thread_pool.h"
 #include "common/units.h"
 #include "signal/noise.h"
 
@@ -83,24 +84,54 @@ ChainBudget evaluate_chain(const DaisyChainConfig& config,
 }
 
 double chain_read_range_m(const DaisyChainConfig& config, int n_relays,
-                          double relay_tag_distance_m) {
+                          double relay_tag_distance_m, unsigned threads) {
   const channel::Environment env;  // free space
   const Vec3 reader_pos{0.0, 0.0, 1.0};
-  double best = 0.0;
-  for (double d = 2.0; d <= 2000.0; d += 2.0) {
+  const double d_step = 2.0;
+  const std::size_t n_candidates = 1000;  // d in [2, 2000]
+
+  const auto reads_at = [&](std::size_t i) {
+    const double d = d_step * static_cast<double>(i + 1);
     // Relays spaced evenly along the line, the last one near the tag.
     std::vector<Vec3> relays;
     const double usable = std::max(1.0, d - relay_tag_distance_m);
-    for (int i = 1; i <= n_relays; ++i) {
+    for (int r = 1; r <= n_relays; ++r) {
       relays.push_back(
-          {usable * static_cast<double>(i) / static_cast<double>(n_relays), 0.0, 1.0});
+          {usable * static_cast<double>(r) / static_cast<double>(n_relays), 0.0, 1.0});
     }
     const Vec3 tag{d, 0.0, 0.5};
     const auto budget = evaluate_chain(config, env, reader_pos, relays, tag);
-    if (budget.stable && budget.tag_powered && budget.decodable) {
-      best = d;
+    return budget.stable && budget.tag_powered && budget.decodable;
+  };
+
+  if (threads <= 1) {
+    // Lazy serial sweep: stops at the first failure past a success.
+    double best = 0.0;
+    for (std::size_t i = 0; i < n_candidates; ++i) {
+      if (reads_at(i)) {
+        best = d_step * static_cast<double>(i + 1);
+      } else if (best > 0.0) {
+        break;  // range is contiguous; the first failure past success ends it
+      }
+    }
+    return best;
+  }
+
+  // Parallel sweep: every candidate budget is independent, so evaluate them
+  // all on the pool, then apply the identical contiguous-range rule.
+  std::vector<char> ok(n_candidates, 0);
+  parallel_for(
+      0, n_candidates, 16,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) ok[i] = reads_at(i) ? 1 : 0;
+      },
+      threads);
+  double best = 0.0;
+  for (std::size_t i = 0; i < n_candidates; ++i) {
+    if (ok[i]) {
+      best = d_step * static_cast<double>(i + 1);
     } else if (best > 0.0) {
-      break;  // range is contiguous; the first failure past success ends it
+      break;
     }
   }
   return best;

@@ -50,7 +50,11 @@ ChainBudget evaluate_chain(const DaisyChainConfig& config,
 /// Maximum reader-tag distance at which a straight-line chain of
 /// `n_relays` (evenly spaced, last one `relay_tag_distance` short of the
 /// tag) still reads the tag. Free-space geometry.
+/// `threads`: 0/1 = the lazy serial sweep with early exit; n > 1 evaluates
+/// all candidate distances on the shared pool (each budget is independent)
+/// and applies the same contiguous-range rule, returning the same answer.
 double chain_read_range_m(const DaisyChainConfig& config, int n_relays,
-                          double relay_tag_distance_m = 2.0);
+                          double relay_tag_distance_m = 2.0,
+                          unsigned threads = 1);
 
 }  // namespace rfly::core

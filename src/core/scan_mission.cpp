@@ -81,6 +81,7 @@ ScanReport run_scan_mission(const ScanMissionConfig& config,
     centroid = centroid / static_cast<double>(measurements.size());
 
     localize::LocalizerConfig loc;
+    loc.threads = config.localize_threads;
     loc.freq_hz = config.system.carrier_hz + config.system.freq_shift_hz;
     loc.peak_threshold_fraction = config.peak_threshold_fraction;
     loc.grid.resolution_m = config.grid_resolution_m;

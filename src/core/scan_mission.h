@@ -46,6 +46,10 @@ struct ScanMissionConfig {
   /// operator knows the aisle layout): true = tags at smaller y than the
   /// path, false = larger y.
   bool tags_below_path = true;
+  /// Worker threads for each discovered tag's SAR heatmap (the mission's
+  /// dominant cost): 0 = hardware concurrency, 1 = serial. The report is
+  /// identical at every setting.
+  unsigned localize_threads = 0;
 };
 
 struct ScannedItem {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/thread_pool.h"
+
 namespace rfly::localize {
 
 namespace {
@@ -36,7 +38,8 @@ std::optional<LocalizationResult> localize_2d(const MeasurementSet& measurements
   GridSpec scan_grid = config.grid;
   if (config.multires) scan_grid.resolution_m = config.coarse_resolution_m;
 
-  const Heatmap map = sar_heatmap(set, scan_grid, config.freq_hz, config.z_plane_m);
+  const Heatmap map =
+      sar_heatmap(set, scan_grid, config.freq_hz, config.z_plane_m, config.threads);
   std::vector<Peak> peaks = find_peaks(map, config.peak_threshold_fraction);
   if (peaks.empty()) return std::nullopt;
 
@@ -44,11 +47,18 @@ std::optional<LocalizationResult> localize_2d(const MeasurementSet& measurements
     const int n = std::min<int>(config.refine_candidates,
                                 static_cast<int>(peaks.size()));
     peaks.resize(static_cast<std::size_t>(n));
-    for (auto& p : peaks) {
-      p = refine_peak(set, p, config.grid.resolution_m,
-                      config.coarse_resolution_m * 1.5, config.freq_hz,
-                      config.z_plane_m);
-    }
+    // Each candidate refines independently into its own slot; identical at
+    // any thread count.
+    parallel_for(
+        0, peaks.size(), 1,
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            peaks[i] = refine_peak(set, peaks[i], config.grid.resolution_m,
+                                   config.coarse_resolution_m * 1.5, config.freq_hz,
+                                   config.z_plane_m);
+          }
+        },
+        config.threads);
     std::sort(peaks.begin(), peaks.end(),
               [](const Peak& a, const Peak& b) { return a.value > b.value; });
   }
@@ -66,22 +76,50 @@ std::optional<LocalizationResult> localize_2d(const MeasurementSet& measurements
 }
 
 std::optional<Localization3dResult> localize_3d(const MeasurementSet& measurements,
-                                                const Volume& volume, double freq_hz) {
+                                                const Volume& volume, double freq_hz,
+                                                unsigned threads) {
   const DisentangledSet set = disentangle(measurements);
   if (set.channels.empty()) return std::nullopt;
 
+  const double res = volume.resolution_m;
+  const auto steps = [res](double lo, double hi) {
+    return static_cast<std::size_t>(std::floor((hi - lo) / res)) + 1;
+  };
+  const std::size_t nz = steps(volume.z_min, volume.z_max);
+  const std::size_t ny = steps(volume.y_min, volume.y_max);
+  const std::size_t nx = steps(volume.x_min, volume.x_max);
+
+  // Z-slice shards: every slice records its own argmax (scanning y then x,
+  // first-strict-maximum, exactly like the serial sweep), then the slices
+  // reduce in ascending z so ties keep the lowest z — the serial answer.
+  std::vector<Localization3dResult> slice_best(nz);
+  parallel_for(
+      0, nz, 1,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t iz = begin; iz < end; ++iz) {
+          const double z = volume.z_min + static_cast<double>(iz) * res;
+          Localization3dResult best;
+          best.peak_value = -1.0;
+          for (std::size_t iy = 0; iy < ny; ++iy) {
+            const double y = volume.y_min + static_cast<double>(iy) * res;
+            for (std::size_t ix = 0; ix < nx; ++ix) {
+              const double x = volume.x_min + static_cast<double>(ix) * res;
+              const double v = sar_projection(set, {x, y, z}, freq_hz);
+              if (v > best.peak_value) {
+                best.peak_value = v;
+                best.position = {x, y, z};
+              }
+            }
+          }
+          slice_best[iz] = best;
+        }
+      },
+      threads);
+
   Localization3dResult best;
   best.peak_value = -1.0;
-  for (double z = volume.z_min; z <= volume.z_max; z += volume.resolution_m) {
-    for (double y = volume.y_min; y <= volume.y_max; y += volume.resolution_m) {
-      for (double x = volume.x_min; x <= volume.x_max; x += volume.resolution_m) {
-        const double v = sar_projection(set, {x, y, z}, freq_hz);
-        if (v > best.peak_value) {
-          best.peak_value = v;
-          best.position = {x, y, z};
-        }
-      }
-    }
+  for (const auto& s : slice_best) {
+    if (s.peak_value > best.peak_value) best = s;
   }
   if (best.peak_value < 0.0) return std::nullopt;
   return best;

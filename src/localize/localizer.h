@@ -25,6 +25,10 @@ struct LocalizerConfig {
   int refine_candidates = 5;
   /// Z plane the tags sit on (paper: tags on the ground, 2D localization).
   double z_plane_m = 0.0;
+  /// SAR worker threads: 0 = hardware concurrency via the shared pool,
+  /// 1 = the exact legacy serial path, n = at most n threads. Results are
+  /// identical at every setting (see DESIGN.md "Parallel SAR engine").
+  unsigned threads = 0;
 };
 
 struct LocalizationResult {
@@ -54,7 +58,11 @@ struct Localization3dResult {
   double peak_value = 0.0;
 };
 
+/// `threads` as in LocalizerConfig: the volume is sharded by z-slice; each
+/// slice keeps its own argmax and the slices reduce in fixed z order, so
+/// the result matches the serial scan at any thread count.
 std::optional<Localization3dResult> localize_3d(const MeasurementSet& measurements,
-                                                const Volume& volume, double freq_hz);
+                                                const Volume& volume, double freq_hz,
+                                                unsigned threads = 0);
 
 }  // namespace rfly::localize

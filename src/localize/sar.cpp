@@ -1,8 +1,10 @@
 #include "localize/sar.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/constants.h"
+#include "common/thread_pool.h"
 
 namespace rfly::localize {
 
@@ -31,33 +33,66 @@ double sar_projection(const DisentangledSet& set, const channel::Vec3& p,
   return std::abs(acc);
 }
 
+SarGeometry SarGeometry::from(const DisentangledSet& set, double freq_hz) {
+  SarGeometry geo;
+  geo.k = kTwoPi * freq_hz * 2.0 / kSpeedOfLight;
+  const std::size_t n = set.channels.size();
+  geo.px.reserve(n);
+  geo.py.reserve(n);
+  geo.pz.reserve(n);
+  geo.hre.reserve(n);
+  geo.him.reserve(n);
+  for (std::size_t l = 0; l < n; ++l) {
+    geo.px.push_back(set.positions[l].x);
+    geo.py.push_back(set.positions[l].y);
+    geo.pz.push_back(set.positions[l].z);
+    geo.hre.push_back(set.channels[l].real());
+    geo.him.push_back(set.channels[l].imag());
+  }
+  return geo;
+}
+
 Heatmap sar_heatmap(const DisentangledSet& set, const GridSpec& grid, double freq_hz,
-                    double z_plane) {
+                    double z_plane, unsigned threads) {
   Heatmap map;
   map.grid = grid;
   const std::size_t nx = grid.nx();
   const std::size_t ny = grid.ny();
   map.values.assign(nx * ny, 0.0);
-  const double k = kTwoPi * freq_hz * 2.0 / kSpeedOfLight;
+  const SarGeometry geo = SarGeometry::from(set, freq_hz);
+  const std::size_t L = geo.size();
 
-  for (std::size_t iy = 0; iy < ny; ++iy) {
-    const double y = grid.y_at(iy);
-    for (std::size_t ix = 0; ix < nx; ++ix) {
-      const double x = grid.x_at(ix);
-      cdouble acc{0.0, 0.0};
-      for (std::size_t l = 0; l < set.channels.size(); ++l) {
-        const auto& pos = set.positions[l];
-        const double dx = x - pos.x;
-        const double dy = y - pos.y;
-        const double dz = z_plane - pos.z;
-        const double d = std::sqrt(dx * dx + dy * dy + dz * dz);
-        // cis() is cheap but this is the innermost loop of the system;
-        // sincos through std::polar keeps it a single libm call pair.
-        acc += set.channels[l] * cis(k * d);
-      }
-      map.values[iy * nx + ix] = std::abs(acc);
-    }
-  }
+  // Row shards: each cell's sum over l runs in a fixed order and lands in
+  // its own slot, so any sharding of the rows yields the same heatmap.
+  // Grain of a few rows keeps chunks ~10x the thread count for balance
+  // without queue churn.
+  const std::size_t grain = std::max<std::size_t>(1, ny / 64);
+  parallel_for(
+      0, ny, grain,
+      [&](std::size_t row_begin, std::size_t row_end) {
+        for (std::size_t iy = row_begin; iy < row_end; ++iy) {
+          const double y = grid.y_at(iy);
+          double* row = map.values.data() + iy * nx;
+          for (std::size_t ix = 0; ix < nx; ++ix) {
+            const double x = grid.x_at(ix);
+            double re = 0.0, im = 0.0;
+            for (std::size_t l = 0; l < L; ++l) {
+              const double dx = x - geo.px[l];
+              const double dy = y - geo.py[l];
+              const double dz = z_plane - geo.pz[l];
+              const double d = std::sqrt(dx * dx + dy * dy + dz * dz);
+              // sincos is the innermost cost of the whole system; the SoA
+              // operand streams let the surrounding arithmetic vectorize.
+              const double c = std::cos(geo.k * d);
+              const double s = std::sin(geo.k * d);
+              re += geo.hre[l] * c - geo.him[l] * s;
+              im += geo.hre[l] * s + geo.him[l] * c;
+            }
+            row[ix] = std::abs(cdouble{re, im});
+          }
+        }
+      },
+      threads);
   return map;
 }
 

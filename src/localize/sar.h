@@ -33,11 +33,28 @@ struct Heatmap {
   double max_value() const;
 };
 
+/// Per-antenna SoA precompute for the SAR inner loop: the round-trip
+/// wavenumber plus trajectory positions and channel weights laid out as
+/// flat contiguous arrays, hoisted once per heatmap so the per-cell loop
+/// streams cache lines instead of chasing Vec3/complex structs.
+struct SarGeometry {
+  double k = 0.0;  // 2*pi*f*2/c (round trip)
+  std::vector<double> px, py, pz;    // trajectory positions
+  std::vector<double> hre, him;      // channel weights, split re/im
+  std::size_t size() const { return px.size(); }
+  static SarGeometry from(const DisentangledSet& set, double freq_hz);
+};
+
 /// Evaluate P over the grid at plane height `z` (tags on the floor: z=0).
 /// `freq_hz` is the relay-tag half-link carrier f2 — the paper notes f is
 /// an acceptable stand-in since (f - f2)/f < 0.01.
+///
+/// `threads`: 0 = shared pool at hardware concurrency, 1 = serial on the
+/// calling thread, n = at most n threads. The grid is sharded by row and
+/// each cell accumulates its own sum in a fixed order, so the heatmap is
+/// bit-identical for every thread count (tests/test_sar_parity.cpp).
 Heatmap sar_heatmap(const DisentangledSet& set, const GridSpec& grid, double freq_hz,
-                    double z_plane = 0.0);
+                    double z_plane = 0.0, unsigned threads = 0);
 
 /// Evaluate P at a single 3D point (used by the 3D extension and tests).
 double sar_projection(const DisentangledSet& set, const channel::Vec3& p,

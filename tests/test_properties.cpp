@@ -178,6 +178,65 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(50e3, 100e3, 500e3, 1.5e6)));
 
 // ---------------------------------------------------------------------------
+// GridSpec sampling invariants: the heatmap grid must cover [min, max]
+// without ever sampling past the extent, for any (extent, resolution) pair
+// — including extents not divisible by the resolution and degenerate
+// single-cell grids.
+
+TEST(GridSpecProperty, ExtentNotDivisibleByResolution) {
+  // 1.0 / 0.3 = 3.33..: four samples, last one at 0.9.
+  const localize::GridSpec g{0.0, 1.0, 0.0, 1.0, 0.3};
+  EXPECT_EQ(g.nx(), 4u);
+  EXPECT_EQ(g.ny(), 4u);
+  EXPECT_NEAR(g.x_at(g.nx() - 1), 0.9, 1e-12);
+  EXPECT_LE(g.x_at(g.nx() - 1), g.x_max + 1e-12);
+}
+
+TEST(GridSpecProperty, SingleCellGrid) {
+  // Zero extent: exactly one sample, sitting on the lower corner.
+  const localize::GridSpec g{2.0, 2.0, -1.0, -1.0, 0.05};
+  EXPECT_EQ(g.nx(), 1u);
+  EXPECT_EQ(g.ny(), 1u);
+  EXPECT_DOUBLE_EQ(g.x_at(0), 2.0);
+  EXPECT_DOUBLE_EQ(g.y_at(0), -1.0);
+}
+
+TEST(GridSpecProperty, ExtentSmallerThanResolution) {
+  const localize::GridSpec g{0.0, 0.01, 0.0, 0.02, 0.05};
+  EXPECT_EQ(g.nx(), 1u);
+  EXPECT_EQ(g.ny(), 1u);
+}
+
+class GridSpecSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GridSpecSweep, LastSampleInsideExtent) {
+  Rng rng(static_cast<std::uint64_t>(9000 + GetParam()));
+  for (int trial = 0; trial < 50; ++trial) {
+    localize::GridSpec g;
+    g.x_min = rng.uniform(-20.0, 20.0);
+    g.x_max = g.x_min + rng.uniform(0.0, 10.0);
+    g.y_min = rng.uniform(-20.0, 20.0);
+    g.y_max = g.y_min + rng.uniform(0.0, 10.0);
+    g.resolution_m = rng.uniform(0.005, 0.75);
+    const std::size_t nx = g.nx();
+    const std::size_t ny = g.ny();
+    ASSERT_GE(nx, 1u);
+    ASSERT_GE(ny, 1u);
+    // The last sample never oversteps the extent (up to FP slack)...
+    const double eps_x = 1e-9 * (std::abs(g.x_max) + g.resolution_m);
+    const double eps_y = 1e-9 * (std::abs(g.y_max) + g.resolution_m);
+    EXPECT_LE(g.x_at(nx - 1), g.x_max + eps_x);
+    EXPECT_LE(g.y_at(ny - 1), g.y_max + eps_y);
+    // ...and one more step would: the grid reaches the far edge to within
+    // one cell.
+    EXPECT_GT(g.x_at(nx), g.x_max - eps_x);
+    EXPECT_GT(g.y_at(ny), g.y_max - eps_y);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GridSpecSweep, ::testing::Range(0, 4));
+
+// ---------------------------------------------------------------------------
 // End-to-end localization invariance: shifting the whole scene by a rigid
 // translation shifts the estimate by the same amount.
 

@@ -1,0 +1,144 @@
+// Serial-parity golden tests for the parallel SAR engine: at every thread
+// count the heatmap, the 2D localizer, and the 3D localizer must reproduce
+// the serial reference — same cells to <= 1e-12, same peaks. The sharding
+// never splits a cell's accumulation, so parity is exact by construction;
+// these tests pin that contract. Runs under TSAN via the `parallel` label.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "drone/trajectory.h"
+#include "localize/localizer.h"
+#include "localize/peak.h"
+#include "localize/sar.h"
+
+namespace rfly::localize {
+namespace {
+
+constexpr double kFreq = 916e6;
+const unsigned kThreadCounts[] = {2, 8};
+
+/// Randomized measurement geometry: a jittered linear pass over a scene of
+/// a few point scatterers, channels synthesized with random magnitude and
+/// phase structure. Deterministic per seed via common/rng.
+DisentangledSet random_set(std::uint64_t seed, std::size_t n_points) {
+  Rng rng(seed);
+  DisentangledSet set;
+  const double x0 = rng.uniform(-1.0, 1.0);
+  const double y0 = rng.uniform(1.5, 3.0);
+  const auto traj = drone::linear_trajectory(
+      {x0, y0, 1.0}, {x0 + rng.uniform(1.5, 3.0), y0 + rng.uniform(-0.2, 0.2), 1.0},
+      n_points);
+  for (const auto& p : traj) {
+    channel::Vec3 jittered{p.x + rng.gaussian(0.0, 0.01),
+                           p.y + rng.gaussian(0.0, 0.01),
+                           p.z + rng.gaussian(0.0, 0.005)};
+    set.positions.push_back(jittered);
+    const double mag = std::pow(10.0, rng.uniform(-7.0, -5.0));
+    set.channels.push_back(mag * cis(rng.phase()));
+  }
+  return set;
+}
+
+class SarParity : public ::testing::TestWithParam<int> {};
+
+TEST_P(SarParity, HeatmapMatchesSerialPerCell) {
+  const auto set = random_set(static_cast<std::uint64_t>(GetParam()), 40);
+  const GridSpec grid{-1.5, 3.5, -0.5, 2.5, 0.04};
+  const Heatmap serial = sar_heatmap(set, grid, kFreq, 0.0, /*threads=*/1);
+  ASSERT_EQ(serial.values.size(), grid.nx() * grid.ny());
+  for (unsigned threads : kThreadCounts) {
+    const Heatmap par = sar_heatmap(set, grid, kFreq, 0.0, threads);
+    ASSERT_EQ(par.values.size(), serial.values.size()) << threads << " threads";
+    for (std::size_t i = 0; i < serial.values.size(); ++i) {
+      ASSERT_NEAR(par.values[i], serial.values[i], 1e-12)
+          << "cell " << i << " at " << threads << " threads";
+    }
+  }
+}
+
+TEST_P(SarParity, HeatmapPeaksIdenticalAcrossThreadCounts) {
+  const auto set = random_set(static_cast<std::uint64_t>(100 + GetParam()), 30);
+  const GridSpec grid{-1.0, 3.0, -0.5, 2.0, 0.05};
+  const Heatmap serial = sar_heatmap(set, grid, kFreq, 0.0, 1);
+  const auto ref_peaks = find_peaks(serial, 0.4);
+  for (unsigned threads : kThreadCounts) {
+    const Heatmap par = sar_heatmap(set, grid, kFreq, 0.0, threads);
+    const auto peaks = find_peaks(par, 0.4);
+    ASSERT_EQ(peaks.size(), ref_peaks.size()) << threads << " threads";
+    for (std::size_t i = 0; i < peaks.size(); ++i) {
+      EXPECT_DOUBLE_EQ(peaks[i].x, ref_peaks[i].x);
+      EXPECT_DOUBLE_EQ(peaks[i].y, ref_peaks[i].y);
+      EXPECT_DOUBLE_EQ(peaks[i].value, ref_peaks[i].value);
+    }
+  }
+}
+
+/// Measurements whose disentangled channels equal the raw channels:
+/// embedded channel of 1 makes disentangle() a pass-through, letting the
+/// full localize_2d/_3d pipelines run on the randomized sets.
+MeasurementSet as_measurements(const DisentangledSet& set) {
+  MeasurementSet m;
+  for (std::size_t i = 0; i < set.channels.size(); ++i) {
+    RelayMeasurement meas;
+    meas.relay_position = set.positions[i];
+    meas.embedded_channel = {1.0, 0.0};
+    meas.target_channel = set.channels[i];
+    m.push_back(meas);
+  }
+  return m;
+}
+
+TEST_P(SarParity, Localize2dPicksIdenticalPeak) {
+  const auto set = random_set(static_cast<std::uint64_t>(200 + GetParam()), 35);
+  const auto measurements = as_measurements(set);
+  LocalizerConfig cfg;
+  cfg.freq_hz = kFreq;
+  cfg.grid = {-1.0, 3.5, -0.5, 2.5, 0.01};
+  cfg.threads = 1;
+  const auto serial = localize_2d(measurements, cfg);
+  ASSERT_TRUE(serial.has_value());
+  for (unsigned threads : kThreadCounts) {
+    cfg.threads = threads;
+    const auto par = localize_2d(measurements, cfg);
+    ASSERT_TRUE(par.has_value()) << threads << " threads";
+    EXPECT_DOUBLE_EQ(par->x, serial->x) << threads << " threads";
+    EXPECT_DOUBLE_EQ(par->y, serial->y) << threads << " threads";
+    EXPECT_DOUBLE_EQ(par->peak_value, serial->peak_value) << threads << " threads";
+    ASSERT_EQ(par->candidates.size(), serial->candidates.size());
+    for (std::size_t i = 0; i < par->candidates.size(); ++i) {
+      EXPECT_DOUBLE_EQ(par->candidates[i].x, serial->candidates[i].x);
+      EXPECT_DOUBLE_EQ(par->candidates[i].y, serial->candidates[i].y);
+      EXPECT_DOUBLE_EQ(par->candidates[i].value, serial->candidates[i].value);
+    }
+  }
+}
+
+TEST_P(SarParity, Localize3dPicksIdenticalPeak) {
+  const auto set = random_set(static_cast<std::uint64_t>(300 + GetParam()), 25);
+  const auto measurements = as_measurements(set);
+  Volume vol;
+  vol.x_min = -0.5;
+  vol.x_max = 2.5;
+  vol.y_min = -0.5;
+  vol.y_max = 1.5;
+  vol.z_min = 0.0;
+  vol.z_max = 1.0;
+  vol.resolution_m = 0.05;
+  const auto serial = localize_3d(measurements, vol, kFreq, /*threads=*/1);
+  ASSERT_TRUE(serial.has_value());
+  for (unsigned threads : kThreadCounts) {
+    const auto par = localize_3d(measurements, vol, kFreq, threads);
+    ASSERT_TRUE(par.has_value()) << threads << " threads";
+    EXPECT_DOUBLE_EQ(par->position.x, serial->position.x) << threads << " threads";
+    EXPECT_DOUBLE_EQ(par->position.y, serial->position.y) << threads << " threads";
+    EXPECT_DOUBLE_EQ(par->position.z, serial->position.z) << threads << " threads";
+    EXPECT_DOUBLE_EQ(par->peak_value, serial->peak_value) << threads << " threads";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SarParity, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace rfly::localize
