@@ -1,16 +1,102 @@
-// Shared output helpers for the figure-reproduction benches. Every bench
-// prints the figure's series as aligned columns plus a PAPER-vs-OURS line so
-// EXPERIMENTS.md can be filled straight from the run logs.
+// Shared helpers for the figure-reproduction benches: CLI argument parsing
+// (every bench understands the same --seed/--trials/--threads/--out flags
+// instead of hand-rolling argv handling) and output formatting — aligned
+// columns plus a PAPER-vs-OURS line so EXPERIMENTS.md can be filled straight
+// from the run logs, and an optional JSON metrics file for machine readers.
 #pragma once
 
+#include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/stats.h"
 
 namespace rfly::bench {
+
+/// Common bench options. Construct with the bench's defaults, then
+/// parse(argc, argv) to apply overrides. Unknown flags abort with usage —
+/// better than a sweep silently running the default.
+struct CliOptions {
+  std::uint64_t seed = 1;
+  int trials = 0;       // bench-specific meaning (trials, per-point runs, ...)
+  unsigned threads = 0; // 0 = hardware concurrency
+  std::string out;      // JSON metrics path; empty = stdout only
+  std::string scenario; // scenario file (scenario_runner)
+  /// `--set key=value` overrides, in order (scenario_runner).
+  std::vector<std::pair<std::string, std::string>> overrides;
+
+  /// Returns false (after printing usage to stderr) on a malformed
+  /// command line; the bench should exit non-zero.
+  bool parse(int argc, char** argv) {
+    auto value_of = [&](int& i) -> const char* {
+      if (i + 1 >= argc) return nullptr;
+      return argv[++i];
+    };
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const char* value = nullptr;
+      if (arg == "--seed" && (value = value_of(i))) {
+        seed = std::strtoull(value, nullptr, 10);
+      } else if (arg == "--trials" && (value = value_of(i))) {
+        trials = std::atoi(value);
+      } else if (arg == "--threads" && (value = value_of(i))) {
+        threads = static_cast<unsigned>(std::atoi(value));
+      } else if (arg == "--out" && (value = value_of(i))) {
+        out = value;
+      } else if (arg == "--scenario" && (value = value_of(i))) {
+        scenario = value;
+      } else if (arg == "--set" && (value = value_of(i))) {
+        const std::string pair = value;
+        const std::size_t eq = pair.find('=');
+        if (eq == std::string::npos) {
+          std::fprintf(stderr, "--set wants key=value, got '%s'\n", value);
+          return false;
+        }
+        overrides.emplace_back(pair.substr(0, eq), pair.substr(eq + 1));
+      } else {
+        std::fprintf(stderr,
+                     "unknown argument '%s'\nusage: %s [--seed N] [--trials N] "
+                     "[--threads N] [--out FILE] [--scenario FILE] "
+                     "[--set key=value]...\n",
+                     arg.c_str(), argv[0]);
+        return false;
+      }
+    }
+    return true;
+  }
+};
+
+/// Flat JSON metrics accumulator: add(name, value) pairs, then write() to
+/// the --out path ({"median_cm": 19.3, ...}). No-op when the path is empty.
+class Metrics {
+ public:
+  void add(const std::string& name, double value) {
+    entries_.emplace_back(name, value);
+  }
+  bool write(const std::string& path) const {
+    if (path.empty()) return true;
+    FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "cannot write metrics to '%s'\n", path.c_str());
+      return false;
+    }
+    std::fprintf(file, "{");
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      std::fprintf(file, "%s\"%s\": %.17g", i == 0 ? "" : ", ",
+                   entries_[i].first.c_str(), entries_[i].second);
+    }
+    std::fprintf(file, "}\n");
+    std::fclose(file);
+    return true;
+  }
+
+ private:
+  std::vector<std::pair<std::string, double>> entries_;
+};
 
 inline void header(const std::string& figure, const std::string& title) {
   std::printf("==============================================================\n");

@@ -10,13 +10,18 @@
 using namespace rfly;
 using namespace rfly::core;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::CliOptions opts;
+  opts.trials = 100;  // the paper's 100 trials
+  opts.seed = 99;     // placement stream; per-trial seeds derive from 5000+t
+  if (!opts.parse(argc, argv)) return 2;
+
   bench::header("Fig. 12", "localization error CDF across the facility");
-  constexpr int kTrials = 100;
+  const int kTrials = opts.trials;
 
   std::vector<double> errors;
   int failed = 0;
-  Rng placement_rng(99);
+  Rng placement_rng(opts.seed);
   for (int t = 0; t < kTrials; ++t) {
     LocalizationTrialConfig cfg;
     // Random placement over the floor; a third of the trials sit among
@@ -45,5 +50,12 @@ int main() {
                        100.0 * median(errors), "cm");
   bench::paper_vs_ours("90th percentile error [cm]", "53",
                        100.0 * percentile(errors, 90), "cm");
+
+  bench::Metrics metrics;
+  metrics.add("trials", kTrials);
+  metrics.add("failed", failed);
+  metrics.add("median_error_m", median(errors));
+  metrics.add("p90_error_m", percentile(errors, 90));
+  if (!metrics.write(opts.out)) return 1;
   return 0;
 }

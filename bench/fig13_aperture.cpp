@@ -11,9 +11,14 @@
 using namespace rfly;
 using namespace rfly::core;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::CliOptions opts;
+  opts.trials = 20;  // per aperture point, as in the paper
+  opts.seed = 777;   // placement stream
+  if (!opts.parse(argc, argv)) return 2;
+
   bench::header("Fig. 13", "localization error vs aperture (SAR vs RSSI)");
-  constexpr int kTrialsPerPoint = 20;
+  const int kTrialsPerPoint = opts.trials;
 
   std::printf(
       "  aperture_m   sar_p10   sar_med   sar_p90   rssi_p10  rssi_med  rssi_p90\n");
@@ -24,7 +29,7 @@ int main() {
   for (double aperture : {0.5, 1.0, 1.5, 2.0, 2.5}) {
     std::vector<double> sar;
     std::vector<double> rssi;
-    Rng placement(777);
+    Rng placement(opts.seed);
     for (int t = 0; t < kTrialsPerPoint; ++t) {
       LocalizationTrialConfig cfg;
       cfg.shelf_rows = 2;  // the robot experiments ran amid lab clutter
@@ -64,5 +69,11 @@ int main() {
                        rssi_at_25, "m");
   bench::paper_vs_ours("SAR advantage at 2.5 m aperture [x]", "20",
                        rssi_at_25 / (sar_at_25 > 0 ? sar_at_25 : 1e-9), "x");
+
+  bench::Metrics metrics;
+  metrics.add("sar_median_at_0p5m", sar_at_half);
+  metrics.add("sar_median_at_1m", sar_at_1);
+  metrics.add("rssi_median_at_2p5m", rssi_at_25);
+  if (!metrics.write(opts.out)) return 1;
   return 0;
 }

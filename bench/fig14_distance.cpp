@@ -13,7 +13,12 @@
 using namespace rfly;
 using namespace rfly::core;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::CliOptions opts;
+  opts.trials = 50 / 10 + 4;  // ~9 per point, ~90 total (paper: 50)
+  opts.seed = 881;            // placement stream
+  if (!opts.parse(argc, argv)) return 2;
+
   bench::header("Fig. 14", "localization error vs projected distance (SAR vs RSSI)");
 
   // The physical bench sits at a fixed 5 m with reduced EIRP; projected
@@ -34,8 +39,8 @@ int main() {
     std::vector<double> rssi;
     double snr_sum = 0.0;
     int snr_n = 0;
-    Rng placement(881);
-    const int trials = 50 / 10 + 4;  // ~9 per point, ~90 total (paper: 50)
+    Rng placement(opts.seed);
+    const int trials = opts.trials;
     for (int t = 0; t < trials; ++t) {
       LocalizationTrialConfig cfg;
       cfg.system.reader_eirp_dbm = eirp;
@@ -84,5 +89,11 @@ int main() {
                        100.0 * sar_p90_at_40, "cm");
   bench::paper_vs_ours("SAR 90th pct beyond 50 m [cm]", "82",
                        100.0 * sar_p90_at_50, "cm");
+
+  bench::Metrics metrics;
+  metrics.add("sar_median_at_40m", sar_at_40);
+  metrics.add("sar_p90_at_40m", sar_p90_at_40);
+  metrics.add("sar_p90_at_50m", sar_p90_at_50);
+  if (!metrics.write(opts.out)) return 1;
   return 0;
 }

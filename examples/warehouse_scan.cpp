@@ -1,59 +1,29 @@
 // Warehouse scan: the paper's motivating scenario, driven through the
-// core::run_scan_mission API. A warehouse with steel shelf rows holds
-// tagged items a fixed reader could never reach; the drone flies a
-// lawnmower pattern down the aisles, and every discovered tag is localized
-// from the through-relay channel measurements and looked up in the item
-// database.
+// scenario engine. A warehouse with steel shelf rows holds tagged items a
+// fixed reader could never reach; the drone flies a lawnmower pattern down
+// the aisles, and every discovered tag is localized from the through-relay
+// channel measurements and looked up in the item database. The whole
+// deployment — environment, reader, flight plan, tag population — is the
+// `warehouse` preset; this file only prints the report (run the same
+// mission from the command line with `scenario_runner --scenario warehouse`).
 #include <cmath>
 #include <cstdio>
-#include <vector>
 
-#include "core/scan_mission.h"
-#include "drone/trajectory.h"
+#include "sim/pipeline.h"
 
 using namespace rfly;
-using namespace rfly::core;
 
 int main() {
   std::printf("RFly warehouse scan\n===================\n");
 
-  // --- Warehouse: 40 x 30 m, two steel shelf rows; aisles at y=5, 15, 25.
-  const auto environment = channel::warehouse_environment(40.0, 30.0, 2);
-
-  ScanMissionConfig mission;
-  // Ceiling-mounted reader: high enough that its rays clear the 2.5 m
-  // shelf tops at range.
-  const Vec3 reader_position{1.0, 15.0, 4.0};
-
-  // --- Item database: tagged stock placed along the aisles, below the
-  // flight lines (tags_below_path default).
-  InventoryDatabase db;
-  std::vector<TagPlacement> tags;
-  const char* names[] = {"pallet of drills",   "box of jackets", "solvent drums",
-                         "printer cartridges", "bike frames",    "copper spools",
-                         "server chassis",     "ceramic tiles",  "seed bags"};
-  Rng placement(11);
-  for (std::uint32_t i = 0; i < 9; ++i) {
-    TagPlacement tag;
-    tag.config.epc = make_epc(i);
-    const double aisle_y = 5.0 + 10.0 * static_cast<double>(i % 3);
-    tag.position = {6.0 + 8.0 * static_cast<double>(i / 3) +
-                        placement.uniform(-1.0, 1.0),
-                    aisle_y + placement.uniform(-1.0, 1.0), 0.0};
-    db.add(tag.config.epc, names[i]);
-    tags.push_back(tag);
+  const auto scenario = sim::preset("warehouse");
+  const auto run = sim::run_scenario(*scenario);
+  if (!run) {
+    std::fprintf(stderr, "%s\n", run.status().to_string().c_str());
+    return 1;
   }
-
-  // --- Flight plan: a pass down each aisle, slightly above the tag rows.
-  std::vector<Vec3> plan;
-  for (double aisle_y : {5.0, 15.0, 25.0}) {
-    const auto row = drone::linear_trajectory({1.0, aisle_y + 1.6, 1.2},
-                                              {39.0, aisle_y + 1.8, 1.2}, 140);
-    plan.insert(plan.end(), row.begin(), row.end());
-  }
-
-  const auto report =
-      run_scan_mission(mission, environment, reader_position, plan, tags, db, 23);
+  const auto& report = run->report;
+  const auto& tags = scenario->tags;
   std::printf("flight: %.0f m of aisle; discovered %zu/%zu, localized %zu\n",
               report.flight_length_m, report.discovered, tags.size(),
               report.localized);
@@ -65,12 +35,12 @@ int main() {
     const auto& item = report.items[i];
     if (!item.discovered) {
       std::printf("%-20s NOT FOUND (out of range along the whole flight)\n",
-                  db.lookup(item.epc).c_str());
+                  item.description.c_str());
       continue;
     }
     if (!item.localized) {
       std::printf("%-20s read but not localizable (%zu measurements)\n",
-                  db.lookup(item.epc).c_str(), item.measurements);
+                  item.description.c_str(), item.measurements);
       continue;
     }
     const double err = std::hypot(item.estimate.x - tags[i].position.x,

@@ -1,0 +1,35 @@
+#include "common/status.h"
+
+namespace rfly {
+
+const char* status_code_name(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kEmptyFlightPlan: return "EMPTY_FLIGHT_PLAN";
+    case StatusCode::kEmptyPopulation: return "EMPTY_POPULATION";
+    case StatusCode::kDegenerateGrid: return "DEGENERATE_GRID";
+    case StatusCode::kNoReference: return "NO_REFERENCE";
+    case StatusCode::kInsufficientData: return "INSUFFICIENT_DATA";
+    case StatusCode::kNoPeaks: return "NO_PEAKS";
+    case StatusCode::kUndecodablePopulation: return "UNDECODABLE_POPULATION";
+    case StatusCode::kParseError: return "PARSE_ERROR";
+    case StatusCode::kIoError: return "IO_ERROR";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::to_string() const {
+  if (is_ok()) return "OK";
+  std::string out = status_code_name(code_);
+  out += ": ";
+  for (const auto& frame : context_) {
+    out += frame;
+    out += ": ";
+  }
+  out += message_;
+  return out;
+}
+
+}  // namespace rfly

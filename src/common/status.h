@@ -1,0 +1,145 @@
+// Typed-error vocabulary for the mission/scenario layers. A Status carries
+// an error code, a human-readable message, and a chain of context frames
+// added as the error propagates outward ("localize: tag 3: grid y range is
+// empty"), replacing the bool/std::optional failure paths that silently
+// swallowed *why* a mission step produced nothing. Expected<T> is the
+// value-or-Status sum type the staged pipeline returns per stage.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rfly {
+
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  /// A caller-supplied config value is out of range or inconsistent.
+  kInvalidArgument,
+  /// The flight plan has no waypoints, so nothing can fly.
+  kEmptyFlightPlan,
+  /// The tag population is empty, so there is nothing to scan.
+  kEmptyPopulation,
+  /// A search grid has no cells (negative extent or zero resolution) —
+  /// e.g. grid_margin_to_path_m clipped the whole window away.
+  kDegenerateGrid,
+  /// No embedded-tag reference survived disentanglement (Eq. 10 has
+  /// nothing to divide by).
+  kNoReference,
+  /// Too few usable measurements/samples to run the algorithm.
+  kInsufficientData,
+  /// The SAR heatmap produced no candidate peaks above threshold.
+  kNoPeaks,
+  /// No tag in the population answered any inventory round.
+  kUndecodablePopulation,
+  /// A scenario file or override string failed to parse.
+  kParseError,
+  /// A file could not be read or written.
+  kIoError,
+  /// Referenced entity (preset name, key) does not exist.
+  kNotFound,
+};
+
+/// Stable upper-case token for a code ("DEGENERATE_GRID"), used in messages
+/// and asserted by tests.
+const char* status_code_name(StatusCode code);
+
+class Status {
+ public:
+  /// Default-constructed Status is OK.
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {
+    assert(code != StatusCode::kOk);
+  }
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+  const std::vector<std::string>& context() const { return context_; }
+
+  /// Add an outer context frame; frames read outermost-first in to_string().
+  Status& add_context(std::string frame) {
+    if (!is_ok()) context_.insert(context_.begin(), std::move(frame));
+    return *this;
+  }
+  Status with_context(std::string frame) && {
+    add_context(std::move(frame));
+    return std::move(*this);
+  }
+  Status with_context(std::string frame) const& {
+    Status copy = *this;
+    copy.add_context(std::move(frame));
+    return copy;
+  }
+
+  /// "CODE_NAME: outer: inner: message" (or "OK").
+  std::string to_string() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+  std::vector<std::string> context_;
+};
+
+/// A T or the Status explaining why there is no T.
+template <typename T>
+class Expected {
+ public:
+  Expected(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Expected(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.is_ok() && "Expected built from OK status has no value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  explicit operator bool() const { return ok(); }
+
+  T& value() {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const {
+    assert(ok());
+    return *value_;
+  }
+  T& operator*() { return value(); }
+  const T& operator*() const { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+  /// OK status when a value is present.
+  const Status& status() const { return status_; }
+
+  /// Transform the value (if any) with `f`; errors pass through unchanged.
+  template <typename F>
+  auto map(F&& f) const& -> Expected<decltype(f(std::declval<const T&>()))> {
+    if (!ok()) return status_;
+    return f(*value_);
+  }
+
+  /// Chain a fallible step: `f` returns an Expected<U> itself.
+  template <typename F>
+  auto and_then(F&& f) const& -> decltype(f(std::declval<const T&>())) {
+    if (!ok()) return status_;
+    return f(*value_);
+  }
+
+  /// Add a context frame to the error (no-op on success).
+  Expected<T> with_context(std::string frame) && {
+    if (!ok()) status_.add_context(std::move(frame));
+    return std::move(*this);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace rfly

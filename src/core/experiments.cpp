@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
 #include "common/units.h"
 #include "drone/flight.h"
@@ -16,10 +17,15 @@ channel::Environment building_environment() {
   return channel::warehouse_environment(40.0, 30.0, 0);
 }
 
-LocalizationTrialResult run_localization_trial(const LocalizationTrialConfig& config,
-                                               std::uint64_t seed) {
+namespace {
+
+/// Single implementation behind both trial entry points: fills `result` as
+/// far as the trial gets (so the legacy wrapper keeps its partial-result
+/// behaviour) and reports how far that was through the returned Status.
+Status run_localization_trial_impl(const LocalizationTrialConfig& config,
+                                   std::uint64_t seed,
+                                   LocalizationTrialResult& result) {
   Rng rng(seed);
-  LocalizationTrialResult result;
 
   channel::Environment env =
       channel::warehouse_environment(40.0, 30.0, config.shelf_rows);
@@ -38,9 +44,16 @@ LocalizationTrialResult run_localization_trial(const LocalizationTrialConfig& co
       drone::linear_trajectory(start, end, config.n_measurement_points);
   const auto flight = drone::fly(plan, config.flight, config.tracking, rng);
 
-  const auto measurements = system.collect_measurements(flight, tag, rng);
-  result.measurements = measurements.size();
-  if (measurements.size() < 3) return result;
+  auto measurements = system.try_collect_measurements(flight, tag, rng);
+  if (!measurements.ok()) {
+    return measurements.status().with_context("collect measurements");
+  }
+  result.measurements = measurements->size();
+  if (measurements->size() < 3) {
+    return {StatusCode::kInsufficientData,
+            "only " + std::to_string(measurements->size()) +
+                " measurements collected; SAR needs at least 3"};
+  }
 
   localize::LocalizerConfig loc;
   loc.freq_hz = config.localize_at_reader_freq
@@ -57,8 +70,8 @@ LocalizationTrialResult run_localization_trial(const LocalizationTrialConfig& co
   loc.grid.y_max = std::min(tag.y + config.search_halfwidth_m,
                             tag.y + config.flight_offset_y_m - 0.3);
 
-  const auto sar = localize::localize_2d(measurements, loc);
-  if (!sar) return result;
+  auto sar = localize::localize_2d_checked(*measurements, loc);
+  if (!sar.ok()) return sar.status().with_context("SAR localization");
   result.localized = true;
   result.sar = *sar;
   result.sar_error_m = std::hypot(sar->x - tag.x, sar->y - tag.y);
@@ -70,15 +83,53 @@ LocalizationTrialResult run_localization_trial(const LocalizationTrialConfig& co
   rssi.reference_magnitude_at_1m =
       system.rssi_reference_magnitude_at_1m() *
       from_db(rng.gaussian(0.0, config.rssi_calibration_error_db));
-  const auto iso = localize::disentangle(measurements);
+  const auto iso = localize::disentangle(*measurements);
   const auto rssi_result = localize::rssi_localize(iso, rssi);
   result.rssi_error_m = std::hypot(rssi_result.x - tag.x, rssi_result.y - tag.y);
 
+  return Status::ok();
+}
+
+}  // namespace
+
+LocalizationTrialResult run_localization_trial(const LocalizationTrialConfig& config,
+                                               std::uint64_t seed) {
+  LocalizationTrialResult result;
+  (void)run_localization_trial_impl(config, seed, result);
+  return result;
+}
+
+Expected<LocalizationTrialResult> try_run_localization_trial(
+    const LocalizationTrialConfig& config, std::uint64_t seed) {
+  LocalizationTrialResult result;
+  Status status = run_localization_trial_impl(config, seed, result);
+  if (!status.is_ok()) {
+    return std::move(status).with_context("localization trial seed " +
+                                          std::to_string(seed));
+  }
   return result;
 }
 
 ReadRatePoint run_read_rate_point(const ReadRateConfig& config, double distance_m,
                                   std::uint64_t seed) {
+  auto point = try_run_read_rate_point(config, distance_m, seed);
+  if (!point.ok()) return ReadRatePoint{distance_m, 0.0, 0.0};
+  return *point;
+}
+
+Expected<ReadRatePoint> try_run_read_rate_point(const ReadRateConfig& config,
+                                                double distance_m,
+                                                std::uint64_t seed) {
+  if (config.trials <= 0) {
+    return Status{StatusCode::kInvalidArgument,
+                  "read-rate point needs trials > 0, got " +
+                      std::to_string(config.trials)};
+  }
+  if (!(distance_m > 0.0)) {
+    return Status{StatusCode::kInvalidArgument,
+                  "reader-tag distance must be positive, got " +
+                      std::to_string(distance_m)};
+  }
   Rng rng(seed);
 
   // Free-standing geometry (walls far away) with an optional wall at the

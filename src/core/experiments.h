@@ -5,6 +5,7 @@
 
 #include <optional>
 
+#include "common/status.h"
 #include "core/system.h"
 #include "localize/localizer.h"
 
@@ -55,8 +56,17 @@ struct LocalizationTrialResult {
   localize::LocalizationResult sar;
 };
 
+/// Legacy entry point: runs the trial and reports failure only through
+/// `result.localized`. Thin wrapper over try_run_localization_trial.
 LocalizationTrialResult run_localization_trial(const LocalizationTrialConfig& config,
                                                std::uint64_t seed);
+
+/// Typed-error variant: kInvalidArgument for inconsistent configs,
+/// kInsufficientData when fewer than 3 measurements survive collection, and
+/// the localizer's own codes (kNoReference, kDegenerateGrid, kNoPeaks) when
+/// SAR fails. Successful results are bit-identical to the legacy runner.
+Expected<LocalizationTrialResult> try_run_localization_trial(
+    const LocalizationTrialConfig& config, std::uint64_t seed);
 
 // ---------------------------------------------------------------------------
 // Read-rate point (Fig. 11).
@@ -77,7 +87,15 @@ struct ReadRatePoint {
   double read_rate_with_relay = 0.0;
 };
 
+/// Legacy entry point; thin wrapper over try_run_read_rate_point (invalid
+/// configs come back as a zeroed point instead of NaN rates).
 ReadRatePoint run_read_rate_point(const ReadRateConfig& config, double distance_m,
                                   std::uint64_t seed);
+
+/// Typed-error variant: kInvalidArgument when trials <= 0 or the distance is
+/// not positive (the legacy runner silently produced NaN read rates).
+Expected<ReadRatePoint> try_run_read_rate_point(const ReadRateConfig& config,
+                                                double distance_m,
+                                                std::uint64_t seed);
 
 }  // namespace rfly::core

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "core/inventory.h"
 #include "core/system.h"
 #include "drone/flight.h"
@@ -59,6 +60,9 @@ struct ScannedItem {
   bool localized = false;
   Vec3 estimate{};                // valid when localized
   std::size_t measurements = 0;   // channel estimates collected
+  /// Why the item stopped short of `localized` (OK when localized): not
+  /// discovered, too few measurements, no embedded reference, no peak, ...
+  Status status = Status::ok();
 };
 
 struct ScanReport {
@@ -70,6 +74,12 @@ struct ScanReport {
 
 /// Run a scan mission. `tags` owns the tag state machines (positions fixed
 /// for the mission). Deterministic given `seed`.
+///
+/// Legacy entry point: this is a thin adapter over the staged pipeline in
+/// sim/pipeline.h (same physics, same rng order, bit-identical report) that
+/// discards the stage trace and maps mission-level errors (empty flight
+/// plan, empty tag population, clipped search grid) to an empty report.
+/// Defined in the `rfly_sim` library; link rfly_sim to use it.
 ScanReport run_scan_mission(const ScanMissionConfig& config,
                             const channel::Environment& environment,
                             const Vec3& reader_position,

@@ -187,6 +187,18 @@ double RflySystem::estimate_noise_sigma() const {
 localize::MeasurementSet RflySystem::collect_measurements(
     const std::vector<drone::FlownPoint>& flight, const Vec3& tag_pos,
     Rng& rng) const {
+  auto collected = try_collect_measurements(flight, tag_pos, rng);
+  if (!collected.ok()) return {};
+  return std::move(collected.value());
+}
+
+Expected<localize::MeasurementSet> RflySystem::try_collect_measurements(
+    const std::vector<drone::FlownPoint>& flight, const Vec3& tag_pos,
+    Rng& rng) const {
+  if (flight.empty()) {
+    return Status{StatusCode::kEmptyFlightPlan,
+                  "cannot collect measurements over an empty flight"};
+  }
   localize::MeasurementSet set;
   set.reserve(flight.size());
   const double sigma = estimate_noise_sigma();
@@ -215,6 +227,11 @@ localize::MeasurementSet RflySystem::collect_measurements(
                                     rng.gaussian(0.0, sigma / std::sqrt(2.0))};
     }
     set.push_back(m);
+  }
+  if (set.empty()) {
+    return Status{StatusCode::kInsufficientData,
+                  "tag unpowered or undecodable at all " +
+                      std::to_string(flight.size()) + " flight points"};
   }
   return set;
 }

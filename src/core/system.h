@@ -19,6 +19,7 @@
 #include "channel/channel_model.h"
 #include "channel/environment.h"
 #include "common/rng.h"
+#include "common/status.h"
 #include "drone/flight.h"
 #include "gen2/tag.h"
 #include "localize/measurement.h"
@@ -127,6 +128,14 @@ class RflySystem {
   /// records the *reported* position — the tracking error enters exactly
   /// where it would in the real system.
   localize::MeasurementSet collect_measurements(
+      const std::vector<drone::FlownPoint>& flight, const Vec3& tag_pos,
+      Rng& rng) const;
+
+  /// Typed-error variant of collect_measurements: kEmptyFlightPlan when the
+  /// flight has no points, kInsufficientData (with how many points were
+  /// powered/decodable) when every point was dropped. The measurement values
+  /// and rng consumption are identical to collect_measurements.
+  Expected<localize::MeasurementSet> try_collect_measurements(
       const std::vector<drone::FlownPoint>& flight, const Vec3& tag_pos,
       Rng& rng) const;
 

@@ -30,10 +30,50 @@ Peak refine_peak(const DisentangledSet& set, const Peak& coarse, double fine_res
 
 }  // namespace
 
+Status validate_grid(const GridSpec& grid) {
+  if (!(grid.resolution_m > 0.0)) {
+    return {StatusCode::kDegenerateGrid,
+            "grid resolution must be positive, got " +
+                std::to_string(grid.resolution_m)};
+  }
+  if (grid.x_max < grid.x_min) {
+    return {StatusCode::kDegenerateGrid,
+            "grid x range is empty: x_min=" + std::to_string(grid.x_min) +
+                " > x_max=" + std::to_string(grid.x_max)};
+  }
+  if (grid.y_max < grid.y_min) {
+    return {StatusCode::kDegenerateGrid,
+            "grid y range is empty: y_min=" + std::to_string(grid.y_min) +
+                " > y_max=" + std::to_string(grid.y_max)};
+  }
+  return Status::ok();
+}
+
 std::optional<LocalizationResult> localize_2d(const MeasurementSet& measurements,
                                               const LocalizerConfig& config) {
+  auto result = localize_2d_checked(measurements, config);
+  if (!result.ok()) return std::nullopt;
+  return std::move(result.value());
+}
+
+Expected<LocalizationResult> localize_2d_checked(const MeasurementSet& measurements,
+                                                 const LocalizerConfig& config) {
   const DisentangledSet set = disentangle(measurements);
-  if (set.channels.empty()) return std::nullopt;
+  return localize_2d_from(set, config)
+      .with_context("localize_2d over " + std::to_string(measurements.size()) +
+                    " measurements");
+}
+
+Expected<LocalizationResult> localize_2d_from(const DisentangledSet& set,
+                                              const LocalizerConfig& config) {
+  if (set.channels.empty()) {
+    return Status{StatusCode::kNoReference,
+                  "disentanglement left no measurements (embedded-tag "
+                  "reference too weak on every sample)"};
+  }
+  if (Status grid_status = validate_grid(config.grid); !grid_status.is_ok()) {
+    return grid_status;
+  }
 
   GridSpec scan_grid = config.grid;
   if (config.multires) scan_grid.resolution_m = config.coarse_resolution_m;
@@ -41,7 +81,12 @@ std::optional<LocalizationResult> localize_2d(const MeasurementSet& measurements
   const Heatmap map =
       sar_heatmap(set, scan_grid, config.freq_hz, config.z_plane_m, config.threads);
   std::vector<Peak> peaks = find_peaks(map, config.peak_threshold_fraction);
-  if (peaks.empty()) return std::nullopt;
+  if (peaks.empty()) {
+    return Status{StatusCode::kNoPeaks,
+                  "no heatmap peak reached " +
+                      std::to_string(config.peak_threshold_fraction) +
+                      " of the maximum"};
+  }
 
   if (config.multires) {
     const int n = std::min<int>(config.refine_candidates,

@@ -5,6 +5,7 @@
 
 #include <optional>
 
+#include "common/status.h"
 #include "localize/measurement.h"
 #include "localize/peak.h"
 #include "localize/rssi.h"
@@ -40,9 +41,29 @@ struct LocalizationResult {
 };
 
 /// Localize one tag from its measurement set. Returns nullopt when no
-/// usable measurements survive disentanglement.
+/// usable measurements survive disentanglement. Thin wrapper over
+/// localize_2d_checked that discards the failure reason (legacy API).
 std::optional<LocalizationResult> localize_2d(const MeasurementSet& measurements,
                                               const LocalizerConfig& config);
+
+/// Typed-error variant of localize_2d. Fails with kDegenerateGrid when the
+/// search window has no cells, kNoReference when disentanglement drops every
+/// measurement (no usable embedded-tag channel to divide by), and kNoPeaks
+/// when the heatmap has no candidate above the threshold fraction. Results
+/// are bit-identical to localize_2d whenever that succeeds.
+Expected<LocalizationResult> localize_2d_checked(const MeasurementSet& measurements,
+                                                 const LocalizerConfig& config);
+
+/// Stage-level entry: localize an already-disentangled half-link set (the
+/// mission pipeline times disentanglement and SAR search as separate
+/// stages). Same error vocabulary as localize_2d_checked minus the
+/// disentanglement step.
+Expected<LocalizationResult> localize_2d_from(const DisentangledSet& set,
+                                              const LocalizerConfig& config);
+
+/// Validate a search grid: positive resolution and non-empty extent on both
+/// axes. Returns kDegenerateGrid with the offending numbers otherwise.
+Status validate_grid(const GridSpec& grid);
 
 /// 3D extension (Section 5.2): grid search over a volume; meaningful when
 /// the trajectory itself spans two dimensions.

@@ -1,0 +1,67 @@
+#include "sim/batch.h"
+
+#include "common/thread_pool.h"
+
+namespace rfly::sim {
+
+std::vector<BatchResult> run_batch(const std::vector<BatchJob>& jobs,
+                                   const BatchConfig& config) {
+  std::vector<BatchResult> results(jobs.size());
+  // Grain 1: jobs are coarse (a whole mission each), so one job per chunk
+  // balances best. Each body writes only results[i] — disjoint outputs, so
+  // any thread count produces the same vector.
+  parallel_for(
+      0, jobs.size(), 1,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          BatchResult& out = results[i];
+          out.scenario_name = jobs[i].scenario.name;
+          out.seed = jobs[i].seed;
+          auto run = run_scenario(jobs[i].scenario, jobs[i].seed);
+          if (!run) {
+            out.status = run.status().with_context(
+                "job " + std::to_string(i) + " seed " +
+                std::to_string(jobs[i].seed));
+          } else {
+            out.run = std::move(run.value());
+          }
+        }
+      },
+      config.threads);
+  return results;
+}
+
+std::vector<BatchResult> run_seed_sweep(const Scenario& scenario,
+                                        std::uint64_t first_seed,
+                                        std::size_t count,
+                                        const BatchConfig& config) {
+  std::vector<BatchJob> jobs;
+  jobs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    jobs.push_back({scenario, first_seed + i});
+  }
+  return run_batch(jobs, config);
+}
+
+BatchSummary summarize(const std::vector<BatchResult>& results) {
+  BatchSummary summary;
+  summary.jobs = results.size();
+  std::size_t succeeded = 0;
+  for (const auto& result : results) {
+    if (!result.status.is_ok()) {
+      ++summary.failed;
+      continue;
+    }
+    ++succeeded;
+    summary.mean_discovered += static_cast<double>(result.run.report.discovered);
+    summary.mean_localized += static_cast<double>(result.run.report.localized);
+    summary.total_seconds += result.run.total_seconds;
+  }
+  if (succeeded > 0) {
+    summary.mean_discovered /= static_cast<double>(succeeded);
+    summary.mean_localized /= static_cast<double>(succeeded);
+  }
+  return summary;
+}
+
+}  // namespace rfly::sim

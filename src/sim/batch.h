@@ -1,0 +1,59 @@
+// Batch runner: execute many (scenario, seed) jobs concurrently on the
+// shared deterministic thread pool. Outer parallelism composes with the
+// inner SAR parallelism — a worker already inside parallel_for runs nested
+// ranges serially — so a sweep saturates the machine whether it is one
+// scenario with a huge grid or a hundred small seeds. Results land at the
+// job's own index, so the output is identical at any thread count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/pipeline.h"
+#include "sim/scenario.h"
+
+namespace rfly::sim {
+
+struct BatchJob {
+  Scenario scenario;
+  std::uint64_t seed = 1;
+};
+
+/// Outcome of one job. `status` is the mission-level outcome; `run` holds
+/// the report and stage trace when it is OK.
+struct BatchResult {
+  std::string scenario_name;
+  std::uint64_t seed = 0;
+  Status status = Status::ok();
+  MissionRun run;
+};
+
+struct BatchConfig {
+  /// Jobs in flight at once: 0 = hardware concurrency, 1 = serial.
+  unsigned threads = 0;
+};
+
+/// Run every job; never throws away work — a failed job is a BatchResult
+/// with its Status, in the same position as its job.
+std::vector<BatchResult> run_batch(const std::vector<BatchJob>& jobs,
+                                   const BatchConfig& config = {});
+
+/// Convenience: one scenario across seeds [first_seed, first_seed + count).
+std::vector<BatchResult> run_seed_sweep(const Scenario& scenario,
+                                        std::uint64_t first_seed,
+                                        std::size_t count,
+                                        const BatchConfig& config = {});
+
+/// Fraction of jobs whose mission succeeded, and mean localized count over
+/// successful jobs (0 when none) — the two headline numbers a sweep prints.
+struct BatchSummary {
+  std::size_t jobs = 0;
+  std::size_t failed = 0;
+  double mean_discovered = 0.0;
+  double mean_localized = 0.0;
+  double total_seconds = 0.0;  // sum of per-job wall clock
+};
+
+BatchSummary summarize(const std::vector<BatchResult>& results);
+
+}  // namespace rfly::sim

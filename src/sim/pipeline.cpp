@@ -1,0 +1,284 @@
+#include "sim/pipeline.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "drone/trajectory.h"
+
+namespace rfly::sim {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Times one stage body and folds the cost into the mission-wide trace.
+class StageTimer {
+ public:
+  StageTimer(std::vector<StageTrace>& trace, Stage stage)
+      : entry_(trace[static_cast<std::size_t>(stage)]), start_(Clock::now()) {}
+  ~StageTimer() {
+    entry_.seconds +=
+        std::chrono::duration<double>(Clock::now() - start_).count();
+    ++entry_.invocations;
+  }
+  StageTimer(const StageTimer&) = delete;
+  StageTimer& operator=(const StageTimer&) = delete;
+
+ private:
+  StageTrace& entry_;
+  Clock::time_point start_;
+};
+
+Status validate_mission(const core::ScanMissionConfig& config,
+                        const std::vector<Vec3>& flight_plan,
+                        const std::vector<core::TagPlacement>& tags) {
+  if (flight_plan.empty()) {
+    return {StatusCode::kEmptyFlightPlan,
+            "flight plan has no waypoints; nothing can fly"};
+  }
+  if (tags.empty()) {
+    return {StatusCode::kEmptyPopulation,
+            "tag population is empty; nothing to scan"};
+  }
+  if (!(config.grid_resolution_m > 0.0)) {
+    return {StatusCode::kDegenerateGrid, "grid_resolution_m must be positive"};
+  }
+  if (config.grid_margin_to_path_m >= config.search_halfwidth_m) {
+    return {StatusCode::kDegenerateGrid,
+            "grid_margin_to_path_m (" + std::to_string(config.grid_margin_to_path_m) +
+                ") >= search_halfwidth_m (" +
+                std::to_string(config.search_halfwidth_m) +
+                "): the margin clips the whole search window"};
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+const char* stage_name(Stage stage) {
+  switch (stage) {
+    case Stage::kPlan: return "plan";
+    case Stage::kFly: return "fly";
+    case Stage::kInventory: return "inventory";
+    case Stage::kMeasure: return "measure";
+    case Stage::kDisentangle: return "disentangle";
+    case Stage::kLocalize: return "localize";
+    case Stage::kReport: return "report";
+  }
+  return "unknown";
+}
+
+Expected<MissionRun> run_mission_pipeline(const core::ScanMissionConfig& config,
+                                          const channel::Environment& environment,
+                                          const Vec3& reader_position,
+                                          const std::vector<Vec3>& flight_plan,
+                                          std::vector<core::TagPlacement>& tags,
+                                          const core::InventoryDatabase& database,
+                                          std::uint64_t seed) {
+  const auto mission_start = Clock::now();
+  MissionRun run;
+  run.trace.resize(kStageCount);
+  for (std::size_t i = 0; i < kStageCount; ++i) {
+    run.trace[i].stage = static_cast<Stage>(i);
+  }
+
+  // --- plan: validate inputs, measure the trajectory. -------------------
+  {
+    StageTimer timer(run.trace, Stage::kPlan);
+    if (Status status = validate_mission(config, flight_plan, tags);
+        !status.is_ok()) {
+      return std::move(status).with_context("scan mission");
+    }
+    run.report.flight_length_m = drone::trajectory_length(flight_plan);
+  }
+
+  // NOTE on determinism: everything below draws from this one Rng in the
+  // same order as the legacy run_scan_mission (fly, then per tag:
+  // inventory round, then channel collection). Stages time the work; they
+  // must not reorder it, or the report stops being bit-identical.
+  Rng rng(seed);
+  core::RflySystem system(config.system, environment, reader_position);
+
+  // --- fly: simulate the flight. ----------------------------------------
+  std::vector<drone::FlownPoint> flight;
+  {
+    StageTimer timer(run.trace, Stage::kFly);
+    flight = drone::fly(flight_plan, config.flight, config.tracking, rng);
+  }
+
+  // Gen2 discovery: run inventory rounds at each tag's closest approach.
+  // (One round per tag population keeps the model simple; collided tags are
+  // resolved by the Q-algorithm within the round.)
+  std::vector<gen2::Tag> machines;
+  machines.reserve(tags.size());
+  for (std::size_t i = 0; i < tags.size(); ++i) {
+    machines.emplace_back(tags[i].config, seed + 100 + i);
+  }
+
+  for (std::size_t i = 0; i < tags.size(); ++i) {
+    core::ScannedItem item;
+    item.epc = tags[i].config.epc;
+    item.description = database.lookup(item.epc);
+
+    // --- inventory: Gen2 round at the closest approach. -----------------
+    {
+      StageTimer timer(run.trace, Stage::kInventory);
+      // Closest approach drives the air-interface conditions for discovery.
+      const auto closest = std::min_element(
+          flight.begin(), flight.end(), [&](const auto& a, const auto& b) {
+            return a.actual.distance_to(tags[i].position) <
+                   b.actual.distance_to(tags[i].position);
+          });
+      std::vector<core::TagAgent> agents{
+          {&machines[i],
+           system.tag_incident_power_dbm(closest->actual, tags[i].position),
+           system.reply_snr_db(closest->actual, tags[i].position)}};
+      core::InventoryRoundConfig round = config.inventory;
+      if (config.use_select) {
+        gen2::CommandContext ctx;
+        ctx.incident_power_dbm = agents[0].incident_power_dbm;
+        machines[i].on_command(gen2::Command{config.select}, ctx);
+        round.sel_target = gen2::SelTarget::kSl;
+      }
+      reader::QAlgorithm q_algo(static_cast<double>(config.inventory.q));
+      const auto outcome = core::run_inventory(agents, round, q_algo, rng);
+      item.discovered =
+          std::find(outcome.epcs.begin(), outcome.epcs.end(), item.epc) !=
+          outcome.epcs.end();
+    }
+    if (!item.discovered) {
+      item.status = Status{StatusCode::kUndecodablePopulation,
+                           "tag answered no inventory round at its closest "
+                           "approach (unpowered or reply below decode SNR)"}
+                        .with_context("tag " + std::to_string(i));
+      StageTimer timer(run.trace, Stage::kReport);
+      run.report.items.push_back(std::move(item));
+      continue;
+    }
+    ++run.report.discovered;
+
+    // --- measure: channel collection along the whole flight (the system
+    // drops points where the tag is unpowered or undecodable). ------------
+    localize::MeasurementSet measurements;
+    {
+      StageTimer timer(run.trace, Stage::kMeasure);
+      auto collected =
+          system.try_collect_measurements(flight, tags[i].position, rng);
+      if (!collected) {
+        item.status =
+            collected.status().with_context("tag " + std::to_string(i));
+      } else {
+        measurements = std::move(collected.value());
+      }
+    }
+    item.measurements = measurements.size();
+    if (measurements.size() < 3) {
+      if (item.status.is_ok()) {
+        item.status = Status{StatusCode::kInsufficientData,
+                             "only " + std::to_string(measurements.size()) +
+                                 " usable measurements; SAR needs >= 3"}
+                          .with_context("tag " + std::to_string(i));
+      }
+      StageTimer timer(run.trace, Stage::kReport);
+      run.report.items.push_back(std::move(item));
+      continue;
+    }
+
+    // --- disentangle: Eq. 10 per measurement. ---------------------------
+    localize::DisentangledSet half_link;
+    {
+      StageTimer timer(run.trace, Stage::kDisentangle);
+      half_link = localize::disentangle(measurements);
+    }
+
+    // --- localize: SAR over a window centered on the measurement centroid
+    // (the system does not know the tag position; it knows where the drone
+    // heard it). ----------------------------------------------------------
+    {
+      StageTimer timer(run.trace, Stage::kLocalize);
+      Vec3 centroid{0, 0, 0};
+      for (const auto& m : measurements) centroid = centroid + m.relay_position;
+      centroid = centroid / static_cast<double>(measurements.size());
+
+      localize::LocalizerConfig loc;
+      loc.threads = config.localize_threads;
+      loc.freq_hz = config.system.carrier_hz + config.system.freq_shift_hz;
+      loc.peak_threshold_fraction = config.peak_threshold_fraction;
+      loc.grid.resolution_m = config.grid_resolution_m;
+      loc.grid.x_min = centroid.x - config.search_halfwidth_m;
+      loc.grid.x_max = centroid.x + config.search_halfwidth_m;
+      // One-sided in y: the operator knows which side of the path the shelf
+      // face is on; the grid stops short of the path so the 1D aperture's
+      // mirror band is excluded (see DESIGN.md).
+      if (config.tags_below_path) {
+        loc.grid.y_min = centroid.y - config.search_halfwidth_m;
+        loc.grid.y_max = centroid.y - config.grid_margin_to_path_m;
+      } else {
+        loc.grid.y_min = centroid.y + config.grid_margin_to_path_m;
+        loc.grid.y_max = centroid.y + config.search_halfwidth_m;
+      }
+
+      auto result = localize::localize_2d_from(half_link, loc);
+      if (!result) {
+        item.status = result.status().with_context("tag " + std::to_string(i));
+      } else {
+        item.localized = true;
+        item.estimate = {result->x, result->y, 0.0};
+        ++run.report.localized;
+      }
+    }
+
+    StageTimer timer(run.trace, Stage::kReport);
+    run.report.items.push_back(std::move(item));
+  }
+
+  run.total_seconds =
+      std::chrono::duration<double>(Clock::now() - mission_start).count();
+  return run;
+}
+
+Expected<MissionRun> run_scenario(const Scenario& scenario) {
+  return run_scenario(scenario, scenario.seed);
+}
+
+Expected<MissionRun> run_scenario(const Scenario& scenario, std::uint64_t seed) {
+  if (Status status = validate(scenario); !status.is_ok()) {
+    return std::move(status).with_context("run_scenario");
+  }
+  const core::ScanMissionConfig config = mission_config(scenario);
+  const channel::Environment environment = scenario.environment.build();
+  const std::vector<Vec3> plan = flight_plan(scenario);
+  std::vector<core::TagPlacement> tags = tag_placements(scenario);
+  const core::InventoryDatabase db = database(scenario);
+  return run_mission_pipeline(config, environment, scenario.reader_position,
+                              plan, tags, db, seed)
+      .with_context("scenario '" + scenario.name + "'");
+}
+
+}  // namespace rfly::sim
+
+namespace rfly::core {
+
+// Legacy entry point (declared in core/scan_mission.h): a thin adapter over
+// the staged pipeline that discards the stage trace. On mission-level error
+// it preserves the legacy contract as far as one existed: an empty-tag
+// mission still reports the flight length; an empty flight plan (which the
+// legacy code crashed on) yields an empty report.
+ScanReport run_scan_mission(const ScanMissionConfig& config,
+                            const channel::Environment& environment,
+                            const Vec3& reader_position,
+                            const std::vector<Vec3>& flight_plan,
+                            std::vector<TagPlacement>& tags,
+                            const InventoryDatabase& database,
+                            std::uint64_t seed) {
+  auto run = sim::run_mission_pipeline(config, environment, reader_position,
+                                       flight_plan, tags, database, seed);
+  if (!run) {
+    ScanReport report;
+    report.flight_length_m = drone::trajectory_length(flight_plan);
+    return report;
+  }
+  return std::move(run->report);
+}
+
+}  // namespace rfly::core

@@ -1,0 +1,613 @@
+#include "sim/scenario.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <sstream>
+
+#include "drone/trajectory.h"
+
+namespace rfly::sim {
+
+namespace {
+
+// --- Value formatting/parsing -------------------------------------------
+
+/// Shortest form that round-trips the double exactly through strtod.
+std::string format_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  // Prefer a shorter representation when it still round-trips (keeps the
+  // files human-readable: "40" instead of "40.000000000000000").
+  for (int prec = 1; prec < 17; ++prec) {
+    char shorter[40];
+    std::snprintf(shorter, sizeof shorter, "%.*g", prec, v);
+    if (std::strtod(shorter, nullptr) == v) return shorter;
+  }
+  return buf;
+}
+
+bool parse_double(const std::string& text, double& out) {
+  const char* begin = text.c_str();
+  char* end = nullptr;
+  out = std::strtod(begin, &end);
+  return end != begin && *end == '\0';
+}
+
+bool parse_bool(const std::string& text, bool& out) {
+  if (text == "true" || text == "1") return out = true, true;
+  if (text == "false" || text == "0") return out = false, true;
+  return false;
+}
+
+bool parse_u64(const std::string& text, std::uint64_t& out) {
+  const char* begin = text.c_str();
+  char* end = nullptr;
+  out = std::strtoull(begin, &end, 10);
+  return end != begin && *end == '\0';
+}
+
+bool parse_int(const std::string& text, int& out) {
+  const char* begin = text.c_str();
+  char* end = nullptr;
+  const long v = std::strtol(begin, &end, 10);
+  out = static_cast<int>(v);
+  return end != begin && *end == '\0';
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string> split_ws(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream in(s);
+  std::string tok;
+  while (in >> tok) out.push_back(tok);
+  return out;
+}
+
+std::string format_vec3(const Vec3& v) {
+  return format_double(v.x) + " " + format_double(v.y) + " " + format_double(v.z);
+}
+
+bool parse_vec3(const std::string& text, Vec3& out) {
+  const auto toks = split_ws(text);
+  if (toks.size() != 3) return false;
+  return parse_double(toks[0], out.x) && parse_double(toks[1], out.y) &&
+         parse_double(toks[2], out.z);
+}
+
+// --- Scalar-field registry ----------------------------------------------
+// One table drives serialize(), parse_scenario(), and apply_override(), so
+// the three can never disagree about the key set.
+
+struct FieldDef {
+  std::string key;
+  std::function<std::string(const Scenario&)> get;
+  std::function<bool(Scenario&, const std::string&)> set;
+};
+
+template <typename Ref>  // Ref: Scenario& -> double&
+FieldDef double_field(std::string key, Ref ref) {
+  return {std::move(key),
+          [ref](const Scenario& s) {
+            return format_double(ref(const_cast<Scenario&>(s)));
+          },
+          [ref](Scenario& s, const std::string& v) {
+            return parse_double(v, ref(s));
+          }};
+}
+
+template <typename Ref>  // Ref: Scenario& -> bool&
+FieldDef bool_field(std::string key, Ref ref) {
+  return {std::move(key),
+          [ref](const Scenario& s) {
+            return std::string(ref(const_cast<Scenario&>(s)) ? "true" : "false");
+          },
+          [ref](Scenario& s, const std::string& v) { return parse_bool(v, ref(s)); }};
+}
+
+template <typename Ref>  // Ref: Scenario& -> int&
+FieldDef int_field(std::string key, Ref ref) {
+  return {std::move(key),
+          [ref](const Scenario& s) {
+            return std::to_string(ref(const_cast<Scenario&>(s)));
+          },
+          [ref](Scenario& s, const std::string& v) { return parse_int(v, ref(s)); }};
+}
+
+template <typename Ref>  // Ref: Scenario& -> Vec3&
+FieldDef vec3_field(std::string key, Ref ref) {
+  return {std::move(key),
+          [ref](const Scenario& s) {
+            return format_vec3(ref(const_cast<Scenario&>(s)));
+          },
+          [ref](Scenario& s, const std::string& v) { return parse_vec3(v, ref(s)); }};
+}
+
+const std::vector<FieldDef>& registry() {
+  static const std::vector<FieldDef> fields = [] {
+    std::vector<FieldDef> f;
+    f.push_back({"name", [](const Scenario& s) { return s.name; },
+                 [](Scenario& s, const std::string& v) {
+                   return v.empty() ? false : (s.name = v, true);
+                 }});
+    f.push_back({"seed",
+                 [](const Scenario& s) { return std::to_string(s.seed); },
+                 [](Scenario& s, const std::string& v) {
+                   return parse_u64(v, s.seed);
+                 }});
+
+    f.push_back({"env.kind",
+                 [](const Scenario& s) {
+                   return std::string(s.environment.kind == EnvironmentKind::kEmpty
+                                          ? "empty"
+                                          : "warehouse");
+                 },
+                 [](Scenario& s, const std::string& v) {
+                   if (v == "empty") return s.environment.kind = EnvironmentKind::kEmpty, true;
+                   if (v == "warehouse") return s.environment.kind = EnvironmentKind::kWarehouse, true;
+                   return false;
+                 }});
+    f.push_back(double_field("env.width_m",
+                             [](Scenario& s) -> double& { return s.environment.width_m; }));
+    f.push_back(double_field("env.height_m",
+                             [](Scenario& s) -> double& { return s.environment.height_m; }));
+    f.push_back(int_field("env.shelf_rows",
+                          [](Scenario& s) -> int& { return s.environment.shelf_rows; }));
+    f.push_back(bool_field("env.wall",
+                           [](Scenario& s) -> bool& { return s.environment.wall; }));
+    f.push_back(double_field("env.wall_x",
+                             [](Scenario& s) -> double& { return s.environment.wall_x; }));
+    f.push_back(double_field("env.wall_y0",
+                             [](Scenario& s) -> double& { return s.environment.wall_y0; }));
+    f.push_back(double_field("env.wall_y1",
+                             [](Scenario& s) -> double& { return s.environment.wall_y1; }));
+
+    f.push_back(vec3_field("reader_position",
+                           [](Scenario& s) -> Vec3& { return s.reader_position; }));
+
+    f.push_back(double_field("system.carrier_hz",
+                             [](Scenario& s) -> double& { return s.system.carrier_hz; }));
+    f.push_back(double_field("system.freq_shift_hz",
+                             [](Scenario& s) -> double& { return s.system.freq_shift_hz; }));
+    f.push_back(double_field("system.blf_hz",
+                             [](Scenario& s) -> double& { return s.system.blf_hz; }));
+    f.push_back(double_field("system.reader_eirp_dbm",
+                             [](Scenario& s) -> double& { return s.system.reader_eirp_dbm; }));
+    f.push_back(double_field("system.reader_rx_gain_dbi",
+                             [](Scenario& s) -> double& { return s.system.reader_rx_gain_dbi; }));
+    f.push_back(double_field("system.reader_noise_figure_db",
+                             [](Scenario& s) -> double& { return s.system.reader_noise_figure_db; }));
+    f.push_back(double_field("system.relay_downlink_gain_db",
+                             [](Scenario& s) -> double& { return s.system.relay_downlink_gain_db; }));
+    f.push_back(double_field("system.relay_uplink_gain_db",
+                             [](Scenario& s) -> double& { return s.system.relay_uplink_gain_db; }));
+    f.push_back(double_field("system.relay_downlink_p1db_dbm",
+                             [](Scenario& s) -> double& { return s.system.relay_downlink_p1db_dbm; }));
+    f.push_back(double_field("system.relay_uplink_max_out_dbm",
+                             [](Scenario& s) -> double& { return s.system.relay_uplink_max_out_dbm; }));
+    f.push_back(double_field("system.relay_antenna_gain_dbi",
+                             [](Scenario& s) -> double& { return s.system.relay_antenna_gain_dbi; }));
+    f.push_back(double_field("system.relay_hardware_phase_rad",
+                             [](Scenario& s) -> double& { return s.system.relay_hardware_phase_rad; }));
+    f.push_back(double_field("system.embedded_coupling_db",
+                             [](Scenario& s) -> double& { return s.system.embedded_coupling_db; }));
+    f.push_back(bool_field("system.channel_noise",
+                           [](Scenario& s) -> bool& { return s.system.channel_noise; }));
+    f.push_back(double_field("system.estimate_integration_s",
+                             [](Scenario& s) -> double& { return s.system.estimate_integration_s; }));
+    f.push_back(double_field("system.shadowing_std_db",
+                             [](Scenario& s) -> double& { return s.system.shadowing_std_db; }));
+    f.push_back(double_field("system.amplitude_ripple_std_db",
+                             [](Scenario& s) -> double& { return s.system.amplitude_ripple_std_db; }));
+    f.push_back(double_field("system.phase_ripple_std_rad",
+                             [](Scenario& s) -> double& { return s.system.phase_ripple_std_rad; }));
+    f.push_back(double_field("system.decode_snr_threshold_db",
+                             [](Scenario& s) -> double& { return s.system.decode_snr_threshold_db; }));
+    f.push_back(bool_field("system.include_direct_path",
+                           [](Scenario& s) -> bool& { return s.system.include_direct_path; }));
+    f.push_back(double_field("system.tag.sensitivity_dbm",
+                             [](Scenario& s) -> double& { return s.system.tag.sensitivity_dbm; }));
+    f.push_back(double_field("system.tag.antenna_gain_dbi",
+                             [](Scenario& s) -> double& { return s.system.tag.antenna_gain_dbi; }));
+    f.push_back(double_field("system.tag.rho_on",
+                             [](Scenario& s) -> double& { return s.system.tag.rho_on; }));
+    f.push_back(double_field("system.tag.rho_off",
+                             [](Scenario& s) -> double& { return s.system.tag.rho_off; }));
+
+    f.push_back(double_field("flight.position_jitter_std_m",
+                             [](Scenario& s) -> double& { return s.flight.position_jitter_std_m; }));
+    f.push_back(double_field("tracking.noise_std_m",
+                             [](Scenario& s) -> double& { return s.tracking.noise_std_m; }));
+    f.push_back(double_field("tracking.drift_std_m",
+                             [](Scenario& s) -> double& { return s.tracking.drift_std_m; }));
+
+    f.push_back(int_field("inventory.q",
+                          [](Scenario& s) -> int& { return s.inventory.q; }));
+    f.push_back(int_field("inventory.max_rounds",
+                          [](Scenario& s) -> int& { return s.inventory.max_rounds; }));
+    f.push_back(double_field("inventory.decode_snr_threshold_db",
+                             [](Scenario& s) -> double& { return s.inventory.decode_snr_threshold_db; }));
+
+    f.push_back(double_field("localize.search_halfwidth_m",
+                             [](Scenario& s) -> double& { return s.search_halfwidth_m; }));
+    f.push_back(double_field("localize.grid_resolution_m",
+                             [](Scenario& s) -> double& { return s.grid_resolution_m; }));
+    f.push_back(double_field("localize.peak_threshold_fraction",
+                             [](Scenario& s) -> double& { return s.peak_threshold_fraction; }));
+    f.push_back(double_field("localize.grid_margin_to_path_m",
+                             [](Scenario& s) -> double& { return s.grid_margin_to_path_m; }));
+    f.push_back(bool_field("localize.tags_below_path",
+                           [](Scenario& s) -> bool& { return s.tags_below_path; }));
+    f.push_back({"localize.threads",
+                 [](const Scenario& s) { return std::to_string(s.localize_threads); },
+                 [](Scenario& s, const std::string& v) {
+                   std::uint64_t threads = 0;
+                   if (!parse_u64(v, threads)) return false;
+                   s.localize_threads = static_cast<unsigned>(threads);
+                   return true;
+                 }});
+    return f;
+  }();
+  return fields;
+}
+
+const FieldDef* find_field(const std::string& key) {
+  for (const auto& field : registry()) {
+    if (field.key == key) return &field;
+  }
+  return nullptr;
+}
+
+bool set_leg(Scenario& scenario, const std::string& value) {
+  const auto toks = split_ws(value);
+  if (toks.size() != 7) return false;
+  FlightLeg leg;
+  std::uint64_t points = 0;
+  if (!parse_double(toks[0], leg.start.x) || !parse_double(toks[1], leg.start.y) ||
+      !parse_double(toks[2], leg.start.z) || !parse_double(toks[3], leg.end.x) ||
+      !parse_double(toks[4], leg.end.y) || !parse_double(toks[5], leg.end.z) ||
+      !parse_u64(toks[6], points) || points == 0) {
+    return false;
+  }
+  leg.points = static_cast<std::size_t>(points);
+  scenario.legs.push_back(leg);
+  return true;
+}
+
+bool set_tag(Scenario& scenario, const std::string& value) {
+  const auto toks = split_ws(value);
+  if (toks.size() < 4) return false;
+  TagSpec tag;
+  std::uint64_t index = 0;
+  if (!parse_u64(toks[0], index) || !parse_double(toks[1], tag.position.x) ||
+      !parse_double(toks[2], tag.position.y) ||
+      !parse_double(toks[3], tag.position.z)) {
+    return false;
+  }
+  tag.epc_index = static_cast<std::uint32_t>(index);
+  // The description is the remainder of the line (may contain spaces).
+  std::size_t pos = 0;
+  for (int i = 0; i < 4; ++i) {
+    pos = value.find_first_not_of(" \t", pos);
+    pos = value.find_first_of(" \t", pos);
+  }
+  if (pos != std::string::npos) tag.description = trim(value.substr(pos));
+  scenario.tags.push_back(tag);
+  return true;
+}
+
+}  // namespace
+
+channel::Environment EnvironmentSpec::build() const {
+  channel::Environment env;
+  if (kind == EnvironmentKind::kWarehouse) {
+    env = channel::warehouse_environment(width_m, height_m, shelf_rows);
+  }
+  if (wall) {
+    env.add_obstacle({{{wall_x, wall_y0}, {wall_x, wall_y1}}, channel::concrete()});
+  }
+  return env;
+}
+
+Status validate(const Scenario& scenario) {
+  const auto invalid = [&](const std::string& msg) {
+    return Status{StatusCode::kInvalidArgument, msg}.with_context("scenario '" +
+                                                                  scenario.name + "'");
+  };
+  if (scenario.environment.kind == EnvironmentKind::kWarehouse) {
+    if (!(scenario.environment.width_m > 0.0) ||
+        !(scenario.environment.height_m > 0.0)) {
+      return invalid("warehouse environment needs positive width/height, got " +
+                     format_double(scenario.environment.width_m) + " x " +
+                     format_double(scenario.environment.height_m));
+    }
+    if (scenario.environment.shelf_rows < 0) {
+      return invalid("env.shelf_rows must be >= 0");
+    }
+  }
+  if (scenario.environment.wall &&
+      scenario.environment.wall_y0 == scenario.environment.wall_y1) {
+    return invalid("env.wall is a zero-length segment (wall_y0 == wall_y1)");
+  }
+  if (scenario.legs.empty()) {
+    return Status{StatusCode::kEmptyFlightPlan,
+                  "scenario '" + scenario.name + "' has no flight legs"};
+  }
+  for (std::size_t i = 0; i < scenario.legs.size(); ++i) {
+    if (scenario.legs[i].points < 2) {
+      return invalid("leg " + std::to_string(i) +
+                     " needs at least 2 waypoints for a SAR aperture");
+    }
+  }
+  if (scenario.tags.empty()) {
+    return Status{StatusCode::kEmptyPopulation,
+                  "scenario '" + scenario.name + "' has no tags"};
+  }
+  for (std::size_t i = 0; i < scenario.tags.size(); ++i) {
+    for (std::size_t j = i + 1; j < scenario.tags.size(); ++j) {
+      if (scenario.tags[i].epc_index == scenario.tags[j].epc_index) {
+        return invalid("tags " + std::to_string(i) + " and " + std::to_string(j) +
+                       " share epc_index " +
+                       std::to_string(scenario.tags[i].epc_index));
+      }
+    }
+  }
+  if (!(scenario.grid_resolution_m > 0.0)) {
+    return invalid("localize.grid_resolution_m must be positive");
+  }
+  if (!(scenario.search_halfwidth_m > 0.0)) {
+    return invalid("localize.search_halfwidth_m must be positive");
+  }
+  if (!(scenario.peak_threshold_fraction > 0.0) ||
+      scenario.peak_threshold_fraction > 1.0) {
+    return invalid("localize.peak_threshold_fraction must be in (0, 1]");
+  }
+  if (scenario.grid_margin_to_path_m < 0.0) {
+    return invalid("localize.grid_margin_to_path_m must be >= 0");
+  }
+  if (scenario.grid_margin_to_path_m >= scenario.search_halfwidth_m) {
+    return Status{StatusCode::kDegenerateGrid,
+                  "grid_margin_to_path_m (" +
+                      format_double(scenario.grid_margin_to_path_m) +
+                      ") >= search_halfwidth_m (" +
+                      format_double(scenario.search_halfwidth_m) +
+                      "): the margin clips the whole search window"}
+        .with_context("scenario '" + scenario.name + "'");
+  }
+  if (scenario.inventory.q < 0 || scenario.inventory.q > 15) {
+    return invalid("inventory.q must be in [0, 15]");
+  }
+  if (scenario.inventory.max_rounds < 1) {
+    return invalid("inventory.max_rounds must be >= 1");
+  }
+  if (!(scenario.system.carrier_hz > 0.0)) {
+    return invalid("system.carrier_hz must be positive");
+  }
+  if (!(scenario.system.estimate_integration_s > 0.0)) {
+    return invalid("system.estimate_integration_s must be positive");
+  }
+  return Status::ok();
+}
+
+std::string serialize(const Scenario& scenario) {
+  std::string out = "# rfly scenario v1\n";
+  for (const auto& field : registry()) {
+    out += field.key;
+    out += " = ";
+    out += field.get(scenario);
+    out += "\n";
+  }
+  for (const auto& leg : scenario.legs) {
+    out += "leg = " + format_vec3(leg.start) + " " + format_vec3(leg.end) + " " +
+           std::to_string(leg.points) + "\n";
+  }
+  for (const auto& tag : scenario.tags) {
+    out += "tag = " + std::to_string(tag.epc_index) + " " +
+           format_vec3(tag.position);
+    if (!tag.description.empty()) out += " " + tag.description;
+    out += "\n";
+  }
+  return out;
+}
+
+Expected<Scenario> parse_scenario(const std::string& text) {
+  Scenario scenario;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::string stripped = trim(line);
+    if (stripped.empty() || stripped[0] == '#') continue;
+    const std::size_t eq = stripped.find('=');
+    if (eq == std::string::npos) {
+      return Status{StatusCode::kParseError,
+                    "line " + std::to_string(line_no) + ": expected key = value, got '" +
+                        stripped + "'"};
+    }
+    const std::string key = trim(stripped.substr(0, eq));
+    const std::string value = trim(stripped.substr(eq + 1));
+    const Status status = apply_override(scenario, key, value);
+    if (!status.is_ok()) {
+      return Status{status.code(), status.message()}.with_context(
+          "line " + std::to_string(line_no));
+    }
+  }
+  if (Status status = validate(scenario); !status.is_ok()) {
+    return status;
+  }
+  return scenario;
+}
+
+Expected<Scenario> load_scenario_file(const std::string& path) {
+  FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status{StatusCode::kIoError, "cannot open scenario file '" + path + "'"};
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, file)) > 0) text.append(buf, n);
+  std::fclose(file);
+  return parse_scenario(text).with_context("file '" + path + "'");
+}
+
+Status apply_override(Scenario& scenario, const std::string& key,
+                      const std::string& value) {
+  if (key == "leg") {
+    if (!set_leg(scenario, value)) {
+      return {StatusCode::kParseError,
+              "leg wants 'x0 y0 z0 x1 y1 z1 points', got '" + value + "'"};
+    }
+    return Status::ok();
+  }
+  if (key == "tag") {
+    if (!set_tag(scenario, value)) {
+      return {StatusCode::kParseError,
+              "tag wants 'epc_index x y z [description]', got '" + value + "'"};
+    }
+    return Status::ok();
+  }
+  const FieldDef* field = find_field(key);
+  if (field == nullptr) {
+    return {StatusCode::kNotFound, "unknown scenario key '" + key + "'"};
+  }
+  if (!field->set(scenario, value)) {
+    return {StatusCode::kParseError,
+            "bad value '" + value + "' for key '" + key + "'"};
+  }
+  return Status::ok();
+}
+
+namespace {
+
+Scenario preset_building() {
+  Scenario s;
+  s.name = "building";
+  s.seed = 1;
+  // The paper's testbed: a 30 x 40 m research-building floor (Section 7.2),
+  // same constants as core::building_environment().
+  s.environment = {EnvironmentKind::kWarehouse, 40.0, 30.0, 0, false, 0.0, -10.0, 10.0};
+  s.reader_position = {0.5, 0.5, 1.0};
+  s.legs.push_back({{4.0, 12.0, 1.2}, {24.0, 12.3, 1.2}, 120});
+  s.tags.push_back({0, {8.0, 10.0, 0.0}, "alpha"});
+  s.tags.push_back({1, {14.0, 10.0, 0.0}, "beta"});
+  s.tags.push_back({2, {20.0, 10.0, 0.0}, "gamma"});
+  return s;
+}
+
+Scenario preset_warehouse() {
+  Scenario s;
+  s.name = "warehouse";
+  s.seed = 23;
+  // The warehouse-scan deployment: 40 x 30 m, two steel shelf rows, a
+  // ceiling-mounted reader high enough to clear the shelf tops, and nine
+  // tagged items along the aisles (examples/warehouse_scan.cpp is a thin
+  // shell over this preset).
+  s.environment = {EnvironmentKind::kWarehouse, 40.0, 30.0, 2, false, 0.0, -10.0, 10.0};
+  s.reader_position = {1.0, 15.0, 4.0};
+  for (double aisle_y : {5.0, 15.0, 25.0}) {
+    s.legs.push_back({{1.0, aisle_y + 1.6, 1.2}, {39.0, aisle_y + 1.8, 1.2}, 140});
+  }
+  const char* names[] = {"pallet of drills",   "box of jackets", "solvent drums",
+                         "printer cartridges", "bike frames",    "copper spools",
+                         "server chassis",     "ceramic tiles",  "seed bags"};
+  Rng placement(11);
+  for (std::uint32_t i = 0; i < 9; ++i) {
+    const double aisle_y = 5.0 + 10.0 * static_cast<double>(i % 3);
+    const double x = 6.0 + 8.0 * static_cast<double>(i / 3) + placement.uniform(-1.0, 1.0);
+    const double y = aisle_y + placement.uniform(-1.0, 1.0);
+    s.tags.push_back({i, {x, y, 0.0}, names[i]});
+  }
+  return s;
+}
+
+Scenario preset_through_wall() {
+  Scenario s;
+  s.name = "through_wall";
+  s.seed = 7;
+  // The paper's non-line-of-sight story: the reader is separated from the
+  // scanned aisle by a concrete wall; only the relay-borne link reaches the
+  // tags (Fig. 11's NLoS series as a scan mission).
+  s.environment = {EnvironmentKind::kEmpty, 0.0, 0.0, 0, true, 6.0, -10.0, 10.0};
+  s.reader_position = {0.0, 0.0, 1.0};
+  s.legs.push_back({{9.5, 2.0, 1.0}, {15.5, 2.2, 1.0}, 80});
+  s.tags.push_back({0, {11.0, 0.0, 0.0}, "crate A"});
+  s.tags.push_back({1, {12.5, 0.0, 0.0}, "crate B"});
+  s.tags.push_back({2, {14.0, 0.0, 0.0}, "crate C"});
+  return s;
+}
+
+}  // namespace
+
+Expected<Scenario> preset(const std::string& name) {
+  if (name == "building") return preset_building();
+  if (name == "warehouse") return preset_warehouse();
+  if (name == "through_wall") return preset_through_wall();
+  std::string known;
+  for (const auto& p : preset_names()) {
+    if (!known.empty()) known += ", ";
+    known += p;
+  }
+  return Status{StatusCode::kNotFound,
+                "unknown preset '" + name + "' (known: " + known + ")"};
+}
+
+std::vector<std::string> preset_names() {
+  return {"building", "warehouse", "through_wall"};
+}
+
+core::ScanMissionConfig mission_config(const Scenario& scenario) {
+  core::ScanMissionConfig config;
+  config.system = scenario.system;
+  config.flight = scenario.flight;
+  config.tracking = scenario.tracking;
+  config.inventory = scenario.inventory;
+  config.search_halfwidth_m = scenario.search_halfwidth_m;
+  config.grid_resolution_m = scenario.grid_resolution_m;
+  config.peak_threshold_fraction = scenario.peak_threshold_fraction;
+  config.grid_margin_to_path_m = scenario.grid_margin_to_path_m;
+  config.tags_below_path = scenario.tags_below_path;
+  config.localize_threads = scenario.localize_threads;
+  return config;
+}
+
+std::vector<Vec3> flight_plan(const Scenario& scenario) {
+  std::vector<Vec3> plan;
+  for (const auto& leg : scenario.legs) {
+    const auto row = drone::linear_trajectory(leg.start, leg.end, leg.points);
+    plan.insert(plan.end(), row.begin(), row.end());
+  }
+  return plan;
+}
+
+std::vector<core::TagPlacement> tag_placements(const Scenario& scenario) {
+  std::vector<core::TagPlacement> tags;
+  tags.reserve(scenario.tags.size());
+  for (const auto& spec : scenario.tags) {
+    core::TagPlacement placement;
+    placement.config = scenario.system.tag;
+    placement.config.epc = core::make_epc(spec.epc_index);
+    placement.position = spec.position;
+    tags.push_back(placement);
+  }
+  return tags;
+}
+
+core::InventoryDatabase database(const Scenario& scenario) {
+  core::InventoryDatabase db;
+  for (const auto& spec : scenario.tags) {
+    if (!spec.description.empty()) {
+      db.add(core::make_epc(spec.epc_index), spec.description);
+    }
+  }
+  return db;
+}
+
+}  // namespace rfly::sim

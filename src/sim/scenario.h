@@ -1,0 +1,115 @@
+// Declarative mission descriptions: a Scenario is a complete experiment —
+// system, environment, reader placement, flight plan, tag population, and
+// localizer knobs — as a first-class, validated, serializable value. It
+// round-trips through a line-oriented `key = value` text format, so a sweep
+// that used to mean editing N bench binaries is now a scenario file plus
+// `bench/scenario_runner --set key=value` overrides. Named presets replace
+// the config constants that used to be copy-pasted across benches, examples,
+// and tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/scan_mission.h"
+
+namespace rfly::sim {
+
+using channel::Vec3;
+
+/// How the obstacle set is built. kEmpty is free space; kWarehouse is the
+/// paper's rectangular facility via channel::warehouse_environment.
+enum class EnvironmentKind : std::uint8_t { kEmpty, kWarehouse };
+
+struct EnvironmentSpec {
+  EnvironmentKind kind = EnvironmentKind::kWarehouse;
+  double width_m = 40.0;
+  double height_m = 30.0;
+  int shelf_rows = 0;
+  /// Optional extra concrete wall (through-wall scenarios): a segment at
+  /// x = wall_x spanning [wall_y0, wall_y1].
+  bool wall = false;
+  double wall_x = 0.0;
+  double wall_y0 = -10.0;
+  double wall_y1 = 10.0;
+
+  channel::Environment build() const;
+};
+
+/// One straight flight leg sampled at `points` waypoints (inclusive ends).
+struct FlightLeg {
+  Vec3 start{};
+  Vec3 end{};
+  std::size_t points = 50;
+};
+
+/// One tag of the population: deterministic EPC from `epc_index`, placed at
+/// `position`, with an optional item-database description.
+struct TagSpec {
+  std::uint32_t epc_index = 0;
+  Vec3 position{};
+  std::string description;
+};
+
+struct Scenario {
+  std::string name = "unnamed";
+  std::uint64_t seed = 1;
+
+  core::SystemConfig system{};
+  EnvironmentSpec environment{};
+  Vec3 reader_position{0.0, 0.0, 1.0};
+  drone::FlightConfig flight{};
+  drone::TrackingConfig tracking = drone::optitrack_tracking();
+  core::InventoryRoundConfig inventory{};
+
+  std::vector<FlightLeg> legs;
+  std::vector<TagSpec> tags;
+
+  // Localizer knobs (mirror core::ScanMissionConfig).
+  double search_halfwidth_m = 3.0;
+  double grid_resolution_m = 0.02;
+  double peak_threshold_fraction = 0.55;
+  double grid_margin_to_path_m = 0.3;
+  bool tags_below_path = true;
+  unsigned localize_threads = 0;
+};
+
+/// Reject inconsistent scenarios with an actionable message: empty flight
+/// plan (kEmptyFlightPlan), empty tag population (kEmptyPopulation), a
+/// margin that clips the whole search window (kDegenerateGrid), duplicate
+/// EPC indices, non-positive dimensions/resolutions (kInvalidArgument).
+Status validate(const Scenario& scenario);
+
+/// Line-oriented `key = value` text form. Doubles print with enough digits
+/// to round-trip exactly; parse(serialize(s)) reproduces s bit-for-bit.
+std::string serialize(const Scenario& scenario);
+
+/// Parse scenario text. Unknown keys, malformed values, and wrong arity are
+/// kParseError with the line number in context. The result is validated.
+Expected<Scenario> parse_scenario(const std::string& text);
+
+/// Load + parse + validate a scenario file (kIoError if unreadable).
+Expected<Scenario> load_scenario_file(const std::string& path);
+
+/// Apply one `key=value` override (same keys as the serialized form;
+/// `leg = ...` and `tag = ...` append). Unknown key -> kNotFound.
+Status apply_override(Scenario& scenario, const std::string& key,
+                      const std::string& value);
+
+/// Named presets: "building" (the paper's 30x40 m research floor, one aisle
+/// of tags), "warehouse" (the warehouse-scan deployment: 2 steel shelf
+/// rows, 9 tagged items, 3-aisle lawnmower plan), "through_wall" (reader
+/// separated from the scanned aisle by a concrete wall).
+Expected<Scenario> preset(const std::string& name);
+std::vector<std::string> preset_names();
+
+// --- Materialization: turn the declarative value into mission inputs. ---
+
+core::ScanMissionConfig mission_config(const Scenario& scenario);
+std::vector<Vec3> flight_plan(const Scenario& scenario);
+std::vector<core::TagPlacement> tag_placements(const Scenario& scenario);
+core::InventoryDatabase database(const Scenario& scenario);
+
+}  // namespace rfly::sim

@@ -1,0 +1,88 @@
+#include <gtest/gtest.h>
+
+#include "sim/batch.h"
+
+namespace rfly::sim {
+namespace {
+
+void expect_reports_identical(const core::ScanReport& a, const core::ScanReport& b) {
+  EXPECT_EQ(a.discovered, b.discovered);
+  EXPECT_EQ(a.localized, b.localized);
+  ASSERT_EQ(a.items.size(), b.items.size());
+  for (std::size_t i = 0; i < a.items.size(); ++i) {
+    EXPECT_EQ(a.items[i].discovered, b.items[i].discovered) << "item " << i;
+    EXPECT_EQ(a.items[i].localized, b.items[i].localized) << "item " << i;
+    EXPECT_EQ(a.items[i].measurements, b.items[i].measurements) << "item " << i;
+    EXPECT_EQ(a.items[i].estimate.x, b.items[i].estimate.x) << "item " << i;
+    EXPECT_EQ(a.items[i].estimate.y, b.items[i].estimate.y) << "item " << i;
+  }
+}
+
+// The batch guarantee: outer-loop parallelism never changes any result.
+// Each job runs a serial mission (nested parallel_for falls back), results
+// land at the job's index, so thread count is invisible in the output.
+TEST(Batch, SeedSweepIsIdenticalAtAnyThreadCount) {
+  const auto scenario = *preset("building");
+  const auto serial = run_seed_sweep(scenario, 40, 3, {1});
+  const auto threaded = run_seed_sweep(scenario, 40, 3, {4});
+  ASSERT_EQ(serial.size(), 3u);
+  ASSERT_EQ(threaded.size(), 3u);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i].seed, 40u + i);
+    EXPECT_EQ(threaded[i].seed, 40u + i);
+    ASSERT_TRUE(serial[i].status.is_ok()) << serial[i].status.to_string();
+    ASSERT_TRUE(threaded[i].status.is_ok()) << threaded[i].status.to_string();
+    expect_reports_identical(serial[i].run.report, threaded[i].run.report);
+  }
+}
+
+TEST(Batch, SweepSeedsActuallyDiffer) {
+  const auto scenario = *preset("building");
+  const auto results = run_seed_sweep(scenario, 1, 2, {1});
+  ASSERT_EQ(results.size(), 2u);
+  // Different seeds fly different jittered trajectories, so at least the
+  // estimates should differ somewhere (same discovery counts are fine).
+  bool any_difference = false;
+  const auto& a = results[0].run.report;
+  const auto& b = results[1].run.report;
+  ASSERT_EQ(a.items.size(), b.items.size());
+  for (std::size_t i = 0; i < a.items.size(); ++i) {
+    if (a.items[i].estimate.x != b.items[i].estimate.x ||
+        a.items[i].estimate.y != b.items[i].estimate.y) {
+      any_difference = true;
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(Batch, FailedJobKeepsItsSlotAndStatus) {
+  auto good = *preset("building");
+  auto bad = good;
+  bad.name = "clipped";
+  bad.grid_margin_to_path_m = bad.search_halfwidth_m + 1.0;
+
+  const std::vector<BatchJob> jobs{{good, 5}, {bad, 5}, {good, 6}};
+  const auto results = run_batch(jobs, {2});
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].status.is_ok());
+  EXPECT_EQ(results[1].status.code(), StatusCode::kDegenerateGrid);
+  EXPECT_EQ(results[1].scenario_name, "clipped");
+  EXPECT_TRUE(results[2].status.is_ok());
+
+  const auto summary = summarize(results);
+  EXPECT_EQ(summary.jobs, 3u);
+  EXPECT_EQ(summary.failed, 1u);
+  EXPECT_GT(summary.mean_discovered, 0.0);
+}
+
+TEST(Batch, EmptyBatchSummarizesToZero) {
+  const auto results = run_batch({}, {});
+  EXPECT_TRUE(results.empty());
+  const auto summary = summarize(results);
+  EXPECT_EQ(summary.jobs, 0u);
+  EXPECT_EQ(summary.failed, 0u);
+  EXPECT_EQ(summary.mean_localized, 0.0);
+}
+
+}  // namespace
+}  // namespace rfly::sim

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "sim/pipeline.h"
+#include "sim/scenario.h"
+
+namespace rfly::sim {
+namespace {
+
+// Bit-exact report equality: the round-trip and batch guarantees are about
+// reproducing *identical* missions, not approximately similar ones.
+void expect_reports_identical(const core::ScanReport& a, const core::ScanReport& b) {
+  EXPECT_EQ(a.discovered, b.discovered);
+  EXPECT_EQ(a.localized, b.localized);
+  EXPECT_DOUBLE_EQ(a.flight_length_m, b.flight_length_m);
+  ASSERT_EQ(a.items.size(), b.items.size());
+  for (std::size_t i = 0; i < a.items.size(); ++i) {
+    EXPECT_EQ(a.items[i].epc, b.items[i].epc) << "item " << i;
+    EXPECT_EQ(a.items[i].description, b.items[i].description) << "item " << i;
+    EXPECT_EQ(a.items[i].discovered, b.items[i].discovered) << "item " << i;
+    EXPECT_EQ(a.items[i].localized, b.items[i].localized) << "item " << i;
+    EXPECT_EQ(a.items[i].measurements, b.items[i].measurements) << "item " << i;
+    EXPECT_EQ(a.items[i].estimate.x, b.items[i].estimate.x) << "item " << i;
+    EXPECT_EQ(a.items[i].estimate.y, b.items[i].estimate.y) << "item " << i;
+    EXPECT_EQ(a.items[i].estimate.z, b.items[i].estimate.z) << "item " << i;
+  }
+}
+
+TEST(Scenario, EveryPresetValidates) {
+  for (const auto& name : preset_names()) {
+    const auto scenario = preset(name);
+    ASSERT_TRUE(scenario.ok()) << name;
+    const Status status = validate(*scenario);
+    EXPECT_TRUE(status.is_ok()) << name << ": " << status.to_string();
+  }
+}
+
+TEST(Scenario, UnknownPresetIsNotFound) {
+  const auto scenario = preset("starship");
+  ASSERT_FALSE(scenario.ok());
+  EXPECT_EQ(scenario.status().code(), StatusCode::kNotFound);
+}
+
+// The golden round-trip: serialize -> parse must reproduce the scenario
+// exactly, verified end-to-end by running both through the pipeline and
+// demanding bit-identical reports.
+TEST(Scenario, PresetsRoundTripThroughTextBitIdentically) {
+  for (const auto& name : preset_names()) {
+    const auto original = preset(name);
+    ASSERT_TRUE(original.ok()) << name;
+
+    const std::string text = serialize(*original);
+    const auto parsed = parse_scenario(text);
+    ASSERT_TRUE(parsed.ok()) << name << ": " << parsed.status().to_string();
+    // Re-serializing the parsed value must give back the same text: the
+    // cheap proof that no field was lost or rounded.
+    EXPECT_EQ(serialize(*parsed), text) << name;
+
+    const auto run_a = run_scenario(*original);
+    const auto run_b = run_scenario(*parsed);
+    ASSERT_TRUE(run_a.ok()) << name << ": " << run_a.status().to_string();
+    ASSERT_TRUE(run_b.ok()) << name << ": " << run_b.status().to_string();
+    expect_reports_identical(run_a->report, run_b->report);
+  }
+}
+
+TEST(Scenario, ValidatorRejectsEmptyFlightPlan) {
+  auto scenario = *preset("building");
+  scenario.legs.clear();
+  EXPECT_EQ(validate(scenario).code(), StatusCode::kEmptyFlightPlan);
+}
+
+TEST(Scenario, ValidatorRejectsEmptyPopulation) {
+  auto scenario = *preset("building");
+  scenario.tags.clear();
+  EXPECT_EQ(validate(scenario).code(), StatusCode::kEmptyPopulation);
+}
+
+TEST(Scenario, ValidatorRejectsClippedSearchWindow) {
+  auto scenario = *preset("building");
+  scenario.grid_margin_to_path_m = scenario.search_halfwidth_m;
+  const Status status = validate(scenario);
+  EXPECT_EQ(status.code(), StatusCode::kDegenerateGrid);
+  // Actionable: the message names both offending knobs with their values.
+  EXPECT_NE(status.to_string().find("grid_margin_to_path_m"), std::string::npos);
+  EXPECT_NE(status.to_string().find("search_halfwidth_m"), std::string::npos);
+}
+
+TEST(Scenario, ValidatorRejectsDuplicateEpcIndices) {
+  auto scenario = *preset("building");
+  scenario.tags[1].epc_index = scenario.tags[0].epc_index;
+  EXPECT_EQ(validate(scenario).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Scenario, ValidatorRejectsNonPositiveResolution) {
+  auto scenario = *preset("building");
+  scenario.grid_resolution_m = 0.0;
+  EXPECT_EQ(validate(scenario).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Scenario, ParseReportsLineNumberOnBadInput) {
+  const auto result = parse_scenario("seed = 3\nnot a line\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  EXPECT_NE(result.status().to_string().find("line 2"), std::string::npos);
+}
+
+TEST(Scenario, ParseRejectsUnknownKey) {
+  const auto result = parse_scenario("warp_factor = 9\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(result.status().to_string().find("warp_factor"), std::string::npos);
+}
+
+TEST(Scenario, ParseRejectsBadValue) {
+  const auto result = parse_scenario("seed = banana\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+TEST(Scenario, ApplyOverrideChangesOneKnob) {
+  auto scenario = *preset("building");
+  ASSERT_TRUE(apply_override(scenario, "localize.grid_resolution_m", "0.05").is_ok());
+  EXPECT_DOUBLE_EQ(scenario.grid_resolution_m, 0.05);
+  EXPECT_EQ(apply_override(scenario, "no.such.key", "1").code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(apply_override(scenario, "seed", "x").code(), StatusCode::kParseError);
+}
+
+TEST(Scenario, TagDescriptionsWithSpacesRoundTrip) {
+  auto scenario = *preset("warehouse");
+  const auto parsed = parse_scenario(serialize(scenario));
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->tags.size(), scenario.tags.size());
+  for (std::size_t i = 0; i < scenario.tags.size(); ++i) {
+    EXPECT_EQ(parsed->tags[i].description, scenario.tags[i].description);
+    EXPECT_EQ(parsed->tags[i].position.x, scenario.tags[i].position.x);
+    EXPECT_EQ(parsed->tags[i].position.y, scenario.tags[i].position.y);
+  }
+}
+
+TEST(Scenario, LoadScenarioFileReportsIoError) {
+  const auto result = load_scenario_file("/no/such/dir/mission.rfly");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST(Scenario, ThroughWallEnvironmentHasTheWall) {
+  const auto scenario = preset("through_wall");
+  ASSERT_TRUE(scenario.ok());
+  EXPECT_TRUE(scenario->environment.wall);
+  const auto env = scenario->environment.build();
+  EXPECT_FALSE(env.obstacles().empty());
+}
+
+}  // namespace
+}  // namespace rfly::sim

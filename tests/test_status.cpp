@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "common/status.h"
+
+namespace rfly {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+  EXPECT_TRUE(Status::ok().is_ok());
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status s{StatusCode::kDegenerateGrid, "y range is empty"};
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kDegenerateGrid);
+  EXPECT_EQ(s.message(), "y range is empty");
+  EXPECT_EQ(s.to_string(), "DEGENERATE_GRID: y range is empty");
+}
+
+TEST(Status, ContextChainReadsOutermostFirst) {
+  Status s{StatusCode::kNoPeaks, "heatmap flat"};
+  s.add_context("tag 3");
+  s.add_context("scan mission");
+  ASSERT_EQ(s.context().size(), 2u);
+  EXPECT_EQ(s.context()[0], "scan mission");
+  EXPECT_EQ(s.context()[1], "tag 3");
+  EXPECT_EQ(s.to_string(), "NO_PEAKS: scan mission: tag 3: heatmap flat");
+}
+
+TEST(Status, WithContextLeavesOriginalUntouchedOnLvalue) {
+  const Status inner{StatusCode::kNoReference, "embedded channel too weak"};
+  const Status outer = inner.with_context("disentangle");
+  EXPECT_TRUE(inner.context().empty());
+  ASSERT_EQ(outer.context().size(), 1u);
+  EXPECT_EQ(outer.context()[0], "disentangle");
+}
+
+TEST(Status, ContextOnOkIsNoOp) {
+  Status s;
+  s.add_context("should not stick");
+  EXPECT_TRUE(s.context().empty());
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(Status, EveryCodeHasAStableName) {
+  EXPECT_STREQ(status_code_name(StatusCode::kOk), "OK");
+  EXPECT_STREQ(status_code_name(StatusCode::kInvalidArgument), "INVALID_ARGUMENT");
+  EXPECT_STREQ(status_code_name(StatusCode::kEmptyFlightPlan), "EMPTY_FLIGHT_PLAN");
+  EXPECT_STREQ(status_code_name(StatusCode::kEmptyPopulation), "EMPTY_POPULATION");
+  EXPECT_STREQ(status_code_name(StatusCode::kDegenerateGrid), "DEGENERATE_GRID");
+  EXPECT_STREQ(status_code_name(StatusCode::kNoReference), "NO_REFERENCE");
+  EXPECT_STREQ(status_code_name(StatusCode::kInsufficientData), "INSUFFICIENT_DATA");
+  EXPECT_STREQ(status_code_name(StatusCode::kNoPeaks), "NO_PEAKS");
+  EXPECT_STREQ(status_code_name(StatusCode::kUndecodablePopulation),
+               "UNDECODABLE_POPULATION");
+  EXPECT_STREQ(status_code_name(StatusCode::kParseError), "PARSE_ERROR");
+  EXPECT_STREQ(status_code_name(StatusCode::kIoError), "IO_ERROR");
+  EXPECT_STREQ(status_code_name(StatusCode::kNotFound), "NOT_FOUND");
+}
+
+TEST(Expected, HoldsValue) {
+  Expected<int> e = 42;
+  ASSERT_TRUE(e.ok());
+  EXPECT_TRUE(static_cast<bool>(e));
+  EXPECT_EQ(e.value(), 42);
+  EXPECT_EQ(*e, 42);
+  EXPECT_TRUE(e.status().is_ok());
+  EXPECT_EQ(e.value_or(7), 42);
+}
+
+TEST(Expected, HoldsStatus) {
+  Expected<int> e = Status{StatusCode::kNotFound, "no such preset"};
+  EXPECT_FALSE(e.ok());
+  EXPECT_EQ(e.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(e.value_or(7), 7);
+}
+
+TEST(Expected, MapTransformsValueAndPassesErrorsThrough) {
+  Expected<int> good = 21;
+  const auto doubled = good.map([](int v) { return v * 2; });
+  ASSERT_TRUE(doubled.ok());
+  EXPECT_EQ(*doubled, 42);
+
+  Expected<int> bad = Status{StatusCode::kInsufficientData, "2 < 3"};
+  const auto still_bad = bad.map([](int v) { return v * 2; });
+  EXPECT_FALSE(still_bad.ok());
+  EXPECT_EQ(still_bad.status().code(), StatusCode::kInsufficientData);
+}
+
+TEST(Expected, AndThenChainsFallibleSteps) {
+  const auto half = [](int v) -> Expected<int> {
+    if (v % 2 != 0) return Status{StatusCode::kInvalidArgument, "odd"};
+    return v / 2;
+  };
+  Expected<int> even = 42;
+  const auto ok = even.and_then(half);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 21);
+  const auto fail = ok.and_then(half);
+  EXPECT_FALSE(fail.ok());
+  EXPECT_EQ(fail.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Expected, WithContextAnnotatesError) {
+  Expected<int> e = Status{StatusCode::kNoPeaks, "flat"};
+  const auto annotated = std::move(e).with_context("localize");
+  EXPECT_EQ(annotated.status().to_string(), "NO_PEAKS: localize: flat");
+
+  Expected<int> ok = 1;
+  const auto untouched = std::move(ok).with_context("localize");
+  ASSERT_TRUE(untouched.ok());
+  EXPECT_TRUE(untouched.status().is_ok());
+}
+
+TEST(Expected, WorksWithMoveOnlyFriendlyTypes) {
+  Expected<std::string> e = std::string("hello");
+  ASSERT_TRUE(e.ok());
+  EXPECT_EQ(e->size(), 5u);
+}
+
+}  // namespace
+}  // namespace rfly
