@@ -5,17 +5,44 @@
 // from the run logs, and an optional JSON metrics file for machine readers.
 #pragma once
 
+#include <charconv>
 #include <cstdint>
 #include <cstdio>
-#include <cstdlib>
 #include <span>
 #include <string>
+#include <system_error>
 #include <utility>
 #include <vector>
 
 #include "common/stats.h"
+#include "common/status.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rfly::bench {
+
+/// Checked integer parsing for CLI values: the whole token must be a base-10
+/// number that fits T. Replaces atoi/strtoull, which silently read garbage
+/// as 0 ("--trials 1O0" ran one hundred-ish trials as zero) and ignore
+/// trailing junk. Negative input to an unsigned T fails (from_chars rejects
+/// the sign) instead of wrapping.
+template <typename T>
+Status parse_cli_number(const std::string& flag, const char* text, T& out) {
+  const char* end = text + std::string_view(text).size();
+  T value{};
+  const auto [ptr, ec] = std::from_chars(text, end, value, 10);
+  if (ec == std::errc::result_out_of_range) {
+    return {StatusCode::kParseError,
+            flag + " value '" + text + "' is out of range"};
+  }
+  if (ec != std::errc() || ptr != end || text == end) {
+    return {StatusCode::kParseError,
+            flag + " wants an integer, got '" + text + "'"};
+  }
+  out = value;
+  return Status::ok();
+}
 
 /// Common bench options. Construct with the bench's defaults, then
 /// parse(argc, argv) to apply overrides. Unknown flags abort with usage —
@@ -26,56 +53,82 @@ struct CliOptions {
   unsigned threads = 0; // 0 = hardware concurrency
   std::string out;      // JSON metrics path; empty = stdout only
   std::string scenario; // scenario file (scenario_runner)
+  bool report = false;  // print the span tree + metric table after the run
+  std::string trace_out; // Chrome trace-event JSON path; empty = none
   /// `--set key=value` overrides, in order (scenario_runner).
   std::vector<std::pair<std::string, std::string>> overrides;
 
-  /// Returns false (after printing usage to stderr) on a malformed
-  /// command line; the bench should exit non-zero.
+  /// Returns false (after printing the parse error and usage to stderr) on
+  /// a malformed command line; the bench should exit non-zero.
   bool parse(int argc, char** argv) {
     auto value_of = [&](int& i) -> const char* {
       if (i + 1 >= argc) return nullptr;
       return argv[++i];
     };
+    auto fail = [&](const Status& status) {
+      std::fprintf(stderr, "%s\n", status.to_string().c_str());
+      usage(argv[0]);
+      return false;
+    };
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
       const char* value = nullptr;
       if (arg == "--seed" && (value = value_of(i))) {
-        seed = std::strtoull(value, nullptr, 10);
+        if (Status s = parse_cli_number(arg, value, seed); !s.is_ok()) {
+          return fail(s);
+        }
       } else if (arg == "--trials" && (value = value_of(i))) {
-        trials = std::atoi(value);
+        if (Status s = parse_cli_number(arg, value, trials); !s.is_ok()) {
+          return fail(s);
+        }
       } else if (arg == "--threads" && (value = value_of(i))) {
-        threads = static_cast<unsigned>(std::atoi(value));
+        if (Status s = parse_cli_number(arg, value, threads); !s.is_ok()) {
+          return fail(s);
+        }
       } else if (arg == "--out" && (value = value_of(i))) {
         out = value;
       } else if (arg == "--scenario" && (value = value_of(i))) {
         scenario = value;
+      } else if (arg == "--report") {
+        report = true;
+      } else if (arg == "--trace-out" && (value = value_of(i))) {
+        trace_out = value;
       } else if (arg == "--set" && (value = value_of(i))) {
         const std::string pair = value;
         const std::size_t eq = pair.find('=');
         if (eq == std::string::npos) {
-          std::fprintf(stderr, "--set wants key=value, got '%s'\n", value);
-          return false;
+          return fail({StatusCode::kParseError,
+                       "--set wants key=value, got '" + pair + "'"});
         }
         overrides.emplace_back(pair.substr(0, eq), pair.substr(eq + 1));
       } else {
-        std::fprintf(stderr,
-                     "unknown argument '%s'\nusage: %s [--seed N] [--trials N] "
-                     "[--threads N] [--out FILE] [--scenario FILE] "
-                     "[--set key=value]...\n",
-                     arg.c_str(), argv[0]);
-        return false;
+        return fail({StatusCode::kParseError, "unknown argument '" + arg + "'"});
       }
     }
     return true;
   }
+
+  static void usage(const char* argv0) {
+    std::fprintf(stderr,
+                 "usage: %s [--seed N] [--trials N] [--threads N] [--out FILE] "
+                 "[--scenario FILE] [--set key=value]... [--report] "
+                 "[--trace-out FILE]\n",
+                 argv0);
+  }
 };
 
 /// Flat JSON metrics accumulator: add(name, value) pairs, then write() to
-/// the --out path ({"median_cm": 19.3, ...}). No-op when the path is empty.
+/// the --out path ({"median_cm": 19.3, ...}). add_json() attaches an
+/// already-rendered JSON value (e.g. the obs snapshot) under a key; raw
+/// entries print after the numeric ones. No-op when the path is empty.
 class Metrics {
  public:
   void add(const std::string& name, double value) {
     entries_.emplace_back(name, value);
+  }
+  /// `json` must be a complete JSON value; it is emitted verbatim.
+  void add_json(const std::string& name, std::string json) {
+    raw_entries_.emplace_back(name, std::move(json));
   }
   bool write(const std::string& path) const {
     if (path.empty()) return true;
@@ -85,9 +138,16 @@ class Metrics {
       return false;
     }
     std::fprintf(file, "{");
-    for (std::size_t i = 0; i < entries_.size(); ++i) {
-      std::fprintf(file, "%s\"%s\": %.17g", i == 0 ? "" : ", ",
-                   entries_[i].first.c_str(), entries_[i].second);
+    bool first = true;
+    for (const auto& [name, value] : entries_) {
+      std::fprintf(file, "%s\"%s\": %.17g", first ? "" : ", ", name.c_str(),
+                   value);
+      first = false;
+    }
+    for (const auto& [name, json] : raw_entries_) {
+      std::fprintf(file, "%s\"%s\": %s", first ? "" : ", ", name.c_str(),
+                   json.c_str());
+      first = false;
     }
     std::fprintf(file, "}\n");
     std::fclose(file);
@@ -96,7 +156,24 @@ class Metrics {
 
  private:
   std::vector<std::pair<std::string, double>> entries_;
+  std::vector<std::pair<std::string, std::string>> raw_entries_;
 };
+
+/// Shared tail for every bench: drain the trace and snapshot the metrics
+/// once, fold the snapshot into `metrics` under a "metrics" key (so the
+/// --out JSON carries it), then honor --report and --trace-out. Call after
+/// the workload, before Metrics::write(). Returns false when --trace-out
+/// could not be written.
+inline bool finish_observability(const CliOptions& options, Metrics& metrics) {
+  const obs::MetricsSnapshot snapshot = obs::snapshot();
+  const obs::Trace trace = obs::drain_trace();
+  metrics.add_json("metrics", obs::metrics_to_json(snapshot));
+  if (options.report) obs::print_report(stdout, trace, snapshot);
+  if (!options.trace_out.empty()) {
+    return obs::write_trace_file(options.trace_out, trace);
+  }
+  return true;
+}
 
 inline void header(const std::string& figure, const std::string& title) {
   std::printf("==============================================================\n");

@@ -151,7 +151,11 @@ void thread_sweep(std::uint64_t seed) {
     }
   }
   if (json) {
-    std::fprintf(json, "  ]\n}\n");
+    // The obs snapshot rides along so machine readers see how much work the
+    // sweep did (sar.cells, pool.chunks, chunk latency buckets). Empty
+    // objects under RFLY_OBS=OFF.
+    std::fprintf(json, "  ],\n  \"metrics\": %s\n}\n",
+                 obs::metrics_to_json(obs::snapshot()).c_str());
     std::fclose(json);
     std::printf("wrote BENCH_sar.json\n");
   }

@@ -56,6 +56,7 @@ int main(int argc, char** argv) {
   metrics.add("failed", failed);
   metrics.add("median_error_m", median(errors));
   metrics.add("p90_error_m", percentile(errors, 90));
+  if (!bench::finish_observability(opts, metrics)) return 1;
   if (!metrics.write(opts.out)) return 1;
   return 0;
 }

@@ -74,6 +74,7 @@ int main(int argc, char** argv) {
   metrics.add("sar_median_at_0p5m", sar_at_half);
   metrics.add("sar_median_at_1m", sar_at_1);
   metrics.add("rssi_median_at_2p5m", rssi_at_25);
+  if (!bench::finish_observability(opts, metrics)) return 1;
   if (!metrics.write(opts.out)) return 1;
   return 0;
 }

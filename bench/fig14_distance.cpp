@@ -94,6 +94,7 @@ int main(int argc, char** argv) {
   metrics.add("sar_median_at_40m", sar_at_40);
   metrics.add("sar_p90_at_40m", sar_p90_at_40);
   metrics.add("sar_p90_at_50m", sar_p90_at_50);
+  if (!bench::finish_observability(opts, metrics)) return 1;
   if (!metrics.write(opts.out)) return 1;
   return 0;
 }

@@ -110,6 +110,7 @@ int main(int argc, char** argv) {
   metrics.add("mean_discovered", summary.mean_discovered);
   metrics.add("mean_localized", summary.mean_localized);
   metrics.add("total_seconds", summary.total_seconds);
+  if (!bench::finish_observability(opts, metrics)) return 1;
   if (!metrics.write(opts.out)) return 1;
   return summary.failed == 0 ? 0 : 1;
 }

@@ -6,14 +6,22 @@
 // deployment — environment, reader, flight plan, tag population — is the
 // `warehouse` preset; this file only prints the report (run the same
 // mission from the command line with `scenario_runner --scenario warehouse`).
+// Observability: `warehouse_scan --report` appends the span tree + metric
+// table after the scan report; `--trace-out FILE` writes the Chrome trace.
+// With no flags the output is byte-identical to the pre-obs binary (the
+// golden in test_obs.cpp holds this to account).
 #include <cmath>
 #include <cstdio>
 
+#include "bench_util.h"
 #include "sim/pipeline.h"
 
 using namespace rfly;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::CliOptions opts;
+  if (!opts.parse(argc, argv)) return 2;
+
   std::printf("RFly warehouse scan\n===================\n");
 
   const auto scenario = sim::preset("warehouse");
@@ -56,5 +64,12 @@ int main() {
               " paper also reports: its 90th-percentile error is 53 cm)\n");
   std::printf("(a fixed reader at the door reads none of them: max direct range"
               " ~6 m)\n");
+
+  bench::Metrics metrics;
+  metrics.add("discovered", static_cast<double>(report.discovered));
+  metrics.add("localized", static_cast<double>(report.localized));
+  metrics.add("worst_error_cm", 100.0 * worst);
+  if (!bench::finish_observability(opts, metrics)) return 1;
+  if (!metrics.write(opts.out)) return 1;
   return 0;
 }

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace rfly {
 
 namespace {
@@ -10,6 +13,30 @@ namespace {
 // range serially instead of deadlocking on the submission lock or
 // oversubscribing the machine.
 thread_local bool t_in_parallel_for = false;
+
+// Pool telemetry. Handles resolve once (registry mutex) and then cost one
+// relaxed atomic per update; all of it compiles out under RFLY_OBS=OFF.
+obs::Counter& pool_chunks() {
+  static obs::Counter& c = obs::counter("pool.chunks");
+  return c;
+}
+obs::Counter& pool_jobs() {
+  static obs::Counter& c = obs::counter("pool.jobs");
+  return c;
+}
+obs::Counter& pool_serial_jobs() {
+  static obs::Counter& c = obs::counter("pool.serial_jobs");
+  return c;
+}
+obs::Gauge& pool_queue_depth() {
+  static obs::Gauge& g = obs::gauge("pool.queue_depth");
+  return g;
+}
+obs::Histogram& pool_job_seconds() {
+  static obs::Histogram& h =
+      obs::histogram("pool.job_seconds", obs::HistogramSpec::duration_seconds());
+  return h;
+}
 }  // namespace
 
 ThreadPool::ThreadPool(unsigned threads) {
@@ -36,6 +63,7 @@ void ThreadPool::run_chunks(Job& job) {
     const std::size_t start = job.next.fetch_add(job.grain, std::memory_order_relaxed);
     if (start >= job.end) break;
     const std::size_t stop = std::min(start + job.grain, job.end);
+    pool_chunks().inc();
     try {
       (*job.body)(start, stop);
     } catch (...) {
@@ -75,12 +103,19 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end, std::size_t gr
   if (max_threads != 0) want = std::min(want, max_threads);
   const std::size_t n_chunks = (end - begin + grain - 1) / grain;
   if (want <= 1 || n_chunks <= 1 || workers_.empty() || t_in_parallel_for) {
-    // Serial path: one call over the whole range, caller's thread.
+    // Serial path: one call over the whole range, caller's thread. Counted
+    // but not clocked — the legacy path must stay probe-free.
+    pool_serial_jobs().inc();
     body(begin, end);
     return;
   }
 
+  // Queue depth counts callers contending for the single job slot (the one
+  // inside plus everyone parked on submit_mu_).
+  pool_queue_depth().add(1.0);
   std::lock_guard<std::mutex> submit_lk(submit_mu_);
+  obs::Span job_span("pool.job");
+  pool_jobs().inc();
 
   Job job;
   job.end = end;
@@ -106,6 +141,10 @@ void ThreadPool::parallel_for(std::size_t begin, std::size_t end, std::size_t gr
     done_cv_.wait(lk, [&job] { return job.active == 0; });
     job_ = nullptr;
   }
+  if constexpr (obs::kEnabled) {
+    pool_job_seconds().observe(job_span.elapsed_seconds());
+  }
+  pool_queue_depth().add(-1.0);
   if (job.error) std::rethrow_exception(job.error);
 }
 

@@ -16,6 +16,7 @@
 //     captured and rethrown on the calling thread after the job drains.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <condition_variable>
 #include <cstddef>
@@ -84,5 +85,18 @@ class ThreadPool {
 void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
                   const std::function<void(std::size_t, std::size_t)>& body,
                   unsigned threads = 0);
+
+/// Canonical interpretation of a user-facing thread-count knob: 0 means
+/// "use the hardware", anything else is clamped to
+/// [1, hardware_concurrency]. Chunk boundaries never depend on the thread
+/// count (see above), so clamping an oversized request changes scheduling
+/// only — results stay bit-identical. Every config knob
+/// (LocalizerConfig::threads, ScanMissionConfig::localize_threads,
+/// BatchConfig::threads) funnels through here at its point of use.
+inline unsigned clamp_thread_count(unsigned requested) {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  if (requested == 0) return hw;
+  return std::min(requested, hw);
+}
 
 }  // namespace rfly

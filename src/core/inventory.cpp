@@ -2,7 +2,35 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace rfly::core {
+
+namespace {
+// Gen2 air-interface telemetry, folded in once per inventory round from the
+// outcome tallies (the slot loop itself stays probe-free).
+obs::Counter& gen2_rounds() {
+  static obs::Counter& c = obs::counter("gen2.rounds");
+  return c;
+}
+obs::Counter& gen2_slots() {
+  static obs::Counter& c = obs::counter("gen2.slots");
+  return c;
+}
+obs::Counter& gen2_collisions() {
+  static obs::Counter& c = obs::counter("gen2.collisions");
+  return c;
+}
+obs::Counter& gen2_epcs() {
+  static obs::Counter& c = obs::counter("gen2.epcs_read");
+  return c;
+}
+obs::Histogram& gen2_rounds_per_inventory() {
+  static obs::Histogram& h = obs::histogram("gen2.rounds_per_inventory",
+                                            obs::HistogramSpec::counts());
+  return h;
+}
+}  // namespace
 
 void InventoryDatabase::add(const gen2::Epc& epc, std::string description) {
   items_[epc] = std::move(description);
@@ -123,6 +151,11 @@ InventoryOutcome run_inventory(std::vector<TagAgent>& tags,
     if (unproductive_rounds >= 4) break;
   }
   outcome.final_q = q;
+  gen2_rounds().add(static_cast<std::uint64_t>(outcome.rounds));
+  gen2_slots().add(static_cast<std::uint64_t>(outcome.slots));
+  gen2_collisions().add(static_cast<std::uint64_t>(outcome.collisions));
+  gen2_epcs().add(outcome.epcs.size());
+  gen2_rounds_per_inventory().observe(static_cast<double>(outcome.rounds));
   return outcome;
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/thread_pool.h"
+#include "obs/trace.h"
 
 namespace rfly::localize {
 
@@ -66,6 +67,11 @@ Expected<LocalizationResult> localize_2d_checked(const MeasurementSet& measureme
 
 Expected<LocalizationResult> localize_2d_from(const DisentangledSet& set,
                                               const LocalizerConfig& config) {
+  obs::Span span("localize.2d");
+  // One clamp at the entry point covers the heatmap sweep and the refine
+  // pass below; a request beyond the hardware is scheduling noise anyway
+  // (chunking is thread-count independent).
+  const unsigned threads = clamp_thread_count(config.threads);
   if (set.channels.empty()) {
     return Status{StatusCode::kNoReference,
                   "disentanglement left no measurements (embedded-tag "
@@ -79,7 +85,7 @@ Expected<LocalizationResult> localize_2d_from(const DisentangledSet& set,
   if (config.multires) scan_grid.resolution_m = config.coarse_resolution_m;
 
   const Heatmap map =
-      sar_heatmap(set, scan_grid, config.freq_hz, config.z_plane_m, config.threads);
+      sar_heatmap(set, scan_grid, config.freq_hz, config.z_plane_m, threads);
   std::vector<Peak> peaks = find_peaks(map, config.peak_threshold_fraction);
   if (peaks.empty()) {
     return Status{StatusCode::kNoPeaks,
@@ -103,7 +109,7 @@ Expected<LocalizationResult> localize_2d_from(const DisentangledSet& set,
                                    config.z_plane_m);
           }
         },
-        config.threads);
+        threads);
     std::sort(peaks.begin(), peaks.end(),
               [](const Peak& a, const Peak& b) { return a.value > b.value; });
   }
@@ -123,6 +129,8 @@ Expected<LocalizationResult> localize_2d_from(const DisentangledSet& set,
 std::optional<Localization3dResult> localize_3d(const MeasurementSet& measurements,
                                                 const Volume& volume, double freq_hz,
                                                 unsigned threads) {
+  obs::Span span("localize.3d");
+  threads = clamp_thread_count(threads);
   const DisentangledSet set = disentangle(measurements);
   if (set.channels.empty()) return std::nullopt;
 

@@ -5,8 +5,25 @@
 
 #include "common/constants.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rfly::localize {
+
+namespace {
+// SAR telemetry. The heatmap loop is the hottest code in the system, so the
+// probes sit at chunk granularity: a chunk covers `grain` rows (thousands of
+// sincos calls), making the two clock reads + one histogram update noise.
+obs::Counter& sar_cells() {
+  static obs::Counter& c = obs::counter("sar.cells");
+  return c;
+}
+obs::Histogram& sar_chunk_seconds() {
+  static obs::Histogram& h = obs::histogram(
+      "sar.row_chunk_seconds", obs::HistogramSpec::duration_seconds());
+  return h;
+}
+}  // namespace
 
 std::size_t GridSpec::nx() const {
   return static_cast<std::size_t>(std::floor((x_max - x_min) / resolution_m)) + 1;
@@ -54,6 +71,7 @@ SarGeometry SarGeometry::from(const DisentangledSet& set, double freq_hz) {
 
 Heatmap sar_heatmap(const DisentangledSet& set, const GridSpec& grid, double freq_hz,
                     double z_plane, unsigned threads) {
+  obs::Span heatmap_span("sar.heatmap");
   Heatmap map;
   map.grid = grid;
   const std::size_t nx = grid.nx();
@@ -70,6 +88,8 @@ Heatmap sar_heatmap(const DisentangledSet& set, const GridSpec& grid, double fre
   parallel_for(
       0, ny, grain,
       [&](std::size_t row_begin, std::size_t row_end) {
+        std::uint64_t chunk_start_ns = 0;
+        if constexpr (obs::kEnabled) chunk_start_ns = obs::monotonic_ns();
         for (std::size_t iy = row_begin; iy < row_end; ++iy) {
           const double y = grid.y_at(iy);
           double* row = map.values.data() + iy * nx;
@@ -91,6 +111,11 @@ Heatmap sar_heatmap(const DisentangledSet& set, const GridSpec& grid, double fre
             row[ix] = std::abs(cdouble{re, im});
           }
         }
+        if constexpr (obs::kEnabled) {
+          sar_chunk_seconds().observe(
+              static_cast<double>(obs::monotonic_ns() - chunk_start_ns) * 1e-9);
+        }
+        sar_cells().add((row_end - row_begin) * nx);
       },
       threads);
   return map;

@@ -1,0 +1,215 @@
+#include "obs/export.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <map>
+
+namespace rfly::obs {
+
+namespace {
+
+/// %.17g round-trips doubles; locale-independent digits are not needed here
+/// because JSON output never feeds back into a parser of ours, but keep the
+/// format fixed so diffs across runs are clean.
+void append_double(std::string& out, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  out += buf;
+}
+
+/// Metric names are ASCII identifiers by convention, but escape the JSON
+/// specials anyway so a stray name can never corrupt the document.
+void append_quoted(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+      continue;
+    }
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+std::string metrics_to_json(const MetricsSnapshot& snapshot) {
+  std::string out = "{\"counters\": {";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i > 0) out += ", ";
+    append_quoted(out, snapshot.counters[i].name);
+    out += ": ";
+    append_u64(out, snapshot.counters[i].value);
+  }
+  out += "}, \"gauges\": {";
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    if (i > 0) out += ", ";
+    append_quoted(out, snapshot.gauges[i].name);
+    out += ": ";
+    append_double(out, snapshot.gauges[i].value);
+  }
+  out += "}, \"histograms\": {";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& h = snapshot.histograms[i];
+    if (i > 0) out += ", ";
+    append_quoted(out, h.name);
+    out += ": {\"bounds\": [";
+    for (std::size_t b = 0; b < h.bounds.size(); ++b) {
+      if (b > 0) out += ", ";
+      append_double(out, h.bounds[b]);
+    }
+    out += "], \"counts\": [";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      if (b > 0) out += ", ";
+      append_u64(out, h.counts[b]);
+    }
+    out += "], \"count\": ";
+    append_u64(out, h.count);
+    out += ", \"sum\": ";
+    append_double(out, h.sum);
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+std::string trace_to_json(const Trace& trace) {
+  std::string out = "{\"traceEvents\": [";
+  for (std::size_t i = 0; i < trace.spans.size(); ++i) {
+    const auto& span = trace.spans[i];
+    if (i > 0) out += ",";
+    out += "\n  {\"name\": ";
+    append_quoted(out, span.name);
+    out += ", \"ph\": \"X\", \"pid\": 0, \"tid\": ";
+    append_u64(out, span.thread);
+    out += ", \"ts\": ";
+    append_double(out, static_cast<double>(span.start_ns) * 1e-3);
+    out += ", \"dur\": ";
+    append_double(out, static_cast<double>(span.end_ns - span.start_ns) * 1e-3);
+    out += "}";
+  }
+  out += "\n], \"droppedSpans\": ";
+  append_u64(out, trace.dropped);
+  out += "}\n";
+  return out;
+}
+
+void print_metrics(std::FILE* out, const MetricsSnapshot& snapshot) {
+  if (snapshot.empty()) {
+    std::fprintf(out, "  (no metrics recorded)\n");
+    return;
+  }
+  for (const auto& c : snapshot.counters) {
+    std::fprintf(out, "  counter    %-28s %12" PRIu64 "\n", c.name.c_str(),
+                 c.value);
+  }
+  for (const auto& g : snapshot.gauges) {
+    std::fprintf(out, "  gauge      %-28s %12.6g\n", g.name.c_str(), g.value);
+  }
+  for (const auto& h : snapshot.histograms) {
+    std::fprintf(out, "  histogram  %-28s count %-8" PRIu64 " mean %.6g\n",
+                 h.name.c_str(), h.count, h.mean());
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      if (h.counts[b] == 0) continue;  // only populated buckets
+      if (b < h.bounds.size()) {
+        std::fprintf(out, "             %12s<= %-12.3g %10" PRIu64 "\n", "",
+                     h.bounds[b], h.counts[b]);
+      } else {
+        std::fprintf(out, "             %12s>  %-12.3g %10" PRIu64 "\n", "",
+                     h.bounds.empty() ? 0.0 : h.bounds.back(), h.counts[b]);
+      }
+    }
+  }
+}
+
+void print_span_tree(std::FILE* out, const Trace& trace) {
+  if (trace.empty()) {
+    std::fprintf(out, "  (no spans recorded)\n");
+    return;
+  }
+  // Aggregate per name first: the tree below can be long.
+  struct Agg {
+    std::uint64_t calls = 0;
+    double total = 0.0;
+  };
+  std::map<std::string, Agg> by_name;
+  std::uint32_t max_thread = 0;
+  for (const auto& span : trace.spans) {
+    Agg& agg = by_name[span.name];
+    ++agg.calls;
+    agg.total += span.seconds();
+    max_thread = std::max(max_thread, span.thread);
+  }
+  std::fprintf(out, "  %-28s %10s %12s %12s\n", "span", "calls", "total [ms]",
+               "mean [ms]");
+  for (const auto& [name, agg] : by_name) {
+    std::fprintf(out, "  %-28s %10" PRIu64 " %12.3f %12.3f\n", name.c_str(),
+                 agg.calls, 1e3 * agg.total,
+                 1e3 * agg.total / static_cast<double>(agg.calls));
+  }
+  // Full tree, capped so a 100-seed sweep cannot flood the terminal (the
+  // complete record is still available via --trace-out).
+  constexpr std::size_t kMaxTreeLines = 200;
+  std::size_t printed = 0;
+  for (std::uint32_t t = 0; t <= max_thread && printed < kMaxTreeLines; ++t) {
+    bool any = false;
+    for (const auto& span : trace.spans) {
+      if (span.thread != t) continue;
+      if (printed >= kMaxTreeLines) break;
+      if (!any) {
+        std::fprintf(out, "  thread %u:\n", t);
+        any = true;
+      }
+      std::fprintf(out, "    %*s%-*s %10.3f ms\n", 2 * span.depth, "",
+                   std::max(1, 26 - 2 * static_cast<int>(span.depth)),
+                   span.name, 1e3 * span.seconds());
+      ++printed;
+    }
+  }
+  if (printed >= kMaxTreeLines && trace.spans.size() > printed) {
+    std::fprintf(out, "  (+%zu more spans; use --trace-out for the full trace)\n",
+                 trace.spans.size() - printed);
+  }
+  if (trace.dropped > 0) {
+    std::fprintf(out, "  (%" PRIu64 " spans dropped at the buffer cap)\n",
+                 trace.dropped);
+  }
+}
+
+void print_report(std::FILE* out, const Trace& trace,
+                  const MetricsSnapshot& snapshot) {
+  if (!kEnabled) {
+    std::fprintf(out,
+                 "observability compiled out (RFLY_OBS=OFF); nothing to "
+                 "report\n");
+    return;
+  }
+  std::fprintf(out, "--- spans ---\n");
+  print_span_tree(out, trace);
+  std::fprintf(out, "--- metrics ---\n");
+  print_metrics(out, snapshot);
+}
+
+bool write_trace_file(const std::string& path, const Trace& trace) {
+  if (path.empty() || path == "-") return true;
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write trace to '%s'\n", path.c_str());
+    return false;
+  }
+  const std::string json = trace_to_json(trace);
+  std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
+  return true;
+}
+
+}  // namespace rfly::obs

@@ -1,0 +1,44 @@
+// Exporters for the observability layer: metrics snapshots and drained
+// traces rendered as JSON (machine readers: the bench --out files gain a
+// "metrics" key, --trace-out gets Chrome trace-event records) or as the
+// human-readable --report summary (per-thread span tree + metric table).
+// Works in both RFLY_OBS modes — an OFF build just renders empty objects.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace rfly::obs {
+
+/// {"counters": {...}, "gauges": {...}, "histograms": {"name":
+/// {"bounds": [...], "counts": [...], "count": n, "sum": s}}}.
+/// Embeddable as a value inside a larger JSON object.
+std::string metrics_to_json(const MetricsSnapshot& snapshot);
+
+/// Chrome trace-event format: {"traceEvents": [{"name", "ph": "X",
+/// "ts"/"dur" in microseconds, "pid": 0, "tid"}], "droppedSpans": n}.
+/// Load in chrome://tracing or Perfetto.
+std::string trace_to_json(const Trace& trace);
+
+/// Human-readable metric table: counters, gauges, then histograms with
+/// count/mean and the populated buckets.
+void print_metrics(std::FILE* out, const MetricsSnapshot& snapshot);
+
+/// Per-thread span tree (indent = nesting depth) followed by an aggregate
+/// per-name line (calls, total, mean). Spans of the same thread print in
+/// start order, so the tree reads top-down like a call stack.
+void print_span_tree(std::FILE* out, const Trace& trace);
+
+/// The --report payload: span tree + metric table, with a one-line note
+/// when the obs layer is compiled out.
+void print_report(std::FILE* out, const Trace& trace,
+                  const MetricsSnapshot& snapshot);
+
+/// Write trace JSON to `path` ("-" or empty writes nothing). Returns false
+/// (with a message on stderr) when the file cannot be written.
+bool write_trace_file(const std::string& path, const Trace& trace);
+
+}  // namespace rfly::obs

@@ -1,0 +1,188 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace rfly::obs {
+
+HistogramSpec HistogramSpec::duration_seconds() {
+  HistogramSpec spec;
+  // 1 us .. 16.8 s in powers of 4: fine enough to separate a counter bump
+  // from a row chunk from a whole mission, coarse enough to scan linearly.
+  double bound = 1e-6;
+  for (int i = 0; i < 13; ++i) {
+    spec.bounds.push_back(bound);
+    bound *= 4.0;
+  }
+  return spec;
+}
+
+HistogramSpec HistogramSpec::counts() {
+  HistogramSpec spec;
+  double bound = 1.0;
+  for (int i = 0; i < 17; ++i) {
+    spec.bounds.push_back(bound);
+    bound *= 2.0;
+  }
+  return spec;
+}
+
+#if RFLY_OBS_ENABLED
+
+std::size_t shard_index() {
+  // Threads take stripes round-robin at first use; a pool of n workers gets
+  // n distinct stripes (mod kShardCount), so writers almost never collide.
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t index =
+      next.fetch_add(1, std::memory_order_relaxed) % kShardCount;
+  return index;
+}
+
+std::uint64_t Counter::value() const {
+  std::uint64_t total = 0;
+  for (const auto& cell : cells_) {
+    total += cell.v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t Gauge::to_bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+double Gauge::from_bits(std::uint64_t b) { return std::bit_cast<double>(b); }
+
+void Gauge::add(double delta) {
+  std::uint64_t seen = bits_.load(std::memory_order_relaxed);
+  while (!bits_.compare_exchange_weak(seen, to_bits(from_bits(seen) + delta),
+                                      std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Histogram(std::string name, HistogramSpec spec)
+    : name_(std::move(name)), bounds_(std::move(spec.bounds)) {
+  for (auto& shard : shards_) {
+    shard.counts = std::vector<std::atomic<std::uint64_t>>(bounds_.size() + 1);
+  }
+}
+
+void Histogram::observe(double x) {
+  std::size_t bucket = bounds_.size();  // overflow unless a bound catches x
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    if (x <= bounds_[i]) {
+      bucket = i;
+      break;
+    }
+  }
+  Shard& shard = shards_[shard_index()];
+  shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  std::uint64_t seen = shard.sum_bits.load(std::memory_order_relaxed);
+  while (!shard.sum_bits.compare_exchange_weak(
+      seen, std::bit_cast<std::uint64_t>(std::bit_cast<double>(seen) + x),
+      std::memory_order_relaxed)) {
+  }
+}
+
+struct Registry::Impl {
+  mutable std::mutex mu;
+  // Heap-allocated metrics (atomics are pinned in place); handles returned
+  // to callers stay valid for the process lifetime.
+  std::map<std::string, std::unique_ptr<Counter>> counter_by_name;
+  std::map<std::string, std::unique_ptr<Gauge>> gauge_by_name;
+  std::map<std::string, std::unique_ptr<Histogram>> histogram_by_name;
+};
+
+Registry::Impl& Registry::impl() const {
+  static Impl instance;
+  return instance;
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+Counter& Registry::counter(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mu);
+  auto it = im.counter_by_name.find(name);
+  if (it == im.counter_by_name.end()) {
+    it = im.counter_by_name
+             .emplace(name, std::unique_ptr<Counter>(new Counter(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mu);
+  auto it = im.gauge_by_name.find(name);
+  if (it == im.gauge_by_name.end()) {
+    it = im.gauge_by_name.emplace(name, std::unique_ptr<Gauge>(new Gauge(name)))
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const HistogramSpec& spec) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mu);
+  auto it = im.histogram_by_name.find(name);
+  if (it == im.histogram_by_name.end()) {
+    it = im.histogram_by_name
+             .emplace(name, std::unique_ptr<Histogram>(new Histogram(name, spec)))
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mu);
+  MetricsSnapshot snap;
+  for (const auto& [name, counter] : im.counter_by_name) {
+    snap.counters.push_back({name, counter->value()});
+  }
+  for (const auto& [name, gauge] : im.gauge_by_name) {
+    snap.gauges.push_back({name, gauge->value()});
+  }
+  for (const auto& [name, histogram] : im.histogram_by_name) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.bounds = histogram->bounds_;
+    h.counts.assign(h.bounds.size() + 1, 0);
+    for (const auto& shard : histogram->shards_) {
+      for (std::size_t b = 0; b < h.counts.size(); ++b) {
+        h.counts[b] += shard.counts[b].load(std::memory_order_relaxed);
+      }
+      h.sum += std::bit_cast<double>(
+          shard.sum_bits.load(std::memory_order_relaxed));
+    }
+    for (std::uint64_t c : h.counts) h.count += c;
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+void Registry::reset() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lk(im.mu);
+  for (auto& [name, counter] : im.counter_by_name) {
+    for (auto& cell : counter->cells_) cell.v.store(0, std::memory_order_relaxed);
+  }
+  for (auto& [name, gauge] : im.gauge_by_name) {
+    gauge->bits_.store(Gauge::to_bits(0.0), std::memory_order_relaxed);
+  }
+  for (auto& [name, histogram] : im.histogram_by_name) {
+    for (auto& shard : histogram->shards_) {
+      for (auto& c : shard.counts) c.store(0, std::memory_order_relaxed);
+      shard.sum_bits.store(std::bit_cast<std::uint64_t>(0.0),
+                           std::memory_order_relaxed);
+    }
+  }
+}
+
+#endif  // RFLY_OBS_ENABLED
+
+}  // namespace rfly::obs

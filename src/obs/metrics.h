@@ -1,0 +1,230 @@
+// Lock-cheap metrics for the compute hot paths: counters, gauges, and
+// fixed-bucket histograms whose updates land in thread-striped shards (one
+// relaxed atomic per update, cache-line padded so concurrent writers never
+// share a line) and are only summed when a snapshot is taken. A SAR row
+// chunk therefore pays ~one atomic; registration (name lookup under a
+// mutex) is the slow path — hoist handles out of hot loops.
+//
+// The whole layer compiles to no-ops when RFLY_OBS_ENABLED is 0 (CMake
+// -DRFLY_OBS=OFF): handles become empty structs, updates vanish, snapshots
+// come back empty, and the serial-parity goldens stay bit-identical because
+// no probe ever influenced a computed value in the first place.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#ifndef RFLY_OBS_ENABLED
+#define RFLY_OBS_ENABLED 1
+#endif
+
+namespace rfly::obs {
+
+/// Compile-time switch, usable as `if constexpr (obs::kEnabled)` to guard
+/// probe-only work (e.g. the clock reads feeding a latency histogram).
+inline constexpr bool kEnabled = RFLY_OBS_ENABLED != 0;
+
+/// Writer stripes per metric. More stripes than typical worker counts, so
+/// two pool threads almost never hit the same cache line.
+inline constexpr std::size_t kShardCount = 16;
+
+/// Upper bucket bounds for a histogram (strictly increasing); a value x
+/// lands in the first bucket with x <= bound, or the implicit overflow
+/// bucket past the last bound. Layouts are fixed at registration so
+/// snapshots from different runs are comparable bucket-for-bucket.
+struct HistogramSpec {
+  std::vector<double> bounds;
+
+  /// Latency layout: 1 us .. ~16 s in powers of 4 (13 bounds). Covers a
+  /// sub-microsecond counter bump and a minutes-long mission tail alike.
+  static HistogramSpec duration_seconds();
+  /// Size/count layout: 1, 2, 4, ... 65536 (17 bounds).
+  static HistogramSpec counts();
+};
+
+// --- Snapshot types (defined in both modes; empty when disabled). --------
+
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSnapshot {
+  std::string name;
+  double value = 0.0;
+};
+
+struct HistogramSnapshot {
+  std::string name;
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;  // bounds.size() + 1 (overflow last)
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double mean() const { return count > 0 ? sum / static_cast<double>(count) : 0.0; }
+};
+
+/// Point-in-time aggregate of every registered metric, names sorted.
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+#if RFLY_OBS_ENABLED
+
+/// Stable per-thread stripe index in [0, kShardCount).
+std::size_t shard_index();
+
+/// Monotonically increasing event count. add() is one relaxed fetch_add on
+/// the calling thread's stripe; value() sums the stripes (racy-exact only
+/// once concurrent writers are quiesced, like any sharded counter).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    cells_[shard_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  void inc() { add(1); }
+  std::uint64_t value() const;
+
+ private:
+  friend class Registry;
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  struct alignas(64) Cell {
+    std::atomic<std::uint64_t> v{0};
+  };
+  std::string name_;
+  std::array<Cell, kShardCount> cells_{};
+};
+
+/// Last-written instantaneous value (queue depth, worker count). set() is a
+/// relaxed store; add() a CAS loop (gauges are not hot-path metrics).
+class Gauge {
+ public:
+  void set(double v) { bits_.store(to_bits(v), std::memory_order_relaxed); }
+  void add(double delta);
+  double value() const { return from_bits(bits_.load(std::memory_order_relaxed)); }
+
+ private:
+  friend class Registry;
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  static std::uint64_t to_bits(double v);
+  static double from_bits(std::uint64_t b);
+  std::string name_;
+  std::atomic<std::uint64_t> bits_{0};
+};
+
+/// Fixed-bucket histogram. observe() finds the bucket (branch-poor linear
+/// scan: layouts have ~13-17 bounds) and bumps the calling thread's stripe —
+/// two relaxed atomics per observation (bucket count + running sum).
+class Histogram {
+ public:
+  void observe(double x);
+  const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  friend class Registry;
+  Histogram(std::string name, HistogramSpec spec);
+  struct alignas(64) Shard {
+    std::vector<std::atomic<std::uint64_t>> counts;  // bounds + overflow
+    std::atomic<std::uint64_t> sum_bits{0};          // double accumulated via CAS
+  };
+  std::string name_;
+  std::vector<double> bounds_;
+  std::array<Shard, kShardCount> shards_;
+};
+
+/// Process-wide metric registry. Handles returned by counter()/gauge()/
+/// histogram() are stable for the process lifetime; the same name always
+/// yields the same metric (a histogram re-registered with a different spec
+/// keeps its original layout).
+class Registry {
+ public:
+  static Registry& global();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, const HistogramSpec& spec);
+
+  /// Aggregate every stripe of every metric. Sorted by name.
+  MetricsSnapshot snapshot() const;
+
+  /// Zero every value (metrics stay registered). Benches/tests only — not
+  /// safe against concurrent writers.
+  void reset();
+
+ private:
+  Registry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+#else  // !RFLY_OBS_ENABLED — every probe is a no-op the optimizer deletes.
+
+inline std::size_t shard_index() { return 0; }
+
+class Counter {
+ public:
+  void add(std::uint64_t = 1) {}
+  void inc() {}
+  std::uint64_t value() const { return 0; }
+};
+
+class Gauge {
+ public:
+  void set(double) {}
+  void add(double) {}
+  double value() const { return 0.0; }
+};
+
+class Histogram {
+ public:
+  void observe(double) {}
+  const std::vector<double>& bounds() const {
+    static const std::vector<double> kNone;
+    return kNone;
+  }
+};
+
+class Registry {
+ public:
+  static Registry& global() {
+    static Registry r;
+    return r;
+  }
+  Counter& counter(const std::string&) { return counter_; }
+  Gauge& gauge(const std::string&) { return gauge_; }
+  Histogram& histogram(const std::string&, const HistogramSpec&) {
+    return histogram_;
+  }
+  MetricsSnapshot snapshot() const { return {}; }
+  void reset() {}
+
+ private:
+  Counter counter_;
+  Gauge gauge_;
+  Histogram histogram_;
+};
+
+#endif  // RFLY_OBS_ENABLED
+
+// --- Convenience wrappers over the global registry. ----------------------
+
+inline Counter& counter(const std::string& name) {
+  return Registry::global().counter(name);
+}
+inline Gauge& gauge(const std::string& name) {
+  return Registry::global().gauge(name);
+}
+inline Histogram& histogram(const std::string& name, const HistogramSpec& spec) {
+  return Registry::global().histogram(name, spec);
+}
+inline MetricsSnapshot snapshot() { return Registry::global().snapshot(); }
+inline void reset_metrics() { Registry::global().reset(); }
+
+}  // namespace rfly::obs

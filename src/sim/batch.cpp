@@ -1,11 +1,32 @@
 #include "sim/batch.h"
 
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace rfly::sim {
 
+namespace {
+// Batch telemetry: job throughput and per-job latency. A job is a whole
+// mission, so these probes are far off any hot path.
+obs::Counter& batch_jobs() {
+  static obs::Counter& c = obs::counter("batch.jobs");
+  return c;
+}
+obs::Counter& batch_failed() {
+  static obs::Counter& c = obs::counter("batch.jobs_failed");
+  return c;
+}
+obs::Histogram& batch_job_seconds() {
+  static obs::Histogram& h =
+      obs::histogram("batch.job_seconds", obs::HistogramSpec::duration_seconds());
+  return h;
+}
+}  // namespace
+
 std::vector<BatchResult> run_batch(const std::vector<BatchJob>& jobs,
                                    const BatchConfig& config) {
+  obs::Span batch_span("batch.run");
   std::vector<BatchResult> results(jobs.size());
   // Grain 1: jobs are coarse (a whole mission each), so one job per chunk
   // balances best. Each body writes only results[i] — disjoint outputs, so
@@ -14,6 +35,7 @@ std::vector<BatchResult> run_batch(const std::vector<BatchJob>& jobs,
       0, jobs.size(), 1,
       [&](std::size_t begin, std::size_t end) {
         for (std::size_t i = begin; i < end; ++i) {
+          obs::Span job_span("batch.job");
           BatchResult& out = results[i];
           out.scenario_name = jobs[i].scenario.name;
           out.seed = jobs[i].seed;
@@ -22,12 +44,17 @@ std::vector<BatchResult> run_batch(const std::vector<BatchJob>& jobs,
             out.status = run.status().with_context(
                 "job " + std::to_string(i) + " seed " +
                 std::to_string(jobs[i].seed));
+            batch_failed().inc();
           } else {
             out.run = std::move(run.value());
           }
+          batch_jobs().inc();
+          if constexpr (obs::kEnabled) {
+            batch_job_seconds().observe(job_span.elapsed_seconds());
+          }
         }
       },
-      config.threads);
+      clamp_thread_count(config.threads));
   return results;
 }
 

@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "drone/trajectory.h"
+#include "obs/trace.h"
 
 namespace rfly::sim {
 
@@ -11,14 +12,34 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/// Span names per stage. Spans store the pointer, so these must be string
+/// literals with process lifetime (stage_name() already returns literals,
+/// but "stage."-prefixed names keep the trace tree self-describing).
+const char* stage_span_name(Stage stage) {
+  switch (stage) {
+    case Stage::kPlan: return "stage.plan";
+    case Stage::kFly: return "stage.fly";
+    case Stage::kInventory: return "stage.inventory";
+    case Stage::kMeasure: return "stage.measure";
+    case Stage::kDisentangle: return "stage.disentangle";
+    case Stage::kLocalize: return "stage.localize";
+    case Stage::kReport: return "stage.report";
+  }
+  return "stage.unknown";
+}
+
 /// Times one stage body and folds the cost into the mission-wide trace.
+/// Backed by a tracing span, so every stage entry also lands in the global
+/// trace for `--report`/`--trace-out`. Invocations are plain increments —
+/// they stay deterministic under RFLY_OBS=OFF, where elapsed_seconds()
+/// reads 0 and only the `seconds` column goes dark.
 class StageTimer {
  public:
   StageTimer(std::vector<StageTrace>& trace, Stage stage)
-      : entry_(trace[static_cast<std::size_t>(stage)]), start_(Clock::now()) {}
+      : entry_(trace[static_cast<std::size_t>(stage)]),
+        span_(stage_span_name(stage)) {}
   ~StageTimer() {
-    entry_.seconds +=
-        std::chrono::duration<double>(Clock::now() - start_).count();
+    entry_.seconds += span_.elapsed_seconds();
     ++entry_.invocations;
   }
   StageTimer(const StageTimer&) = delete;
@@ -26,7 +47,7 @@ class StageTimer {
 
  private:
   StageTrace& entry_;
-  Clock::time_point start_;
+  obs::Span span_;
 };
 
 Status validate_mission(const core::ScanMissionConfig& config,
@@ -76,6 +97,10 @@ Expected<MissionRun> run_mission_pipeline(const core::ScanMissionConfig& config,
                                           const core::InventoryDatabase& database,
                                           std::uint64_t seed) {
   const auto mission_start = Clock::now();
+  // total_seconds stays chrono-based (it predates the obs layer and must
+  // keep reporting wall time even under RFLY_OBS=OFF); the span nests the
+  // stage spans for the trace tree.
+  obs::Span mission_span("pipeline.mission");
   MissionRun run;
   run.trace.resize(kStageCount);
   for (std::size_t i = 0; i < kStageCount; ++i) {

@@ -1,9 +1,10 @@
 #include "sim/scenario.h"
 
+#include <charconv>
 #include <cstdio>
-#include <cstdlib>
 #include <functional>
 #include <sstream>
+#include <system_error>
 
 #include "drone/trajectory.h"
 
@@ -12,26 +13,30 @@ namespace rfly::sim {
 namespace {
 
 // --- Value formatting/parsing -------------------------------------------
+//
+// All numeric I/O goes through std::to_chars/std::from_chars: unlike
+// strtod/printf they never consult the C locale, so a scenario file written
+// under LC_NUMERIC=C parses identically in a process running under de_DE
+// (where strtod would stop at the '.' and read "3.5" as 3).
 
-/// Shortest form that round-trips the double exactly through strtod.
+/// Shortest decimal form that round-trips the double exactly (the to_chars
+/// general format guarantees shortest-round-trip, e.g. "40" not
+/// "40.000000000000000").
 std::string format_double(double v) {
   char buf[40];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  // Prefer a shorter representation when it still round-trips (keeps the
-  // files human-readable: "40" instead of "40.000000000000000").
-  for (int prec = 1; prec < 17; ++prec) {
-    char shorter[40];
-    std::snprintf(shorter, sizeof shorter, "%.*g", prec, v);
-    if (std::strtod(shorter, nullptr) == v) return shorter;
-  }
-  return buf;
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof buf, v);
+  (void)ec;  // 40 chars always fit the shortest form of a double
+  return std::string(buf, ptr);
 }
 
 bool parse_double(const std::string& text, double& out) {
-  const char* begin = text.c_str();
-  char* end = nullptr;
-  out = std::strtod(begin, &end);
-  return end != begin && *end == '\0';
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  double v = 0.0;
+  const auto [ptr, ec] = std::from_chars(begin, end, v);
+  if (ec != std::errc() || ptr != end || begin == end) return false;
+  out = v;
+  return true;
 }
 
 bool parse_bool(const std::string& text, bool& out) {
@@ -41,18 +46,23 @@ bool parse_bool(const std::string& text, bool& out) {
 }
 
 bool parse_u64(const std::string& text, std::uint64_t& out) {
-  const char* begin = text.c_str();
-  char* end = nullptr;
-  out = std::strtoull(begin, &end, 10);
-  return end != begin && *end == '\0';
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  std::uint64_t v = 0;
+  const auto [ptr, ec] = std::from_chars(begin, end, v, 10);
+  if (ec != std::errc() || ptr != end || begin == end) return false;
+  out = v;
+  return true;
 }
 
 bool parse_int(const std::string& text, int& out) {
-  const char* begin = text.c_str();
-  char* end = nullptr;
-  const long v = std::strtol(begin, &end, 10);
-  out = static_cast<int>(v);
-  return end != begin && *end == '\0';
+  const char* begin = text.data();
+  const char* end = begin + text.size();
+  int v = 0;
+  const auto [ptr, ec] = std::from_chars(begin, end, v, 10);
+  if (ec != std::errc() || ptr != end || begin == end) return false;
+  out = v;
+  return true;
 }
 
 std::string trim(const std::string& s) {

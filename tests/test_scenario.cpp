@@ -1,5 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <clocale>
+#include <string>
+
 #include "sim/pipeline.h"
 #include "sim/scenario.h"
 
@@ -61,6 +64,37 @@ TEST(Scenario, PresetsRoundTripThroughTextBitIdentically) {
     ASSERT_TRUE(run_b.ok()) << name << ": " << run_b.status().to_string();
     expect_reports_identical(run_a->report, run_b->report);
   }
+}
+
+// Scenario text is locale-independent: serialization goes through
+// std::to_chars/from_chars, which never consult LC_NUMERIC. Under a comma-
+// decimal locale like de_DE, the old strtod/printf path wrote "3,5" and
+// parsed "3.5" as 3 — every double in the file silently truncated. Skipped
+// when the container has no such locale installed (only C/POSIX).
+TEST(Scenario, RoundTripSurvivesCommaDecimalLocale) {
+  const char* locale = std::setlocale(LC_NUMERIC, "de_DE.UTF-8");
+  if (locale == nullptr) locale = std::setlocale(LC_NUMERIC, "de_DE.utf8");
+  if (locale == nullptr) {
+    GTEST_SKIP() << "no de_DE locale installed; cannot exercise comma decimals";
+  }
+  // Sanity: the locale really uses comma decimals, so printf would betray us.
+  char probe[16];
+  std::snprintf(probe, sizeof probe, "%.1f", 1.5);
+  const bool comma_locale = std::string(probe) == "1,5";
+
+  for (const auto& name : preset_names()) {
+    const auto original = preset(name);
+    ASSERT_TRUE(original.ok()) << name;
+    const std::string text = serialize(*original);
+    EXPECT_EQ(text.find(','), std::string::npos)
+        << name << ": serialization leaked the locale decimal separator";
+    const auto parsed = parse_scenario(text);
+    ASSERT_TRUE(parsed.ok()) << name << ": " << parsed.status().to_string();
+    EXPECT_EQ(serialize(*parsed), text) << name;
+  }
+  std::setlocale(LC_NUMERIC, "C");
+  EXPECT_TRUE(comma_locale) << "locale installed but uses '.' decimals; "
+                               "test proved less than intended";
 }
 
 TEST(Scenario, ValidatorRejectsEmptyFlightPlan) {

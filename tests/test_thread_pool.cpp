@@ -146,6 +146,22 @@ TEST(ThreadPool, SharedPoolWrapperSumsCorrectly) {
             static_cast<long>(n) * (static_cast<long>(n) + 1) / 2);
 }
 
+TEST(ThreadPool, ClampThreadCountPinsToHardware) {
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  // 0 is the "use the hardware" sentinel everywhere a knob defaults to it.
+  EXPECT_EQ(clamp_thread_count(0), hw);
+  EXPECT_EQ(clamp_thread_count(1), 1u);
+  // Oversized requests (a config written on a bigger machine) pin to the
+  // hardware instead of oversubscribing; results are unaffected because
+  // chunk boundaries never depend on the thread count.
+  EXPECT_EQ(clamp_thread_count(hw), hw);
+  EXPECT_EQ(clamp_thread_count(hw + 1), hw);
+  EXPECT_EQ(clamp_thread_count(10000), hw);
+  if (hw > 1) {
+    EXPECT_EQ(clamp_thread_count(hw - 1), hw - 1);
+  }
+}
+
 TEST(ThreadPool, NestedParallelForRunsSerially) {
   ThreadPool pool(4);
   std::atomic<int> inner_calls{0};
