@@ -16,6 +16,7 @@
 
 #include "common/stats.h"
 #include "common/status.h"
+#include "localize/sar_kernel.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -55,6 +56,13 @@ struct CliOptions {
   std::string scenario; // scenario file (scenario_runner)
   bool report = false;  // print the span tree + metric table after the run
   std::string trace_out; // Chrome trace-event JSON path; empty = none
+  /// SAR evaluation kernel (--kernel exact|fast|auto). Benches default to
+  /// fast — they measure perf, not goldens; pass --kernel exact to compare
+  /// against the seed's libm loop.
+  localize::SarKernel kernel = localize::SarKernel::kFast;
+  /// True when --kernel was passed explicitly. scenario_runner uses this to
+  /// decide whether the flag overrides the scenario's own sar_kernel field.
+  bool kernel_explicit = false;
   /// `--set key=value` overrides, in order (scenario_runner).
   std::vector<std::pair<std::string, std::string>> overrides;
 
@@ -89,6 +97,13 @@ struct CliOptions {
         out = value;
       } else if (arg == "--scenario" && (value = value_of(i))) {
         scenario = value;
+      } else if (arg == "--kernel" && (value = value_of(i))) {
+        if (!localize::parse_sar_kernel(value, kernel)) {
+          return fail({StatusCode::kParseError,
+                       "--kernel wants exact|fast|auto, got '" +
+                           std::string(value) + "'"});
+        }
+        kernel_explicit = true;
       } else if (arg == "--report") {
         report = true;
       } else if (arg == "--trace-out" && (value = value_of(i))) {
@@ -110,7 +125,8 @@ struct CliOptions {
 
   static void usage(const char* argv0) {
     std::fprintf(stderr,
-                 "usage: %s [--seed N] [--trials N] [--threads N] [--out FILE] "
+                 "usage: %s [--seed N] [--trials N] [--threads N] "
+                 "[--kernel exact|fast|auto] [--out FILE] "
                  "[--scenario FILE] [--set key=value]... [--report] "
                  "[--trace-out FILE]\n",
                  argv0);

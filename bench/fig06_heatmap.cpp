@@ -9,7 +9,9 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "bench_util.h"
 #include "core/system.h"
@@ -84,11 +86,89 @@ void run_scene(const char* title, int shelf_rows, std::uint64_t seed,
   (void)paper_error_hint_m;
 }
 
-/// Time the SAR engine at each thread count on the fig06-sized grid and
-/// emit BENCH_sar.json. Parity against the serial heatmap is checked on
-/// every run so a perf regression can never hide a correctness one.
-void thread_sweep(std::uint64_t seed) {
-  std::printf("\n--- SAR engine thread sweep (fig06-sized grid) ---\n");
+/// Time the batched polynomial sincos of every compiled kernel variant
+/// against scalar libm on the same arguments, reporting ns/op and the max
+/// absolute error vs long-double references. Returns the JSON array body
+/// for BENCH_sar.json's "sincos" key.
+std::string sincos_sweep() {
+  std::printf("\n--- sincos microbench (batched polynomial vs libm) ---\n");
+  constexpr std::size_t kN = 4096;
+  constexpr int kReps = 200;
+  std::vector<double> x(kN), s(kN), c(kN);
+  Rng rng(117);
+  // SAR-shaped arguments: k*d for the fig06 geometry stays well inside the
+  // [-1e4, 1e4] band; the accuracy sweep in tests/test_sar_kernel.cpp
+  // covers |x| <= 1e6.
+  for (auto& v : x) v = rng.uniform(-1e4, 1e4);
+
+  const auto time_ns_per_op = [&](auto&& body) {
+    double best = 1e300;
+    for (int outer = 0; outer < 3; ++outer) {
+      const auto t0 = std::chrono::steady_clock::now();
+      for (int rep = 0; rep < kReps; ++rep) body();
+      const auto t1 = std::chrono::steady_clock::now();
+      best = std::min(best, std::chrono::duration<double, std::nano>(t1 - t0)
+                                .count() /
+                                (kReps * kN));
+    }
+    return best;
+  };
+  const auto max_err = [&]() {
+    double worst = 0.0;
+    for (std::size_t i = 0; i < kN; ++i) {
+      worst = std::max(worst, std::abs(s[i] - static_cast<double>(sinl(
+                                                  static_cast<long double>(x[i])))));
+      worst = std::max(worst, std::abs(c[i] - static_cast<double>(cosl(
+                                                  static_cast<long double>(x[i])))));
+    }
+    return worst;
+  };
+
+  std::string json;
+  char line[160];
+  const double libm_ns = time_ns_per_op([&] {
+    for (std::size_t i = 0; i < kN; ++i) {
+      s[i] = std::sin(x[i]);
+      c[i] = std::cos(x[i]);
+    }
+  });
+  std::printf("  %-10s %10.2f ns/op   max abs err %.3g\n", "libm", libm_ns,
+              max_err());
+  std::snprintf(line, sizeof line,
+                "    {\"impl\": \"libm\", \"ns_per_op\": %.3f, "
+                "\"max_abs_err\": %.3g},\n",
+                libm_ns, max_err());
+  json += line;
+
+  const auto& variants = localize::sar_kernel_variants();
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const auto& v = variants[i];
+    if (!v.supported) continue;
+    const double ns =
+        time_ns_per_op([&] { v.sincos(x.data(), s.data(), c.data(), kN); });
+    v.sincos(x.data(), s.data(), c.data(), kN);
+    const double err = max_err();
+    std::printf("  %-10s %10.2f ns/op   max abs err %.3g   (%.1fx vs libm)\n",
+                v.isa, ns, err, libm_ns / ns);
+    std::snprintf(line, sizeof line,
+                  "    {\"impl\": \"%s\", \"ns_per_op\": %.3f, "
+                  "\"max_abs_err\": %.3g}%s\n",
+                  v.isa, ns, err, i + 1 < variants.size() ? "," : "");
+    json += line;
+  }
+  if (!json.empty() && json[json.size() - 2] == ',') {
+    json.erase(json.size() - 2, 1);  // trailing comma if last variant skipped
+  }
+  return json;
+}
+
+/// Time the SAR engine at each kernel x thread-count point on the
+/// fig06-sized grid and emit BENCH_sar.json. Parity against the serial
+/// exact heatmap is checked on every run so a perf regression can never
+/// hide a correctness one: exact must match bit-for-bit at every thread
+/// count, fast within a tight absolute band.
+void kernel_thread_sweep(std::uint64_t seed) {
+  std::printf("\n--- SAR engine kernel x thread sweep (fig06-sized grid) ---\n");
 
   SystemConfig sys_cfg;
   const Vec3 reader_pos{-8.0, 1.0, 1.0};
@@ -103,11 +183,11 @@ void thread_sweep(std::uint64_t seed) {
   const double freq = sys_cfg.carrier_hz + sys_cfg.freq_shift_hz;
   const localize::GridSpec grid{-0.5, 3.0, -0.5, 2.0, 0.02};
 
-  const auto time_ms = [&](unsigned threads) {
+  const auto time_ms = [&](unsigned threads, localize::SarKernel kernel) {
     double best = 1e300;
     for (int rep = 0; rep < 5; ++rep) {
       const auto t0 = std::chrono::steady_clock::now();
-      const auto map = localize::sar_heatmap(iso, grid, freq, 0.0, threads);
+      const auto map = localize::sar_heatmap(iso, grid, freq, 0.0, threads, kernel);
       const auto t1 = std::chrono::steady_clock::now();
       best = std::min(best, std::chrono::duration<double, std::milli>(t1 - t0).count());
       if (map.values.empty()) std::printf("unexpected empty heatmap\n");
@@ -115,10 +195,15 @@ void thread_sweep(std::uint64_t seed) {
     return best;
   };
 
-  const auto serial_map = localize::sar_heatmap(iso, grid, freq, 0.0, 1);
+  const auto serial_map =
+      localize::sar_heatmap(iso, grid, freq, 0.0, 1, localize::SarKernel::kExact);
   const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
   const unsigned sweep[] = {1, 2, 4, 8};
-  const double serial_ms = time_ms(1);
+  const localize::SarKernel kernels[] = {localize::SarKernel::kExact,
+                                         localize::SarKernel::kFast};
+  const double serial_exact_ms = time_ms(1, localize::SarKernel::kExact);
+
+  const std::string sincos_json = sincos_sweep();
 
   FILE* json = std::fopen("BENCH_sar.json", "w");
   if (json) {
@@ -127,48 +212,63 @@ void thread_sweep(std::uint64_t seed) {
                  "  \"grid\": {\"nx\": %zu, \"ny\": %zu, \"cells\": %zu},\n"
                  "  \"measurements\": %zu,\n"
                  "  \"hardware_concurrency\": %u,\n"
+                 "  \"active_isa\": \"%s\",\n"
                  "  \"results\": [\n",
-                 grid.nx(), grid.ny(), grid.nx() * grid.ny(), iso.channels.size(), hw);
+                 grid.nx(), grid.ny(), grid.nx() * grid.ny(), iso.channels.size(),
+                 hw, localize::sar_kernel_active().isa);
   }
-  std::printf("  %-8s %12s %10s %22s\n", "threads", "best [ms]", "speedup",
-              "max |diff| vs serial");
-  for (std::size_t i = 0; i < std::size(sweep); ++i) {
-    const unsigned threads = sweep[i];
-    const double ms = threads == 1 ? serial_ms : time_ms(threads);
-    const auto map = localize::sar_heatmap(iso, grid, freq, 0.0, threads);
-    double max_diff = 0.0;
-    for (std::size_t c = 0; c < map.values.size(); ++c) {
-      max_diff = std::max(max_diff, std::abs(map.values[c] - serial_map.values[c]));
-    }
-    const double speedup = serial_ms / ms;
-    std::printf("  %-8u %12.3f %9.2fx %22.3g\n", threads, ms, speedup, max_diff);
-    if (json) {
-      std::fprintf(json,
-                   "    {\"threads\": %u, \"best_ms\": %.6f, \"speedup\": %.4f, "
-                   "\"max_abs_diff_vs_serial\": %.3g}%s\n",
-                   threads, ms, speedup, max_diff,
-                   i + 1 < std::size(sweep) ? "," : "");
+  std::printf("\n  %-7s %-8s %12s %10s %26s\n", "kernel", "threads", "best [ms]",
+              "speedup", "max |diff| vs serial exact");
+  double fast_serial_ms = serial_exact_ms;
+  for (std::size_t ki = 0; ki < std::size(kernels); ++ki) {
+    const localize::SarKernel kernel = kernels[ki];
+    const bool exact = kernel == localize::SarKernel::kExact;
+    for (std::size_t i = 0; i < std::size(sweep); ++i) {
+      const unsigned threads = sweep[i];
+      const double ms = (exact && threads == 1) ? serial_exact_ms
+                                                : time_ms(threads, kernel);
+      if (!exact && threads == 1) fast_serial_ms = ms;
+      const auto map = localize::sar_heatmap(iso, grid, freq, 0.0, threads, kernel);
+      double max_diff = 0.0;
+      for (std::size_t c = 0; c < map.values.size(); ++c) {
+        max_diff = std::max(max_diff, std::abs(map.values[c] - serial_map.values[c]));
+      }
+      const double speedup = serial_exact_ms / ms;
+      std::printf("  %-7s %-8u %12.3f %9.2fx %26.3g\n",
+                  localize::sar_kernel_name(kernel), threads, ms, speedup, max_diff);
+      if (json) {
+        std::fprintf(json,
+                     "    {\"kernel\": \"%s\", \"threads\": %u, \"best_ms\": %.6f, "
+                     "\"speedup\": %.4f, \"max_abs_diff_vs_serial\": %.3g}%s\n",
+                     localize::sar_kernel_name(kernel), threads, ms, speedup,
+                     max_diff,
+                     ki + 1 < std::size(kernels) || i + 1 < std::size(sweep) ? ","
+                                                                             : "");
+      }
     }
   }
   if (json) {
     // The obs snapshot rides along so machine readers see how much work the
-    // sweep did (sar.cells, pool.chunks, chunk latency buckets). Empty
-    // objects under RFLY_OBS=OFF.
-    std::fprintf(json, "  ],\n  \"metrics\": %s\n}\n",
+    // sweep did (sar.cells, kernel dispatch counts, chunk latency buckets).
+    // Empty objects under RFLY_OBS=OFF.
+    std::fprintf(json, "  ],\n  \"sincos\": [\n%s  ],\n  \"metrics\": %s\n}\n",
+                 sincos_json.c_str(),
                  obs::metrics_to_json(obs::snapshot()).c_str());
     std::fclose(json);
     std::printf("wrote BENCH_sar.json\n");
   }
-  bench::paper_vs_ours("SAR heatmap speedup at 8 threads", "(n/a: ours)",
-                       serial_ms / time_ms(8), "x");
+  bench::paper_vs_ours("SAR fast-kernel speedup, 1 thread", "(n/a: ours)",
+                       serial_exact_ms / fast_serial_ms, "x");
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::CliOptions options;
+  if (!options.parse(argc, argv)) return 1;
   bench::header("Fig. 6", "P(x,y) heatmaps: line-of-sight vs strong multipath");
   run_scene("(a) line of sight", 0, 31, 0.07);
   run_scene("(b) strong multipath (steel shelves)", 2, 32, 0.2);
-  thread_sweep(33);
+  kernel_thread_sweep(33);
   return 0;
 }

@@ -14,7 +14,9 @@
 using namespace rfly;
 using namespace rfly::core;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::CliOptions opts;
+  if (!opts.parse(argc, argv)) return 2;
   bench::header("Ext. 3D", "3D localization error vs vertical aperture");
 
   SystemConfig sys_cfg;
@@ -49,7 +51,8 @@ int main() {
       vol.z_max = 1.2;
       vol.resolution_m = 0.05;
       const auto result = localize::localize_3d(
-          measurements, vol, sys_cfg.carrier_hz + sys_cfg.freq_shift_hz);
+          measurements, vol, sys_cfg.carrier_hz + sys_cfg.freq_shift_hz,
+          opts.threads, opts.kernel);
       if (!result) continue;
       xy_err.push_back(std::hypot(result->position.x - tag.x,
                                   result->position.y - tag.y));

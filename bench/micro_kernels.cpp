@@ -3,6 +3,10 @@
 // and the FM0 decoder. These bound how fast the full experiments can run.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <string>
+#include <vector>
+
 #include "channel/channel_model.h"
 #include "channel/environment.h"
 #include "channel/path_loss.h"
@@ -31,18 +35,38 @@ localize::DisentangledSet make_set(std::size_t n_points) {
 void BM_SarHeatmap(benchmark::State& state) {
   const auto set = make_set(static_cast<std::size_t>(state.range(0)));
   const auto threads = static_cast<unsigned>(state.range(1));
+  const auto kernel = static_cast<localize::SarKernel>(state.range(2));
   localize::GridSpec grid{4.0, 6.0, -0.5, 1.5, 0.05};
   for (auto _ : state) {
-    benchmark::DoNotOptimize(localize::sar_heatmap(set, grid, 916e6, 0.0, threads));
+    benchmark::DoNotOptimize(
+        localize::sar_heatmap(set, grid, 916e6, 0.0, threads, kernel));
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           static_cast<std::int64_t>(grid.nx() * grid.ny() *
                                                     set.channels.size()));
 }
-// Second arg: SAR engine threads (1 = legacy serial path).
+// Second arg: SAR engine threads (1 = legacy serial path). Third: kernel
+// (0 = exact libm loop, 1 = fast SIMD kernel) — the 1-thread pairs are the
+// headline exact-vs-fast speedup for EXPERIMENTS.md.
 BENCHMARK(BM_SarHeatmap)
-    ->ArgsProduct({{10, 40, 160}, {1, 2, 8}})
-    ->ArgNames({"points", "threads"});
+    ->ArgsProduct({{10, 40, 160}, {1, 2, 8}, {0, 1}})
+    ->ArgNames({"points", "threads", "kernel"});
+
+void BM_SarProjection(benchmark::State& state) {
+  const auto set = make_set(static_cast<std::size_t>(state.range(0)));
+  const auto kernel = static_cast<localize::SarKernel>(state.range(1));
+  const auto geo = localize::SarGeometry::from(set, 916e6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        localize::sar_projection(geo, {5.0, 0.1, 0.0}, kernel));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(set.channels.size()));
+}
+// The refine_peak / localize_3d inner call (lanes across samples).
+BENCHMARK(BM_SarProjection)
+    ->ArgsProduct({{40, 160}, {0, 1}})
+    ->ArgNames({"points", "kernel"});
 
 void BM_RelayStep(benchmark::State& state) {
   auto relay_hw = relay::make_rfly_relay(relay::RflyRelayConfig{}, 1);
@@ -87,6 +111,55 @@ void BM_PointToPointChannel(benchmark::State& state) {
 }
 BENCHMARK(BM_PointToPointChannel);
 
+void BM_SincosLibm(benchmark::State& state) {
+  constexpr std::size_t kN = 4096;
+  std::vector<double> x(kN), s(kN), c(kN);
+  Rng rng(11);
+  for (auto& v : x) v = rng.uniform(-1e4, 1e4);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kN; ++i) {
+      s[i] = std::sin(x[i]);
+      c[i] = std::cos(x[i]);
+    }
+    benchmark::DoNotOptimize(s.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kN));
+}
+
+void BM_SincosVariant(benchmark::State& state,
+                      const localize::SarKernelVariant* variant) {
+  constexpr std::size_t kN = 4096;
+  std::vector<double> x(kN), s(kN), c(kN);
+  Rng rng(11);
+  for (auto& v : x) v = rng.uniform(-1e4, 1e4);
+  for (auto _ : state) {
+    variant->sincos(x.data(), s.data(), c.data(), kN);
+    benchmark::DoNotOptimize(s.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kN));
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): the sincos variant list is a
+// runtime property of the host CPU (AVX-512 benches only make sense where
+// the dispatcher could pick them), so the per-ISA benches are registered
+// dynamically next to the static ones above.
+int main(int argc, char** argv) {
+  benchmark::RegisterBenchmark("BM_Sincos/impl:libm", BM_SincosLibm);
+  for (const auto& variant : localize::sar_kernel_variants()) {
+    if (!variant.supported) continue;
+    benchmark::RegisterBenchmark(
+        (std::string("BM_Sincos/impl:") + variant.isa).c_str(),
+        BM_SincosVariant, &variant);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -46,6 +46,9 @@ struct LocalizationTrialConfig {
   /// of the relay-tag half-link frequency f2 (Section 5.2 argues f is an
   /// acceptable stand-in while (f2 - f)/f < 0.01).
   bool localize_at_reader_freq = false;
+  /// SAR evaluation kernel (benches pass --kernel; kExact keeps the trial
+  /// bit-identical to the seed, kFast runs the SIMD kernel).
+  localize::SarKernel sar_kernel = localize::SarKernel::kExact;
 };
 
 struct LocalizationTrialResult {

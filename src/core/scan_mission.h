@@ -51,6 +51,11 @@ struct ScanMissionConfig {
   /// dominant cost): 0 = hardware concurrency, 1 = serial. The report is
   /// identical at every setting.
   unsigned localize_threads = 0;
+  /// SAR evaluation kernel for heatmaps and peak refinement. kExact (the
+  /// default) reproduces the seed report bit-for-bit; kFast trades last-ulp
+  /// agreement for the SIMD kernel's speed (same discovered/localized sets,
+  /// estimates within a fraction of the grid resolution).
+  localize::SarKernel sar_kernel = localize::SarKernel::kExact;
 };
 
 struct ScannedItem {

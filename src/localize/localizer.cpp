@@ -10,15 +10,17 @@ namespace rfly::localize {
 
 namespace {
 
-/// Refine a peak by evaluating the projection on a fine grid patch around it.
-Peak refine_peak(const DisentangledSet& set, const Peak& coarse, double fine_res,
-                 double patch_half_width, double freq_hz, double z_plane) {
+/// Refine a peak by evaluating the projection on a fine grid patch around
+/// it. Works on the prebuilt geometry so the SoA conversion is hoisted out
+/// of the patch loop (and shared by every candidate).
+Peak refine_peak(const SarGeometry& geo, const Peak& coarse, double fine_res,
+                 double patch_half_width, double z_plane, SarKernel kernel) {
   Peak best = coarse;
   for (double y = coarse.y - patch_half_width; y <= coarse.y + patch_half_width;
        y += fine_res) {
     for (double x = coarse.x - patch_half_width; x <= coarse.x + patch_half_width;
          x += fine_res) {
-      const double v = sar_projection(set, {x, y, z_plane}, freq_hz);
+      const double v = sar_projection(geo, {x, y, z_plane}, kernel);
       if (v > best.value) {
         best.value = v;
         best.x = x;
@@ -84,8 +86,8 @@ Expected<LocalizationResult> localize_2d_from(const DisentangledSet& set,
   GridSpec scan_grid = config.grid;
   if (config.multires) scan_grid.resolution_m = config.coarse_resolution_m;
 
-  const Heatmap map =
-      sar_heatmap(set, scan_grid, config.freq_hz, config.z_plane_m, threads);
+  const Heatmap map = sar_heatmap(set, scan_grid, config.freq_hz,
+                                  config.z_plane_m, threads, config.kernel);
   std::vector<Peak> peaks = find_peaks(map, config.peak_threshold_fraction);
   if (peaks.empty()) {
     return Status{StatusCode::kNoPeaks,
@@ -100,13 +102,14 @@ Expected<LocalizationResult> localize_2d_from(const DisentangledSet& set,
     peaks.resize(static_cast<std::size_t>(n));
     // Each candidate refines independently into its own slot; identical at
     // any thread count.
+    const SarGeometry geo = SarGeometry::from(set, config.freq_hz);
     parallel_for(
         0, peaks.size(), 1,
         [&](std::size_t begin, std::size_t end) {
           for (std::size_t i = begin; i < end; ++i) {
-            peaks[i] = refine_peak(set, peaks[i], config.grid.resolution_m,
-                                   config.coarse_resolution_m * 1.5, config.freq_hz,
-                                   config.z_plane_m);
+            peaks[i] = refine_peak(geo, peaks[i], config.grid.resolution_m,
+                                   config.coarse_resolution_m * 1.5,
+                                   config.z_plane_m, config.kernel);
           }
         },
         threads);
@@ -128,15 +131,16 @@ Expected<LocalizationResult> localize_2d_from(const DisentangledSet& set,
 
 std::optional<Localization3dResult> localize_3d(const MeasurementSet& measurements,
                                                 const Volume& volume, double freq_hz,
-                                                unsigned threads) {
+                                                unsigned threads, SarKernel kernel) {
   obs::Span span("localize.3d");
   threads = clamp_thread_count(threads);
   const DisentangledSet set = disentangle(measurements);
   if (set.channels.empty()) return std::nullopt;
+  const SarGeometry geo = SarGeometry::from(set, freq_hz);
 
   const double res = volume.resolution_m;
   const auto steps = [res](double lo, double hi) {
-    return static_cast<std::size_t>(std::floor((hi - lo) / res)) + 1;
+    return grid_axis_cells(lo, hi, res);
   };
   const std::size_t nz = steps(volume.z_min, volume.z_max);
   const std::size_t ny = steps(volume.y_min, volume.y_max);
@@ -157,7 +161,7 @@ std::optional<Localization3dResult> localize_3d(const MeasurementSet& measuremen
             const double y = volume.y_min + static_cast<double>(iy) * res;
             for (std::size_t ix = 0; ix < nx; ++ix) {
               const double x = volume.x_min + static_cast<double>(ix) * res;
-              const double v = sar_projection(set, {x, y, z}, freq_hz);
+              const double v = sar_projection(geo, {x, y, z}, kernel);
               if (v > best.peak_value) {
                 best.peak_value = v;
                 best.position = {x, y, z};

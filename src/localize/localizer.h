@@ -30,6 +30,11 @@ struct LocalizerConfig {
   /// 1 = the exact legacy serial path, n = at most n threads. Results are
   /// identical at every setting (see DESIGN.md "Parallel SAR engine").
   unsigned threads = 0;
+  /// SAR evaluation kernel (see sar_kernel.h). kExact keeps every output
+  /// bit-identical to the seed and is the default; kFast runs the SIMD
+  /// kernel (same argmax cell, refined peaks within a fraction of the
+  /// resolution — see DESIGN.md "SIMD SAR kernel layer").
+  SarKernel kernel = SarKernel::kExact;
 };
 
 struct LocalizationResult {
@@ -79,11 +84,12 @@ struct Localization3dResult {
   double peak_value = 0.0;
 };
 
-/// `threads` as in LocalizerConfig: the volume is sharded by z-slice; each
-/// slice keeps its own argmax and the slices reduce in fixed z order, so
-/// the result matches the serial scan at any thread count.
+/// `threads` and `kernel` as in LocalizerConfig: the volume is sharded by
+/// z-slice; each slice keeps its own argmax and the slices reduce in fixed
+/// z order, so the result matches the serial scan at any thread count.
 std::optional<Localization3dResult> localize_3d(const MeasurementSet& measurements,
                                                 const Volume& volume, double freq_hz,
-                                                unsigned threads = 0);
+                                                unsigned threads = 0,
+                                                SarKernel kernel = SarKernel::kExact);
 
 }  // namespace rfly::localize

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/constants.h"
 #include "common/thread_pool.h"
@@ -14,23 +15,49 @@ namespace {
 // SAR telemetry. The heatmap loop is the hottest code in the system, so the
 // probes sit at chunk granularity: a chunk covers `grain` rows (thousands of
 // sincos calls), making the two clock reads + one histogram update noise.
+// Chunk timing is split per kernel so a dispatch change shows up in the
+// latency buckets, and the dispatch counters record which kernel ran.
 obs::Counter& sar_cells() {
   static obs::Counter& c = obs::counter("sar.cells");
   return c;
 }
-obs::Histogram& sar_chunk_seconds() {
+obs::Counter& sar_kernel_exact_calls() {
+  static obs::Counter& c = obs::counter("sar.kernel.exact");
+  return c;
+}
+obs::Counter& sar_kernel_fast_calls() {
+  static obs::Counter& c = obs::counter("sar.kernel.fast");
+  return c;
+}
+obs::Histogram& sar_chunk_seconds_exact() {
   static obs::Histogram& h = obs::histogram(
       "sar.row_chunk_seconds", obs::HistogramSpec::duration_seconds());
   return h;
 }
+obs::Histogram& sar_chunk_seconds_fast() {
+  static obs::Histogram& h = obs::histogram(
+      "sar.row_chunk_seconds.fast", obs::HistogramSpec::duration_seconds());
+  return h;
+}
 }  // namespace
 
+std::size_t grid_axis_cells(double lo, double hi, double res) {
+  const double q = (hi - lo) / res;
+  // Forgive a few ULPs below an integer quotient: 6.0/0.02 style divisions
+  // land at N - epsilon and the naive floor would drop the final sample.
+  // The slack is relative (4 eps), so 299.9 still truncates to 299 and only
+  // genuine exact-multiple extents are pulled up.
+  const double slack =
+      4.0 * std::numeric_limits<double>::epsilon() * std::max(std::fabs(q), 1.0);
+  return static_cast<std::size_t>(std::floor(q + slack)) + 1;
+}
+
 std::size_t GridSpec::nx() const {
-  return static_cast<std::size_t>(std::floor((x_max - x_min) / resolution_m)) + 1;
+  return grid_axis_cells(x_min, x_max, resolution_m);
 }
 
 std::size_t GridSpec::ny() const {
-  return static_cast<std::size_t>(std::floor((y_max - y_min) / resolution_m)) + 1;
+  return grid_axis_cells(y_min, y_max, resolution_m);
 }
 
 double Heatmap::max_value() const {
@@ -40,12 +67,42 @@ double Heatmap::max_value() const {
 }
 
 double sar_projection(const DisentangledSet& set, const channel::Vec3& p,
-                      double freq_hz) {
+                      double freq_hz, SarKernel kernel) {
+  if (resolve_sar_kernel(kernel) == SarKernel::kFast) {
+    return sar_projection(SarGeometry::from(set, freq_hz), p, SarKernel::kFast);
+  }
+  // Exact kernel: the seed loop, bit-identical — sequential sample order,
+  // libm sincos through cis().
   const double k = kTwoPi * freq_hz * 2.0 / kSpeedOfLight;  // round trip
   cdouble acc{0.0, 0.0};
   for (std::size_t l = 0; l < set.channels.size(); ++l) {
     const double d = set.positions[l].distance_to(p);
     acc += set.channels[l] * cis(k * d);
+  }
+  return std::abs(acc);
+}
+
+double sar_projection(const SarGeometry& geo, const channel::Vec3& p,
+                      SarKernel kernel) {
+  if (resolve_sar_kernel(kernel) == SarKernel::kFast) {
+    SarKernelArgs args;
+    args.k = geo.k;
+    args.px = geo.px.data();
+    args.py = geo.py.data();
+    args.pz = geo.pz.data();
+    args.hre = geo.hre.data();
+    args.him = geo.him.data();
+    args.count = geo.size();
+    return sar_kernel_active().projection(args, p.x, p.y, p.z);
+  }
+  // Same arithmetic as the set-based exact path: distance through
+  // Vec3::distance_to and a complex multiply-accumulate, so the two exact
+  // overloads agree bit-for-bit.
+  cdouble acc{0.0, 0.0};
+  for (std::size_t l = 0; l < geo.size(); ++l) {
+    const channel::Vec3 pos{geo.px[l], geo.py[l], geo.pz[l]};
+    const double d = pos.distance_to(p);
+    acc += cdouble{geo.hre[l], geo.him[l]} * cis(geo.k * d);
   }
   return std::abs(acc);
 }
@@ -70,8 +127,12 @@ SarGeometry SarGeometry::from(const DisentangledSet& set, double freq_hz) {
 }
 
 Heatmap sar_heatmap(const DisentangledSet& set, const GridSpec& grid, double freq_hz,
-                    double z_plane, unsigned threads) {
+                    double z_plane, unsigned threads, SarKernel kernel) {
   obs::Span heatmap_span("sar.heatmap");
+  const SarKernel resolved = resolve_sar_kernel(kernel);
+  const bool fast = resolved == SarKernel::kFast;
+  (fast ? sar_kernel_fast_calls() : sar_kernel_exact_calls()).inc();
+
   Heatmap map;
   map.grid = grid;
   const std::size_t nx = grid.nx();
@@ -80,40 +141,70 @@ Heatmap sar_heatmap(const DisentangledSet& set, const GridSpec& grid, double fre
   const SarGeometry geo = SarGeometry::from(set, freq_hz);
   const std::size_t L = geo.size();
 
+  // Hoisted cell coordinates, shared by both kernels: xs was previously
+  // recomputed per cell (grid.x_at in the inner loop); the array holds the
+  // identical x_min + ix*res values, so the exact kernel stays bit-exact.
+  std::vector<double> xs(nx), ys(ny);
+  for (std::size_t ix = 0; ix < nx; ++ix) xs[ix] = grid.x_at(ix);
+  for (std::size_t iy = 0; iy < ny; ++iy) ys[iy] = grid.y_at(iy);
+
   // Row shards: each cell's sum over l runs in a fixed order and lands in
-  // its own slot, so any sharding of the rows yields the same heatmap.
-  // Grain of a few rows keeps chunks ~10x the thread count for balance
-  // without queue churn.
+  // its own slot, so any sharding of the rows yields the same heatmap —
+  // with either kernel. Grain of a few rows keeps chunks ~10x the thread
+  // count for balance without queue churn.
   const std::size_t grain = std::max<std::size_t>(1, ny / 64);
   parallel_for(
       0, ny, grain,
       [&](std::size_t row_begin, std::size_t row_end) {
         std::uint64_t chunk_start_ns = 0;
         if constexpr (obs::kEnabled) chunk_start_ns = obs::monotonic_ns();
-        for (std::size_t iy = row_begin; iy < row_end; ++iy) {
-          const double y = grid.y_at(iy);
-          double* row = map.values.data() + iy * nx;
-          for (std::size_t ix = 0; ix < nx; ++ix) {
-            const double x = grid.x_at(ix);
-            double re = 0.0, im = 0.0;
-            for (std::size_t l = 0; l < L; ++l) {
-              const double dx = x - geo.px[l];
-              const double dy = y - geo.py[l];
-              const double dz = z_plane - geo.pz[l];
-              const double d = std::sqrt(dx * dx + dy * dy + dz * dz);
-              // sincos is the innermost cost of the whole system; the SoA
-              // operand streams let the surrounding arithmetic vectorize.
-              const double c = std::cos(geo.k * d);
-              const double s = std::sin(geo.k * d);
-              re += geo.hre[l] * c - geo.him[l] * s;
-              im += geo.hre[l] * s + geo.him[l] * c;
+        if (fast) {
+          // Per-worker scratch for the row's dy^2+dz^2 partials; sized by
+          // trajectory length, allocated once per chunk (a chunk covers
+          // grain rows of nx cells, so the alloc is noise).
+          std::vector<double> scratch(L);
+          SarKernelArgs args;
+          args.k = geo.k;
+          args.px = geo.px.data();
+          args.py = geo.py.data();
+          args.pz = geo.pz.data();
+          args.hre = geo.hre.data();
+          args.him = geo.him.data();
+          args.count = L;
+          args.xs = xs.data();
+          args.nx = nx;
+          args.ys = ys.data();
+          args.z = z_plane;
+          args.values = map.values.data();
+          args.scratch = scratch.data();
+          sar_kernel_active().rows(args, row_begin, row_end);
+        } else {
+          for (std::size_t iy = row_begin; iy < row_end; ++iy) {
+            const double y = ys[iy];
+            double* row = map.values.data() + iy * nx;
+            for (std::size_t ix = 0; ix < nx; ++ix) {
+              const double x = xs[ix];
+              double re = 0.0, im = 0.0;
+              for (std::size_t l = 0; l < L; ++l) {
+                const double dx = x - geo.px[l];
+                const double dy = y - geo.py[l];
+                const double dz = z_plane - geo.pz[l];
+                const double d = std::sqrt(dx * dx + dy * dy + dz * dz);
+                // sincos is the innermost cost of the whole system; the SoA
+                // operand streams let the surrounding arithmetic vectorize.
+                const double c = std::cos(geo.k * d);
+                const double s = std::sin(geo.k * d);
+                re += geo.hre[l] * c - geo.him[l] * s;
+                im += geo.hre[l] * s + geo.him[l] * c;
+              }
+              row[ix] = std::abs(cdouble{re, im});
             }
-            row[ix] = std::abs(cdouble{re, im});
           }
         }
         if constexpr (obs::kEnabled) {
-          sar_chunk_seconds().observe(
-              static_cast<double>(obs::monotonic_ns() - chunk_start_ns) * 1e-9);
+          (fast ? sar_chunk_seconds_fast() : sar_chunk_seconds_exact())
+              .observe(static_cast<double>(obs::monotonic_ns() - chunk_start_ns) *
+                       1e-9);
         }
         sar_cells().add((row_end - row_begin) * nx);
       },

@@ -4,14 +4,27 @@
 // l to the candidate location and h_l is the isolated relay->tag half-link
 // channel. The conjugate phase compensates the round-trip delay, so P peaks
 // where the hypothesized location explains every measurement coherently.
+//
+// Two kernels evaluate P (see sar_kernel.h): `exact` is the seed's libm
+// loop, kept bit-identical as the golden reference; `fast` is the blocked
+// SIMD kernel (batched polynomial sincos, runtime ISA dispatch) that must
+// reproduce the same argmax cell and sub-resolution peaks within tolerance.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
 #include "localize/disentangle.h"
+#include "localize/sar_kernel.h"
 
 namespace rfly::localize {
+
+/// Number of sample points on one grid axis spanning [lo, hi] at `res`:
+/// floor((hi-lo)/res) + 1, with a few ULPs of forgiveness so an extent
+/// that is an exact multiple of the resolution keeps its last cell even
+/// when the division lands at 99.999...96 (0.3/0.1 in doubles is below 3;
+/// the naive floor would drop the final sample).
+std::size_t grid_axis_cells(double lo, double hi, double res);
 
 struct GridSpec {
   double x_min = 0.0, x_max = 1.0;
@@ -52,12 +65,25 @@ struct SarGeometry {
 /// `threads`: 0 = shared pool at hardware concurrency, 1 = serial on the
 /// calling thread, n = at most n threads. The grid is sharded by row and
 /// each cell accumulates its own sum in a fixed order, so the heatmap is
-/// bit-identical for every thread count (tests/test_sar_parity.cpp).
+/// bit-identical for every thread count — with either kernel
+/// (tests/test_sar_parity.cpp covers the threads x kernel matrix).
+///
+/// `kernel`: kExact reproduces the seed output bit-for-bit; kFast/kAuto
+/// run the SIMD kernel (identical argmax, values within ~1e-12 relative).
 Heatmap sar_heatmap(const DisentangledSet& set, const GridSpec& grid, double freq_hz,
-                    double z_plane = 0.0, unsigned threads = 0);
+                    double z_plane = 0.0, unsigned threads = 0,
+                    SarKernel kernel = SarKernel::kExact);
 
-/// Evaluate P at a single 3D point (used by the 3D extension and tests).
+/// Evaluate P at a single 3D point (used by peak refinement, the 3D
+/// extension and tests). The exact path is the seed loop, bit-identical.
 double sar_projection(const DisentangledSet& set, const channel::Vec3& p,
-                      double freq_hz);
+                      double freq_hz, SarKernel kernel = SarKernel::kExact);
+
+/// Same, over a prebuilt geometry — the fast path for refinement loops
+/// that evaluate many points against one measurement set (hoists the SoA
+/// conversion out of the point loop). Exact here still means the libm
+/// sincos in sequential sample order.
+double sar_projection(const SarGeometry& geo, const channel::Vec3& p,
+                      SarKernel kernel = SarKernel::kExact);
 
 }  // namespace rfly::localize

@@ -1,0 +1,147 @@
+// Per-ISA builds of the fast SAR kernel plus the runtime-dispatch table.
+// The kernel bodies live in sar_kernel_impl.inc; each namespace below
+// re-compiles them under a different target region:
+//
+//   kern_scalar   — vectorization disabled: the honest "batched scalar"
+//                   fallback and the bench's no-SIMD reference point.
+//   kern_base     — whatever the build targets by default (SSE2 on x86-64,
+//                   NEON on AArch64, plain scalar elsewhere; with
+//                   -DRFLY_NATIVE=ON this is already the host's best ISA).
+//   kern_avx2     — AVX2 + FMA        (x86 + GCC only; runtime-gated)
+//   kern_avx512   — AVX-512 F/DQ + FMA (x86 + GCC only; runtime-gated)
+//
+// This translation unit is compiled with -fno-math-errno (so sqrt lowers
+// to the hardware instruction) and -ffp-contract=fast (so mul-adds fuse
+// where the ISA has FMA); see src/localize/CMakeLists.txt. Neither flag
+// touches sar.cpp, whose exact kernel must stay bit-identical to the seed.
+#include "localize/sar_kernel.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/simd.h"
+
+namespace rfly::localize {
+
+const char* sar_kernel_name(SarKernel kernel) {
+  switch (kernel) {
+    case SarKernel::kExact:
+      return "exact";
+    case SarKernel::kFast:
+      return "fast";
+    case SarKernel::kAuto:
+      return "auto";
+  }
+  return "exact";
+}
+
+bool parse_sar_kernel(const std::string& text, SarKernel& out) {
+  if (text == "exact") return out = SarKernel::kExact, true;
+  if (text == "fast") return out = SarKernel::kFast, true;
+  if (text == "auto") return out = SarKernel::kAuto, true;
+  return false;
+}
+
+SarKernel resolve_sar_kernel(SarKernel kernel) {
+  return kernel == SarKernel::kAuto ? SarKernel::kFast : kernel;
+}
+
+// --- Kernel instantiations -----------------------------------------------
+
+#if defined(__GNUC__) && !defined(__clang__)
+#define RFLY_KERNEL_MULTIVERSION 1
+#else
+#define RFLY_KERNEL_MULTIVERSION 0
+#endif
+
+namespace kern_scalar {
+#if RFLY_KERNEL_MULTIVERSION
+#pragma GCC push_options
+#pragma GCC optimize("no-tree-vectorize", "no-tree-slp-vectorize")
+#endif
+#include "localize/sar_kernel_impl.inc"
+#if RFLY_KERNEL_MULTIVERSION
+#pragma GCC pop_options
+#endif
+}  // namespace kern_scalar
+
+namespace kern_base {
+#include "localize/sar_kernel_impl.inc"
+}  // namespace kern_base
+
+#if RFLY_SIMD_X86 && RFLY_KERNEL_MULTIVERSION
+#define RFLY_KERNEL_HAVE_X86_VARIANTS 1
+
+namespace kern_avx2 {
+#pragma GCC push_options
+#pragma GCC target("avx2", "fma")
+#include "localize/sar_kernel_impl.inc"
+#pragma GCC pop_options
+}  // namespace kern_avx2
+
+namespace kern_avx512 {
+#pragma GCC push_options
+#pragma GCC target("avx512f", "avx512dq", "fma")
+#include "localize/sar_kernel_impl.inc"
+#pragma GCC pop_options
+}  // namespace kern_avx512
+
+#else
+#define RFLY_KERNEL_HAVE_X86_VARIANTS 0
+#endif
+
+// --- Dispatch table -------------------------------------------------------
+
+namespace {
+
+std::vector<SarKernelVariant> build_variants() {
+  std::vector<SarKernelVariant> v;
+  v.push_back({"scalar", true, &kern_scalar::rows, &kern_scalar::projection,
+               &kern_scalar::sincos_batch});
+  v.push_back({simd::baseline_isa_name(), true, &kern_base::rows,
+               &kern_base::projection, &kern_base::sincos_batch});
+#if RFLY_KERNEL_HAVE_X86_VARIANTS
+  v.push_back({"avx2",
+               static_cast<bool>(__builtin_cpu_supports("avx2")) &&
+                   static_cast<bool>(__builtin_cpu_supports("fma")),
+               &kern_avx2::rows, &kern_avx2::projection,
+               &kern_avx2::sincos_batch});
+  v.push_back({"avx512",
+               static_cast<bool>(__builtin_cpu_supports("avx512f")) &&
+                   static_cast<bool>(__builtin_cpu_supports("avx512dq")),
+               &kern_avx512::rows, &kern_avx512::projection,
+               &kern_avx512::sincos_batch});
+#endif
+  return v;
+}
+
+const SarKernelVariant* pick_active(const std::vector<SarKernelVariant>& v) {
+  // Debug/bench override: RFLY_SAR_ISA=<name> forces a variant, ignored
+  // unless that variant is compiled in and supported by this CPU.
+  if (const char* forced = std::getenv("RFLY_SAR_ISA")) {
+    for (const auto& variant : v) {
+      if (variant.supported && std::strcmp(variant.isa, forced) == 0) {
+        return &variant;
+      }
+    }
+  }
+  const SarKernelVariant* best = &v.front();
+  for (const auto& variant : v) {
+    if (variant.supported) best = &variant;  // list is ordered narrow -> wide
+  }
+  return best;
+}
+
+}  // namespace
+
+const std::vector<SarKernelVariant>& sar_kernel_variants() {
+  static const std::vector<SarKernelVariant> variants = build_variants();
+  return variants;
+}
+
+const SarKernelVariant& sar_kernel_active() {
+  static const SarKernelVariant* active = pick_active(sar_kernel_variants());
+  return *active;
+}
+
+}  // namespace rfly::localize

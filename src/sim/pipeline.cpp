@@ -227,6 +227,7 @@ Expected<MissionRun> run_mission_pipeline(const core::ScanMissionConfig& config,
 
       localize::LocalizerConfig loc;
       loc.threads = config.localize_threads;
+      loc.kernel = config.sar_kernel;
       loc.freq_hz = config.system.carrier_hz + config.system.freq_shift_hz;
       loc.peak_threshold_fraction = config.peak_threshold_fraction;
       loc.grid.resolution_m = config.grid_resolution_m;

@@ -262,6 +262,13 @@ const std::vector<FieldDef>& registry() {
                    s.localize_threads = static_cast<unsigned>(threads);
                    return true;
                  }});
+    f.push_back({"localize.sar_kernel",
+                 [](const Scenario& s) {
+                   return std::string(localize::sar_kernel_name(s.sar_kernel));
+                 },
+                 [](Scenario& s, const std::string& v) {
+                   return localize::parse_sar_kernel(v, s.sar_kernel);
+                 }});
     return f;
   }();
   return fields;
@@ -585,6 +592,7 @@ core::ScanMissionConfig mission_config(const Scenario& scenario) {
   config.grid_margin_to_path_m = scenario.grid_margin_to_path_m;
   config.tags_below_path = scenario.tags_below_path;
   config.localize_threads = scenario.localize_threads;
+  config.sar_kernel = scenario.sar_kernel;
   return config;
 }
 

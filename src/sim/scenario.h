@@ -74,6 +74,7 @@ struct Scenario {
   double grid_margin_to_path_m = 0.3;
   bool tags_below_path = true;
   unsigned localize_threads = 0;
+  localize::SarKernel sar_kernel = localize::SarKernel::kExact;
 };
 
 /// Reject inconsistent scenarios with an actionable message: empty flight

@@ -140,5 +140,60 @@ TEST_P(SarParity, Localize3dPicksIdenticalPeak) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SarParity, ::testing::Range(1, 6));
 
+// Threads x kernel parity matrix: the sharding argument (each cell's sum
+// runs whole, in a fixed order, into its own slot) is kernel-independent,
+// so the fast SIMD kernel must also be bit-identical across thread counts
+// — only exact-vs-fast differs, never thread count. Runs under TSAN with
+// the rest of the `parallel` label.
+class SarKernelParity
+    : public ::testing::TestWithParam<std::tuple<int, SarKernel>> {};
+
+TEST_P(SarKernelParity, HeatmapBitIdenticalAcrossThreadCounts) {
+  const auto [seed, kernel] = GetParam();
+  const auto set = random_set(static_cast<std::uint64_t>(400 + seed), 40);
+  const GridSpec grid{-1.5, 3.5, -0.5, 2.5, 0.04};
+  const Heatmap serial = sar_heatmap(set, grid, kFreq, 0.0, 1, kernel);
+  ASSERT_EQ(serial.values.size(), grid.nx() * grid.ny());
+  for (unsigned threads : kThreadCounts) {
+    const Heatmap par = sar_heatmap(set, grid, kFreq, 0.0, threads, kernel);
+    ASSERT_EQ(par.values.size(), serial.values.size()) << threads << " threads";
+    for (std::size_t i = 0; i < serial.values.size(); ++i) {
+      ASSERT_EQ(par.values[i], serial.values[i])
+          << sar_kernel_name(kernel) << " cell " << i << " at " << threads
+          << " threads";
+    }
+  }
+}
+
+TEST_P(SarKernelParity, Localize2dBitIdenticalAcrossThreadCounts) {
+  const auto [seed, kernel] = GetParam();
+  const auto set = random_set(static_cast<std::uint64_t>(450 + seed), 35);
+  const auto measurements = as_measurements(set);
+  LocalizerConfig cfg;
+  cfg.freq_hz = kFreq;
+  cfg.grid = {-1.0, 3.5, -0.5, 2.5, 0.01};
+  cfg.kernel = kernel;
+  cfg.threads = 1;
+  const auto serial = localize_2d(measurements, cfg);
+  ASSERT_TRUE(serial.has_value());
+  for (unsigned threads : kThreadCounts) {
+    cfg.threads = threads;
+    const auto par = localize_2d(measurements, cfg);
+    ASSERT_TRUE(par.has_value()) << threads << " threads";
+    EXPECT_DOUBLE_EQ(par->x, serial->x) << threads << " threads";
+    EXPECT_DOUBLE_EQ(par->y, serial->y) << threads << " threads";
+    EXPECT_DOUBLE_EQ(par->peak_value, serial->peak_value) << threads << " threads";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsByKernel, SarKernelParity,
+    ::testing::Combine(::testing::Range(1, 4),
+                       ::testing::Values(SarKernel::kExact, SarKernel::kFast)),
+    [](const ::testing::TestParamInfo<std::tuple<int, SarKernel>>& info) {
+      return std::string("seed") + std::to_string(std::get<0>(info.param)) +
+             "_" + sar_kernel_name(std::get<1>(info.param));
+    });
+
 }  // namespace
 }  // namespace rfly::localize
