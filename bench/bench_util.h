@@ -5,12 +5,16 @@
 // from the run logs, and an optional JSON metrics file for machine readers.
 #pragma once
 
+#include <cerrno>
 #include <charconv>
+#include <cmath>
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
 #include <span>
 #include <string>
 #include <system_error>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -23,23 +27,38 @@
 
 namespace rfly::bench {
 
-/// Checked integer parsing for CLI values: the whole token must be a base-10
-/// number that fits T. Replaces atoi/strtoull, which silently read garbage
-/// as 0 ("--trials 1O0" ran one hundred-ish trials as zero) and ignore
-/// trailing junk. Negative input to an unsigned T fails (from_chars rejects
-/// the sign) instead of wrapping.
+/// Checked numeric parsing for CLI values: the whole token must be a number
+/// that fits T — base-10 for integers, standard decimal/scientific notation
+/// for floating-point T. Replaces atoi/strtoull/atof, which silently read
+/// garbage as 0 ("--trials 1O0" ran one hundred-ish trials as zero) and
+/// ignore trailing junk ("0.1x" is a parse error here, not 0.1). Negative
+/// input to an unsigned T fails (from_chars rejects the sign) instead of
+/// wrapping; "nan"/"inf" fail the finiteness check — no CLI knob here means
+/// a non-finite value.
 template <typename T>
 Status parse_cli_number(const std::string& flag, const char* text, T& out) {
   const char* end = text + std::string_view(text).size();
   T value{};
-  const auto [ptr, ec] = std::from_chars(text, end, value, 10);
-  if (ec == std::errc::result_out_of_range) {
+  std::from_chars_result result{};
+  if constexpr (std::is_floating_point_v<T>) {
+    result = std::from_chars(text, end, value);
+  } else {
+    result = std::from_chars(text, end, value, 10);
+  }
+  if (result.ec == std::errc::result_out_of_range) {
     return {StatusCode::kParseError,
             flag + " value '" + text + "' is out of range"};
   }
-  if (ec != std::errc() || ptr != end || text == end) {
-    return {StatusCode::kParseError,
-            flag + " wants an integer, got '" + text + "'"};
+  constexpr const char* kind =
+      std::is_floating_point_v<T> ? " wants a number, got '"
+                                  : " wants an integer, got '";
+  if (result.ec != std::errc() || result.ptr != end || text == end) {
+    return {StatusCode::kParseError, flag + kind + text + "'"};
+  }
+  if constexpr (std::is_floating_point_v<T>) {
+    if (!std::isfinite(value)) {
+      return {StatusCode::kParseError, flag + kind + text + "'"};
+    }
   }
   out = value;
   return Status::ok();
@@ -146,12 +165,14 @@ class Metrics {
   void add_json(const std::string& name, std::string json) {
     raw_entries_.emplace_back(name, std::move(json));
   }
-  bool write(const std::string& path) const {
-    if (path.empty()) return true;
+  /// Typed variant: kIoError names the path and the errno cause when the
+  /// file cannot be opened or the write comes up short. Empty path = no-op.
+  Status write_checked(const std::string& path) const {
+    if (path.empty()) return Status::ok();
     FILE* file = std::fopen(path.c_str(), "w");
     if (file == nullptr) {
-      std::fprintf(stderr, "cannot write metrics to '%s'\n", path.c_str());
-      return false;
+      return {StatusCode::kIoError, "cannot write metrics to '" + path +
+                                        "': " + std::strerror(errno)};
     }
     std::fprintf(file, "{");
     bool first = true;
@@ -166,8 +187,20 @@ class Metrics {
       first = false;
     }
     std::fprintf(file, "}\n");
-    std::fclose(file);
-    return true;
+    const bool wrote = std::ferror(file) == 0;
+    const bool closed = std::fclose(file) == 0;
+    if (!wrote || !closed) {
+      return {StatusCode::kIoError, "short write to '" + path + "'"};
+    }
+    return Status::ok();
+  }
+
+  bool write(const std::string& path) const {
+    const Status status = write_checked(path);
+    if (!status.is_ok()) {
+      std::fprintf(stderr, "%s\n", status.to_string().c_str());
+    }
+    return status.is_ok();
   }
 
  private:
@@ -186,7 +219,12 @@ inline bool finish_observability(const CliOptions& options, Metrics& metrics) {
   metrics.add_json("metrics", obs::metrics_to_json(snapshot));
   if (options.report) obs::print_report(stdout, trace, snapshot);
   if (!options.trace_out.empty()) {
-    return obs::write_trace_file(options.trace_out, trace);
+    std::string error;
+    if (!obs::write_trace_file(options.trace_out, trace, &error)) {
+      const Status status{StatusCode::kIoError, error};
+      std::fprintf(stderr, "%s\n", status.to_string().c_str());
+      return false;
+    }
   }
   return true;
 }

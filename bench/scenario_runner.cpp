@@ -16,17 +16,25 @@ using namespace rfly;
 
 namespace {
 
-void print_result(const sim::BatchResult& result) {
+void print_result(std::size_t trial, const sim::BatchResult& result) {
+  // The sweep derives each trial's engine seed by hashing (base seed, trial
+  // index), so the trial number is the human-facing label and the raw seed
+  // prints alongside for reproduction with --set seed=....
   if (!result.status.is_ok()) {
-    std::printf("seed %-6llu FAILED  %s\n",
+    std::printf("trial %-3zu (seed %llu) FAILED  %s\n", trial,
                 static_cast<unsigned long long>(result.seed),
                 result.status.to_string().c_str());
     return;
   }
   const auto& report = result.run.report;
-  std::printf("seed %-6llu discovered %zu/%zu localized %zu\n",
+  std::printf("trial %-3zu (seed %llu) discovered %zu/%zu localized %zu", trial,
               static_cast<unsigned long long>(result.seed), report.discovered,
               report.items.size(), report.localized);
+  if (result.run.health.code() == StatusCode::kDegraded) {
+    std::printf("  DEGRADED (coverage %.1f%%)",
+                result.run.aperture_coverage * 100.0);
+  }
+  std::printf("\n");
   for (const auto& item : report.items) {
     if (item.localized) {
       std::printf("    %-24s (%7.2f, %7.2f)\n",
@@ -69,8 +77,11 @@ int main(int argc, char** argv) {
   for (const auto& [key, value] : opts.overrides) {
     if (Status status = sim::apply_override(scenario, key, value);
         !status.is_ok()) {
+      // A bad --set is a command-line error like any other flag typo:
+      // status + usage + exit 2 (load failures above stay exit 1).
       std::fprintf(stderr, "%s\n", status.to_string().c_str());
-      return 1;
+      bench::CliOptions::usage(argv[0]);
+      return 2;
     }
   }
   // An explicit --kernel wins over the scenario's localize.sar_kernel field
@@ -84,20 +95,21 @@ int main(int argc, char** argv) {
 
   const std::uint64_t first_seed = opts.seed != 1 ? opts.seed : scenario.seed;
   const std::size_t trials = opts.trials > 0 ? static_cast<std::size_t>(opts.trials) : 1;
-  std::printf("scenario '%s': %zu tag(s), %zu leg(s); seeds [%llu, %llu), %u thread(s)\n\n",
+  std::printf("scenario '%s': %zu tag(s), %zu leg(s); %zu trial(s) from base seed %llu, %u thread(s)\n\n",
               scenario.name.c_str(), scenario.tags.size(), scenario.legs.size(),
-              static_cast<unsigned long long>(first_seed),
-              static_cast<unsigned long long>(first_seed + trials),
+              trials, static_cast<unsigned long long>(first_seed),
               opts.threads);
 
   const auto results =
       sim::run_seed_sweep(scenario, first_seed, trials, {opts.threads});
-  for (const auto& result : results) print_result(result);
+  for (std::size_t i = 0; i < results.size(); ++i) print_result(i, results[i]);
 
   const auto summary = sim::summarize(results);
-  std::printf("\n%zu job(s), %zu failed; mean discovered %.2f, mean localized %.2f\n",
-              summary.jobs, summary.failed, summary.mean_discovered,
-              summary.mean_localized);
+  std::printf("\n%zu job(s), %zu failed, %zu degraded; mean discovered %.2f, "
+              "mean localized %.2f, mean coverage %.1f%%\n",
+              summary.jobs, summary.failed, summary.degraded,
+              summary.mean_discovered, summary.mean_localized,
+              summary.mean_coverage * 100.0);
 
   // Timing footer (wall clock — varies run to run, unlike the lines above).
   if (!results.empty() && results.front().status.is_ok()) {
@@ -111,8 +123,10 @@ int main(int argc, char** argv) {
   bench::Metrics metrics;
   metrics.add("jobs", static_cast<double>(summary.jobs));
   metrics.add("failed", static_cast<double>(summary.failed));
+  metrics.add("degraded", static_cast<double>(summary.degraded));
   metrics.add("mean_discovered", summary.mean_discovered);
   metrics.add("mean_localized", summary.mean_localized);
+  metrics.add("mean_coverage", summary.mean_coverage);
   metrics.add("total_seconds", summary.total_seconds);
   if (!bench::finish_observability(opts, metrics)) return 1;
   if (!metrics.write(opts.out)) return 1;

@@ -8,6 +8,27 @@
 
 namespace rfly {
 
+/// SplitMix64 finalizer (Steele/Lea/Vigna): a cheap bijective avalanche mix
+/// over 64 bits. Used to derive decorrelated engine seeds — consecutive
+/// inputs (seed, seed+1) map to outputs with no arithmetic relation, unlike
+/// feeding raw `seed + i` into mt19937_64 where nearby seeds can collide
+/// with other streams' derived values (e.g. `seed + 100 + i` tag streams).
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Engine seed for stream `stream` of base `seed`: the SplitMix64 generator
+/// seeded with splitmix64(seed), jumped `stream` steps (state advances by
+/// the golden-ratio gamma). Distinct (seed, stream) pairs give independent
+/// engines, so batch trials and fault streams never share stochastic state
+/// with each other or with the mission Rng seeded directly from `seed`.
+constexpr std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t stream) {
+  return splitmix64(splitmix64(seed) + 0x9E3779B97F4A7C15ull * stream);
+}
+
 /// Seeded pseudo-random source. Cheap to pass by reference; not thread-safe
 /// (each simulation owns its own instance).
 class Rng {

@@ -16,6 +16,7 @@ const char* status_code_name(StatusCode code) {
     case StatusCode::kParseError: return "PARSE_ERROR";
     case StatusCode::kIoError: return "IO_ERROR";
     case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kDegraded: return "DEGRADED";
   }
   return "UNKNOWN";
 }

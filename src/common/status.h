@@ -41,6 +41,11 @@ enum class StatusCode : std::uint8_t {
   kIoError,
   /// Referenced entity (preset name, key) does not exist.
   kNotFound,
+  /// The operation completed, but on degraded inputs (e.g. a mission that
+  /// localized from a partial aperture after fault injection). Carries a
+  /// coverage/confidence figure in the message. Unlike every other code,
+  /// kDegraded accompanies a *usable* result rather than replacing it.
+  kDegraded,
 };
 
 /// Stable upper-case token for a code ("DEGENERATE_GRID"), used in messages

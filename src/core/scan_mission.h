@@ -67,6 +67,9 @@ struct ScannedItem {
   std::size_t measurements = 0;   // channel estimates collected
   /// Why the item stopped short of `localized` (OK when localized): not
   /// discovered, too few measurements, no embedded reference, no peak, ...
+  /// Exception: a localized item may carry kDegraded — it was localized
+  /// from a partial aperture under fault injection; the message holds the
+  /// coverage figure (see sim/faults.h).
   Status status = Status::ok();
 };
 

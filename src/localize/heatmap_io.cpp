@@ -1,17 +1,27 @@
 #include "localize/heatmap_io.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
 namespace rfly::localize {
 
-bool write_pgm(const Heatmap& map, const std::string& path) {
+Status write_pgm_checked(const Heatmap& map, const std::string& path) {
   const std::size_t nx = map.grid.nx();
   const std::size_t ny = map.grid.ny();
-  if (nx == 0 || ny == 0 || map.values.size() != nx * ny) return false;
+  if (nx == 0 || ny == 0 || map.values.size() != nx * ny) {
+    return {StatusCode::kInvalidArgument,
+            "heatmap is empty or inconsistent (" + std::to_string(nx) + "x" +
+                std::to_string(ny) + " grid, " +
+                std::to_string(map.values.size()) + " values)"};
+  }
   std::FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return false;
+  if (f == nullptr) {
+    return {StatusCode::kIoError,
+            "cannot write PGM to '" + path + "': " + std::strerror(errno)};
+  }
   std::fprintf(f, "P5\n%zu %zu\n255\n", nx, ny);
   const double peak = map.max_value();
   std::vector<unsigned char> row(nx);
@@ -22,10 +32,17 @@ bool write_pgm(const Heatmap& map, const std::string& path) {
     }
     if (std::fwrite(row.data(), 1, nx, f) != nx) {
       std::fclose(f);
-      return false;
+      return {StatusCode::kIoError, "short write to '" + path + "'"};
     }
   }
-  return std::fclose(f) == 0;
+  if (std::fclose(f) != 0) {
+    return {StatusCode::kIoError, "short write to '" + path + "'"};
+  }
+  return Status::ok();
+}
+
+bool write_pgm(const Heatmap& map, const std::string& path) {
+  return write_pgm_checked(map, path).is_ok();
 }
 
 std::string render_ascii(const Heatmap& map, const AsciiRenderOptions& options) {

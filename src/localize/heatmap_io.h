@@ -5,13 +5,19 @@
 
 #include <string>
 
+#include "common/status.h"
 #include "localize/sar.h"
 
 namespace rfly::localize {
 
 /// Write the heatmap as an 8-bit PGM. Values are normalized to the map's
 /// maximum; row 0 of the image is the grid's y_max (image convention).
-/// Returns false on I/O failure.
+/// kInvalidArgument for an empty/inconsistent map; kIoError (naming the
+/// path and the errno cause) when the file cannot be opened or the write
+/// comes up short — e.g. --heatmap-out into a missing directory.
+Status write_pgm_checked(const Heatmap& map, const std::string& path);
+
+/// Legacy boolean form; delegates to write_pgm_checked.
 bool write_pgm(const Heatmap& map, const std::string& path);
 
 struct AsciiRenderOptions {

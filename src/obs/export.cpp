@@ -1,7 +1,9 @@
 #include "obs/export.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cinttypes>
+#include <cstring>
 #include <map>
 
 namespace rfly::obs {
@@ -199,16 +201,33 @@ void print_report(std::FILE* out, const Trace& trace,
   print_metrics(out, snapshot);
 }
 
-bool write_trace_file(const std::string& path, const Trace& trace) {
+bool write_trace_file(const std::string& path, const Trace& trace,
+                      std::string* error) {
   if (path.empty() || path == "-") return true;
   std::FILE* file = std::fopen(path.c_str(), "w");
   if (file == nullptr) {
-    std::fprintf(stderr, "cannot write trace to '%s'\n", path.c_str());
+    if (error != nullptr) {
+      *error = "cannot write trace to '" + path + "': " + std::strerror(errno);
+    }
     return false;
   }
   const std::string json = trace_to_json(trace);
-  std::fwrite(json.data(), 1, json.size(), file);
-  std::fclose(file);
+  const bool wrote = std::fwrite(json.data(), 1, json.size(), file) ==
+                     json.size();
+  const bool closed = std::fclose(file) == 0;
+  if (!wrote || !closed) {
+    if (error != nullptr) *error = "short write to '" + path + "'";
+    return false;
+  }
+  return true;
+}
+
+bool write_trace_file(const std::string& path, const Trace& trace) {
+  std::string error;
+  if (!write_trace_file(path, trace, &error)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return false;
+  }
   return true;
 }
 

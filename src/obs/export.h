@@ -38,7 +38,14 @@ void print_report(std::FILE* out, const Trace& trace,
                   const MetricsSnapshot& snapshot);
 
 /// Write trace JSON to `path` ("-" or empty writes nothing). Returns false
-/// (with a message on stderr) when the file cannot be written.
+/// when the file cannot be written; on failure `error` (when non-null)
+/// receives a message naming the path and the errno cause. The obs layer
+/// sits below common/status.h, so callers that want a typed error wrap the
+/// message themselves (see bench_util.h).
+bool write_trace_file(const std::string& path, const Trace& trace,
+                      std::string* error);
+
+/// Convenience overload: failures print to stderr instead.
 bool write_trace_file(const std::string& path, const Trace& trace);
 
 }  // namespace rfly::obs

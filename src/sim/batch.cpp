@@ -65,7 +65,11 @@ std::vector<BatchResult> run_seed_sweep(const Scenario& scenario,
   std::vector<BatchJob> jobs;
   jobs.reserve(count);
   for (std::size_t i = 0; i < count; ++i) {
-    jobs.push_back({scenario, first_seed + i});
+    // Independent per-trial engine: splitmix64 hash of (first_seed, trial).
+    // Raw `first_seed + i` made overlapping sweeps rerun the same missions
+    // and correlated trial streams with the pipeline's internal seed
+    // offsets; the hash decorrelates all of them (see batch.h).
+    jobs.push_back({scenario, stream_seed(first_seed, i)});
   }
   return run_batch(jobs, config);
 }
@@ -80,13 +84,16 @@ BatchSummary summarize(const std::vector<BatchResult>& results) {
       continue;
     }
     ++succeeded;
+    if (result.run.health.code() == StatusCode::kDegraded) ++summary.degraded;
     summary.mean_discovered += static_cast<double>(result.run.report.discovered);
     summary.mean_localized += static_cast<double>(result.run.report.localized);
+    summary.mean_coverage += result.run.aperture_coverage;
     summary.total_seconds += result.run.total_seconds;
   }
   if (succeeded > 0) {
     summary.mean_discovered /= static_cast<double>(succeeded);
     summary.mean_localized /= static_cast<double>(succeeded);
+    summary.mean_coverage /= static_cast<double>(succeeded);
   }
   return summary;
 }

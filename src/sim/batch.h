@@ -16,6 +16,8 @@ namespace rfly::sim {
 
 struct BatchJob {
   Scenario scenario;
+  /// Engine seed the mission runs with. Hand-built jobs pick any value;
+  /// run_seed_sweep derives decorrelated per-trial seeds (see below).
   std::uint64_t seed = 1;
 };
 
@@ -38,19 +40,32 @@ struct BatchConfig {
 std::vector<BatchResult> run_batch(const std::vector<BatchJob>& jobs,
                                    const BatchConfig& config = {});
 
-/// Convenience: one scenario across seeds [first_seed, first_seed + count).
+/// Convenience: one scenario across `count` trials. Trial i runs with the
+/// engine seed stream_seed(first_seed, i) — a splitmix64 hash of
+/// (first_seed, trial_index) — NOT first_seed + i: the Rng is not
+/// thread-safe and trials must not share stochastic state, but raw
+/// adjacent seeds do exactly that across sweeps (sweep 40's trial 1 and
+/// sweep 41's trial 0 were the same mission, and both collided with the
+/// pipeline's `seed + 100 + i` tag streams). The hashed streams are
+/// independent, so batch output is a pure function of (first_seed, i):
+/// thread-count- and order-invariant, pinned bit-for-bit by test_batch.
 std::vector<BatchResult> run_seed_sweep(const Scenario& scenario,
                                         std::uint64_t first_seed,
                                         std::size_t count,
                                         const BatchConfig& config = {});
 
 /// Fraction of jobs whose mission succeeded, and mean localized count over
-/// successful jobs (0 when none) — the two headline numbers a sweep prints.
+/// successful jobs (0 when none) — the headline numbers a sweep prints.
 struct BatchSummary {
   std::size_t jobs = 0;
   std::size_t failed = 0;
+  /// Successful missions whose health came back kDegraded (fault injection
+  /// disrupted them but they completed). Disjoint from `failed`.
+  std::size_t degraded = 0;
   double mean_discovered = 0.0;
   double mean_localized = 0.0;
+  /// Mean aperture coverage over successful jobs (1 when faults are off).
+  double mean_coverage = 0.0;
   double total_seconds = 0.0;  // sum of per-job wall clock
 };
 

@@ -1,0 +1,69 @@
+#include "sim/faults.h"
+
+#include <complex>
+
+namespace rfly::sim {
+
+namespace {
+/// Stream tag for the fault Rng ("fault" in ASCII): keeps the injector's
+/// draws disjoint from the mission Rng (seeded with the raw seed) and from
+/// the batch runner's per-trial streams (stream_seed(seed, trial)).
+constexpr std::uint64_t kFaultStream = 0x6661756C74ull;
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultConfig& config, std::uint64_t mission_seed)
+    : config_(config), rng_(stream_seed(mission_seed, kFaultStream)) {
+  // The residual CFO is a property of the relay oscillator for the whole
+  // mission, not of one measurement: one slope per mission.
+  if (config_.relay_cfo_std_rad > 0.0) {
+    cfo_slope_rad_ = rng_.gaussian(0.0, config_.relay_cfo_std_rad);
+  }
+}
+
+void FaultInjector::perturb_flight(std::vector<drone::FlownPoint>& flight) {
+  if (!(config_.wind_jitter_std_m > 0.0)) return;
+  for (auto& point : flight) {
+    point.actual.x += rng_.gaussian(0.0, config_.wind_jitter_std_m);
+    point.actual.y += rng_.gaussian(0.0, config_.wind_jitter_std_m);
+    point.actual.z += rng_.gaussian(0.0, config_.wind_jitter_std_m);
+    ++stats_.wind_points;
+  }
+}
+
+localize::MeasurementSet FaultInjector::afflict(
+    const localize::MeasurementSet& clean) {
+  localize::MeasurementSet survivors;
+  survivors.reserve(clean.size());
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    if (config_.dropout > 0.0 && rng_.chance(config_.dropout)) {
+      ++stats_.dropouts;
+      continue;
+    }
+    if (config_.embedded_loss > 0.0 && rng_.chance(config_.embedded_loss)) {
+      // No embedded reference at this position: Eq. 10 cannot divide out
+      // the reader-relay half-link, so the measurement is unusable.
+      ++stats_.embedded_losses;
+      continue;
+    }
+    localize::RelayMeasurement m = clean[i];
+    double extra_phase_rad = 0.0;
+    if (config_.phase_burst > 0.0 && rng_.chance(config_.phase_burst)) {
+      extra_phase_rad += rng_.gaussian(0.0, config_.phase_burst_std_rad);
+      ++stats_.phase_bursts;
+    }
+    if (cfo_slope_rad_ != 0.0) {
+      extra_phase_rad += cfo_slope_rad_ * static_cast<double>(i);
+      ++stats_.cfo_measurements;
+    }
+    // Target channel only: phase error common to the target and embedded
+    // channels cancels in Eq. 10 (that is the mirrored architecture's whole
+    // point); what survives to hurt SAR is the differential residue.
+    if (extra_phase_rad != 0.0) {
+      m.target_channel *= std::polar(1.0, extra_phase_rad);
+    }
+    survivors.push_back(m);
+  }
+  return survivors;
+}
+
+}  // namespace rfly::sim

@@ -1,0 +1,115 @@
+// Declarative, seed-deterministic fault model for the mission pipeline.
+// The paper's evaluation (Section 7.3) survives drone sway, wind, dropped
+// reads, and residual relay phase error; this layer injects those
+// imperfections at the pipeline boundaries so missions can be stressed
+// reproducibly: trajectory jitter after the fly stage, measurement dropout
+// / embedded-tag read loss / phase-noise bursts / residual relay CFO on
+// the collected aperture before disentanglement.
+//
+// Determinism contract: the injector draws from its own Rng stream
+// (stream_seed(mission_seed, kFaultStream)), never from the shared mission
+// Rng, and every sub-fault skips its draw entirely at rate zero — so a
+// FaultConfig with all rates zero is provably free: the mission consumes
+// exactly the same random sequence and produces bit-identical output.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "drone/flight.h"
+#include "localize/measurement.h"
+
+namespace rfly::sim {
+
+/// Fault rates and retry policy. All rates default to zero (no faults);
+/// `faults.*` keys on a Scenario round-trip through the serializer.
+struct FaultConfig {
+  /// Per-position probability that the reader fails to obtain a channel
+  /// estimate even though the physics would allow one (lost read).
+  double dropout = 0.0;
+  /// Per-position probability of a phase-noise burst on the target channel,
+  /// and the burst's 1-sigma size.
+  double phase_burst = 0.0;
+  double phase_burst_std_rad = 0.8;
+  /// Residual relay CFO after the mirrored architecture's cancellation:
+  /// 1-sigma of a per-mission phase-ramp slope [rad per position] applied
+  /// to the target channel only (Eq. 10 cancels whatever is common to the
+  /// target and embedded channels).
+  double relay_cfo_std_rad = 0.0;
+  /// Wind model: extra per-axis 1-sigma perturbation of the drone's ACTUAL
+  /// position that the tracking system does not see, widening the
+  /// reported-vs-actual gap the SAR equations suffer.
+  double wind_jitter_std_m = 0.0;
+  /// Per-position probability that the relay-embedded tag's read is lost,
+  /// which breaks disentanglement for that position (Eq. 10 has no
+  /// reference to divide by) — the measurement is unusable.
+  double embedded_loss = 0.0;
+  /// Bounded attempts for fault-afflicted stages: when an affliction leaves
+  /// too small an aperture (or localization fails on it), the stage re-runs
+  /// with a fresh fault draw, up to this many attempts total.
+  int max_attempts = 3;
+
+  /// True when any fault can fire. The pipeline skips the injector entirely
+  /// when false, so the disabled layer costs no draws and no work.
+  bool enabled() const {
+    return dropout > 0.0 || phase_burst > 0.0 || relay_cfo_std_rad > 0.0 ||
+           wind_jitter_std_m > 0.0 || embedded_loss > 0.0;
+  }
+};
+
+/// Injection tallies for one mission, surfaced on MissionRun and mirrored
+/// into obs counters (`faults.*`).
+struct FaultStats {
+  std::uint64_t dropouts = 0;         // measurements removed by dropout
+  std::uint64_t embedded_losses = 0;  // measurements removed by embedded loss
+  std::uint64_t phase_bursts = 0;     // measurements hit by a burst
+  std::uint64_t cfo_measurements = 0; // measurements carrying the CFO ramp
+  std::uint64_t wind_points = 0;      // flight points perturbed by wind
+  std::uint64_t retries = 0;          // extra stage attempts beyond the first
+
+  /// Discrete disruptions: events that removed or corrupted a measurement,
+  /// or forced a retry. Continuous impairments (wind, CFO) perturb every
+  /// sample alike and do not count — a mission is DEGRADED when this is
+  /// nonzero, not merely noisier.
+  std::uint64_t disruptions() const {
+    return dropouts + embedded_losses + phase_bursts + retries;
+  }
+};
+
+/// Per-mission fault source. Owns an independent Rng stream derived from
+/// the mission seed, so (a) two missions with the same seed inject the
+/// same faults at any thread count, and (b) the shared mission Rng's draw
+/// sequence is untouched whether faults are on or off.
+class FaultInjector {
+ public:
+  FaultInjector(const FaultConfig& config, std::uint64_t mission_seed);
+
+  bool enabled() const { return config_.enabled(); }
+  const FaultConfig& config() const { return config_; }
+  const FaultStats& stats() const { return stats_; }
+
+  /// Fly-stage boundary: wind perturbs where the drone actually was; the
+  /// tracking report (what SAR is given) keeps believing the plan. No-op
+  /// at wind_jitter_std_m == 0.
+  void perturb_flight(std::vector<drone::FlownPoint>& flight);
+
+  /// Measure-stage boundary: apply dropout / embedded loss / bursts / CFO
+  /// to a freshly collected clean aperture and return the survivors. Each
+  /// call draws a fresh fault pattern — calling again IS the retry. Draw
+  /// order per position (dropout, embedded loss, burst) is part of the
+  /// determinism contract; rate-zero sub-faults consume no draws.
+  localize::MeasurementSet afflict(const localize::MeasurementSet& clean);
+
+  /// Record one retry of a fault-afflicted stage.
+  void count_retry() { ++stats_.retries; }
+
+ private:
+  FaultConfig config_;
+  Rng rng_;
+  /// Per-mission residual CFO ramp slope [rad/position], drawn once.
+  double cfo_slope_rad_ = 0.0;
+  FaultStats stats_;
+};
+
+}  // namespace rfly::sim

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 
 #include "drone/trajectory.h"
+#include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace rfly::sim {
@@ -74,6 +76,43 @@ Status validate_mission(const core::ScanMissionConfig& config,
   return Status::ok();
 }
 
+// Fault telemetry. Counters/gauge update once per mission, the histogram
+// once per discovered tag — nowhere near a hot path. Handles hoisted per
+// the obs registration contract.
+obs::Counter& faults_dropouts() {
+  static obs::Counter& c = obs::counter("faults.dropouts");
+  return c;
+}
+obs::Counter& faults_embedded_losses() {
+  static obs::Counter& c = obs::counter("faults.embedded_losses");
+  return c;
+}
+obs::Counter& faults_phase_bursts() {
+  static obs::Counter& c = obs::counter("faults.phase_bursts");
+  return c;
+}
+obs::Counter& faults_retries() {
+  static obs::Counter& c = obs::counter("faults.retries");
+  return c;
+}
+obs::Gauge& faults_coverage() {
+  static obs::Gauge& g = obs::gauge("faults.aperture_coverage");
+  return g;
+}
+/// Attempts per discovered tag (1 = first try succeeded): the retry
+/// histogram. Counts layout — attempts are small integers.
+obs::Histogram& faults_attempts() {
+  static obs::Histogram& h =
+      obs::histogram("faults.retry_attempts", obs::HistogramSpec::counts());
+  return h;
+}
+
+std::string coverage_percent(double coverage) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%.1f%%", coverage * 100.0);
+  return buf;
+}
+
 }  // namespace
 
 const char* stage_name(Stage stage) {
@@ -95,7 +134,8 @@ Expected<MissionRun> run_mission_pipeline(const core::ScanMissionConfig& config,
                                           const std::vector<Vec3>& flight_plan,
                                           std::vector<core::TagPlacement>& tags,
                                           const core::InventoryDatabase& database,
-                                          std::uint64_t seed) {
+                                          std::uint64_t seed,
+                                          const FaultConfig& faults) {
   const auto mission_start = Clock::now();
   // total_seconds stays chrono-based (it predates the obs layer and must
   // keep reporting wall time even under RFLY_OBS=OFF); the span nests the
@@ -123,12 +163,22 @@ Expected<MissionRun> run_mission_pipeline(const core::ScanMissionConfig& config,
   // must not reorder it, or the report stops being bit-identical.
   Rng rng(seed);
   core::RflySystem system(config.system, environment, reader_position);
+  // The injector draws from its own stream (stream_seed(seed, ...)), never
+  // from `rng` above — so whether faults are on or off, the mission Rng's
+  // sequence is identical, and a zero-rate config changes nothing at all.
+  FaultInjector injector(faults, seed);
+  const bool faulty = injector.enabled();
+  std::size_t aperture_clean = 0;  // measurements the physics produced
+  std::size_t aperture_used = 0;   // measurements surviving fault injection
 
   // --- fly: simulate the flight. ----------------------------------------
   std::vector<drone::FlownPoint> flight;
   {
     StageTimer timer(run.trace, Stage::kFly);
     flight = drone::fly(flight_plan, config.flight, config.tracking, rng);
+    // Fault boundary: wind shifts where the drone really was; the tracking
+    // reports (what SAR is given) keep believing the calm-air model.
+    injector.perturb_flight(flight);
   }
 
   // Gen2 discovery: run inventory rounds at each tag's closest approach.
@@ -184,7 +234,7 @@ Expected<MissionRun> run_mission_pipeline(const core::ScanMissionConfig& config,
 
     // --- measure: channel collection along the whole flight (the system
     // drops points where the tag is unpowered or undecodable). ------------
-    localize::MeasurementSet measurements;
+    localize::MeasurementSet clean;
     {
       StageTimer timer(run.trace, Stage::kMeasure);
       auto collected =
@@ -193,69 +243,156 @@ Expected<MissionRun> run_mission_pipeline(const core::ScanMissionConfig& config,
         item.status =
             collected.status().with_context("tag " + std::to_string(i));
       } else {
-        measurements = std::move(collected.value());
+        clean = std::move(collected.value());
       }
     }
-    item.measurements = measurements.size();
-    if (measurements.size() < 3) {
-      if (item.status.is_ok()) {
-        item.status = Status{StatusCode::kInsufficientData,
-                             "only " + std::to_string(measurements.size()) +
-                                 " usable measurements; SAR needs >= 3"}
-                          .with_context("tag " + std::to_string(i));
-      }
-      StageTimer timer(run.trace, Stage::kReport);
-      run.report.items.push_back(std::move(item));
-      continue;
-    }
+    const std::size_t clean_count = clean.size();
+    aperture_clean += clean_count;
 
-    // --- disentangle: Eq. 10 per measurement. ---------------------------
-    localize::DisentangledSet half_link;
-    {
-      StageTimer timer(run.trace, Stage::kDisentangle);
-      half_link = localize::disentangle(measurements);
-    }
+    // --- fault boundary + downstream stages, with bounded attempts. With
+    // faults disabled this collapses to the legacy single pass over the
+    // clean set; with faults on, each attempt re-draws the fault pattern
+    // from the injector's own stream and localization runs on whatever
+    // partial aperture survives. ------------------------------------------
+    localize::MeasurementSet measurements;
+    std::size_t used = 0;
+    int attempt = 0;
+    Status attempt_status;
+    bool localized = false;
+    Vec3 estimate{};
+    while (true) {
+      ++attempt;
+      if (attempt > 1) injector.count_retry();
+      measurements = faulty ? injector.afflict(clean) : std::move(clean);
+      used = measurements.size();
+      attempt_status = Status::ok();
 
-    // --- localize: SAR over a window centered on the measurement centroid
-    // (the system does not know the tag position; it knows where the drone
-    // heard it). ----------------------------------------------------------
-    {
-      StageTimer timer(run.trace, Stage::kLocalize);
-      Vec3 centroid{0, 0, 0};
-      for (const auto& m : measurements) centroid = centroid + m.relay_position;
-      centroid = centroid / static_cast<double>(measurements.size());
-
-      localize::LocalizerConfig loc;
-      loc.threads = config.localize_threads;
-      loc.kernel = config.sar_kernel;
-      loc.freq_hz = config.system.carrier_hz + config.system.freq_shift_hz;
-      loc.peak_threshold_fraction = config.peak_threshold_fraction;
-      loc.grid.resolution_m = config.grid_resolution_m;
-      loc.grid.x_min = centroid.x - config.search_halfwidth_m;
-      loc.grid.x_max = centroid.x + config.search_halfwidth_m;
-      // One-sided in y: the operator knows which side of the path the shelf
-      // face is on; the grid stops short of the path so the 1D aperture's
-      // mirror band is excluded (see DESIGN.md).
-      if (config.tags_below_path) {
-        loc.grid.y_min = centroid.y - config.search_halfwidth_m;
-        loc.grid.y_max = centroid.y - config.grid_margin_to_path_m;
+      if (used < 3) {
+        if (faulty && used < clean_count) {
+          attempt_status =
+              Status{StatusCode::kInsufficientData,
+                     "only " + std::to_string(used) + " of " +
+                         std::to_string(clean_count) +
+                         " measurements survived fault injection after " +
+                         std::to_string(attempt) +
+                         " attempt(s); SAR needs >= 3"}
+                  .with_context("tag " + std::to_string(i));
+        } else {
+          attempt_status = Status{StatusCode::kInsufficientData,
+                                  "only " + std::to_string(used) +
+                                      " usable measurements; SAR needs >= 3"}
+                               .with_context("tag " + std::to_string(i));
+        }
       } else {
-        loc.grid.y_min = centroid.y + config.grid_margin_to_path_m;
-        loc.grid.y_max = centroid.y + config.search_halfwidth_m;
-      }
+        // --- disentangle: Eq. 10 per measurement. -------------------------
+        localize::DisentangledSet half_link;
+        {
+          StageTimer timer(run.trace, Stage::kDisentangle);
+          half_link = localize::disentangle(measurements);
+        }
 
-      auto result = localize::localize_2d_from(half_link, loc);
-      if (!result) {
-        item.status = result.status().with_context("tag " + std::to_string(i));
-      } else {
-        item.localized = true;
-        item.estimate = {result->x, result->y, 0.0};
-        ++run.report.localized;
+        // --- localize: SAR over a window centered on the measurement
+        // centroid (the system does not know the tag position; it knows
+        // where the drone heard it). ---------------------------------------
+        {
+          StageTimer timer(run.trace, Stage::kLocalize);
+          Vec3 centroid{0, 0, 0};
+          for (const auto& m : measurements) centroid = centroid + m.relay_position;
+          centroid = centroid / static_cast<double>(measurements.size());
+
+          localize::LocalizerConfig loc;
+          loc.threads = config.localize_threads;
+          loc.kernel = config.sar_kernel;
+          loc.freq_hz = config.system.carrier_hz + config.system.freq_shift_hz;
+          loc.peak_threshold_fraction = config.peak_threshold_fraction;
+          loc.grid.resolution_m = config.grid_resolution_m;
+          loc.grid.x_min = centroid.x - config.search_halfwidth_m;
+          loc.grid.x_max = centroid.x + config.search_halfwidth_m;
+          // One-sided in y: the operator knows which side of the path the
+          // shelf face is on; the grid stops short of the path so the 1D
+          // aperture's mirror band is excluded (see DESIGN.md).
+          if (config.tags_below_path) {
+            loc.grid.y_min = centroid.y - config.search_halfwidth_m;
+            loc.grid.y_max = centroid.y - config.grid_margin_to_path_m;
+          } else {
+            loc.grid.y_min = centroid.y + config.grid_margin_to_path_m;
+            loc.grid.y_max = centroid.y + config.search_halfwidth_m;
+          }
+
+          auto result = localize::localize_2d_from(half_link, loc);
+          if (!result) {
+            attempt_status =
+                result.status().with_context("tag " + std::to_string(i));
+          } else {
+            localized = true;
+            estimate = {result->x, result->y, 0.0};
+          }
+        }
       }
+      if (localized) break;
+      // Retry only when a fresh fault draw could change the outcome: faults
+      // on, attempts left, and enough clean measurements that an affliction
+      // pattern decides success.
+      if (!faulty || attempt >= faults.max_attempts || clean_count < 3) break;
+    }
+
+    item.measurements = used;
+    aperture_used += used;
+    if (faulty) faults_attempts().observe(static_cast<double>(attempt));
+    if (localized) {
+      item.localized = true;
+      item.estimate = estimate;
+      ++run.report.localized;
+      if (faulty && used < clean_count) {
+        // Graceful degradation: the item IS localized, but from a partial
+        // aperture — say so, with the coverage figure, instead of hiding it.
+        const double coverage =
+            static_cast<double>(used) / static_cast<double>(clean_count);
+        item.status =
+            Status{StatusCode::kDegraded,
+                   "localized from partial aperture: " + std::to_string(used) +
+                       "/" + std::to_string(clean_count) +
+                       " measurements (coverage " +
+                       coverage_percent(coverage) + ")"}
+                .with_context("tag " + std::to_string(i));
+      }
+    } else if (item.status.is_ok()) {
+      // Keep an earlier collect-stage status if one was recorded.
+      item.status = attempt_status;
     }
 
     StageTimer timer(run.trace, Stage::kReport);
     run.report.items.push_back(std::move(item));
+  }
+
+  // --- graceful-degradation accounting: mission health + coverage. ------
+  run.faults = injector.stats();
+  run.aperture_coverage =
+      aperture_clean > 0 ? static_cast<double>(aperture_used) /
+                               static_cast<double>(aperture_clean)
+                         : 1.0;
+  if (faulty) {
+    const FaultStats& fs = run.faults;
+    faults_dropouts().add(fs.dropouts);
+    faults_embedded_losses().add(fs.embedded_losses);
+    faults_phase_bursts().add(fs.phase_bursts);
+    faults_retries().add(fs.retries);
+    faults_coverage().set(run.aperture_coverage);
+    if (fs.disruptions() > 0) {
+      // The mission completed; health says on what footing. Continuous
+      // impairments (wind, CFO) make data noisier but are not disruptions —
+      // see FaultStats::disruptions().
+      run.health =
+          Status{StatusCode::kDegraded,
+                 std::to_string(fs.dropouts) + " dropout(s), " +
+                     std::to_string(fs.embedded_losses) +
+                     " embedded-tag loss(es), " +
+                     std::to_string(fs.phase_bursts) + " phase burst(s), " +
+                     std::to_string(fs.retries) +
+                     " retry(s); aperture coverage " +
+                     coverage_percent(run.aperture_coverage)}
+              .with_context("fault injection");
+    }
   }
 
   run.total_seconds =
@@ -277,7 +414,7 @@ Expected<MissionRun> run_scenario(const Scenario& scenario, std::uint64_t seed) 
   std::vector<core::TagPlacement> tags = tag_placements(scenario);
   const core::InventoryDatabase db = database(scenario);
   return run_mission_pipeline(config, environment, scenario.reader_position,
-                              plan, tags, db, seed)
+                              plan, tags, db, seed, scenario.faults)
       .with_context("scenario '" + scenario.name + "'");
 }
 

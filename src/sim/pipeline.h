@@ -12,6 +12,7 @@
 
 #include "common/status.h"
 #include "core/scan_mission.h"
+#include "sim/faults.h"
 #include "sim/scenario.h"
 
 namespace rfly::sim {
@@ -44,23 +45,39 @@ struct MissionRun {
   /// One entry per Stage, in pipeline order.
   std::vector<StageTrace> trace;
   double total_seconds = 0.0;
+  /// Graceful-degradation outcome: OK when nominal; kDegraded (with the
+  /// fault tallies and aperture coverage in the message) when injected
+  /// faults disrupted the mission but it still completed. A DEGRADED
+  /// mission is a *completed* mission — the report above is usable.
+  Status health = Status::ok();
+  /// Fraction of the cleanly collected aperture that survived fault
+  /// injection, over every discovered tag (1 when faults are disabled).
+  double aperture_coverage = 1.0;
+  /// Injection tallies for this mission (all zero when faults are disabled).
+  FaultStats faults;
 };
 
 /// Run the staged mission. Mission-level errors (kEmptyFlightPlan,
 /// kEmptyPopulation, kDegenerateGrid for a margin that clips the whole
 /// search window) fail the whole run; per-item failures are recorded in
 /// each ScannedItem's `status` and do not. Deterministic given `seed`:
-/// the report is bit-identical to the legacy core::run_scan_mission.
+/// with the default (all-zero) FaultConfig the report is bit-identical to
+/// the legacy core::run_scan_mission. With faults enabled, the injector
+/// draws from its own seed-derived stream: per-stage bounded retries
+/// (faults.max_attempts) re-draw the fault pattern, and a tag localized
+/// from a partial aperture is reported localized with a kDegraded item
+/// status carrying its coverage instead of failing.
 Expected<MissionRun> run_mission_pipeline(const core::ScanMissionConfig& config,
                                           const channel::Environment& environment,
                                           const Vec3& reader_position,
                                           const std::vector<Vec3>& flight_plan,
                                           std::vector<core::TagPlacement>& tags,
                                           const core::InventoryDatabase& database,
-                                          std::uint64_t seed);
+                                          std::uint64_t seed,
+                                          const FaultConfig& faults = {});
 
 /// Validate + materialize a scenario and run it through the pipeline with
-/// the scenario's own seed.
+/// the scenario's own seed and fault model.
 Expected<MissionRun> run_scenario(const Scenario& scenario);
 
 /// Same, with the seed overridden (sweeps reuse one parsed scenario).

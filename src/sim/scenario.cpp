@@ -5,6 +5,7 @@
 #include <functional>
 #include <sstream>
 #include <system_error>
+#include <utility>
 
 #include "drone/trajectory.h"
 
@@ -269,6 +270,21 @@ const std::vector<FieldDef>& registry() {
                  [](Scenario& s, const std::string& v) {
                    return localize::parse_sar_kernel(v, s.sar_kernel);
                  }});
+
+    f.push_back(double_field("faults.dropout",
+                             [](Scenario& s) -> double& { return s.faults.dropout; }));
+    f.push_back(double_field("faults.phase_burst",
+                             [](Scenario& s) -> double& { return s.faults.phase_burst; }));
+    f.push_back(double_field("faults.phase_burst_std_rad",
+                             [](Scenario& s) -> double& { return s.faults.phase_burst_std_rad; }));
+    f.push_back(double_field("faults.relay_cfo_std_rad",
+                             [](Scenario& s) -> double& { return s.faults.relay_cfo_std_rad; }));
+    f.push_back(double_field("faults.wind_jitter_std_m",
+                             [](Scenario& s) -> double& { return s.faults.wind_jitter_std_m; }));
+    f.push_back(double_field("faults.embedded_loss",
+                             [](Scenario& s) -> double& { return s.faults.embedded_loss; }));
+    f.push_back(int_field("faults.max_attempts",
+                          [](Scenario& s) -> int& { return s.faults.max_attempts; }));
     return f;
   }();
   return fields;
@@ -409,6 +425,29 @@ Status validate(const Scenario& scenario) {
   if (!(scenario.system.estimate_integration_s > 0.0)) {
     return invalid("system.estimate_integration_s must be positive");
   }
+  const std::pair<const char*, double> fault_rates[] = {
+      {"faults.dropout", scenario.faults.dropout},
+      {"faults.phase_burst", scenario.faults.phase_burst},
+      {"faults.embedded_loss", scenario.faults.embedded_loss}};
+  for (const auto& [key, rate] : fault_rates) {
+    if (!(rate >= 0.0) || rate > 1.0) {
+      return invalid(std::string(key) + " must be a probability in [0, 1], got " +
+                     format_double(rate));
+    }
+  }
+  const std::pair<const char*, double> fault_stds[] = {
+      {"faults.phase_burst_std_rad", scenario.faults.phase_burst_std_rad},
+      {"faults.relay_cfo_std_rad", scenario.faults.relay_cfo_std_rad},
+      {"faults.wind_jitter_std_m", scenario.faults.wind_jitter_std_m}};
+  for (const auto& [key, std_dev] : fault_stds) {
+    if (!(std_dev >= 0.0)) {
+      return invalid(std::string(key) + " must be >= 0, got " +
+                     format_double(std_dev));
+    }
+  }
+  if (scenario.faults.max_attempts < 1) {
+    return invalid("faults.max_attempts must be >= 1");
+  }
   return Status::ok();
 }
 
@@ -438,6 +477,11 @@ Expected<Scenario> parse_scenario(const std::string& text) {
   std::istringstream in(text);
   std::string line;
   int line_no = 0;
+  // Scalar keys already assigned, with the line that set them. A duplicate
+  // is a parse error (the old behavior silently kept the LAST value, so a
+  // stale line at the top of a file invisibly lost to an edit at the
+  // bottom). `leg`/`tag` legitimately repeat — they append.
+  std::vector<std::pair<std::string, int>> assigned;
   while (std::getline(in, line)) {
     ++line_no;
     const std::string stripped = trim(line);
@@ -450,6 +494,17 @@ Expected<Scenario> parse_scenario(const std::string& text) {
     }
     const std::string key = trim(stripped.substr(0, eq));
     const std::string value = trim(stripped.substr(eq + 1));
+    if (key != "leg" && key != "tag") {
+      for (const auto& [seen_key, seen_line] : assigned) {
+        if (seen_key == key) {
+          return Status{StatusCode::kParseError,
+                        "duplicate key '" + key + "' (first set at line " +
+                            std::to_string(seen_line) + ")"}
+              .with_context("line " + std::to_string(line_no));
+        }
+      }
+      assigned.emplace_back(key, line_no);
+    }
     const Status status = apply_override(scenario, key, value);
     if (!status.is_ok()) {
       return Status{status.code(), status.message()}.with_context(

@@ -14,6 +14,7 @@
 
 #include "common/status.h"
 #include "core/scan_mission.h"
+#include "sim/faults.h"
 
 namespace rfly::sim {
 
@@ -75,6 +76,10 @@ struct Scenario {
   bool tags_below_path = true;
   unsigned localize_threads = 0;
   localize::SarKernel sar_kernel = localize::SarKernel::kExact;
+
+  /// Fault model (`faults.*` keys). All rates default to zero: a scenario
+  /// without faults keys runs bit-identically to one predating the layer.
+  FaultConfig faults{};
 };
 
 /// Reject inconsistent scenarios with an actionable message: empty flight
@@ -87,8 +92,10 @@ Status validate(const Scenario& scenario);
 /// to round-trip exactly; parse(serialize(s)) reproduces s bit-for-bit.
 std::string serialize(const Scenario& scenario);
 
-/// Parse scenario text. Unknown keys, malformed values, and wrong arity are
-/// kParseError with the line number in context. The result is validated.
+/// Parse scenario text. Unknown keys, malformed values, wrong arity, and
+/// duplicate scalar keys (which used to silently keep the last value) are
+/// kParseError with the line number in context; a duplicate also names the
+/// line that first set the key. The result is validated.
 Expected<Scenario> parse_scenario(const std::string& text);
 
 /// Load + parse + validate a scenario file (kIoError if unreadable).

@@ -15,24 +15,70 @@ void expect_reports_identical(const core::ScanReport& a, const core::ScanReport&
     EXPECT_EQ(a.items[i].measurements, b.items[i].measurements) << "item " << i;
     EXPECT_EQ(a.items[i].estimate.x, b.items[i].estimate.x) << "item " << i;
     EXPECT_EQ(a.items[i].estimate.y, b.items[i].estimate.y) << "item " << i;
+    EXPECT_EQ(a.items[i].status.code(), b.items[i].status.code()) << "item " << i;
+    EXPECT_EQ(a.items[i].status.to_string(), b.items[i].status.to_string())
+        << "item " << i;
   }
+}
+
+void expect_results_identical(const BatchResult& a, const BatchResult& b) {
+  EXPECT_EQ(a.seed, b.seed);
+  EXPECT_EQ(a.status.to_string(), b.status.to_string());
+  EXPECT_EQ(a.run.health.code(), b.run.health.code());
+  EXPECT_EQ(a.run.health.to_string(), b.run.health.to_string());
+  EXPECT_EQ(a.run.aperture_coverage, b.run.aperture_coverage);
+  EXPECT_EQ(a.run.faults.dropouts, b.run.faults.dropouts);
+  EXPECT_EQ(a.run.faults.retries, b.run.faults.retries);
+  expect_reports_identical(a.run.report, b.run.report);
 }
 
 // The batch guarantee: outer-loop parallelism never changes any result.
 // Each job runs a serial mission (nested parallel_for falls back), results
-// land at the job's index, so thread count is invisible in the output.
+// land at the job's index, so thread count is invisible in the output —
+// bit-for-bit, including per-item statuses and mission health.
 TEST(Batch, SeedSweepIsIdenticalAtAnyThreadCount) {
   const auto scenario = *preset("building");
   const auto serial = run_seed_sweep(scenario, 40, 3, {1});
-  const auto threaded = run_seed_sweep(scenario, 40, 3, {4});
+  const auto threaded = run_seed_sweep(scenario, 40, 3, {8});
   ASSERT_EQ(serial.size(), 3u);
   ASSERT_EQ(threaded.size(), 3u);
   for (std::size_t i = 0; i < serial.size(); ++i) {
-    EXPECT_EQ(serial[i].seed, 40u + i);
-    EXPECT_EQ(threaded[i].seed, 40u + i);
+    // Trial i runs the splitmix64-derived engine seed, not first_seed + i.
+    EXPECT_EQ(serial[i].seed, stream_seed(40, i));
+    EXPECT_EQ(threaded[i].seed, stream_seed(40, i));
     ASSERT_TRUE(serial[i].status.is_ok()) << serial[i].status.to_string();
     ASSERT_TRUE(threaded[i].status.is_ok()) << threaded[i].status.to_string();
-    expect_reports_identical(serial[i].run.report, threaded[i].run.report);
+    expect_results_identical(serial[i], threaded[i]);
+  }
+}
+
+// Same guarantee with the fault layer live: the injector's stream hangs off
+// the job's engine seed, so dropout patterns, retries, DEGRADED statuses and
+// coverage figures are all thread-count-invariant too.
+TEST(Batch, FaultySweepIsIdenticalAtAnyThreadCount) {
+  auto scenario = *preset("building");
+  scenario.faults.dropout = 0.2;
+  const auto serial = run_seed_sweep(scenario, 7, 3, {1});
+  const auto threaded = run_seed_sweep(scenario, 7, 3, {8});
+  ASSERT_EQ(serial.size(), 3u);
+  ASSERT_EQ(threaded.size(), 3u);
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    ASSERT_TRUE(serial[i].status.is_ok()) << serial[i].status.to_string();
+    expect_results_identical(serial[i], threaded[i]);
+  }
+}
+
+// The old `first_seed + i` scheme made adjacent sweeps share missions
+// (sweep 40's trial 1 == sweep 41's trial 0). The hashed per-trial streams
+// must not collide like that.
+TEST(Batch, AdjacentSweepsShareNoTrialSeeds) {
+  for (std::uint64_t base = 40; base < 44; ++base) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      for (std::size_t j = 0; j < 4; ++j) {
+        EXPECT_NE(stream_seed(base, i), stream_seed(base + 1, j))
+            << "base " << base << " trial " << i << " vs trial " << j;
+      }
+    }
   }
 }
 

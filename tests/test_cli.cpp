@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "bench_util.h"
+
+namespace rfly::bench {
+namespace {
+
+// PR 3 pinned the integer behavior (reject garbage instead of atoi's silent
+// zero); these pin the floating-point side added for the fault-rate flags.
+TEST(ParseCliNumber, AcceptsFloatingPoint) {
+  double value = 0.0;
+  EXPECT_TRUE(parse_cli_number("--set", "0.25", value).is_ok());
+  EXPECT_EQ(value, 0.25);
+  EXPECT_TRUE(parse_cli_number("--set", "-1e-3", value).is_ok());
+  EXPECT_EQ(value, -1e-3);
+  EXPECT_TRUE(parse_cli_number("--set", "3", value).is_ok());
+  EXPECT_EQ(value, 3.0);
+}
+
+TEST(ParseCliNumber, RejectsTrailingGarbageAndNonFinite) {
+  double value = 7.0;
+  const Status garbage = parse_cli_number("--rate", "0.1x", value);
+  EXPECT_EQ(garbage.code(), StatusCode::kParseError);
+  EXPECT_NE(garbage.to_string().find("--rate"), std::string::npos);
+  EXPECT_NE(garbage.to_string().find("0.1x"), std::string::npos);
+  EXPECT_EQ(parse_cli_number("--rate", "", value).code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(parse_cli_number("--rate", "nan", value).code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(parse_cli_number("--rate", "inf", value).code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(value, 7.0);  // failures never clobber the output
+}
+
+TEST(ParseCliNumber, IntegerBehaviorUnchanged) {
+  int value = 0;
+  EXPECT_TRUE(parse_cli_number("--trials", "100", value).is_ok());
+  EXPECT_EQ(value, 100);
+  EXPECT_EQ(parse_cli_number("--trials", "1O0", value).code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(parse_cli_number("--trials", "3.5", value).code(),
+            StatusCode::kParseError);
+  unsigned threads = 0;
+  EXPECT_EQ(parse_cli_number("--threads", "-1", threads).code(),
+            StatusCode::kParseError);
+}
+
+TEST(Metrics, WriteCheckedReportsTypedIoError) {
+  Metrics metrics;
+  metrics.add("jobs", 3.0);
+  const std::string path = "/no/such/dir/metrics.json";
+  const Status status = metrics.write_checked(path);
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_NE(status.to_string().find(path), std::string::npos)
+      << status.to_string();
+}
+
+TEST(Metrics, WriteCheckedSucceedsAndEmitsJson) {
+  Metrics metrics;
+  metrics.add("jobs", 3.0);
+  metrics.add_json("sweep", "[1, 2]");
+  const std::string path = ::testing::TempDir() + "/rfly_metrics.json";
+  ASSERT_TRUE(metrics.write_checked(path).is_ok());
+  std::ifstream in(path);
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("\"jobs\": 3"), std::string::npos) << content;
+  EXPECT_NE(content.find("\"sweep\": [1, 2]"), std::string::npos) << content;
+  std::remove(path.c_str());
+  // Empty path is the documented no-op.
+  EXPECT_TRUE(metrics.write_checked("").is_ok());
+}
+
+TEST(TraceFile, UnwritableDirectoryYieldsError) {
+  const obs::Trace trace = obs::drain_trace();
+  std::string error;
+  EXPECT_FALSE(obs::write_trace_file("/no/such/dir/trace.json", trace, &error));
+  EXPECT_NE(error.find("/no/such/dir/trace.json"), std::string::npos) << error;
+}
+
+TEST(TraceFile, WritablePathAndSentinelsSucceed) {
+  const obs::Trace trace = obs::drain_trace();
+  std::string error;
+  const std::string path = ::testing::TempDir() + "/rfly_trace.json";
+  EXPECT_TRUE(obs::write_trace_file(path, trace, &error)) << error;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good());
+  std::remove(path.c_str());
+  // "-" and "" mean "no file": success without touching the filesystem.
+  EXPECT_TRUE(obs::write_trace_file("-", trace, &error));
+  EXPECT_TRUE(obs::write_trace_file("", trace, &error));
+}
+
+}  // namespace
+}  // namespace rfly::bench

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "sim/faults.h"
+#include "sim/pipeline.h"
+#include "sim/scenario.h"
+
+namespace rfly::sim {
+namespace {
+
+void expect_reports_identical(const core::ScanReport& a, const core::ScanReport& b) {
+  EXPECT_EQ(a.discovered, b.discovered);
+  EXPECT_EQ(a.localized, b.localized);
+  ASSERT_EQ(a.items.size(), b.items.size());
+  for (std::size_t i = 0; i < a.items.size(); ++i) {
+    EXPECT_EQ(a.items[i].discovered, b.items[i].discovered) << "item " << i;
+    EXPECT_EQ(a.items[i].localized, b.items[i].localized) << "item " << i;
+    EXPECT_EQ(a.items[i].measurements, b.items[i].measurements) << "item " << i;
+    EXPECT_EQ(a.items[i].estimate.x, b.items[i].estimate.x) << "item " << i;
+    EXPECT_EQ(a.items[i].estimate.y, b.items[i].estimate.y) << "item " << i;
+    EXPECT_EQ(a.items[i].status.to_string(), b.items[i].status.to_string())
+        << "item " << i;
+  }
+}
+
+bool any_estimate_differs(const core::ScanReport& a, const core::ScanReport& b) {
+  if (a.items.size() != b.items.size()) return true;
+  for (std::size_t i = 0; i < a.items.size(); ++i) {
+    if (a.items[i].localized != b.items[i].localized) return true;
+    if (a.items[i].estimate.x != b.items[i].estimate.x ||
+        a.items[i].estimate.y != b.items[i].estimate.y) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(Faults, ZeroRateConfigIsDisabled) {
+  FaultConfig config;
+  EXPECT_FALSE(config.enabled());
+  // Std-dev and retry knobs never fire on their own; only rates arm faults.
+  config.phase_burst_std_rad = 9.9;
+  config.max_attempts = 7;
+  EXPECT_FALSE(config.enabled());
+  config.dropout = 0.1;
+  EXPECT_TRUE(config.enabled());
+}
+
+TEST(Faults, DisabledInjectorIsANoOp) {
+  FaultInjector injector({}, 42);
+  EXPECT_FALSE(injector.enabled());
+
+  localize::MeasurementSet set(5);
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    set[i].relay_position = {static_cast<double>(i), 0.5, 1.0};
+    set[i].target_channel = {1.0 + static_cast<double>(i), -2.0};
+    set[i].embedded_channel = {0.25, 0.75};
+  }
+  const auto out = injector.afflict(set);
+  ASSERT_EQ(out.size(), set.size());
+  for (std::size_t i = 0; i < set.size(); ++i) {
+    EXPECT_EQ(out[i].target_channel, set[i].target_channel) << "index " << i;
+    EXPECT_EQ(out[i].embedded_channel, set[i].embedded_channel) << "index " << i;
+  }
+
+  std::vector<drone::FlownPoint> flight(3);
+  flight[1].actual = {1.0, 2.0, 3.0};
+  const auto before = flight;
+  injector.perturb_flight(flight);
+  for (std::size_t i = 0; i < flight.size(); ++i) {
+    EXPECT_EQ(flight[i].actual.x, before[i].actual.x) << "point " << i;
+    EXPECT_EQ(flight[i].actual.y, before[i].actual.y) << "point " << i;
+    EXPECT_EQ(flight[i].actual.z, before[i].actual.z) << "point " << i;
+  }
+
+  EXPECT_EQ(injector.stats().dropouts, 0u);
+  EXPECT_EQ(injector.stats().wind_points, 0u);
+  EXPECT_EQ(injector.stats().disruptions(), 0u);
+}
+
+// The layer's core promise: a zero-rate config is provably free. Non-firing
+// knobs (a burst std with no burst rate, a bigger retry budget) must leave
+// the mission bit-identical to the default config — no Rng draw moved.
+TEST(Faults, ZeroRateScenarioIsBitIdenticalToDefault) {
+  const auto baseline = *preset("building");
+  auto knobs = baseline;
+  knobs.faults.phase_burst_std_rad = 9.9;
+  knobs.faults.max_attempts = 7;
+
+  const auto run_a = run_scenario(baseline);
+  const auto run_b = run_scenario(knobs);
+  ASSERT_TRUE(run_a.ok()) << run_a.status().to_string();
+  ASSERT_TRUE(run_b.ok()) << run_b.status().to_string();
+  EXPECT_TRUE(run_a->health.is_ok());
+  EXPECT_TRUE(run_b->health.is_ok());
+  EXPECT_EQ(run_a->aperture_coverage, 1.0);
+  EXPECT_EQ(run_b->aperture_coverage, 1.0);
+  EXPECT_EQ(run_b->faults.disruptions(), 0u);
+  expect_reports_identical(run_a->report, run_b->report);
+}
+
+// The acceptance scenario: 20% dropout must not hard-fail the mission. It
+// completes, reports DEGRADED health with the tallies and coverage, and the
+// items localized from a partial aperture say so on their own status.
+TEST(Faults, DropoutDegradesGracefully) {
+  auto scenario = *preset("building");
+  scenario.faults.dropout = 0.2;
+
+  const auto run = run_scenario(scenario);
+  ASSERT_TRUE(run.ok()) << run.status().to_string();
+  EXPECT_EQ(run->health.code(), StatusCode::kDegraded);
+  EXPECT_NE(run->health.to_string().find("dropout"), std::string::npos)
+      << run->health.to_string();
+  EXPECT_GT(run->faults.dropouts, 0u);
+  EXPECT_GT(run->aperture_coverage, 0.0);
+  EXPECT_LT(run->aperture_coverage, 1.0);
+  EXPECT_GT(run->report.localized, 0u);
+  for (const auto& item : run->report.items) {
+    if (!item.localized) continue;
+    // A localized item is either clean or explicitly DEGRADED with its
+    // coverage figure — never silently partial.
+    if (!item.status.is_ok()) {
+      EXPECT_EQ(item.status.code(), StatusCode::kDegraded);
+      EXPECT_NE(item.status.to_string().find("coverage"), std::string::npos)
+          << item.status.to_string();
+    }
+  }
+}
+
+// Losing every embedded-tag read breaks disentanglement outright (Eq. 10
+// has nothing to divide by). The mission still completes — zero localized,
+// typed per-item reasons, DEGRADED health — instead of erroring out.
+TEST(Faults, TotalEmbeddedLossCompletesDegraded) {
+  auto scenario = *preset("building");
+  scenario.faults.embedded_loss = 1.0;
+
+  const auto run = run_scenario(scenario);
+  ASSERT_TRUE(run.ok()) << run.status().to_string();
+  EXPECT_EQ(run->report.localized, 0u);
+  EXPECT_EQ(run->aperture_coverage, 0.0);
+  EXPECT_EQ(run->health.code(), StatusCode::kDegraded);
+  EXPECT_GT(run->faults.embedded_losses, 0u);
+  for (const auto& item : run->report.items) {
+    if (!item.discovered) continue;
+    EXPECT_EQ(item.status.code(), StatusCode::kInsufficientData)
+        << item.status.to_string();
+  }
+  // Every discovered tag burned its full retry budget: the affliction is
+  // total, so each of max_attempts attempts failed the same way.
+  EXPECT_EQ(run->faults.retries,
+            run->report.discovered *
+                static_cast<std::uint64_t>(scenario.faults.max_attempts - 1));
+}
+
+TEST(Faults, SameSeedReproducesDifferentSeedVaries) {
+  auto scenario = *preset("building");
+  scenario.faults.dropout = 0.15;
+
+  const auto run_a = run_scenario(scenario);
+  const auto run_b = run_scenario(scenario);
+  ASSERT_TRUE(run_a.ok() && run_b.ok());
+  EXPECT_EQ(run_a->faults.dropouts, run_b->faults.dropouts);
+  EXPECT_EQ(run_a->health.to_string(), run_b->health.to_string());
+  EXPECT_EQ(run_a->aperture_coverage, run_b->aperture_coverage);
+  expect_reports_identical(run_a->report, run_b->report);
+
+  const auto run_c = run_scenario(scenario, scenario.seed + 1);
+  ASSERT_TRUE(run_c.ok());
+  EXPECT_TRUE(run_a->faults.dropouts != run_c->faults.dropouts ||
+              any_estimate_differs(run_a->report, run_c->report));
+}
+
+TEST(Faults, RetriesAreBoundedByMaxAttempts) {
+  auto scenario = *preset("building");
+  scenario.faults.dropout = 0.9;
+  scenario.faults.max_attempts = 2;
+
+  const auto run = run_scenario(scenario);
+  ASSERT_TRUE(run.ok()) << run.status().to_string();
+  // Each discovered tag gets at most max_attempts - 1 retries.
+  EXPECT_LE(run->faults.retries, run->report.discovered *
+                                     static_cast<std::uint64_t>(
+                                         scenario.faults.max_attempts - 1));
+}
+
+// Wind is a continuous impairment: it biases every sample alike, widening
+// the reported-vs-actual gap SAR suffers, but it removes nothing — so the
+// mission shifts (different estimates) yet stays healthy, not DEGRADED.
+TEST(Faults, WindIsContinuousNotDisruptive) {
+  const auto calm = *preset("building");
+  auto windy = calm;
+  windy.faults.wind_jitter_std_m = 0.05;
+
+  const auto run_calm = run_scenario(calm);
+  const auto run_windy = run_scenario(windy);
+  ASSERT_TRUE(run_calm.ok() && run_windy.ok());
+  EXPECT_TRUE(run_windy->health.is_ok()) << run_windy->health.to_string();
+  EXPECT_GT(run_windy->faults.wind_points, 0u);
+  EXPECT_EQ(run_windy->faults.disruptions(), 0u);
+  EXPECT_TRUE(any_estimate_differs(run_calm->report, run_windy->report));
+}
+
+}  // namespace
+}  // namespace rfly::sim

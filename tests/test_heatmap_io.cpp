@@ -65,6 +65,29 @@ TEST(HeatmapIo, PgmRowZeroIsYMax) {
 TEST(HeatmapIo, EmptyMapFails) {
   Heatmap empty;
   EXPECT_FALSE(write_pgm(empty, ::testing::TempDir() + "/never.pgm"));
+  // The typed variant says why: the map is bad, not the filesystem.
+  const Status status =
+      write_pgm_checked(empty, ::testing::TempDir() + "/never.pgm");
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+// A --heatmap-out path into a missing/unwritable directory used to be a
+// bare `false`; the typed variant names the path and the errno cause.
+TEST(HeatmapIo, UnwritableDirectoryIsTypedIoError) {
+  const auto map = make_map();
+  const std::string path = "/no/such/dir/rfly_map.pgm";
+  const Status status = write_pgm_checked(map, path);
+  EXPECT_EQ(status.code(), StatusCode::kIoError);
+  EXPECT_NE(status.to_string().find(path), std::string::npos)
+      << status.to_string();
+  EXPECT_FALSE(write_pgm(map, path));
+}
+
+TEST(HeatmapIo, CheckedWriteSucceedsOnWritablePath) {
+  const auto map = make_map();
+  const std::string path = ::testing::TempDir() + "/rfly_checked.pgm";
+  EXPECT_TRUE(write_pgm_checked(map, path).is_ok());
+  std::remove(path.c_str());
 }
 
 TEST(HeatmapIo, AsciiRenderShape) {

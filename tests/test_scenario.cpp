@@ -151,6 +151,59 @@ TEST(Scenario, ParseRejectsBadValue) {
   EXPECT_EQ(result.status().code(), StatusCode::kParseError);
 }
 
+// A repeated scalar key used to silently keep the last value — a typo'd
+// sweep file ("localize.sar_kernel" set twice) ran the wrong mission with
+// no warning. Now it is a parse error naming both lines. Repeatable keys
+// (leg/tag) stay repeatable — the preset round-trip above proves that.
+TEST(Scenario, ParseRejectsDuplicateScalarKey) {
+  const auto result = parse_scenario("seed = 3\nname = a\nseed = 4\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+  const std::string text = result.status().to_string();
+  EXPECT_NE(text.find("duplicate key 'seed'"), std::string::npos) << text;
+  EXPECT_NE(text.find("line 3"), std::string::npos) << text;   // the duplicate
+  EXPECT_NE(text.find("line 1"), std::string::npos) << text;   // first set
+}
+
+// faults.* keys are first-class scenario fields: they serialize, parse back
+// bit-identically, and the validator rejects out-of-range rates.
+TEST(Scenario, FaultConfigRoundTripsThroughText) {
+  auto scenario = *preset("building");
+  scenario.faults.dropout = 0.125;
+  scenario.faults.phase_burst = 0.03;
+  scenario.faults.phase_burst_std_rad = 0.7;
+  scenario.faults.relay_cfo_std_rad = 0.001;
+  scenario.faults.wind_jitter_std_m = 0.02;
+  scenario.faults.embedded_loss = 0.05;
+  scenario.faults.max_attempts = 5;
+
+  const std::string text = serialize(scenario);
+  const auto parsed = parse_scenario(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  EXPECT_EQ(serialize(*parsed), text);
+  EXPECT_EQ(parsed->faults.dropout, 0.125);
+  EXPECT_EQ(parsed->faults.phase_burst, 0.03);
+  EXPECT_EQ(parsed->faults.phase_burst_std_rad, 0.7);
+  EXPECT_EQ(parsed->faults.relay_cfo_std_rad, 0.001);
+  EXPECT_EQ(parsed->faults.wind_jitter_std_m, 0.02);
+  EXPECT_EQ(parsed->faults.embedded_loss, 0.05);
+  EXPECT_EQ(parsed->faults.max_attempts, 5);
+}
+
+TEST(Scenario, ValidatorRejectsBadFaultConfig) {
+  auto scenario = *preset("building");
+  scenario.faults.dropout = 1.5;
+  EXPECT_EQ(validate(scenario).code(), StatusCode::kInvalidArgument);
+
+  scenario = *preset("building");
+  scenario.faults.wind_jitter_std_m = -0.1;
+  EXPECT_EQ(validate(scenario).code(), StatusCode::kInvalidArgument);
+
+  scenario = *preset("building");
+  scenario.faults.max_attempts = 0;
+  EXPECT_EQ(validate(scenario).code(), StatusCode::kInvalidArgument);
+}
+
 TEST(Scenario, ApplyOverrideChangesOneKnob) {
   auto scenario = *preset("building");
   ASSERT_TRUE(apply_override(scenario, "localize.grid_resolution_m", "0.05").is_ok());

@@ -60,6 +60,7 @@ TEST(Status, EveryCodeHasAStableName) {
   EXPECT_STREQ(status_code_name(StatusCode::kParseError), "PARSE_ERROR");
   EXPECT_STREQ(status_code_name(StatusCode::kIoError), "IO_ERROR");
   EXPECT_STREQ(status_code_name(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(status_code_name(StatusCode::kDegraded), "DEGRADED");
 }
 
 TEST(Expected, HoldsValue) {
