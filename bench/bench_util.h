@@ -82,6 +82,11 @@ struct CliOptions {
   /// True when --kernel was passed explicitly. scenario_runner uses this to
   /// decide whether the flag overrides the scenario's own sar_kernel field.
   bool kernel_explicit = false;
+  /// SAR search strategy (--search exact|incremental|coarse2fine), same
+  /// override semantics as --kernel. Benches default to the legacy exact
+  /// sweep so existing runs stay comparable.
+  localize::SarSearch search = localize::SarSearch::kExact;
+  bool search_explicit = false;
   /// `--set key=value` overrides, in order (scenario_runner).
   std::vector<std::pair<std::string, std::string>> overrides;
 
@@ -123,6 +128,13 @@ struct CliOptions {
                            std::string(value) + "'"});
         }
         kernel_explicit = true;
+      } else if (arg == "--search" && (value = value_of(i))) {
+        if (!localize::parse_sar_search(value, search)) {
+          return fail({StatusCode::kParseError,
+                       "--search wants exact|incremental|coarse2fine, got '" +
+                           std::string(value) + "'"});
+        }
+        search_explicit = true;
       } else if (arg == "--report") {
         report = true;
       } else if (arg == "--trace-out" && (value = value_of(i))) {
@@ -145,7 +157,8 @@ struct CliOptions {
   static void usage(const char* argv0) {
     std::fprintf(stderr,
                  "usage: %s [--seed N] [--trials N] [--threads N] "
-                 "[--kernel exact|fast|auto] [--out FILE] "
+                 "[--kernel exact|fast|auto] "
+                 "[--search exact|incremental|coarse2fine] [--out FILE] "
                  "[--scenario FILE] [--set key=value]... [--report] "
                  "[--trace-out FILE]\n",
                  argv0);

@@ -162,6 +162,93 @@ std::string sincos_sweep() {
   return json;
 }
 
+/// Time localize_3d at each search strategy (brute-force exact, incremental
+/// accumulator, coarse-to-fine) on a two-altitude aperture, verifying that
+/// every strategy lands on the same volume cell before reporting speed.
+/// Returns the JSON object body for BENCH_sar.json's "localize_3d" key.
+std::string search_sweep_3d(std::uint64_t seed) {
+  std::printf("\n--- localize_3d search-strategy sweep (two-row aperture) ---\n");
+
+  SystemConfig sys_cfg;
+  const RflySystem system(sys_cfg, channel::Environment{}, {0, 0, 1});
+  Rng rng(seed);
+  const Vec3 tag{12.0, 6.0, 0.4};
+  std::vector<Vec3> plan;
+  for (double z : {1.2, 1.8}) {
+    const auto row = drone::linear_trajectory({tag.x - 1.2, 8.0, z},
+                                              {tag.x + 1.2, 8.15, z}, 25);
+    plan.insert(plan.end(), row.begin(), row.end());
+  }
+  const auto flight =
+      drone::fly(plan, drone::FlightConfig{}, drone::optitrack_tracking(), rng);
+  const auto measurements = system.collect_measurements(flight, tag, rng);
+
+  localize::Volume vol;
+  vol.x_min = tag.x - 1.5;
+  vol.x_max = tag.x + 1.5;
+  vol.y_min = tag.y - 1.5;
+  vol.y_max = tag.y + 1.2;
+  vol.z_min = 0.0;
+  vol.z_max = 1.2;
+  vol.resolution_m = 0.05;
+
+  localize::Localize3dConfig cfg;
+  cfg.freq_hz = sys_cfg.carrier_hz + sys_cfg.freq_shift_hz;
+  cfg.threads = 1;  // serial on every path: algorithmic speedup, not threads
+  cfg.kernel = localize::SarKernel::kFast;
+
+  const auto time_ms = [&](localize::SarSearch search) {
+    cfg.search = search;
+    double best = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      const auto t0 = std::chrono::steady_clock::now();
+      const auto result = localize::localize_3d(measurements, vol, cfg);
+      const auto t1 = std::chrono::steady_clock::now();
+      if (!result) std::printf("unexpected localize_3d failure\n");
+      best = std::min(best,
+                      std::chrono::duration<double, std::milli>(t1 - t0).count());
+    }
+    return best;
+  };
+  const auto position = [&](localize::SarSearch search) {
+    cfg.search = search;
+    const auto result = localize::localize_3d(measurements, vol, cfg);
+    return result ? result->position : Vec3{};
+  };
+
+  const auto exact_pos = position(localize::SarSearch::kExact);
+  const double exact_ms = time_ms(localize::SarSearch::kExact);
+  std::string json = "{\n";
+  char line[200];
+  const localize::SarSearch searches[] = {localize::SarSearch::kExact,
+                                          localize::SarSearch::kIncremental,
+                                          localize::SarSearch::kCoarseToFine};
+  std::printf("  %-12s %12s %10s %22s\n", "search", "best [ms]", "speedup",
+              "max |pos diff| vs exact");
+  for (std::size_t i = 0; i < std::size(searches); ++i) {
+    const auto search = searches[i];
+    const double ms =
+        search == localize::SarSearch::kExact ? exact_ms : time_ms(search);
+    const auto pos = position(search);
+    const double diff = std::max({std::abs(pos.x - exact_pos.x),
+                                  std::abs(pos.y - exact_pos.y),
+                                  std::abs(pos.z - exact_pos.z)});
+    std::printf("  %-12s %12.3f %9.2fx %22.3g\n",
+                localize::sar_search_name(search), ms, exact_ms / ms, diff);
+    std::snprintf(line, sizeof line,
+                  "    \"%s\": {\"best_ms\": %.6f, \"speedup\": %.4f, "
+                  "\"max_pos_diff_vs_exact\": %.3g}%s\n",
+                  localize::sar_search_name(search), ms, exact_ms / ms, diff,
+                  i + 1 < std::size(searches) ? "," : "");
+    json += line;
+  }
+  json += "  }";
+  bench::paper_vs_ours("localize_3d coarse2fine speedup, 1 thread", "(n/a: ours)",
+                       exact_ms / time_ms(localize::SarSearch::kCoarseToFine),
+                       "x");
+  return json;
+}
+
 /// Time the SAR engine at each kernel x thread-count point on the
 /// fig06-sized grid and emit BENCH_sar.json. Parity against the serial
 /// exact heatmap is checked on every run so a perf regression can never
@@ -204,6 +291,7 @@ void kernel_thread_sweep(std::uint64_t seed) {
   const double serial_exact_ms = time_ms(1, localize::SarKernel::kExact);
 
   const std::string sincos_json = sincos_sweep();
+  const std::string search_json = search_sweep_3d(seed + 1);
 
   FILE* json = std::fopen("BENCH_sar.json", "w");
   if (json) {
@@ -251,8 +339,10 @@ void kernel_thread_sweep(std::uint64_t seed) {
     // The obs snapshot rides along so machine readers see how much work the
     // sweep did (sar.cells, kernel dispatch counts, chunk latency buckets).
     // Empty objects under RFLY_OBS=OFF.
-    std::fprintf(json, "  ],\n  \"sincos\": [\n%s  ],\n  \"metrics\": %s\n}\n",
-                 sincos_json.c_str(),
+    std::fprintf(json,
+                 "  ],\n  \"sincos\": [\n%s  ],\n  \"localize_3d\": %s,\n"
+                 "  \"metrics\": %s\n}\n",
+                 sincos_json.c_str(), search_json.c_str(),
                  obs::metrics_to_json(obs::snapshot()).c_str());
     std::fclose(json);
     std::printf("wrote BENCH_sar.json\n");

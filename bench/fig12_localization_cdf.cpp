@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
     cfg.aperture_m = 2.0;
     cfg.flight_offset_y_m = placement_rng.uniform(1.2, 2.2);
     cfg.sar_kernel = opts.kernel;
+    cfg.sar_search = opts.search;
     const auto result =
         run_localization_trial(cfg, 5000 + static_cast<std::uint64_t>(t));
     if (!result.localized) {

@@ -50,9 +50,12 @@ int main(int argc, char** argv) {
       vol.z_min = 0.0;
       vol.z_max = 1.2;
       vol.resolution_m = 0.05;
-      const auto result = localize::localize_3d(
-          measurements, vol, sys_cfg.carrier_hz + sys_cfg.freq_shift_hz,
-          opts.threads, opts.kernel);
+      localize::Localize3dConfig cfg3d;
+      cfg3d.freq_hz = sys_cfg.carrier_hz + sys_cfg.freq_shift_hz;
+      cfg3d.threads = opts.threads;
+      cfg3d.kernel = opts.kernel;
+      cfg3d.search = opts.search;
+      const auto result = localize::localize_3d(measurements, vol, cfg3d);
       if (!result) continue;
       xy_err.push_back(std::hypot(result->position.x - tag.x,
                                   result->position.y - tag.y));

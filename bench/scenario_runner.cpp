@@ -88,6 +88,7 @@ int main(int argc, char** argv) {
   // (and over --set overrides); without the flag the scenario decides, so
   // preset runs stay bit-identical to their goldens.
   if (opts.kernel_explicit) scenario.sar_kernel = opts.kernel;
+  if (opts.search_explicit) scenario.sar_search = opts.search;
   if (Status status = sim::validate(scenario); !status.is_ok()) {
     std::fprintf(stderr, "%s\n", status.to_string().c_str());
     return 1;

@@ -49,6 +49,9 @@ struct LocalizationTrialConfig {
   /// SAR evaluation kernel (benches pass --kernel; kExact keeps the trial
   /// bit-identical to the seed, kFast runs the SIMD kernel).
   localize::SarKernel sar_kernel = localize::SarKernel::kExact;
+  /// SAR search strategy (benches pass --search; kExact keeps the legacy
+  /// sweep, kIncremental streams the same sums, kCoarseToFine prunes).
+  localize::SarSearch sar_search = localize::SarSearch::kExact;
 };
 
 struct LocalizationTrialResult {

@@ -56,6 +56,13 @@ struct ScanMissionConfig {
   /// agreement for the SIMD kernel's speed (same discovered/localized sets,
   /// estimates within a fraction of the grid resolution).
   localize::SarKernel sar_kernel = localize::SarKernel::kExact;
+  /// SAR search strategy (see sar_kernel.h). kExact keeps the legacy batch
+  /// sweep; kIncremental streams the same sums through SarAccumulator —
+  /// final estimates stay bit-identical with the exact kernel, and each
+  /// item additionally carries its live per-waypoint estimate sequence;
+  /// kCoarseToFine trades the full sweep for a coarse lattice + top-K
+  /// refinement.
+  localize::SarSearch sar_search = localize::SarSearch::kExact;
 };
 
 struct ScannedItem {
@@ -71,6 +78,11 @@ struct ScannedItem {
   /// from a partial aperture under fault injection; the message holds the
   /// coverage figure (see sim/faults.h).
   Status status = Status::ok();
+  /// Live per-waypoint estimate sequence (incremental search only, empty
+  /// otherwise): one entry per disentangled sample folded into the SAR
+  /// accumulator, in flight order — what a mission display or trajectory
+  /// replanner would have seen while the drone flew.
+  std::vector<localize::LiveEstimate> live;
 };
 
 struct ScanReport {

@@ -35,6 +35,17 @@ struct LocalizerConfig {
   /// kernel (same argmax cell, refined peaks within a fraction of the
   /// resolution — see DESIGN.md "SIMD SAR kernel layer").
   SarKernel kernel = SarKernel::kExact;
+  /// Search strategy (see sar_kernel.h), orthogonal to `kernel`. kExact is
+  /// the legacy sweep; kIncremental builds the same heatmap through
+  /// SarAccumulator (bit-identical result with the exact kernel; this is
+  /// the mode that streams live estimates in the mission pipeline);
+  /// kCoarseToFine scans the fine lattice every `coarse_resolution_m`,
+  /// keeps the top `refine_candidates` peaks, and refines each one's
+  /// neighborhood at full resolution — every refined candidate is a true
+  /// lattice point, so a covered argmax is the brute-force answer
+  /// (property-tested in tests/test_coarse2fine.cpp). With kCoarseToFine
+  /// the `multires` knob is ignored: the mode subsumes it.
+  SarSearch search = SarSearch::kExact;
 };
 
 struct LocalizationResult {
@@ -91,5 +102,33 @@ std::optional<Localization3dResult> localize_3d(const MeasurementSet& measuremen
                                                 const Volume& volume, double freq_hz,
                                                 unsigned threads = 0,
                                                 SarKernel kernel = SarKernel::kExact);
+
+/// Full-knob 3D search configuration. The legacy overload above forwards
+/// here with search = kExact.
+struct Localize3dConfig {
+  double freq_hz = 915e6;
+  unsigned threads = 0;
+  SarKernel kernel = SarKernel::kExact;
+  /// kExact: brute-force volume scan. kIncremental: the same sums grown
+  /// per z-slice through SarAccumulator (row-blocked evaluation — with the
+  /// fast kernel this alone beats the per-point brute scan). kCoarseToFine:
+  /// sample the volume lattice every `coarse_stride` cells per axis, keep
+  /// the `refine_top_k` strongest samples, refine each one's +/-stride
+  /// neighborhood at full resolution; ties resolve to the lexicographically
+  /// smallest (z, y, x) index — the brute-force scan's rule — so a covered
+  /// argmax reproduces the brute answer exactly.
+  SarSearch search = SarSearch::kExact;
+  /// Coarse lattice stride in fine cells per axis (clamped to >= 2). The
+  /// default keeps the coarse spacing at 2 cells = 0.1 m on the usual
+  /// 0.05 m volumes — about half the ~λ/4 SAR main-lobe width at 915 MHz,
+  /// so the coarse sweep cannot straddle the lobe. Wider strides prune
+  /// harder but may rank sidelobes above an unsampled main lobe.
+  int coarse_stride = 2;
+  int refine_top_k = 16;
+};
+
+std::optional<Localization3dResult> localize_3d(const MeasurementSet& measurements,
+                                                const Volume& volume,
+                                                const Localize3dConfig& config);
 
 }  // namespace rfly::localize

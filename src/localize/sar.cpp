@@ -39,6 +39,17 @@ obs::Histogram& sar_chunk_seconds_fast() {
       "sar.row_chunk_seconds.fast", obs::HistogramSpec::duration_seconds());
   return h;
 }
+// Incremental-search telemetry: samples folded into accumulators (signed
+// adds and removes both count — they cost the same), and live estimates
+// emitted. Both update at batch granularity, never per cell.
+obs::Counter& sar_accumulator_samples() {
+  static obs::Counter& c = obs::counter("sar.accumulator.samples");
+  return c;
+}
+obs::Counter& sar_live_estimates() {
+  static obs::Counter& c = obs::counter("sar.live.estimates");
+  return c;
+}
 }  // namespace
 
 std::size_t grid_axis_cells(double lo, double hi, double res) {
@@ -210,6 +221,171 @@ Heatmap sar_heatmap(const DisentangledSet& set, const GridSpec& grid, double fre
       },
       threads);
   return map;
+}
+
+SarAccumulator::SarAccumulator(const GridSpec& grid, double freq_hz,
+                               double z_plane, SarKernel kernel,
+                               unsigned threads)
+    : grid_(grid),
+      freq_hz_(freq_hz),
+      z_plane_(z_plane),
+      kernel_(resolve_sar_kernel(kernel)),
+      threads_(threads) {
+  const std::size_t nx = grid_.nx();
+  const std::size_t ny = grid_.ny();
+  xs_.resize(nx);
+  ys_.resize(ny);
+  for (std::size_t ix = 0; ix < nx; ++ix) xs_[ix] = grid_.x_at(ix);
+  for (std::size_t iy = 0; iy < ny; ++iy) ys_[iy] = grid_.y_at(iy);
+  re_.assign(nx * ny, 0.0);
+  im_.assign(nx * ny, 0.0);
+}
+
+void SarAccumulator::apply(const DisentangledSet& set, double sign) {
+  if (set.channels.empty()) return;
+  const SarGeometry geo = SarGeometry::from(set, freq_hz_);
+  const std::size_t L = geo.size();
+  const std::size_t nx = xs_.size();
+  const std::size_t ny = ys_.size();
+  const unsigned threads = clamp_thread_count(threads_);
+  const bool fast = kernel_ == SarKernel::kFast;
+  // Same row sharding as sar_heatmap: each cell's fold runs whole, in a
+  // fixed order, into its own slot, so the planes are bit-identical at
+  // every thread count.
+  const std::size_t grain = std::max<std::size_t>(1, ny / 64);
+  parallel_for(
+      0, ny, grain,
+      [&](std::size_t row_begin, std::size_t row_end) {
+        if (fast) {
+          std::vector<double> scratch(L);
+          SarKernelArgs args;
+          args.k = geo.k;
+          args.px = geo.px.data();
+          args.py = geo.py.data();
+          args.pz = geo.pz.data();
+          args.hre = geo.hre.data();
+          args.him = geo.him.data();
+          args.count = L;
+          args.xs = xs_.data();
+          args.nx = nx;
+          args.ys = ys_.data();
+          args.z = z_plane_;
+          args.scratch = scratch.data();
+          args.acc_re = re_.data();
+          args.acc_im = im_.data();
+          args.sign = sign;
+          sar_kernel_active().accumulate(args, row_begin, row_end);
+        } else {
+          // The batch exact loop's arithmetic, term for term: the batch
+          // folds in registers, the single plane update per cell is
+          // acc += sign * block (exact for sign = +/-1), so any grouping
+          // of adds replays the batch loop's rounding sequence.
+          for (std::size_t iy = row_begin; iy < row_end; ++iy) {
+            const double y = ys_[iy];
+            double* acc_re = re_.data() + iy * nx;
+            double* acc_im = im_.data() + iy * nx;
+            for (std::size_t ix = 0; ix < nx; ++ix) {
+              const double x = xs_[ix];
+              double re = 0.0, im = 0.0;
+              for (std::size_t l = 0; l < L; ++l) {
+                const double dx = x - geo.px[l];
+                const double dy = y - geo.py[l];
+                const double dz = z_plane_ - geo.pz[l];
+                const double d = std::sqrt(dx * dx + dy * dy + dz * dz);
+                const double c = std::cos(geo.k * d);
+                const double s = std::sin(geo.k * d);
+                re += geo.hre[l] * c - geo.him[l] * s;
+                im += geo.hre[l] * s + geo.him[l] * c;
+              }
+              acc_re[ix] += sign * re;
+              acc_im[ix] += sign * im;
+            }
+          }
+        }
+        sar_cells().add((row_end - row_begin) * nx);
+      },
+      threads);
+  sar_accumulator_samples().add(L);
+  if (sign > 0.0) {
+    count_ += L;
+  } else {
+    count_ -= std::min(count_, L);
+  }
+}
+
+void SarAccumulator::add_measurements(const DisentangledSet& set) {
+  apply(set, 1.0);
+}
+
+void SarAccumulator::remove_measurements(const DisentangledSet& set) {
+  apply(set, -1.0);
+}
+
+void SarAccumulator::add_measurement(const channel::Vec3& position,
+                                     cdouble channel) {
+  DisentangledSet one;
+  one.positions.push_back(position);
+  one.channels.push_back(channel);
+  apply(one, 1.0);
+}
+
+Heatmap SarAccumulator::finalize() const {
+  Heatmap map;
+  map.grid = grid_;
+  const std::size_t nx = xs_.size();
+  const std::size_t ny = ys_.size();
+  map.values.assign(nx * ny, 0.0);
+  if (kernel_ == SarKernel::kFast) {
+    SarKernelArgs args;
+    args.nx = nx;
+    args.values = map.values.data();
+    args.acc_re = const_cast<double*>(re_.data());
+    args.acc_im = const_cast<double*>(im_.data());
+    sar_kernel_active().magnitudes(args, 0, ny);
+  } else {
+    // Same expression as the batch exact loop's store, on the same bits.
+    for (std::size_t i = 0; i < map.values.size(); ++i) {
+      map.values[i] = std::abs(cdouble{re_[i], im_[i]});
+    }
+  }
+  return map;
+}
+
+LiveEstimate SarAccumulator::estimate(std::size_t expected_measurements) const {
+  LiveEstimate est;
+  est.measurements = count_;
+  const std::size_t nx = xs_.size();
+  const std::size_t cells = re_.size();
+  if (cells == 0) return est;
+  // First strict maximum in row-major (y then x) order — the batch
+  // localizer's tie rule — plus the running sum for the contrast figure.
+  double peak = -1.0;
+  std::size_t best = 0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < cells; ++i) {
+    const double v = std::abs(cdouble{re_[i], im_[i]});
+    sum += v;
+    if (v > peak) {
+      peak = v;
+      best = i;
+    }
+  }
+  est.x = xs_[best % nx];
+  est.y = ys_[best / nx];
+  est.peak_value = peak;
+  if (peak > 0.0) {
+    const double mean = sum / static_cast<double>(cells);
+    est.confidence = std::max(0.0, 1.0 - mean / peak);
+  }
+  if (expected_measurements > 0) {
+    est.coverage = std::min(
+        1.0, static_cast<double>(count_) /
+                 static_cast<double>(expected_measurements));
+  } else {
+    est.coverage = count_ > 0 ? 1.0 : 0.0;
+  }
+  sar_live_estimates().inc();
+  return est;
 }
 
 }  // namespace rfly::localize

@@ -86,4 +86,83 @@ double sar_projection(const DisentangledSet& set, const channel::Vec3& p,
 double sar_projection(const SarGeometry& geo, const channel::Vec3& p,
                       SarKernel kernel = SarKernel::kExact);
 
+/// A position estimate emitted while the aperture is still being collected
+/// (incremental search): the current heatmap argmax plus how much evidence
+/// backs it. This is what a live mission display — or a trajectory
+/// replanner — consumes per waypoint.
+struct LiveEstimate {
+  std::size_t measurements = 0;  // samples folded in when this was emitted
+  double x = 0.0, y = 0.0;       // current heatmap argmax
+  double peak_value = 0.0;
+  /// Peak-to-mean contrast of the current partial heatmap, in [0, 1]:
+  /// 0 = flat (no evidence), -> 1 as the peak dominates the grid.
+  double confidence = 0.0;
+  /// measurements / expected aperture size (1.0 when no expectation given).
+  double coverage = 0.0;
+};
+
+/// Incremental SAR accumulator: the per-cell complex partial sums of
+/// Eq. 12, grown measurement-by-measurement so the heatmap exists *as the
+/// drone flies* instead of being recomputed over the full aperture at
+/// mission end.
+///
+/// Equivalence contract (pinned by tests/test_sar_incremental.cpp):
+///   - Adding a measurement sequence in any call grouping — whole aperture
+///     at once, one waypoint at a time, or mixed — produces bit-identical
+///     planes: every grouping replays the same left-to-right rounding
+///     sequence per cell (each add folds its batch in registers, and the
+///     plane update `acc += block` re-rounds exactly where the batch loop
+///     would have).
+///   - With the exact kernel, finalize() is bit-identical to sar_heatmap()
+///     over the same set; with the fast kernel it reproduces the same
+///     argmax (values within the documented fast-kernel tolerance).
+///   - remove_measurements() of everything added so far, in one call in
+///     add order, returns the planes to the pinned all-zero state exactly
+///     (the subtracted register fold equals the accumulated value, and
+///     x - x = +0.0). Partial removal is approximate-inverse only.
+///
+/// `threads` as in sar_heatmap: rows shard, results identical at every
+/// setting. Not thread-safe itself: one writer at a time.
+class SarAccumulator {
+ public:
+  SarAccumulator(const GridSpec& grid, double freq_hz, double z_plane = 0.0,
+                 SarKernel kernel = SarKernel::kExact, unsigned threads = 1);
+
+  const GridSpec& grid() const { return grid_; }
+  std::size_t measurement_count() const { return count_; }
+
+  /// Fold a batch of disentangled measurements into the partial sums.
+  void add_measurements(const DisentangledSet& set);
+  /// Subtract a batch previously added (see the equivalence contract).
+  void remove_measurements(const DisentangledSet& set);
+  /// Single-sample convenience — the per-waypoint streaming path.
+  void add_measurement(const channel::Vec3& position, cdouble channel);
+
+  /// Snapshot the current heatmap: |partial sum| per cell.
+  Heatmap finalize() const;
+
+  /// Current argmax (first strict maximum in row-major y-then-x order,
+  /// matching the batch localizer's tie rule) with confidence/coverage.
+  /// `expected_measurements` sizes the coverage denominator; 0 means "no
+  /// expectation" and reports 1.0 once anything has been added.
+  LiveEstimate estimate(std::size_t expected_measurements = 0) const;
+
+  /// Raw partial-sum planes, row-major like Heatmap::values — the test
+  /// surface for the pinned-empty-state guarantee.
+  const std::vector<double>& partial_re() const { return re_; }
+  const std::vector<double>& partial_im() const { return im_; }
+
+ private:
+  void apply(const DisentangledSet& set, double sign);
+
+  GridSpec grid_;
+  double freq_hz_ = 915e6;
+  double z_plane_ = 0.0;
+  SarKernel kernel_ = SarKernel::kExact;
+  unsigned threads_ = 1;
+  std::vector<double> xs_, ys_;  // hoisted cell coordinates, as sar_heatmap
+  std::vector<double> re_, im_;  // per-cell partial sums, row-major
+  std::size_t count_ = 0;
+};
+
 }  // namespace rfly::localize

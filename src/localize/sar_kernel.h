@@ -40,6 +40,37 @@ bool parse_sar_kernel(const std::string& text, SarKernel& out);
 /// Collapse kAuto to the concrete kernel the library picks for it (kFast).
 SarKernel resolve_sar_kernel(SarKernel kernel);
 
+/// Search-strategy selector for the localizers, orthogonal to SarKernel:
+/// the kernel picks *how a cell is evaluated*, the search picks *which
+/// cells are evaluated, and when*.
+///
+///   - `exact`       — the legacy batch sweep (full heatmap / brute-force
+///                     volume scan), bit-identical to the seed.
+///   - `incremental` — grow the same per-cell partial sums measurement by
+///                     measurement through SarAccumulator (sar.h). Provably
+///                     equivalent to the batch sweep — bit-identical with
+///                     the exact kernel — and the mode that streams live
+///                     per-waypoint estimates during a mission.
+///   - `coarse2fine` — coarse lattice sweep, top-K candidate cells, then
+///                     full-resolution refinement of each candidate's
+///                     neighborhood; bounded against brute force by the
+///                     property tests in tests/test_coarse2fine.cpp.
+///
+/// A first-class knob on LocalizerConfig, ScanMissionConfig and the
+/// scenario format (`localize.search = exact|incremental|coarse2fine`).
+enum class SarSearch : std::uint8_t {
+  kExact = 0,
+  kIncremental = 1,
+  kCoarseToFine = 2,
+};
+
+/// "exact", "incremental", "coarse2fine" (stable; used by the scenario
+/// serializer and the --search bench flag).
+const char* sar_search_name(SarSearch search);
+
+/// Parse a search-mode name; false on anything but the three names above.
+bool parse_sar_search(const std::string& text, SarSearch& out);
+
 /// Flat argument block for the fast-kernel entry points. Plain pointers
 /// only: the kernel bodies are compiled under per-ISA target pragmas where
 /// instantiating templates (std::vector and friends) could leak wide
@@ -58,6 +89,12 @@ struct SarKernelArgs {
   double z = 0.0;              // heatmap plane height
   double* values = nullptr;    // full row-major heatmap, ny rows of nx
   double* scratch = nullptr;   // caller-owned, >= count doubles, per worker
+  // Incremental-search extension (SarAccumulator): persistent per-cell
+  // complex partial-sum planes, row-major like `values`, and the signed
+  // weight (+1 add, -1 remove) applied by `accumulate`.
+  double* acc_re = nullptr;
+  double* acc_im = nullptr;
+  double sign = 1.0;
 };
 
 /// One compiled variant of the fast kernel. `supported` is the runtime CPU
@@ -76,6 +113,19 @@ struct SarKernelVariant {
   /// sweep; the row/projection kernels inline the same polynomial).
   void (*sincos)(const double* x, double* sins, double* coss,
                  std::size_t n) = nullptr;
+  /// Fold args.sign * (this batch's contribution) into the partial-sum
+  /// planes acc_re/acc_im for rows [row_begin, row_end). Each lane folds
+  /// the batch in registers (same blocked layout and per-term arithmetic
+  /// as `rows`) before touching the plane, so adding a whole aperture in
+  /// one call, per-waypoint, or in any grouping yields identical bits.
+  void (*accumulate)(const SarKernelArgs& args, std::size_t row_begin,
+                     std::size_t row_end) = nullptr;
+  /// Finalize partial sums to magnitudes for the rows:
+  /// values[i] = sqrt(acc_re[i]^2 + acc_im[i]^2), same expression as the
+  /// `rows` epilogue so a one-call accumulate + magnitudes round trip
+  /// reproduces `rows` bit-for-bit.
+  void (*magnitudes)(const SarKernelArgs& args, std::size_t row_begin,
+                     std::size_t row_end) = nullptr;
 };
 
 /// Every variant compiled into this binary, narrowest first: batched

@@ -113,6 +113,34 @@ std::string coverage_percent(double coverage) {
   return buf;
 }
 
+Vec3 measurement_centroid(const localize::MeasurementSet& measurements) {
+  Vec3 centroid{0, 0, 0};
+  for (const auto& m : measurements) centroid = centroid + m.relay_position;
+  return centroid / static_cast<double>(measurements.size());
+}
+
+/// SAR search window around the measurement centroid (the system does not
+/// know the tag position; it knows where the drone heard it). One-sided in
+/// y: the operator knows which side of the path the shelf face is on; the
+/// grid stops short of the path so the 1D aperture's mirror band is
+/// excluded (see DESIGN.md). Shared by the localize stage and the
+/// live-estimate streamer so both see the same window.
+localize::GridSpec search_window(const core::ScanMissionConfig& config,
+                                 const Vec3& centroid) {
+  localize::GridSpec grid;
+  grid.resolution_m = config.grid_resolution_m;
+  grid.x_min = centroid.x - config.search_halfwidth_m;
+  grid.x_max = centroid.x + config.search_halfwidth_m;
+  if (config.tags_below_path) {
+    grid.y_min = centroid.y - config.search_halfwidth_m;
+    grid.y_max = centroid.y - config.grid_margin_to_path_m;
+  } else {
+    grid.y_min = centroid.y + config.grid_margin_to_path_m;
+    grid.y_max = centroid.y + config.search_halfwidth_m;
+  }
+  return grid;
+}
+
 }  // namespace
 
 const char* stage_name(Stage stage) {
@@ -291,33 +319,45 @@ Expected<MissionRun> run_mission_pipeline(const core::ScanMissionConfig& config,
           half_link = localize::disentangle(measurements);
         }
 
+        // --- live estimates (incremental search only): the measure stage
+        // replays the surviving aperture sample-by-sample through the SAR
+        // accumulator, emitting the estimate a mission display would have
+        // shown while the drone flew. Live cells are coarse (the final
+        // localization below still runs at full resolution), and coverage
+        // is against the clean aperture, so the last entry agrees with the
+        // item's fault accounting. On a retry the sequence is rebuilt —
+        // the report keeps the attempt that produced the estimate. --------
+        if (config.sar_search == localize::SarSearch::kIncremental) {
+          StageTimer timer(run.trace, Stage::kMeasure);
+          const Vec3 centroid = measurement_centroid(measurements);
+          localize::GridSpec live_grid = search_window(config, centroid);
+          live_grid.resolution_m =
+              std::max(config.grid_resolution_m,
+                       localize::LocalizerConfig{}.coarse_resolution_m);
+          localize::SarAccumulator acc(
+              live_grid, config.system.carrier_hz + config.system.freq_shift_hz,
+              /*z_plane=*/0.0, config.sar_kernel, config.localize_threads);
+          item.live.clear();
+          item.live.reserve(half_link.channels.size());
+          for (std::size_t s = 0; s < half_link.channels.size(); ++s) {
+            acc.add_measurement(half_link.positions[s], half_link.channels[s]);
+            item.live.push_back(acc.estimate(clean_count));
+          }
+        }
+
         // --- localize: SAR over a window centered on the measurement
-        // centroid (the system does not know the tag position; it knows
-        // where the drone heard it). ---------------------------------------
+        // centroid. --------------------------------------------------------
         {
           StageTimer timer(run.trace, Stage::kLocalize);
-          Vec3 centroid{0, 0, 0};
-          for (const auto& m : measurements) centroid = centroid + m.relay_position;
-          centroid = centroid / static_cast<double>(measurements.size());
+          const Vec3 centroid = measurement_centroid(measurements);
 
           localize::LocalizerConfig loc;
           loc.threads = config.localize_threads;
           loc.kernel = config.sar_kernel;
+          loc.search = config.sar_search;
           loc.freq_hz = config.system.carrier_hz + config.system.freq_shift_hz;
           loc.peak_threshold_fraction = config.peak_threshold_fraction;
-          loc.grid.resolution_m = config.grid_resolution_m;
-          loc.grid.x_min = centroid.x - config.search_halfwidth_m;
-          loc.grid.x_max = centroid.x + config.search_halfwidth_m;
-          // One-sided in y: the operator knows which side of the path the
-          // shelf face is on; the grid stops short of the path so the 1D
-          // aperture's mirror band is excluded (see DESIGN.md).
-          if (config.tags_below_path) {
-            loc.grid.y_min = centroid.y - config.search_halfwidth_m;
-            loc.grid.y_max = centroid.y - config.grid_margin_to_path_m;
-          } else {
-            loc.grid.y_min = centroid.y + config.grid_margin_to_path_m;
-            loc.grid.y_max = centroid.y + config.search_halfwidth_m;
-          }
+          loc.grid = search_window(config, centroid);
 
           auto result = localize::localize_2d_from(half_link, loc);
           if (!result) {

@@ -270,6 +270,13 @@ const std::vector<FieldDef>& registry() {
                  [](Scenario& s, const std::string& v) {
                    return localize::parse_sar_kernel(v, s.sar_kernel);
                  }});
+    f.push_back({"localize.search",
+                 [](const Scenario& s) {
+                   return std::string(localize::sar_search_name(s.sar_search));
+                 },
+                 [](Scenario& s, const std::string& v) {
+                   return localize::parse_sar_search(v, s.sar_search);
+                 }});
 
     f.push_back(double_field("faults.dropout",
                              [](Scenario& s) -> double& { return s.faults.dropout; }));
@@ -648,6 +655,7 @@ core::ScanMissionConfig mission_config(const Scenario& scenario) {
   config.tags_below_path = scenario.tags_below_path;
   config.localize_threads = scenario.localize_threads;
   config.sar_kernel = scenario.sar_kernel;
+  config.sar_search = scenario.sar_search;
   return config;
 }
 

@@ -76,6 +76,7 @@ struct Scenario {
   bool tags_below_path = true;
   unsigned localize_threads = 0;
   localize::SarKernel sar_kernel = localize::SarKernel::kExact;
+  localize::SarSearch sar_search = localize::SarSearch::kExact;
 
   /// Fault model (`faults.*` keys). All rates default to zero: a scenario
   /// without faults keys runs bit-identically to one predating the layer.

@@ -48,6 +48,44 @@ TEST(ParseCliNumber, IntegerBehaviorUnchanged) {
             StatusCode::kParseError);
 }
 
+// --search mirrors --kernel: a valid mode sets the knob and marks it
+// explicit (so scenario_runner lets the flag override the scenario file);
+// an unknown mode is a parse failure — the bench mains turn that false
+// into a non-zero exit after CliOptions printed the error and usage.
+TEST(CliOptions, SearchFlagParsesKnownModes) {
+  char prog[] = "bench";
+  char flag[] = "--search";
+  char value[] = "coarse2fine";
+  char* argv[] = {prog, flag, value};
+  CliOptions opts;
+  EXPECT_FALSE(opts.search_explicit);
+  EXPECT_EQ(opts.search, localize::SarSearch::kExact);
+  ASSERT_TRUE(opts.parse(3, argv));
+  EXPECT_EQ(opts.search, localize::SarSearch::kCoarseToFine);
+  EXPECT_TRUE(opts.search_explicit);
+
+  char incremental[] = "incremental";
+  char* argv2[] = {prog, flag, incremental};
+  CliOptions opts2;
+  ASSERT_TRUE(opts2.parse(3, argv2));
+  EXPECT_EQ(opts2.search, localize::SarSearch::kIncremental);
+}
+
+TEST(CliOptions, SearchFlagRejectsUnknownModeAndMissingValue) {
+  char prog[] = "bench";
+  char flag[] = "--search";
+  char banana[] = "banana";
+  char* argv[] = {prog, flag, banana};
+  CliOptions opts;
+  EXPECT_FALSE(opts.parse(3, argv));
+  EXPECT_EQ(opts.search, localize::SarSearch::kExact);  // never clobbered
+  EXPECT_FALSE(opts.search_explicit);
+
+  char* argv2[] = {prog, flag};  // trailing flag without a value
+  CliOptions opts2;
+  EXPECT_FALSE(opts2.parse(2, argv2));
+}
+
 TEST(Metrics, WriteCheckedReportsTypedIoError) {
   Metrics metrics;
   metrics.add("jobs", 3.0);

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "obs/metrics.h"
 #include "sim/faults.h"
 #include "sim/pipeline.h"
 #include "sim/scenario.h"
@@ -124,6 +125,92 @@ TEST(Faults, DropoutDegradesGracefully) {
           << item.status.to_string();
     }
   }
+}
+
+// Dropout and incremental accumulation interact correctly: fault injection
+// happens *before* the accumulator ever sees a sample, so a dropped
+// waypoint never enters the partial sums — under the same seed the
+// incremental-search mission is bit-identical to the exact-search one,
+// fault tallies included — and each discovered item additionally carries a
+// live estimate sequence covering only the surviving aperture.
+TEST(Faults, DropoutAndIncrementalSearchAgreeBitwise) {
+  auto scenario = *preset("building");
+  scenario.faults.dropout = 0.2;
+  scenario.sar_search = localize::SarSearch::kExact;
+  const auto exact = run_scenario(scenario);
+  ASSERT_TRUE(exact.ok()) << exact.status().to_string();
+
+  scenario.sar_search = localize::SarSearch::kIncremental;
+  const auto incremental = run_scenario(scenario);
+  ASSERT_TRUE(incremental.ok()) << incremental.status().to_string();
+
+  EXPECT_EQ(exact->faults.dropouts, incremental->faults.dropouts);
+  EXPECT_EQ(exact->faults.retries, incremental->faults.retries);
+  EXPECT_EQ(exact->aperture_coverage, incremental->aperture_coverage);
+  EXPECT_EQ(exact->health.to_string(), incremental->health.to_string());
+  expect_reports_identical(exact->report, incremental->report);
+
+  // The live sequence is an incremental-mode extra, never a legacy field.
+  for (const auto& item : exact->report.items) {
+    EXPECT_TRUE(item.live.empty());
+  }
+  bool any_live = false;
+  for (const auto& item : incremental->report.items) {
+    if (item.live.empty()) continue;
+    any_live = true;
+    // One entry per disentangled sample that survived injection: never
+    // more than the measurements the item kept, counting monotonically.
+    EXPECT_LE(item.live.size(), item.measurements);
+    for (std::size_t s = 0; s < item.live.size(); ++s) {
+      EXPECT_EQ(item.live[s].measurements, s + 1);
+      EXPECT_GE(item.live[s].confidence, 0.0);
+      EXPECT_LE(item.live[s].confidence, 1.0);
+      EXPECT_GT(item.live[s].coverage, 0.0);
+      EXPECT_LE(item.live[s].coverage, 1.0);
+    }
+    EXPECT_EQ(item.live.back().measurements, item.live.size());
+    // Dropout shrank the aperture mission-wide, so no item's live sequence
+    // may claim more coverage than a fault-free flight would have.
+    if (item.status.code() == StatusCode::kDegraded) {
+      EXPECT_LT(item.live.back().coverage, 1.0) << item.status.to_string();
+    }
+  }
+  EXPECT_TRUE(any_live);
+
+  // The mission-level coverage gauge agrees with the returned FaultStats
+  // accounting (skipped when observability is compiled out).
+  const auto snapshot = obs::snapshot();
+  if (!snapshot.empty()) {
+    bool found = false;
+    for (const auto& gauge : snapshot.gauges) {
+      if (gauge.name != "faults.aperture_coverage") continue;
+      found = true;
+      EXPECT_EQ(gauge.value, incremental->aperture_coverage);
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+// Without faults the streamed aperture is the whole aperture: every live
+// sequence ends at full coverage, bit-identical report to the exact search.
+TEST(Faults, CleanIncrementalRunReachesFullLiveCoverage) {
+  const auto baseline = *preset("building");
+  auto scenario = baseline;
+  scenario.sar_search = localize::SarSearch::kIncremental;
+  const auto exact = run_scenario(baseline);
+  const auto incremental = run_scenario(scenario);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(incremental.ok());
+  expect_reports_identical(exact->report, incremental->report);
+  EXPECT_EQ(incremental->aperture_coverage, 1.0);
+  bool any_live = false;
+  for (const auto& item : incremental->report.items) {
+    if (item.live.empty()) continue;
+    any_live = true;
+    EXPECT_EQ(item.live.back().coverage, 1.0);
+    EXPECT_EQ(item.live.back().measurements, item.live.size());
+  }
+  EXPECT_TRUE(any_live);
 }
 
 // Losing every embedded-tag read breaks disentanglement outright (Eq. 10

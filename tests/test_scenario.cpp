@@ -213,6 +213,30 @@ TEST(Scenario, ApplyOverrideChangesOneKnob) {
   EXPECT_EQ(apply_override(scenario, "seed", "x").code(), StatusCode::kParseError);
 }
 
+// The search-strategy knob is a first-class scenario field: non-default
+// values survive the serialize -> parse round trip, and an unknown mode
+// name is a parse error (not a silent fallback to the legacy sweep).
+TEST(Scenario, SearchModeRoundTripsAndRejectsUnknownNames) {
+  auto scenario = *preset("building");
+  EXPECT_EQ(scenario.sar_search, localize::SarSearch::kExact);
+  scenario.sar_search = localize::SarSearch::kCoarseToFine;
+  const std::string text = serialize(scenario);
+  EXPECT_NE(text.find("coarse2fine"), std::string::npos) << text;
+  const auto parsed = parse_scenario(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed->sar_search, localize::SarSearch::kCoarseToFine);
+  EXPECT_EQ(serialize(*parsed), text);
+
+  ASSERT_TRUE(apply_override(scenario, "localize.search", "incremental").is_ok());
+  EXPECT_EQ(scenario.sar_search, localize::SarSearch::kIncremental);
+  const Status bad = apply_override(scenario, "localize.search", "quantum");
+  EXPECT_EQ(bad.code(), StatusCode::kParseError);
+  // A rejected override never clobbers the knob.
+  EXPECT_EQ(scenario.sar_search, localize::SarSearch::kIncremental);
+  EXPECT_FALSE(
+      parse_scenario("name = x\nlocalize.search = quantum\n").ok());
+}
+
 TEST(Scenario, TagDescriptionsWithSpacesRoundTrip) {
   auto scenario = *preset("warehouse");
   const auto parsed = parse_scenario(serialize(scenario));
