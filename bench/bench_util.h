@@ -21,6 +21,7 @@
 #include "common/stats.h"
 #include "common/status.h"
 #include "localize/sar_kernel.h"
+#include "sim/batch.h"
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -87,6 +88,14 @@ struct CliOptions {
   /// sweep so existing runs stay comparable.
   localize::SarSearch search = localize::SarSearch::kExact;
   bool search_explicit = false;
+  /// Batch execution mode (--batch batched|per-mission): whether repeated
+  /// missions share the measurement plane / geometry cache / arena, or each
+  /// job runs its pipeline independently. Results are bit-identical either
+  /// way; the knob exists to measure the difference and to pin parity.
+  sim::BatchMode batch_mode = sim::BatchMode::kBatched;
+  /// GeometryCache retention bound (--cache-capacity N); 0 disables
+  /// retention so every plane group rebuilds its buffers cold.
+  std::size_t cache_capacity = localize::GeometryCache::kDefaultCapacity;
   /// `--set key=value` overrides, in order (scenario_runner).
   std::vector<std::pair<std::string, std::string>> overrides;
 
@@ -135,6 +144,16 @@ struct CliOptions {
                            std::string(value) + "'"});
         }
         search_explicit = true;
+      } else if (arg == "--batch" && (value = value_of(i))) {
+        if (!sim::parse_batch_mode(value, batch_mode)) {
+          return fail({StatusCode::kParseError,
+                       "--batch wants batched|per-mission, got '" +
+                           std::string(value) + "'"});
+        }
+      } else if (arg == "--cache-capacity" && (value = value_of(i))) {
+        if (Status s = parse_cli_number(arg, value, cache_capacity); !s.is_ok()) {
+          return fail(s);
+        }
       } else if (arg == "--report") {
         report = true;
       } else if (arg == "--trace-out" && (value = value_of(i))) {
@@ -158,7 +177,9 @@ struct CliOptions {
     std::fprintf(stderr,
                  "usage: %s [--seed N] [--trials N] [--threads N] "
                  "[--kernel exact|fast|auto] "
-                 "[--search exact|incremental|coarse2fine] [--out FILE] "
+                 "[--search exact|incremental|coarse2fine] "
+                 "[--batch batched|per-mission] [--cache-capacity N] "
+                 "[--out FILE] "
                  "[--scenario FILE] [--set key=value]... [--report] "
                  "[--trace-out FILE]\n",
                  argv0);

@@ -101,16 +101,25 @@ int main(int argc, char** argv) {
               trials, static_cast<unsigned long long>(first_seed),
               opts.threads);
 
-  const auto results =
-      sim::run_seed_sweep(scenario, first_seed, trials, {opts.threads});
+  sim::BatchRunInfo info;
+  const auto results = sim::run_seed_sweep(
+      scenario, first_seed, trials,
+      {opts.threads, opts.batch_mode, opts.cache_capacity}, &info);
   for (std::size_t i = 0; i < results.size(); ++i) print_result(i, results[i]);
 
-  const auto summary = sim::summarize(results);
+  const auto summary = sim::summarize(results, info);
   std::printf("\n%zu job(s), %zu failed, %zu degraded; mean discovered %.2f, "
               "mean localized %.2f, mean coverage %.1f%%\n",
               summary.jobs, summary.failed, summary.degraded,
               summary.mean_discovered, summary.mean_localized,
               summary.mean_coverage * 100.0);
+  std::printf("batch mode %s: %.1f missions/s; geometry cache %llu hit(s) / "
+              "%llu miss(es); arena high-water %zu bytes\n",
+              sim::batch_mode_name(opts.batch_mode),
+              summary.missions_per_second,
+              static_cast<unsigned long long>(summary.cache_hits),
+              static_cast<unsigned long long>(summary.cache_misses),
+              summary.arena_high_water_bytes);
 
   // Timing footer (wall clock — varies run to run, unlike the lines above).
   if (!results.empty() && results.front().status.is_ok()) {
@@ -129,6 +138,11 @@ int main(int argc, char** argv) {
   metrics.add("mean_localized", summary.mean_localized);
   metrics.add("mean_coverage", summary.mean_coverage);
   metrics.add("total_seconds", summary.total_seconds);
+  metrics.add("missions_per_second", summary.missions_per_second);
+  metrics.add("cache_hits", static_cast<double>(summary.cache_hits));
+  metrics.add("cache_misses", static_cast<double>(summary.cache_misses));
+  metrics.add("arena_high_water_bytes",
+              static_cast<double>(summary.arena_high_water_bytes));
   if (!bench::finish_observability(opts, metrics)) return 1;
   if (!metrics.write(opts.out)) return 1;
   return summary.failed == 0 ? 0 : 1;

@@ -1,0 +1,80 @@
+#include "common/arena.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace rfly {
+
+namespace {
+
+constexpr std::size_t align_up(std::size_t value, std::size_t align) {
+  return (value + align - 1) & ~(align - 1);
+}
+
+}  // namespace
+
+Arena::Arena(std::size_t block_bytes)
+    : block_bytes_(block_bytes == 0 ? kDefaultBlockBytes : block_bytes) {}
+
+Arena::~Arena() { release(); }
+
+Arena::Block& Arena::grow(std::size_t min_bytes) {
+  // Reuse a retained block past the bump cursor first (after reset() the
+  // cursor rewinds to block 0 but the later blocks are still allocated).
+  for (std::size_t i = current_ + (blocks_.empty() ? 0 : 1); i < blocks_.size();
+       ++i) {
+    if (blocks_[i].size >= min_bytes) {
+      current_ = i;
+      return blocks_[i];
+    }
+  }
+  Block block;
+  block.size = min_bytes > block_bytes_ ? min_bytes : block_bytes_;
+  block.data = static_cast<char*>(std::malloc(block.size));
+  if (block.data == nullptr) throw std::bad_alloc();
+  reserved_ += block.size;
+  blocks_.push_back(block);
+  current_ = blocks_.size() - 1;
+  return blocks_.back();
+}
+
+void* Arena::allocate(std::size_t bytes, std::size_t align) {
+  if (align == 0) align = 1;
+  if (blocks_.empty()) grow(bytes + align);
+  // Align the absolute address, not the block offset: malloc only promises
+  // max_align_t, so an aligned offset from a lesser-aligned base would still
+  // hand out a misaligned pointer for wider requests.
+  const auto aligned_offset = [align](const Block& b) {
+    const auto base = reinterpret_cast<std::uintptr_t>(b.data);
+    return align_up(base + b.used, align) - base;
+  };
+  Block* block = &blocks_[current_];
+  std::size_t offset = aligned_offset(*block);
+  if (offset + bytes > block->size) {
+    block = &grow(bytes + align);
+    offset = aligned_offset(*block);
+  }
+  void* out = block->data + offset;
+  const std::size_t new_used = offset + bytes;
+  in_use_ += new_used - block->used;
+  block->used = new_used;
+  if (in_use_ > high_water_) high_water_ = in_use_;
+  return out;
+}
+
+void Arena::reset() {
+  for (Block& block : blocks_) block.used = 0;
+  current_ = 0;
+  in_use_ = 0;
+}
+
+void Arena::release() {
+  for (Block& block : blocks_) std::free(block.data);
+  blocks_.clear();
+  current_ = 0;
+  in_use_ = 0;
+  reserved_ = 0;
+}
+
+}  // namespace rfly

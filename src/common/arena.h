@@ -1,0 +1,89 @@
+// Bump/arena allocator for batch-scoped scratch memory. The batched mission
+// runner allocates its shared SoA measurement plane — per-task channel
+// arrays and heatmap planes — out of one arena per batch: allocation is a
+// pointer bump, reset() retires every allocation at once while keeping the
+// backing blocks, so consecutive task groups reuse the same warm pages
+// instead of round-tripping the system allocator per mission.
+//
+// Lifetime rules (see DESIGN.md "Batched execution & memory plane"):
+//   - One arena per batch run, owned by the coordinating thread. The arena
+//     itself is NOT thread-safe; workers may read/write memory handed out
+//     by the coordinator (disjoint regions), but only the coordinator
+//     allocates or resets.
+//   - reset() invalidates every pointer previously returned. Nothing
+//     allocated here may outlive the group that allocated it.
+//   - Arrays are raw storage: no constructors or destructors run. Only
+//     trivially-destructible types belong here (the SoA plane is doubles).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace rfly {
+
+class Arena {
+ public:
+  /// `block_bytes` sizes the backing blocks; oversized requests get a
+  /// dedicated block of exactly their size.
+  explicit Arena(std::size_t block_bytes = kDefaultBlockBytes);
+  ~Arena();
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Raw storage, aligned to `align` (a power of two). Never returns
+  /// nullptr: a request that does not fit the current block opens a new
+  /// one. Zero-byte requests return a unique, valid, unusable pointer.
+  void* allocate(std::size_t bytes, std::size_t align = alignof(double));
+
+  /// Typed convenience: `count` default-initialized (i.e. uninitialized
+  /// for doubles) elements of a trivially-destructible T.
+  template <typename T>
+  T* alloc_array(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory never runs destructors");
+    return static_cast<T*>(allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Retire every allocation, keep the blocks. After reset() the arena is
+  /// pristine: bytes_in_use() == 0 and allocation resumes from the first
+  /// block, handing back the same addresses as a fresh arena with the same
+  /// block list would.
+  void reset();
+
+  /// Release the backing blocks too (reset + free). high_water_bytes()
+  /// survives — it tracks the batch's peak footprint for the obs gauge.
+  void release();
+
+  /// Bytes currently handed out (sum of live allocations, including
+  /// per-allocation alignment padding).
+  std::size_t bytes_in_use() const { return in_use_; }
+
+  /// Bytes reserved from the system allocator across all blocks.
+  std::size_t bytes_reserved() const { return reserved_; }
+
+  /// Peak bytes_in_use() since construction — the batch runner publishes
+  /// this through the `arena.high_water_bytes` obs gauge and the batch
+  /// summary. Never reset by reset()/release().
+  std::size_t high_water_bytes() const { return high_water_; }
+
+  static constexpr std::size_t kDefaultBlockBytes = 1u << 20;  // 1 MiB
+
+ private:
+  struct Block {
+    char* data = nullptr;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  Block& grow(std::size_t min_bytes);
+
+  std::vector<Block> blocks_;
+  std::size_t block_bytes_;
+  std::size_t current_ = 0;  // index of the block being bumped
+  std::size_t in_use_ = 0;
+  std::size_t reserved_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace rfly

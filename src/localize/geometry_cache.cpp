@@ -1,0 +1,176 @@
+#include "localize/geometry_cache.h"
+
+#include <cstring>
+
+#include "common/digest.h"
+#include "obs/metrics.h"
+
+namespace rfly::localize {
+
+namespace {
+
+// Cache telemetry: one counter bump per lookup, far off any hot path. The
+// cache keeps its own (always-on) tallies too, so the batch summary reports
+// hit rates even when the obs layer is compiled out.
+obs::Counter& cache_hits() {
+  static obs::Counter& c = obs::counter("geometry_cache.hits");
+  return c;
+}
+obs::Counter& cache_misses() {
+  static obs::Counter& c = obs::counter("geometry_cache.misses");
+  return c;
+}
+obs::Counter& cache_evictions() {
+  static obs::Counter& c = obs::counter("geometry_cache.evictions");
+  return c;
+}
+
+/// Bitwise verification of a digest hit: the cached SoA arrays must hold
+/// exactly the requested waypoints' bits.
+bool matches(const SharedTrajectory& cached,
+             const std::vector<channel::Vec3>& positions) {
+  const std::size_t n = positions.size();
+  if (cached.size() != n) return false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (std::memcmp(&cached.px[i], &positions[i].x, sizeof(double)) != 0 ||
+        std::memcmp(&cached.py[i], &positions[i].y, sizeof(double)) != 0 ||
+        std::memcmp(&cached.pz[i], &positions[i].z, sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool matches(const SharedGrid& cached, const GridSpec& spec) {
+  const GridSpec& c = cached.spec;
+  return std::memcmp(&c.x_min, &spec.x_min, sizeof(double)) == 0 &&
+         std::memcmp(&c.x_max, &spec.x_max, sizeof(double)) == 0 &&
+         std::memcmp(&c.y_min, &spec.y_min, sizeof(double)) == 0 &&
+         std::memcmp(&c.y_max, &spec.y_max, sizeof(double)) == 0 &&
+         std::memcmp(&c.resolution_m, &spec.resolution_m, sizeof(double)) == 0;
+}
+
+}  // namespace
+
+GeometryCache::GeometryCache(std::size_t capacity) : capacity_(capacity) {}
+
+std::uint64_t GeometryCache::digest_waypoints(
+    const std::vector<channel::Vec3>& positions) {
+  std::uint64_t state = digest_word(0x7261'6a65'6374'6f72ull,  // "rajector"
+                                    positions.size());
+  for (const auto& p : positions) {
+    state = digest_double(state, p.x);
+    state = digest_double(state, p.y);
+    state = digest_double(state, p.z);
+  }
+  return state;
+}
+
+std::uint64_t GeometryCache::digest_grid(const GridSpec& spec) {
+  std::uint64_t state = digest_word(0x6772'6964'7370'6563ull,  // "gridspec"
+                                    0);
+  state = digest_double(state, spec.x_min);
+  state = digest_double(state, spec.x_max);
+  state = digest_double(state, spec.y_min);
+  state = digest_double(state, spec.y_max);
+  state = digest_double(state, spec.resolution_m);
+  return state;
+}
+
+std::shared_ptr<const SharedTrajectory> GeometryCache::trajectory(
+    const std::vector<channel::Vec3>& positions) {
+  const std::uint64_t digest = digest_waypoints(positions);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& entry : trajectories_.entries) {
+    if (entry.digest == digest && matches(*entry.value, positions)) {
+      ++hits_;
+      cache_hits().inc();
+      return entry.value;
+    }
+  }
+  ++misses_;
+  cache_misses().inc();
+  auto built = std::make_shared<const SharedTrajectory>(
+      SharedTrajectory::from(positions));
+  if (capacity_ > 0) {
+    trajectories_.entries.push_back({digest, built});
+    while (trajectories_.entries.size() > capacity_) {
+      trajectories_.entries.erase(trajectories_.entries.begin());
+      ++evictions_;
+      cache_evictions().inc();
+    }
+  }
+  return built;
+}
+
+std::shared_ptr<const SharedGrid> GeometryCache::grid(const GridSpec& spec) {
+  const std::uint64_t digest = digest_grid(spec);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& entry : grids_.entries) {
+    if (entry.digest == digest && matches(*entry.value, spec)) {
+      ++hits_;
+      cache_hits().inc();
+      return entry.value;
+    }
+  }
+  ++misses_;
+  cache_misses().inc();
+  auto built = std::make_shared<const SharedGrid>(SharedGrid::from(spec));
+  if (capacity_ > 0) {
+    grids_.entries.push_back({digest, built});
+    while (grids_.entries.size() > capacity_) {
+      grids_.entries.erase(grids_.entries.begin());
+      ++evictions_;
+      cache_evictions().inc();
+    }
+  }
+  return built;
+}
+
+GeometryCache::Stats GeometryCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.trajectories = trajectories_.entries.size();
+  s.grids = grids_.entries.size();
+  return s;
+}
+
+void GeometryCache::reset_stats() {
+  std::lock_guard<std::mutex> lock(mu_);
+  hits_ = misses_ = evictions_ = 0;
+}
+
+void GeometryCache::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  trajectories_.entries.clear();
+  grids_.entries.clear();
+}
+
+void GeometryCache::set_capacity(std::size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity;
+  auto shrink = [&](auto& shelf) {
+    while (shelf.entries.size() > capacity_) {
+      shelf.entries.erase(shelf.entries.begin());
+      ++evictions_;
+      cache_evictions().inc();
+    }
+  };
+  shrink(trajectories_);
+  shrink(grids_);
+}
+
+std::size_t GeometryCache::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+GeometryCache& global_geometry_cache() {
+  static GeometryCache cache;
+  return cache;
+}
+
+}  // namespace rfly::localize

@@ -1,0 +1,97 @@
+// Digest-keyed cache for the localize layer's shareable precompute: the
+// SoA trajectory arrays (SharedTrajectory) and hoisted grid coordinates
+// (SharedGrid) that every SAR sweep rebuilds from scratch today. The
+// batched mission runner looks both up per task group, so a fleet of
+// missions flying the same trajectory (or re-running the same scenario)
+// derives the buffers once.
+//
+// Invariants (see DESIGN.md "Batched execution & memory plane"):
+//   - Keys are splitmix64 digests over the waypoints'/grid params' bit
+//     patterns. A digest match is only a hint: every hit is verified by a
+//     full bitwise compare against the request before the entry is
+//     returned, so a collision costs a miss, never a wrong buffer.
+//   - Entries are immutable once published and handed out as
+//     shared_ptr<const T>: a consumer can keep using a buffer after the
+//     cache evicts it.
+//   - Thread-safe: lookups take a mutex; entry construction happens outside
+//     it only for the loser of a race to pay twice, never to publish twice.
+//   - Bounded: FIFO eviction in insertion order (deterministic — eviction
+//     depends only on the lookup sequence, never on timing), per buffer
+//     kind. Capacity 0 disables retention: every lookup builds fresh and
+//     counts as a miss.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "channel/geometry.h"
+#include "localize/sar.h"
+
+namespace rfly::localize {
+
+class GeometryCache {
+ public:
+  explicit GeometryCache(std::size_t capacity = kDefaultCapacity);
+
+  /// SoA trajectory for these waypoints: cached copy when one with the
+  /// exact same bits exists, freshly built (and retained) otherwise.
+  std::shared_ptr<const SharedTrajectory> trajectory(
+      const std::vector<channel::Vec3>& positions);
+
+  /// Hoisted cell coordinates for this grid, same contract.
+  std::shared_ptr<const SharedGrid> grid(const GridSpec& spec);
+
+  /// Hit/miss tallies since construction (or the last reset_stats()).
+  /// Internal atomics, not obs counters, so the batch summary can report
+  /// them even under RFLY_OBS=OFF; the obs layer mirrors them when on.
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t trajectories = 0;  // entries currently retained
+    std::size_t grids = 0;
+  };
+  Stats stats() const;
+  void reset_stats();
+
+  /// Drop every entry (stats keep counting). Used by tests to force a cold
+  /// cache; the cold path must be bit-identical to the warm path.
+  void clear();
+
+  /// Change the retention bound; evicts oldest-first down to the new size.
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const;
+
+  /// splitmix64 digest over the waypoints' coordinate bit patterns.
+  static std::uint64_t digest_waypoints(const std::vector<channel::Vec3>& positions);
+  /// splitmix64 digest over the grid extents/resolution bit patterns.
+  static std::uint64_t digest_grid(const GridSpec& spec);
+
+  static constexpr std::size_t kDefaultCapacity = 64;
+
+ private:
+  template <typename T>
+  struct Shelf {
+    struct Entry {
+      std::uint64_t digest = 0;
+      std::shared_ptr<const T> value;
+    };
+    std::vector<Entry> entries;  // insertion order = FIFO eviction order
+  };
+
+  Shelf<SharedTrajectory> trajectories_;
+  Shelf<SharedGrid> grids_;
+  std::size_t capacity_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+  mutable std::mutex mu_;
+};
+
+/// Process-wide cache shared by every batch run (the persistent layer the
+/// ISSUE's "identical trajectories computed once" amortization rides on).
+GeometryCache& global_geometry_cache();
+
+}  // namespace rfly::localize

@@ -84,20 +84,15 @@ std::size_t coarse_stride_cells(double coarse_resolution_m, double fine_res) {
   return stride < 2 ? 2 : static_cast<std::size_t>(stride);
 }
 
+/// Coarse-to-fine finish over a precomputed coarse heatmap (`cmap` spans
+/// the stride-widened grid localize_scan_grid() reports for this config).
 Expected<LocalizationResult> localize_2d_coarse2fine(const DisentangledSet& set,
                                                      const LocalizerConfig& config,
+                                                     const Heatmap& cmap,
                                                      unsigned threads) {
   const GridSpec& fine = config.grid;
   const std::size_t stride =
       coarse_stride_cells(config.coarse_resolution_m, fine.resolution_m);
-  // The coarse sweep reuses the batch heatmap on a stride-widened grid:
-  // same origin, resolution stride * res, so sample i sits (up to one
-  // rounding of the product) on fine cell i * stride — close enough to
-  // recover the fine index with lround in the refinement.
-  GridSpec coarse = fine;
-  coarse.resolution_m = fine.resolution_m * static_cast<double>(stride);
-  const Heatmap cmap = sar_heatmap(set, coarse, config.freq_hz,
-                                   config.z_plane_m, threads, config.kernel);
   std::vector<Peak> peaks = find_peaks(cmap, config.peak_threshold_fraction);
   if (peaks.empty()) {
     return Status{StatusCode::kNoPeaks,
@@ -136,7 +131,74 @@ Expected<LocalizationResult> localize_2d_coarse2fine(const DisentangledSet& set,
   return result;
 }
 
+/// Shared post-processing for the exact/incremental searches: peak finding,
+/// optional multires refinement, selection. `map` spans the scan grid
+/// (coarse resolution when `multires`); this is the single code path behind
+/// both localize_2d_from and localize_2d_with_plane, so the batched runner
+/// cannot drift from the per-mission finish.
+Expected<LocalizationResult> finish_from_map(const DisentangledSet& set,
+                                             const LocalizerConfig& config,
+                                             const Heatmap& map,
+                                             unsigned threads) {
+  std::vector<Peak> peaks = find_peaks(map, config.peak_threshold_fraction);
+  if (peaks.empty()) {
+    return Status{StatusCode::kNoPeaks,
+                  "no heatmap peak reached " +
+                      std::to_string(config.peak_threshold_fraction) +
+                      " of the maximum"};
+  }
+
+  if (config.multires) {
+    const int n = std::min<int>(config.refine_candidates,
+                                static_cast<int>(peaks.size()));
+    peaks.resize(static_cast<std::size_t>(n));
+    // Each candidate refines independently into its own slot; identical at
+    // any thread count.
+    const SarGeometry geo = SarGeometry::from(set, config.freq_hz);
+    parallel_for(
+        0, peaks.size(), 1,
+        [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            peaks[i] = refine_peak(geo, peaks[i], config.grid.resolution_m,
+                                   config.coarse_resolution_m * 1.5,
+                                   config.z_plane_m, config.kernel);
+          }
+        },
+        threads);
+    std::sort(peaks.begin(), peaks.end(),
+              [](const Peak& a, const Peak& b) { return a.value > b.value; });
+  }
+
+  annotate_distances(peaks, set.positions);
+  const Peak chosen = select_peak(peaks, config.selection, set.positions);
+
+  LocalizationResult result;
+  result.x = chosen.x;
+  result.y = chosen.y;
+  result.peak_value = chosen.value;
+  result.candidates = std::move(peaks);
+  result.measurements_used = set.channels.size();
+  return result;
+}
+
 }  // namespace
+
+GridSpec localize_scan_grid(const LocalizerConfig& config) {
+  if (config.search == SarSearch::kCoarseToFine) {
+    // The coarse sweep reuses the batch heatmap on a stride-widened grid:
+    // same origin, resolution stride * res, so sample i sits (up to one
+    // rounding of the product) on fine cell i * stride — close enough to
+    // recover the fine index with lround in the refinement.
+    const std::size_t stride = coarse_stride_cells(config.coarse_resolution_m,
+                                                   config.grid.resolution_m);
+    GridSpec coarse = config.grid;
+    coarse.resolution_m = config.grid.resolution_m * static_cast<double>(stride);
+    return coarse;
+  }
+  GridSpec scan_grid = config.grid;
+  if (config.multires) scan_grid.resolution_m = config.coarse_resolution_m;
+  return scan_grid;
+}
 
 Status validate_grid(const GridSpec& grid) {
   if (!(grid.resolution_m > 0.0)) {
@@ -187,12 +249,12 @@ Expected<LocalizationResult> localize_2d_from(const DisentangledSet& set,
   if (Status grid_status = validate_grid(config.grid); !grid_status.is_ok()) {
     return grid_status;
   }
+  const GridSpec scan_grid = localize_scan_grid(config);
   if (config.search == SarSearch::kCoarseToFine) {
-    return localize_2d_coarse2fine(set, config, threads);
+    const Heatmap cmap = sar_heatmap(set, scan_grid, config.freq_hz,
+                                     config.z_plane_m, threads, config.kernel);
+    return localize_2d_coarse2fine(set, config, cmap, threads);
   }
-
-  GridSpec scan_grid = config.grid;
-  if (config.multires) scan_grid.resolution_m = config.coarse_resolution_m;
 
   Heatmap map;
   if (config.search == SarSearch::kIncremental) {
@@ -208,45 +270,26 @@ Expected<LocalizationResult> localize_2d_from(const DisentangledSet& set,
     map = sar_heatmap(set, scan_grid, config.freq_hz, config.z_plane_m, threads,
                       config.kernel);
   }
-  std::vector<Peak> peaks = find_peaks(map, config.peak_threshold_fraction);
-  if (peaks.empty()) {
-    return Status{StatusCode::kNoPeaks,
-                  "no heatmap peak reached " +
-                      std::to_string(config.peak_threshold_fraction) +
-                      " of the maximum"};
+  return finish_from_map(set, config, map, threads);
+}
+
+Expected<LocalizationResult> localize_2d_with_plane(const DisentangledSet& set,
+                                                    const LocalizerConfig& config,
+                                                    const Heatmap& map) {
+  obs::Span span("localize.2d");
+  const unsigned threads = clamp_thread_count(config.threads);
+  if (set.channels.empty()) {
+    return Status{StatusCode::kNoReference,
+                  "disentanglement left no measurements (embedded-tag "
+                  "reference too weak on every sample)"};
   }
-
-  if (config.multires) {
-    const int n = std::min<int>(config.refine_candidates,
-                                static_cast<int>(peaks.size()));
-    peaks.resize(static_cast<std::size_t>(n));
-    // Each candidate refines independently into its own slot; identical at
-    // any thread count.
-    const SarGeometry geo = SarGeometry::from(set, config.freq_hz);
-    parallel_for(
-        0, peaks.size(), 1,
-        [&](std::size_t begin, std::size_t end) {
-          for (std::size_t i = begin; i < end; ++i) {
-            peaks[i] = refine_peak(geo, peaks[i], config.grid.resolution_m,
-                                   config.coarse_resolution_m * 1.5,
-                                   config.z_plane_m, config.kernel);
-          }
-        },
-        threads);
-    std::sort(peaks.begin(), peaks.end(),
-              [](const Peak& a, const Peak& b) { return a.value > b.value; });
+  if (Status grid_status = validate_grid(config.grid); !grid_status.is_ok()) {
+    return grid_status;
   }
-
-  annotate_distances(peaks, set.positions);
-  const Peak chosen = select_peak(peaks, config.selection, set.positions);
-
-  LocalizationResult result;
-  result.x = chosen.x;
-  result.y = chosen.y;
-  result.peak_value = chosen.value;
-  result.candidates = std::move(peaks);
-  result.measurements_used = set.channels.size();
-  return result;
+  if (config.search == SarSearch::kCoarseToFine) {
+    return localize_2d_coarse2fine(set, config, map, threads);
+  }
+  return finish_from_map(set, config, map, threads);
 }
 
 std::optional<Localization3dResult> localize_3d(const MeasurementSet& measurements,

@@ -74,6 +74,49 @@ Heatmap sar_heatmap(const DisentangledSet& set, const GridSpec& grid, double fre
                     double z_plane = 0.0, unsigned threads = 0,
                     SarKernel kernel = SarKernel::kExact);
 
+/// Trajectory positions as shared SoA arrays — the cacheable half of
+/// SarGeometry (channel weights are per tag and per mission; positions
+/// repeat whenever the same flight serves many tags or many identical
+/// missions). Built once per distinct trajectory by the GeometryCache and
+/// shared read-only across a batch.
+struct SharedTrajectory {
+  std::vector<double> px, py, pz;
+  std::size_t size() const { return px.size(); }
+  static SharedTrajectory from(const std::vector<channel::Vec3>& positions);
+};
+
+/// A grid with its cell coordinates hoisted once — the other cacheable
+/// buffer (sar_heatmap rebuilds xs/ys per call; a batch reuses one copy).
+/// xs/ys hold the identical x_min + i*res values sar_heatmap computes, so
+/// sharing them is bit-invisible.
+struct SharedGrid {
+  GridSpec spec;
+  std::vector<double> xs, ys;
+  static SharedGrid from(const GridSpec& grid);
+};
+
+/// One tag's slice of a multi-tag sweep: channel weights over the shared
+/// trajectory (length = trajectory size) and the output plane to fill
+/// (ny rows of nx, row-major — a Heatmap::values buffer or arena memory).
+struct MultiTagSlot {
+  const double* hre = nullptr;
+  const double* him = nullptr;
+  double* values = nullptr;
+};
+
+/// Blocked multi-tag heatmap sweep: evaluate `count` tags' planes over one
+/// shared trajectory and one shared grid in a single row-sharded pass, so
+/// the per-(cell, sample) distance and sincos — the dominant cost — are
+/// computed once and reused by every tag. Each tag's plane is bit-identical
+/// to sar_heatmap over that tag alone (both kernels; pinned by
+/// tests/test_batch_parity.cpp), so the batched mission runner can hoist
+/// grouped localize stages onto one shared plane without changing a bit.
+/// `threads`/`kernel` as in sar_heatmap.
+void sar_heatmap_multi(const SharedTrajectory& trajectory, const SharedGrid& grid,
+                       double freq_hz, double z_plane, const MultiTagSlot* slots,
+                       std::size_t count, unsigned threads = 0,
+                       SarKernel kernel = SarKernel::kExact);
+
 /// Evaluate P at a single 3D point (used by peak refinement, the 3D
 /// extension and tests). The exact path is the seed loop, bit-identical.
 double sar_projection(const DisentangledSet& set, const channel::Vec3& p,

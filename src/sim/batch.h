@@ -4,11 +4,28 @@
 // ranges serially — so a sweep saturates the machine whether it is one
 // scenario with a huge grid or a hundred small seeds. Results land at the
 // job's own index, so the output is identical at any thread count.
+//
+// Two execution modes (see DESIGN.md "Batched execution & memory plane"):
+//
+//   kPerMission — every job runs its whole pipeline independently (the
+//     legacy shape). Scenario parsing/validation is still hoisted: each
+//     distinct scenario text is validated and materialized once per batch,
+//     not once per job.
+//
+//   kBatched (default) — additionally, fault-free jobs defer their localize
+//     stages; the runner dedups identical (measurement set, config) tasks,
+//     groups tasks that share a trajectory/grid/frequency plane, and sweeps
+//     each group's SAR heatmaps in one blocked multi-tag pass over
+//     arena-backed planes, with trajectory/grid buffers served from the
+//     digest-keyed GeometryCache. Behaviorally invisible: every BatchResult
+//     is bit-identical to the per-mission mode at any thread count,
+//     warm or cold cache (pinned by tests/test_batch_parity.cpp).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "localize/geometry_cache.h"
 #include "sim/pipeline.h"
 #include "sim/scenario.h"
 
@@ -30,15 +47,47 @@ struct BatchResult {
   MissionRun run;
 };
 
+enum class BatchMode : std::uint8_t {
+  kPerMission,  // independent pipelines, no cross-mission sharing
+  kBatched,     // shared measurement plane + geometry cache + arena
+};
+
+/// Stable lower-case token ("per-mission" / "batched"), used by --batch.
+const char* batch_mode_name(BatchMode mode);
+bool parse_batch_mode(const std::string& text, BatchMode& out);
+
 struct BatchConfig {
   /// Jobs in flight at once: 0 = hardware concurrency, 1 = serial.
+  /// (First member — callers aggregate-initialize as BatchConfig{threads}.)
   unsigned threads = 0;
+  BatchMode mode = BatchMode::kBatched;
+  /// Retention bound applied to the process-wide GeometryCache for this
+  /// run (entries per buffer kind). 0 disables retention entirely.
+  std::size_t cache_capacity = localize::GeometryCache::kDefaultCapacity;
+};
+
+/// Instrumentation from one batch run — the sharing the batched mode found
+/// and what it cost. Purely observational: none of it feeds back into
+/// results.
+struct BatchRunInfo {
+  double wall_seconds = 0.0;
+  /// GeometryCache hit/miss deltas over this run (zero in kPerMission).
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  /// Peak bytes the shared measurement plane's arena held at once.
+  std::size_t arena_high_water_bytes = 0;
+  std::size_t scenario_groups = 0;  // distinct scenario texts (validated once each)
+  std::size_t plane_groups = 0;     // multi-tag sweeps launched
+  std::size_t deferred_tasks = 0;   // localize stages hoisted out of missions
+  std::size_t distinct_tasks = 0;   // after content dedup (= sweeps' total slots)
 };
 
 /// Run every job; never throws away work — a failed job is a BatchResult
-/// with its Status, in the same position as its job.
+/// with its Status, in the same position as its job. `info`, when non-null,
+/// receives the run's sharing/throughput instrumentation.
 std::vector<BatchResult> run_batch(const std::vector<BatchJob>& jobs,
-                                   const BatchConfig& config = {});
+                                   const BatchConfig& config = {},
+                                   BatchRunInfo* info = nullptr);
 
 /// Convenience: one scenario across `count` trials. Trial i runs with the
 /// engine seed stream_seed(first_seed, i) — a splitmix64 hash of
@@ -49,10 +98,12 @@ std::vector<BatchResult> run_batch(const std::vector<BatchJob>& jobs,
 /// pipeline's `seed + 100 + i` tag streams). The hashed streams are
 /// independent, so batch output is a pure function of (first_seed, i):
 /// thread-count- and order-invariant, pinned bit-for-bit by test_batch.
+/// The scenario is validated and materialized once for the whole sweep.
 std::vector<BatchResult> run_seed_sweep(const Scenario& scenario,
                                         std::uint64_t first_seed,
                                         std::size_t count,
-                                        const BatchConfig& config = {});
+                                        const BatchConfig& config = {},
+                                        BatchRunInfo* info = nullptr);
 
 /// Fraction of jobs whose mission succeeded, and mean localized count over
 /// successful jobs (0 when none) — the headline numbers a sweep prints.
@@ -67,8 +118,16 @@ struct BatchSummary {
   /// Mean aperture coverage over successful jobs (1 when faults are off).
   double mean_coverage = 0.0;
   double total_seconds = 0.0;  // sum of per-job wall clock
+  /// Batch throughput and sharing figures — populated by the BatchRunInfo
+  /// overload, zero otherwise.
+  double missions_per_second = 0.0;  // jobs / batch wall clock
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::size_t arena_high_water_bytes = 0;
 };
 
 BatchSummary summarize(const std::vector<BatchResult>& results);
+BatchSummary summarize(const std::vector<BatchResult>& results,
+                       const BatchRunInfo& info);
 
 }  // namespace rfly::sim

@@ -141,6 +141,21 @@ localize::GridSpec search_window(const core::ScanMissionConfig& config,
   return grid;
 }
 
+/// The localize stage's fully resolved config for a window centered on
+/// `centroid` — shared by the inline stage and the deferred-task capture so
+/// both paths localize with identical knobs.
+localize::LocalizerConfig stage_localizer_config(
+    const core::ScanMissionConfig& config, const Vec3& centroid) {
+  localize::LocalizerConfig loc;
+  loc.threads = config.localize_threads;
+  loc.kernel = config.sar_kernel;
+  loc.search = config.sar_search;
+  loc.freq_hz = config.system.carrier_hz + config.system.freq_shift_hz;
+  loc.peak_threshold_fraction = config.peak_threshold_fraction;
+  loc.grid = search_window(config, centroid);
+  return loc;
+}
+
 }  // namespace
 
 const char* stage_name(Stage stage) {
@@ -160,10 +175,11 @@ Expected<MissionRun> run_mission_pipeline(const core::ScanMissionConfig& config,
                                           const channel::Environment& environment,
                                           const Vec3& reader_position,
                                           const std::vector<Vec3>& flight_plan,
-                                          std::vector<core::TagPlacement>& tags,
+                                          const std::vector<core::TagPlacement>& tags,
                                           const core::InventoryDatabase& database,
                                           std::uint64_t seed,
-                                          const FaultConfig& faults) {
+                                          const FaultConfig& faults,
+                                          std::vector<DeferredLocalize>* deferred) {
   const auto mission_start = Clock::now();
   // total_seconds stays chrono-based (it predates the obs layer and must
   // keep reporting wall time even under RFLY_OBS=OFF); the span nests the
@@ -347,17 +363,24 @@ Expected<MissionRun> run_mission_pipeline(const core::ScanMissionConfig& config,
 
         // --- localize: SAR over a window centered on the measurement
         // centroid. --------------------------------------------------------
-        {
+        if (deferred != nullptr && !faulty) {
+          // Hoisted onto the batch runner's shared plane: capture the stage
+          // inputs, leave the item pending (not localized, status OK). Safe
+          // only because faults are off — the single-pass loop below never
+          // consumes `localized`, so the outcome can be folded in later via
+          // apply_deferred_result without changing any draw or retry.
+          const Vec3 centroid = measurement_centroid(measurements);
+          DeferredLocalize task;
+          task.item_index = run.report.items.size();
+          task.tag_index = i;
+          task.half_link = std::move(half_link);
+          task.config = stage_localizer_config(config, centroid);
+          deferred->push_back(std::move(task));
+        } else {
           StageTimer timer(run.trace, Stage::kLocalize);
           const Vec3 centroid = measurement_centroid(measurements);
-
-          localize::LocalizerConfig loc;
-          loc.threads = config.localize_threads;
-          loc.kernel = config.sar_kernel;
-          loc.search = config.sar_search;
-          loc.freq_hz = config.system.carrier_hz + config.system.freq_shift_hz;
-          loc.peak_threshold_fraction = config.peak_threshold_fraction;
-          loc.grid = search_window(config, centroid);
+          const localize::LocalizerConfig loc =
+              stage_localizer_config(config, centroid);
 
           auto result = localize::localize_2d_from(half_link, loc);
           if (!result) {
@@ -440,6 +463,42 @@ Expected<MissionRun> run_mission_pipeline(const core::ScanMissionConfig& config,
   return run;
 }
 
+void apply_deferred_result(MissionRun& run, std::size_t item_index,
+                           std::size_t tag_index,
+                           const Expected<localize::LocalizationResult>& result,
+                           double seconds) {
+  StageTrace& localize_trace =
+      run.trace[static_cast<std::size_t>(Stage::kLocalize)];
+  localize_trace.seconds += seconds;
+  ++localize_trace.invocations;
+  run.total_seconds += seconds;
+
+  core::ScannedItem& item = run.report.items[item_index];
+  if (result) {
+    item.localized = true;
+    item.estimate = {result->x, result->y, 0.0};
+    ++run.report.localized;
+  } else {
+    // Same context the inline stage writes, so the batched item status is
+    // string-identical to the per-mission one.
+    item.status =
+        result.status().with_context("tag " + std::to_string(tag_index));
+  }
+}
+
+MissionInputs materialize(const Scenario& scenario) {
+  MissionInputs inputs;
+  inputs.config = mission_config(scenario);
+  inputs.environment = scenario.environment.build();
+  inputs.reader_position = scenario.reader_position;
+  inputs.plan = flight_plan(scenario);
+  inputs.tags = tag_placements(scenario);
+  inputs.db = database(scenario);
+  inputs.faults = scenario.faults;
+  inputs.scenario_name = scenario.name;
+  return inputs;
+}
+
 Expected<MissionRun> run_scenario(const Scenario& scenario) {
   return run_scenario(scenario, scenario.seed);
 }
@@ -448,14 +507,11 @@ Expected<MissionRun> run_scenario(const Scenario& scenario, std::uint64_t seed) 
   if (Status status = validate(scenario); !status.is_ok()) {
     return std::move(status).with_context("run_scenario");
   }
-  const core::ScanMissionConfig config = mission_config(scenario);
-  const channel::Environment environment = scenario.environment.build();
-  const std::vector<Vec3> plan = flight_plan(scenario);
-  std::vector<core::TagPlacement> tags = tag_placements(scenario);
-  const core::InventoryDatabase db = database(scenario);
-  return run_mission_pipeline(config, environment, scenario.reader_position,
-                              plan, tags, db, seed, scenario.faults)
-      .with_context("scenario '" + scenario.name + "'");
+  const MissionInputs inputs = materialize(scenario);
+  return run_mission_pipeline(inputs.config, inputs.environment,
+                              inputs.reader_position, inputs.plan, inputs.tags,
+                              inputs.db, seed, inputs.faults)
+      .with_context("scenario '" + inputs.scenario_name + "'");
 }
 
 }  // namespace rfly::sim

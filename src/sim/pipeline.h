@@ -12,6 +12,7 @@
 
 #include "common/status.h"
 #include "core/scan_mission.h"
+#include "localize/localizer.h"
 #include "sim/faults.h"
 #include "sim/scenario.h"
 
@@ -57,6 +58,19 @@ struct MissionRun {
   FaultStats faults;
 };
 
+/// A localize stage the pipeline skipped so a batch runner can execute it
+/// on the shared measurement plane: everything the stage needs (the
+/// disentangled half-link set and the fully resolved localizer config) plus
+/// where its result belongs. The pipeline only defers when the stage is
+/// side-effect free — faults disabled, so no retry loop consumes the
+/// outcome — which makes the deferred run bit-equivalent to the inline one.
+struct DeferredLocalize {
+  std::size_t item_index = 0;  // position in MissionRun::report.items
+  std::size_t tag_index = 0;   // tag ordinal, for the error-context string
+  localize::DisentangledSet half_link;
+  localize::LocalizerConfig config;
+};
+
 /// Run the staged mission. Mission-level errors (kEmptyFlightPlan,
 /// kEmptyPopulation, kDegenerateGrid for a margin that clips the whole
 /// search window) fail the whole run; per-item failures are recorded in
@@ -67,14 +81,51 @@ struct MissionRun {
 /// (faults.max_attempts) re-draw the fault pattern, and a tag localized
 /// from a partial aperture is reported localized with a kDegraded item
 /// status carrying its coverage instead of failing.
+///
+/// `deferred`: when non-null AND faults are disabled, per-tag localize
+/// stages are not executed — each is appended to `deferred` and the item is
+/// left pending (not localized, status OK). The caller must finish every
+/// task (localize_2d_with_plane or localize_2d_from on task.half_link /
+/// task.config) and fold the outcome back with apply_deferred_result to
+/// obtain the same MissionRun the inline path produces. With faults
+/// enabled the parameter is ignored: the retry loop needs each localize
+/// outcome immediately.
 Expected<MissionRun> run_mission_pipeline(const core::ScanMissionConfig& config,
                                           const channel::Environment& environment,
                                           const Vec3& reader_position,
                                           const std::vector<Vec3>& flight_plan,
-                                          std::vector<core::TagPlacement>& tags,
+                                          const std::vector<core::TagPlacement>& tags,
                                           const core::InventoryDatabase& database,
                                           std::uint64_t seed,
-                                          const FaultConfig& faults = {});
+                                          const FaultConfig& faults = {},
+                                          std::vector<DeferredLocalize>* deferred = nullptr);
+
+/// Fold a deferred localize outcome back into its mission: marks the item
+/// localized (or records the failure with the same "tag N" context the
+/// inline stage writes), bumps the localize stage trace by `seconds`, and
+/// adds `seconds` to the mission total.
+void apply_deferred_result(MissionRun& run, std::size_t item_index,
+                           std::size_t tag_index,
+                           const Expected<localize::LocalizationResult>& result,
+                           double seconds);
+
+/// A scenario materialized into the pipeline's inputs: parsed once,
+/// runnable many times (seed sweeps, batches) without re-validating or
+/// rebuilding the environment/tag placements per run.
+struct MissionInputs {
+  core::ScanMissionConfig config;
+  channel::Environment environment;
+  Vec3 reader_position;
+  std::vector<Vec3> plan;
+  std::vector<core::TagPlacement> tags;
+  core::InventoryDatabase db;
+  FaultConfig faults;
+  std::string scenario_name;
+};
+
+/// Materialize a scenario's pipeline inputs. Does NOT validate — call
+/// validate(scenario) first; run_scenario does both.
+MissionInputs materialize(const Scenario& scenario);
 
 /// Validate + materialize a scenario and run it through the pipeline with
 /// the scenario's own seed and fault model.
