@@ -18,6 +18,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/json.h"
 #include "common/stats.h"
 #include "common/status.h"
 #include "localize/sar_kernel.h"
@@ -208,16 +209,19 @@ class Metrics {
       return {StatusCode::kIoError, "cannot write metrics to '" + path +
                                         "': " + std::strerror(errno)};
     }
+    // Keys go through json_escape (a scenario-derived name may hold quotes
+    // or control bytes) and values through json_number (NaN/Inf -> null);
+    // raw %s/%.17g here used to emit documents no strict parser accepted.
     std::fprintf(file, "{");
     bool first = true;
     for (const auto& [name, value] : entries_) {
-      std::fprintf(file, "%s\"%s\": %.17g", first ? "" : ", ", name.c_str(),
-                   value);
+      std::fprintf(file, "%s%s: %s", first ? "" : ", ",
+                   json_quote(name).c_str(), json_number(value).c_str());
       first = false;
     }
     for (const auto& [name, json] : raw_entries_) {
-      std::fprintf(file, "%s\"%s\": %s", first ? "" : ", ", name.c_str(),
-                   json.c_str());
+      std::fprintf(file, "%s%s: %s", first ? "" : ", ",
+                   json_quote(name).c_str(), json.c_str());
       first = false;
     }
     std::fprintf(file, "}\n");

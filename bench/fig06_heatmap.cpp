@@ -124,8 +124,10 @@ std::string sincos_sweep() {
     return worst;
   };
 
+  // JSON fragments go through the shared emitters (common/json.h): strings
+  // escaped, non-finite values (a sincos variant returning NaN would make
+  // max_abs_err NaN) serialized as null instead of the invalid `nan` token.
   std::string json;
-  char line[160];
   const double libm_ns = time_ns_per_op([&] {
     for (std::size_t i = 0; i < kN; ++i) {
       s[i] = std::sin(x[i]);
@@ -134,11 +136,8 @@ std::string sincos_sweep() {
   });
   std::printf("  %-10s %10.2f ns/op   max abs err %.3g\n", "libm", libm_ns,
               max_err());
-  std::snprintf(line, sizeof line,
-                "    {\"impl\": \"libm\", \"ns_per_op\": %.3f, "
-                "\"max_abs_err\": %.3g},\n",
-                libm_ns, max_err());
-  json += line;
+  json += "    {\"impl\": \"libm\", \"ns_per_op\": " + json_number(libm_ns) +
+          ", \"max_abs_err\": " + json_number(max_err()) + "},\n";
 
   const auto& variants = localize::sar_kernel_variants();
   for (std::size_t i = 0; i < variants.size(); ++i) {
@@ -150,11 +149,10 @@ std::string sincos_sweep() {
     const double err = max_err();
     std::printf("  %-10s %10.2f ns/op   max abs err %.3g   (%.1fx vs libm)\n",
                 v.isa, ns, err, libm_ns / ns);
-    std::snprintf(line, sizeof line,
-                  "    {\"impl\": \"%s\", \"ns_per_op\": %.3f, "
-                  "\"max_abs_err\": %.3g}%s\n",
-                  v.isa, ns, err, i + 1 < variants.size() ? "," : "");
-    json += line;
+    json += "    {\"impl\": " + json_quote(v.isa) +
+            ", \"ns_per_op\": " + json_number(ns) +
+            ", \"max_abs_err\": " + json_number(err) + "}" +
+            (i + 1 < variants.size() ? "," : "") + "\n";
   }
   if (!json.empty() && json[json.size() - 2] == ',') {
     json.erase(json.size() - 2, 1);  // trailing comma if last variant skipped
@@ -219,7 +217,6 @@ std::string search_sweep_3d(std::uint64_t seed) {
   const auto exact_pos = position(localize::SarSearch::kExact);
   const double exact_ms = time_ms(localize::SarSearch::kExact);
   std::string json = "{\n";
-  char line[200];
   const localize::SarSearch searches[] = {localize::SarSearch::kExact,
                                           localize::SarSearch::kIncremental,
                                           localize::SarSearch::kCoarseToFine};
@@ -235,12 +232,11 @@ std::string search_sweep_3d(std::uint64_t seed) {
                                   std::abs(pos.z - exact_pos.z)});
     std::printf("  %-12s %12.3f %9.2fx %22.3g\n",
                 localize::sar_search_name(search), ms, exact_ms / ms, diff);
-    std::snprintf(line, sizeof line,
-                  "    \"%s\": {\"best_ms\": %.6f, \"speedup\": %.4f, "
-                  "\"max_pos_diff_vs_exact\": %.3g}%s\n",
-                  localize::sar_search_name(search), ms, exact_ms / ms, diff,
-                  i + 1 < std::size(searches) ? "," : "");
-    json += line;
+    json += "    " + json_quote(localize::sar_search_name(search)) +
+            ": {\"best_ms\": " + json_number(ms) +
+            ", \"speedup\": " + json_number(exact_ms / ms) +
+            ", \"max_pos_diff_vs_exact\": " + json_number(diff) + "}" +
+            (i + 1 < std::size(searches) ? "," : "") + "\n";
   }
   json += "  }";
   bench::paper_vs_ours("localize_3d coarse2fine speedup, 1 thread", "(n/a: ours)",
@@ -300,10 +296,10 @@ void kernel_thread_sweep(std::uint64_t seed) {
                  "  \"grid\": {\"nx\": %zu, \"ny\": %zu, \"cells\": %zu},\n"
                  "  \"measurements\": %zu,\n"
                  "  \"hardware_concurrency\": %u,\n"
-                 "  \"active_isa\": \"%s\",\n"
+                 "  \"active_isa\": %s,\n"
                  "  \"results\": [\n",
                  grid.nx(), grid.ny(), grid.nx() * grid.ny(), iso.channels.size(),
-                 hw, localize::sar_kernel_active().isa);
+                 hw, json_quote(localize::sar_kernel_active().isa).c_str());
   }
   std::printf("\n  %-7s %-8s %12s %10s %26s\n", "kernel", "threads", "best [ms]",
               "speedup", "max |diff| vs serial exact");
@@ -325,11 +321,11 @@ void kernel_thread_sweep(std::uint64_t seed) {
       std::printf("  %-7s %-8u %12.3f %9.2fx %26.3g\n",
                   localize::sar_kernel_name(kernel), threads, ms, speedup, max_diff);
       if (json) {
-        std::fprintf(json,
-                     "    {\"kernel\": \"%s\", \"threads\": %u, \"best_ms\": %.6f, "
-                     "\"speedup\": %.4f, \"max_abs_diff_vs_serial\": %.3g}%s\n",
-                     localize::sar_kernel_name(kernel), threads, ms, speedup,
-                     max_diff,
+        std::fprintf(json, "    {\"kernel\": %s, \"threads\": %u, \"best_ms\": %s, "
+                     "\"speedup\": %s, \"max_abs_diff_vs_serial\": %s}%s\n",
+                     json_quote(localize::sar_kernel_name(kernel)).c_str(),
+                     threads, json_number(ms).c_str(), json_number(speedup).c_str(),
+                     json_number(max_diff).c_str(),
                      ki + 1 < std::size(kernels) || i + 1 < std::size(sweep) ? ","
                                                                              : "");
       }

@@ -1,0 +1,101 @@
+// rflyd — the mission service daemon. Binds 127.0.0.1, accepts mission
+// jobs over the versioned wire protocol (src/service/wire.h), runs them on
+// a bounded async queue over the shared deterministic thread pool, and
+// serves repeated (scenario, seed) submissions from the content-addressed
+// result cache. Stops on SIGINT/SIGTERM (drains the queue first) or on a
+// client SHUTDOWN command.
+//
+//   rflyd                           # ephemeral port, printed at startup
+//   rflyd --port 7316 --workers 2   # fixed port, two executor threads
+//   rflyd --queue-capacity 128 --cache-capacity 512 --job-threads 4
+#include <csignal>
+#include <cstdio>
+#include <thread>
+
+#include "bench_util.h"
+#include "service/server.h"
+
+using namespace rfly;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--port N] [--workers N] [--job-threads N] "
+               "[--queue-capacity N] [--cache-capacity N] "
+               "[--retry-after-ms N]\n",
+               argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  service::ServiceConfig config;
+  auto fail = [&](const Status& status) {
+    std::fprintf(stderr, "%s\n", status.to_string().c_str());
+    usage(argv[0]);
+    return 2;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    Status status = Status::ok();
+    if (arg == "--port" && value != nullptr) {
+      status = bench::parse_cli_number(arg, value, config.port);
+    } else if (arg == "--workers" && value != nullptr) {
+      status = bench::parse_cli_number(arg, value, config.workers);
+    } else if (arg == "--job-threads" && value != nullptr) {
+      status = bench::parse_cli_number(arg, value, config.job_threads);
+    } else if (arg == "--queue-capacity" && value != nullptr) {
+      status = bench::parse_cli_number(arg, value, config.queue_capacity);
+    } else if (arg == "--cache-capacity" && value != nullptr) {
+      status = bench::parse_cli_number(arg, value, config.cache_capacity);
+    } else if (arg == "--retry-after-ms" && value != nullptr) {
+      status = bench::parse_cli_number(arg, value, config.retry_after_ms);
+    } else {
+      return fail({StatusCode::kParseError, "unknown argument '" + arg + "'"});
+    }
+    if (!status.is_ok()) return fail(status);
+    ++i;  // every flag takes a value
+  }
+
+  // Signals are delivered to a dedicated sigwait thread: a handler cannot
+  // safely wake the service's condition variables, but a thread can. The
+  // thread is detached — when a remote SHUTDOWN ends wait() instead, the
+  // process exits and takes it along.
+  sigset_t signals;
+  sigemptyset(&signals);
+  sigaddset(&signals, SIGINT);
+  sigaddset(&signals, SIGTERM);
+  pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+  service::MissionService daemon(config);
+  if (Status status = daemon.start(); !status.is_ok()) {
+    std::fprintf(stderr, "%s\n", status.to_string().c_str());
+    return 1;
+  }
+  std::thread([&daemon, signals] {
+    int sig = 0;
+    sigwait(&signals, &sig);
+    std::fprintf(stderr, "rflyd: signal %d, draining\n", sig);
+    daemon.request_shutdown(/*drain=*/true);
+  }).detach();
+
+  std::printf("rflyd listening on 127.0.0.1:%u (workers %u, queue %zu, "
+              "cache %zu)\n",
+              daemon.port(), config.workers, config.queue_capacity,
+              config.cache_capacity);
+  std::fflush(stdout);
+
+  daemon.wait();
+  const service::ServiceStats stats = daemon.stats();
+  std::printf("rflyd: stopped; %llu submitted, %llu completed, %llu "
+              "simulated, %llu cache hit(s), %llu rejected, %llu cancelled\n",
+              static_cast<unsigned long long>(stats.submitted),
+              static_cast<unsigned long long>(stats.completed),
+              static_cast<unsigned long long>(stats.simulated),
+              static_cast<unsigned long long>(stats.cache_hits),
+              static_cast<unsigned long long>(stats.rejected),
+              static_cast<unsigned long long>(stats.cancelled));
+  return 0;
+}

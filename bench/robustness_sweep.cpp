@@ -46,11 +46,8 @@ struct PointResult {
   std::vector<double> errors_cm;  // sorted ascending; localized items only
 };
 
-void append_double(std::string& out, double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  out += buf;
-}
+/// Shared emitters (common/json.h): strings escaped, NaN/Inf -> null.
+void append_double(std::string& out, double v) { out += json_number(v); }
 
 std::string sweep_to_json(const std::vector<PointResult>& points) {
   std::string out = "[";
@@ -58,8 +55,8 @@ std::string sweep_to_json(const std::vector<PointResult>& points) {
   for (const auto& p : points) {
     if (!first_point) out += ", ";
     first_point = false;
-    out += "{\"kernel\": \"" + p.kernel + "\", \"fault\": \"" + p.fault +
-           "\", \"value\": ";
+    out += "{\"kernel\": " + json_quote(p.kernel) +
+           ", \"fault\": " + json_quote(p.fault) + ", \"value\": ";
     append_double(out, p.value);
     out += ", \"missions\": " + std::to_string(p.missions);
     out += ", \"failed\": " + std::to_string(p.failed);

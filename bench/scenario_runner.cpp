@@ -109,10 +109,11 @@ int main(int argc, char** argv) {
 
   const auto summary = sim::summarize(results, info);
   std::printf("\n%zu job(s), %zu failed, %zu degraded; mean discovered %.2f, "
-              "mean localized %.2f, mean coverage %.1f%%\n",
+              "mean localized %.2f, mean coverage %.1f%%; %.3f s total over "
+              "successful jobs\n",
               summary.jobs, summary.failed, summary.degraded,
               summary.mean_discovered, summary.mean_localized,
-              summary.mean_coverage * 100.0);
+              summary.mean_coverage * 100.0, summary.total_seconds);
   std::printf("batch mode %s: %.1f missions/s; geometry cache %llu hit(s) / "
               "%llu miss(es); arena high-water %zu bytes\n",
               sim::batch_mode_name(opts.batch_mode),

@@ -1,0 +1,255 @@
+// service_client — command-line client for a running `rflyd` daemon. One
+// subcommand per wire-protocol request; server-side ERRORs print as their
+// typed Status (with the retry-after hint when the daemon is applying
+// backpressure) and exit 1, CLI mistakes exit 2.
+//
+//   service_client --port P submit --scenario warehouse --seed 7
+//   service_client --port P status 3
+//   service_client --port P result 3            # blocks until terminal
+//   service_client --port P run --scenario warehouse --seed 7
+//   service_client --port P stats
+//   service_client --port P cancel 3
+//   service_client --port P shutdown [--no-drain]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "service/client.h"
+#include "sim/scenario.h"
+
+using namespace rfly;
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --port N <command> [args]\n"
+      "  submit --scenario PRESET|FILE [--seed N] [--set key=value]...\n"
+      "  status JOB_ID\n"
+      "  result JOB_ID [--no-wait]\n"
+      "  run    --scenario PRESET|FILE [--seed N] [--set key=value]...\n"
+      "  cancel JOB_ID\n"
+      "  stats\n"
+      "  shutdown [--no-drain]\n",
+      argv0);
+}
+
+/// Resolve --scenario the same way scenario_runner does (preset name first,
+/// then file path), apply --set overrides, and hand back the canonical
+/// serialized text the daemon's result cache keys on.
+Expected<std::string> resolve_scenario_text(
+    const std::string& source,
+    const std::vector<std::pair<std::string, std::string>>& overrides) {
+  auto loaded = sim::preset(source);
+  if (!loaded) loaded = sim::load_scenario_file(source);
+  if (!loaded) {
+    return std::move(loaded).with_context("cannot resolve scenario '" + source +
+                                          "'").status();
+  }
+  sim::Scenario scenario = std::move(loaded.value());
+  for (const auto& [key, value] : overrides) {
+    if (Status status = sim::apply_override(scenario, key, value);
+        !status.is_ok()) {
+      return status;
+    }
+  }
+  if (Status status = sim::validate(scenario); !status.is_ok()) return status;
+  return sim::serialize(scenario);
+}
+
+void print_result(const sim::BatchResult& result) {
+  if (!result.status.is_ok()) {
+    std::printf("mission FAILED  %s\n", result.status.to_string().c_str());
+    return;
+  }
+  const auto& report = result.run.report;
+  std::printf("scenario '%s' seed %llu: discovered %zu/%zu localized %zu",
+              result.scenario_name.c_str(),
+              static_cast<unsigned long long>(result.seed), report.discovered,
+              report.items.size(), report.localized);
+  if (result.run.health.code() == StatusCode::kDegraded) {
+    std::printf("  DEGRADED (coverage %.1f%%)",
+                result.run.aperture_coverage * 100.0);
+  }
+  std::printf("\n");
+  for (const auto& item : report.items) {
+    if (item.localized) {
+      std::printf("  %-24s (%7.2f, %7.2f)\n",
+                  item.description.empty() ? "<unknown>"
+                                           : item.description.c_str(),
+                  item.estimate.x, item.estimate.y);
+    } else {
+      std::printf("  %-24s %s\n",
+                  item.description.empty() ? "<unknown>"
+                                           : item.description.c_str(),
+                  status_code_name(item.status.code()));
+    }
+  }
+}
+
+int report_error(service::Client& client, const Status& status) {
+  std::fprintf(stderr, "%s\n", status.to_string().c_str());
+  if (status.code() == StatusCode::kUnavailable &&
+      client.last_retry_after_ms() > 0) {
+    std::fprintf(stderr, "retry after %u ms\n", client.last_retry_after_ms());
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint16_t port = 0;
+  std::string command;
+  std::uint64_t job_id = 0;
+  bool have_job_id = false;
+  std::string scenario_source;
+  std::uint64_t seed = 1;
+  bool wait = true;
+  bool drain = true;
+  std::vector<std::pair<std::string, std::string>> overrides;
+
+  auto fail = [&](const Status& status) {
+    std::fprintf(stderr, "%s\n", status.to_string().c_str());
+    usage(argv[0]);
+    return 2;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const char* value = i + 1 < argc ? argv[i + 1] : nullptr;
+    if (arg == "--port" && value != nullptr) {
+      if (Status s = bench::parse_cli_number(arg, value, port); !s.is_ok()) {
+        return fail(s);
+      }
+      ++i;
+    } else if (arg == "--scenario" && value != nullptr) {
+      scenario_source = value;
+      ++i;
+    } else if (arg == "--seed" && value != nullptr) {
+      if (Status s = bench::parse_cli_number(arg, value, seed); !s.is_ok()) {
+        return fail(s);
+      }
+      ++i;
+    } else if (arg == "--set" && value != nullptr) {
+      const std::string pair = value;
+      const std::size_t eq = pair.find('=');
+      if (eq == std::string::npos) {
+        return fail({StatusCode::kParseError,
+                     "--set wants key=value, got '" + pair + "'"});
+      }
+      overrides.emplace_back(pair.substr(0, eq), pair.substr(eq + 1));
+      ++i;
+    } else if (arg == "--no-wait") {
+      wait = false;
+    } else if (arg == "--no-drain") {
+      drain = false;
+    } else if (command.empty() && !arg.empty() && arg[0] != '-') {
+      command = arg;
+    } else if (!command.empty() && !have_job_id && !arg.empty() &&
+               arg[0] != '-') {
+      if (Status s = bench::parse_cli_number("JOB_ID", arg.c_str(), job_id);
+          !s.is_ok()) {
+        return fail(s);
+      }
+      have_job_id = true;
+    } else {
+      return fail({StatusCode::kParseError, "unknown argument '" + arg + "'"});
+    }
+  }
+  if (command.empty()) {
+    return fail({StatusCode::kParseError, "no command given"});
+  }
+  if (port == 0) {
+    return fail({StatusCode::kParseError, "--port is required"});
+  }
+  const bool needs_job = command == "status" || command == "result" ||
+                         command == "cancel";
+  if (needs_job && !have_job_id) {
+    return fail({StatusCode::kParseError, command + " wants a JOB_ID"});
+  }
+  const bool needs_scenario = command == "submit" || command == "run";
+  if (needs_scenario && scenario_source.empty()) {
+    return fail({StatusCode::kParseError, command + " wants --scenario"});
+  }
+
+  auto connected = service::Client::connect(port);
+  if (!connected) {
+    std::fprintf(stderr, "%s\n", connected.status().to_string().c_str());
+    return 1;
+  }
+  service::Client client = std::move(connected.value());
+
+  if (command == "submit" || command == "run") {
+    auto text = resolve_scenario_text(scenario_source, overrides);
+    if (!text) {
+      std::fprintf(stderr, "%s\n", text.status().to_string().c_str());
+      return 1;
+    }
+    auto ack = client.submit(*text, seed);
+    if (!ack) return report_error(client, ack.status());
+    std::printf("job %llu %s\n", static_cast<unsigned long long>(ack->job_id),
+                ack->cached ? "(served from result cache)" : "queued");
+    if (command == "submit") return 0;
+    auto result = client.result(ack->job_id, /*wait=*/true);
+    if (!result) return report_error(client, result.status());
+    print_result(*result);
+    return 0;
+  }
+  if (command == "status") {
+    auto status = client.status(job_id);
+    if (!status) return report_error(client, status.status());
+    std::printf("job %llu: %s%s (daemon queue depth %llu)\n",
+                static_cast<unsigned long long>(job_id),
+                service::job_state_name(status->state),
+                status->cached ? " [cached]" : "",
+                static_cast<unsigned long long>(status->queue_depth));
+    return 0;
+  }
+  if (command == "result") {
+    auto result = client.result(job_id, wait);
+    if (!result) return report_error(client, result.status());
+    print_result(*result);
+    return 0;
+  }
+  if (command == "cancel") {
+    auto ack = client.cancel(job_id);
+    if (!ack) return report_error(client, ack.status());
+    std::printf("job %llu: %s (now %s)\n",
+                static_cast<unsigned long long>(job_id),
+                ack->removed ? "removed from queue" : "not removable",
+                service::job_state_name(ack->state));
+    return 0;
+  }
+  if (command == "stats") {
+    auto stats = client.stats();
+    if (!stats) return report_error(client, stats.status());
+    std::printf("submitted %llu  completed %llu  simulated %llu  rejected "
+                "%llu  cancelled %llu\n",
+                static_cast<unsigned long long>(stats->submitted),
+                static_cast<unsigned long long>(stats->completed),
+                static_cast<unsigned long long>(stats->simulated),
+                static_cast<unsigned long long>(stats->rejected),
+                static_cast<unsigned long long>(stats->cancelled));
+    std::printf("result cache: %llu hit(s) / %llu miss(es), %llu entries\n",
+                static_cast<unsigned long long>(stats->cache_hits),
+                static_cast<unsigned long long>(stats->cache_misses),
+                static_cast<unsigned long long>(stats->cache_entries));
+    std::printf("queue %llu/%llu, %llu in flight%s\n",
+                static_cast<unsigned long long>(stats->queue_depth),
+                static_cast<unsigned long long>(stats->queue_capacity),
+                static_cast<unsigned long long>(stats->in_flight),
+                stats->draining != 0 ? ", draining" : "");
+    return 0;
+  }
+  if (command == "shutdown") {
+    if (Status status = client.shutdown(drain); !status.is_ok()) {
+      return report_error(client, status);
+    }
+    std::printf("shutdown requested (%s)\n",
+                drain ? "draining queued jobs" : "cancelling queued jobs");
+    return 0;
+  }
+  return fail({StatusCode::kParseError, "unknown command '" + command + "'"});
+}

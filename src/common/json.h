@@ -1,0 +1,63 @@
+// Shared JSON emission helpers. Every artifact the repo writes — bench
+// `--out` files, `BENCH_*.json`, metrics snapshots, Chrome traces — must
+// parse under a strict JSON reader, and two emitter bugs used to break
+// that: string values (metric keys, scenario names) were printed raw, so a
+// name containing `"`, `\`, or a control character corrupted the document;
+// and doubles were formatted with bare `%.17g`, which renders NaN/Inf as
+// the tokens `nan`/`inf` that no JSON parser accepts. Both fixes live
+// here, header-only so the obs layer (which rfly_common links, not the
+// other way around) and the bench tree share one implementation.
+//
+// Pinned by tests/test_json_output.cpp: everything emitted through these
+// helpers round-trips through the strict parser in tests/strict_json.h.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace rfly {
+
+/// Escape `text` for use inside a JSON string literal (quotes NOT added):
+/// `"` and `\` are backslash-escaped, control characters become \u00XX.
+/// Everything else passes through byte-for-byte, so UTF-8 survives.
+inline std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+/// `text` as a complete JSON string literal, quotes included.
+inline std::string json_quote(std::string_view text) {
+  std::string out = "\"";
+  out += json_escape(text);
+  out += '"';
+  return out;
+}
+
+/// `value` as a JSON number literal. %.17g round-trips every finite double
+/// bit-for-bit; NaN and ±Inf have no JSON representation, so they emit
+/// `null` (a histogram over zero samples serializes as a parseable
+/// document instead of the bare `nan` token).
+inline std::string json_number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+}  // namespace rfly

@@ -17,6 +17,7 @@ const char* status_code_name(StatusCode code) {
     case StatusCode::kIoError: return "IO_ERROR";
     case StatusCode::kNotFound: return "NOT_FOUND";
     case StatusCode::kDegraded: return "DEGRADED";
+    case StatusCode::kUnavailable: return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }

@@ -46,6 +46,12 @@ enum class StatusCode : std::uint8_t {
   /// coverage/confidence figure in the message. Unlike every other code,
   /// kDegraded accompanies a *usable* result rather than replacing it.
   kDegraded,
+  /// The service cannot take the request *right now* but a retry may
+  /// succeed: the mission daemon's job queue is full (backpressure — the
+  /// wire ERROR carries a retry-after hint), a result is not finished yet,
+  /// or the server is draining for shutdown. Transient by contract, unlike
+  /// kInvalidArgument/kParseError which no retry will fix.
+  kUnavailable,
 };
 
 /// Stable upper-case token for a code ("DEGENERATE_GRID"), used in messages

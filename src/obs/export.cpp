@@ -6,18 +6,16 @@
 #include <cstring>
 #include <map>
 
+#include "common/json.h"
+
 namespace rfly::obs {
 
 namespace {
 
-/// %.17g round-trips doubles; locale-independent digits are not needed here
-/// because JSON output never feeds back into a parser of ours, but keep the
-/// format fixed so diffs across runs are clean.
-void append_double(std::string& out, double v) {
-  char buf[40];
-  std::snprintf(buf, sizeof buf, "%.17g", v);
-  out += buf;
-}
+/// Shared json_number: %.17g for finite doubles, `null` for NaN/Inf (a
+/// gauge set to a non-finite value or an empty histogram's statistics must
+/// not emit the bare `nan` token — no JSON parser accepts it).
+void append_double(std::string& out, double v) { out += json_number(v); }
 
 void append_u64(std::string& out, std::uint64_t v) {
   char buf[24];
@@ -28,18 +26,7 @@ void append_u64(std::string& out, std::uint64_t v) {
 /// Metric names are ASCII identifiers by convention, but escape the JSON
 /// specials anyway so a stray name can never corrupt the document.
 void append_quoted(std::string& out, const std::string& s) {
-  out += '"';
-  for (char c : s) {
-    if (c == '"' || c == '\\') out += '\\';
-    if (static_cast<unsigned char>(c) < 0x20) {
-      char buf[8];
-      std::snprintf(buf, sizeof buf, "\\u%04x", c);
-      out += buf;
-      continue;
-    }
-    out += c;
-  }
-  out += '"';
+  out += json_quote(s);
 }
 
 }  // namespace

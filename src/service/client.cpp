@@ -1,0 +1,190 @@
+#include "service/client.h"
+
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "service/socket_io.h"
+
+namespace rfly::service {
+
+Expected<Client> Client::connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status{StatusCode::kIoError,
+                  std::string("socket(): ") + std::strerror(errno)};
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const Status status{StatusCode::kIoError,
+                        "connect(127.0.0.1:" + std::to_string(port) +
+                            "): " + std::strerror(errno)};
+    ::close(fd);
+    return status;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return Client(fd);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      last_retry_after_ms_(other.last_retry_after_ms_) {}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
+    last_retry_after_ms_ = other.last_retry_after_ms_;
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Expected<std::string> Client::request(MsgType type, std::string payload) {
+  last_retry_after_ms_ = 0;
+  if (fd_ < 0) {
+    return Status{StatusCode::kIoError, "client not connected"};
+  }
+  if (!send_frame(fd_, type, std::move(payload))) {
+    return Status{StatusCode::kIoError,
+                  std::string(msg_type_name(type)) + ": send failed"};
+  }
+  auto reply = recv_frame(fd_);
+  if (!reply) {
+    Status status = reply.status();
+    status.add_context(std::string(msg_type_name(type)) + " reply");
+    return status;
+  }
+  if (reply->header.type == MsgType::kAck) {
+    return std::move(reply->payload);
+  }
+  if (reply->header.type == MsgType::kError) {
+    WireReader r(reply->payload);
+    WireError error;
+    if (!decode_error(r, error) || !r.exhausted()) {
+      return Status{StatusCode::kParseError,
+                    std::string(msg_type_name(type)) +
+                        ": undecodable ERROR reply"};
+    }
+    last_retry_after_ms_ = error.retry_after_ms;
+    return Status{error.code, error.message};
+  }
+  return Status{StatusCode::kParseError,
+                std::string(msg_type_name(type)) + ": unexpected " +
+                    msg_type_name(reply->header.type) + " reply"};
+}
+
+Expected<Client::SubmitAck> Client::submit(const std::string& scenario_text,
+                                           std::uint64_t seed) {
+  WireWriter w;
+  w.str(scenario_text);
+  w.u64(seed);
+  auto reply = request(MsgType::kSubmit, w.take());
+  if (!reply) return reply.status();
+  WireReader r(*reply);
+  SubmitAck ack;
+  std::uint8_t cached = 0;
+  if (!r.u64(ack.job_id) || !r.u8(cached) || !r.exhausted()) {
+    return Status{StatusCode::kParseError, "malformed SUBMIT ack"};
+  }
+  ack.cached = cached != 0;
+  return ack;
+}
+
+Expected<Client::JobStatus> Client::status(std::uint64_t job_id) {
+  WireWriter w;
+  w.u64(job_id);
+  auto reply = request(MsgType::kStatus, w.take());
+  if (!reply) return reply.status();
+  WireReader r(*reply);
+  JobStatus out;
+  std::uint8_t state = 0;
+  std::uint8_t cached = 0;
+  if (!r.u8(state) || !r.u8(cached) || !r.u64(out.queue_depth) ||
+      !r.exhausted() ||
+      state > static_cast<std::uint8_t>(JobState::kCancelled)) {
+    return Status{StatusCode::kParseError, "malformed STATUS ack"};
+  }
+  out.state = static_cast<JobState>(state);
+  out.cached = cached != 0;
+  return out;
+}
+
+Expected<std::string> Client::result_bytes(std::uint64_t job_id, bool wait) {
+  WireWriter w;
+  w.u64(job_id);
+  w.u8(wait ? 1 : 0);
+  return request(MsgType::kResult, w.take());
+}
+
+Expected<sim::BatchResult> Client::result(std::uint64_t job_id, bool wait) {
+  auto bytes = result_bytes(job_id, wait);
+  if (!bytes) return bytes.status();
+  WireReader r(*bytes);
+  sim::BatchResult result;
+  if (!decode_batch_result(r, result) || !r.exhausted()) {
+    return Status{StatusCode::kParseError, "malformed RESULT payload"};
+  }
+  return result;
+}
+
+Expected<Client::CancelAck> Client::cancel(std::uint64_t job_id) {
+  WireWriter w;
+  w.u64(job_id);
+  auto reply = request(MsgType::kCancel, w.take());
+  if (!reply) return reply.status();
+  WireReader r(*reply);
+  std::uint8_t removed = 0;
+  std::uint8_t state = 0;
+  if (!r.u8(removed) || !r.u8(state) || !r.exhausted() ||
+      state > static_cast<std::uint8_t>(JobState::kCancelled)) {
+    return Status{StatusCode::kParseError, "malformed CANCEL ack"};
+  }
+  CancelAck ack;
+  ack.removed = removed != 0;
+  ack.state = static_cast<JobState>(state);
+  return ack;
+}
+
+Expected<ServiceStats> Client::stats() {
+  auto reply = request(MsgType::kStats, {});
+  if (!reply) return reply.status();
+  WireReader r(*reply);
+  ServiceStats stats;
+  if (!decode_stats(r, stats) || !r.exhausted()) {
+    return Status{StatusCode::kParseError, "malformed STATS ack"};
+  }
+  return stats;
+}
+
+Status Client::shutdown(bool drain) {
+  WireWriter w;
+  w.u8(drain ? 1 : 0);
+  auto reply = request(MsgType::kShutdown, w.take());
+  if (!reply) return reply.status();
+  if (!reply->empty()) {
+    return Status{StatusCode::kParseError, "SHUTDOWN ack carries payload"};
+  }
+  return Status::ok();
+}
+
+Expected<sim::BatchResult> Client::run(const std::string& scenario_text,
+                                       std::uint64_t seed) {
+  auto ack = submit(scenario_text, seed);
+  if (!ack) return ack.status();
+  return result(ack->job_id, /*wait=*/true);
+}
+
+}  // namespace rfly::service

@@ -1,0 +1,86 @@
+// Client library for the mission service: one blocking TCP connection to
+// an `rflyd` daemon, one method per protocol command. Every method sends a
+// single request frame and reads the single ACK/ERROR reply the protocol
+// guarantees; server-side ERRORs come back as the typed Status they carry
+// (with the retry-after hint preserved via last_retry_after_ms()), so a
+// caller can distinguish backpressure (kUnavailable — back off and retry)
+// from its own mistakes (kParseError, kNotFound) without string matching.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "service/wire.h"
+#include "sim/batch.h"
+
+namespace rfly::service {
+
+class Client {
+ public:
+  /// Connect to an rflyd instance on 127.0.0.1. kIoError on refusal.
+  static Expected<Client> connect(std::uint16_t port);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  struct SubmitAck {
+    std::uint64_t job_id = 0;
+    /// Served straight from the daemon's result cache: the job was born
+    /// terminal and never consumed a queue slot or a simulation.
+    bool cached = false;
+  };
+
+  /// Submit one mission (scenario text + engine seed). kUnavailable means
+  /// backpressure or drain — consult last_retry_after_ms() and retry.
+  Expected<SubmitAck> submit(const std::string& scenario_text,
+                             std::uint64_t seed);
+
+  struct JobStatus {
+    JobState state = JobState::kQueued;
+    bool cached = false;
+    std::uint64_t queue_depth = 0;  // daemon-wide, at reply time
+  };
+  Expected<JobStatus> status(std::uint64_t job_id);
+
+  /// Fetch a finished job's result. wait=true blocks server-side until the
+  /// job is terminal; wait=false returns kUnavailable while it is still
+  /// queued or running.
+  Expected<sim::BatchResult> result(std::uint64_t job_id, bool wait = true);
+
+  /// The raw encoded result payload — what the bit-identity tests compare:
+  /// a warm-cache replay returns byte-for-byte what the cold run stored.
+  Expected<std::string> result_bytes(std::uint64_t job_id, bool wait = true);
+
+  struct CancelAck {
+    bool removed = false;  // plucked from the queue before it ran
+    JobState state = JobState::kQueued;  // state after the cancel attempt
+  };
+  Expected<CancelAck> cancel(std::uint64_t job_id);
+
+  Expected<ServiceStats> stats();
+
+  /// Ask the daemon to stop (drain=true finishes the backlog first).
+  Status shutdown(bool drain = true);
+
+  /// Convenience: submit and block for the result in one call.
+  Expected<sim::BatchResult> run(const std::string& scenario_text,
+                                 std::uint64_t seed);
+
+  /// Retry hint from the most recent ERROR reply (0 = none given).
+  std::uint32_t last_retry_after_ms() const { return last_retry_after_ms_; }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  /// Send `type`+payload, read the one reply. ACK -> its payload; ERROR ->
+  /// the carried Status (hint stashed); anything else -> kParseError.
+  Expected<std::string> request(MsgType type, std::string payload);
+
+  int fd_ = -1;
+  std::uint32_t last_retry_after_ms_ = 0;
+};
+
+}  // namespace rfly::service

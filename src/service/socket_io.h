@@ -1,0 +1,79 @@
+// Blocking loopback-socket I/O shared by the server and the client
+// library: full-buffer read/write loops (EINTR-safe, short-op-safe) and
+// the frame receive path — header first, validated *before* the payload
+// is allocated or read, per the wire.h contract.
+#pragma once
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "service/wire.h"
+
+namespace rfly::service {
+
+inline bool write_all(int fd, const void* data, std::size_t size) {
+  const char* p = static_cast<const char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::send(fd, p, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+inline bool read_all(int fd, void* data, std::size_t size) {
+  char* p = static_cast<char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::recv(fd, p, size, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // peer closed mid-frame
+    p += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+inline bool send_frame(int fd, MsgType type, std::string payload) {
+  const std::string frame = encode_frame(type, std::move(payload));
+  return write_all(fd, frame.data(), frame.size());
+}
+
+/// Receive one frame. kIoError means the stream died (clean EOF between
+/// frames included); header validation errors pass through from
+/// decode_frame_header. The payload buffer is sized only after the header
+/// passed the kMaxPayloadBytes check.
+struct RecvFrame {
+  FrameHeader header;
+  std::string payload;
+};
+
+inline Expected<RecvFrame> recv_frame(int fd) {
+  std::uint8_t raw[kFrameHeaderBytes];
+  if (!read_all(fd, raw, sizeof raw)) {
+    return Status{StatusCode::kIoError, "connection closed"};
+  }
+  auto header = decode_frame_header({raw, sizeof raw});
+  if (!header) return header.status();
+  RecvFrame frame;
+  frame.header = *header;
+  frame.payload.resize(static_cast<std::size_t>(header->payload_len));
+  if (frame.header.payload_len > 0 &&
+      !read_all(fd, frame.payload.data(), frame.payload.size())) {
+    return Status{StatusCode::kIoError, "connection closed mid-payload"};
+  }
+  return frame;
+}
+
+}  // namespace rfly::service

@@ -1,0 +1,227 @@
+// Wire protocol for the mission service (`rflyd`): length-prefixed,
+// versioned, typed frames over a loopback stream socket. Modeled on
+// MDP-style command/ack/error framing — every request (SUBMIT / STATUS /
+// RESULT / CANCEL / STATS / SHUTDOWN) is answered by exactly one ACK or
+// one typed ERROR carrying a StatusCode plus a retry-after hint.
+//
+// Frame layout (little-endian, loopback-only by contract):
+//
+//   offset  size  field
+//        0     4  magic        0x52464C59 ("RFLY")
+//        4     2  version      kProtocolVersion (1)
+//        6     2  type         MsgType
+//        8     8  payload_len  bytes following the header
+//
+// A receiver validates the 16-byte header *before* touching the payload:
+// bad magic, unknown version, and a payload_len above kMaxPayloadBytes are
+// all rejected without allocating a byte of payload — a garbage or hostile
+// length can never drive an allocation (pinned by tests/test_service.cpp).
+//
+// Payload scalars are fixed-width little-endian; doubles travel as their
+// IEEE-754 bit patterns (memcpy, never printf), so a decoded mission
+// result is bit-identical to the struct the server serialized — the same
+// bit-identity discipline the batch runner pins, extended across the
+// socket. Strings are u32-length-prefixed bytes.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+
+#include "common/status.h"
+#include "sim/batch.h"
+
+namespace rfly::service {
+
+inline constexpr std::uint32_t kMagic = 0x52464C59;  // "RFLY"
+inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 16;
+/// Hard ceiling on a frame payload. Large enough for any mission result
+/// (a warehouse report serializes to a few KiB), small enough that a
+/// corrupt or adversarial length field cannot drive a giant allocation.
+inline constexpr std::uint64_t kMaxPayloadBytes = 16ull << 20;  // 16 MiB
+
+/// Frame types. Requests are client->server; kAck/kError are the only
+/// server->client types, and every request gets exactly one of them.
+enum class MsgType : std::uint16_t {
+  kSubmit = 1,    // scenario text + seed -> ACK{job id} | ERROR
+  kStatus = 2,    // job id -> ACK{JobState, queue depth} | ERROR
+  kResult = 3,    // job id + wait flag -> ACK{BatchResult} | ERROR
+  kCancel = 4,    // job id -> ACK{removed flag, state} | ERROR
+  kStats = 5,     // -> ACK{ServiceStats}
+  kShutdown = 6,  // drain flag -> ACK (server drains, then stops)
+  kAck = 100,
+  kError = 101,
+};
+
+const char* msg_type_name(MsgType type);
+
+struct FrameHeader {
+  std::uint32_t magic = kMagic;
+  std::uint16_t version = kProtocolVersion;
+  MsgType type = MsgType::kError;
+  std::uint64_t payload_len = 0;
+};
+
+/// Serialize a header into exactly kFrameHeaderBytes.
+void encode_frame_header(const FrameHeader& header, std::uint8_t* out);
+
+/// Validate + decode a header from exactly kFrameHeaderBytes. Errors:
+/// kParseError (bad magic / truncated / unknown type), kUnavailable
+/// (version mismatch — a newer client should back off, not retry),
+/// kInvalidArgument (payload_len > kMaxPayloadBytes). Never allocates.
+Expected<FrameHeader> decode_frame_header(std::span<const std::uint8_t> bytes);
+
+// --- Payload encoding -----------------------------------------------------
+
+/// Append-only payload builder.
+class WireWriter {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void u16(std::uint16_t v) { append(&v, sizeof v); }
+  void u32(std::uint32_t v) { append(&v, sizeof v); }
+  void u64(std::uint64_t v) { append(&v, sizeof v); }
+  /// IEEE-754 bit pattern — NaN payloads and -0.0 survive the trip.
+  void f64(double v) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    u64(bits);
+  }
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.append(s.data(), s.size());
+  }
+
+  const std::string& bytes() const { return buf_; }
+  std::string take() { return std::move(buf_); }
+
+ private:
+  void append(const void* data, std::size_t size) {
+    buf_.append(static_cast<const char*>(data), size);
+  }
+  std::string buf_;
+};
+
+/// Bounds-checked payload reader. Every getter returns false once the
+/// payload is exhausted or a length prefix overruns the remaining bytes;
+/// the failure is sticky (ok() stays false), so a decode function can read
+/// a whole struct and check once at the end. String lengths are validated
+/// against the remaining payload before any allocation.
+class WireReader {
+ public:
+  explicit WireReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+  explicit WireReader(const std::string& bytes)
+      : bytes_(reinterpret_cast<const std::uint8_t*>(bytes.data()),
+               bytes.size()) {}
+
+  bool ok() const { return ok_; }
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+  /// True when the payload was consumed exactly (trailing garbage is a
+  /// framing error, not padding).
+  bool exhausted() const { return ok_ && remaining() == 0; }
+
+  bool u8(std::uint8_t& v) { return fixed(&v, sizeof v); }
+  bool u16(std::uint16_t& v) { return fixed(&v, sizeof v); }
+  bool u32(std::uint32_t& v) { return fixed(&v, sizeof v); }
+  bool u64(std::uint64_t& v) { return fixed(&v, sizeof v); }
+  bool f64(double& v) {
+    std::uint64_t bits = 0;
+    if (!u64(bits)) return false;
+    std::memcpy(&v, &bits, sizeof v);
+    return true;
+  }
+  bool str(std::string& out) {
+    std::uint32_t len = 0;
+    if (!u32(len)) return false;
+    if (len > remaining()) return fail();
+    out.assign(reinterpret_cast<const char*>(bytes_.data() + pos_), len);
+    pos_ += len;
+    return true;
+  }
+
+ private:
+  bool fixed(void* out, std::size_t size) {
+    if (!ok_ || size > remaining()) return fail();
+    std::memcpy(out, bytes_.data() + pos_, size);
+    pos_ += size;
+    return true;
+  }
+  bool fail() {
+    ok_ = false;
+    return false;
+  }
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// --- Typed payload codecs ---------------------------------------------------
+
+/// Lifecycle of a job inside the service.
+enum class JobState : std::uint8_t {
+  kQueued = 0,
+  kRunning = 1,
+  kDone = 2,      // terminal; the BatchResult (which may carry a mission
+                  // error Status) is available via RESULT
+  kCancelled = 3, // terminal; removed from the queue before running
+};
+
+const char* job_state_name(JobState state);
+
+/// The ERROR frame body: the typed code, the human message, and — for
+/// kUnavailable — how long the client should wait before retrying
+/// (0 = no hint). SUBMIT backpressure, RESULT-not-ready, and drain-mode
+/// rejection all speak this shape.
+struct WireError {
+  StatusCode code = StatusCode::kUnavailable;
+  std::string message;
+  std::uint32_t retry_after_ms = 0;
+};
+
+void encode_error(WireWriter& w, const WireError& error);
+bool decode_error(WireReader& r, WireError& error);
+
+/// Counters/gauges a STATS request returns; mirrors the `service.*` obs
+/// metrics so a remote client sees the same numbers `--report` prints.
+struct ServiceStats {
+  std::uint64_t submitted = 0;    // SUBMITs accepted (queued or cache-served)
+  std::uint64_t rejected = 0;     // SUBMITs refused (backpressure / draining)
+  std::uint64_t completed = 0;    // jobs reaching kDone
+  std::uint64_t cancelled = 0;    // jobs cancelled while queued
+  std::uint64_t simulated = 0;    // jobs that actually ran run_batch
+  std::uint64_t cache_hits = 0;   // SUBMITs served from the result cache
+  std::uint64_t cache_misses = 0; // SUBMITs that had to simulate
+  std::uint64_t cache_entries = 0;
+  std::uint64_t queue_depth = 0;  // jobs waiting right now
+  std::uint64_t in_flight = 0;    // jobs executing right now
+  std::uint64_t queue_capacity = 0;
+  std::uint8_t draining = 0;      // shutdown requested, queue emptying
+};
+
+void encode_stats(WireWriter& w, const ServiceStats& stats);
+bool decode_stats(WireReader& r, ServiceStats& stats);
+
+/// Full bit-exact codec for a mission outcome: every field of
+/// sim::BatchResult (Status chains, report items, EPCs, live-estimate
+/// sequences, stage traces, fault tallies) round-trips through
+/// decode(encode(r)) with identical bits — the loopback parity tests
+/// compare server-returned results against direct run_batch output
+/// field-for-field through this codec.
+void encode_batch_result(WireWriter& w, const sim::BatchResult& result);
+bool decode_batch_result(WireReader& r, sim::BatchResult& result);
+
+void encode_status(WireWriter& w, const Status& status);
+bool decode_status(WireReader& r, Status& status);
+
+/// Digest of a result's *deterministic* content — everything except wall
+/// clock (stage seconds, total_seconds). Two runs of the same (scenario,
+/// seed) must agree on this digest at any thread count, whether executed
+/// directly, through the daemon, or replayed from the result cache; the
+/// service integration tests pin exactly that.
+std::uint64_t deterministic_digest(const sim::BatchResult& result);
+
+/// Build one complete frame (header + payload) ready to write to a socket.
+std::string encode_frame(MsgType type, std::string payload);
+
+}  // namespace rfly::service

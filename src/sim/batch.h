@@ -117,7 +117,11 @@ struct BatchSummary {
   double mean_localized = 0.0;
   /// Mean aperture coverage over successful jobs (1 when faults are off).
   double mean_coverage = 0.0;
-  double total_seconds = 0.0;  // sum of per-job wall clock
+  /// Sum of *successful* jobs' wall clock. A failed job produces no
+  /// MissionRun (Expected carries only the Status), so there is no per-job
+  /// time to include — callers printing this figure must label it
+  /// "successful jobs", not "all jobs".
+  double total_seconds = 0.0;
   /// Batch throughput and sharing figures — populated by the BatchRunInfo
   /// overload, zero otherwise.
   double missions_per_second = 0.0;  // jobs / batch wall clock

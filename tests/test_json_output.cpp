@@ -1,0 +1,204 @@
+// JSON-emitter regression suite: every artifact the repo writes (`--out`
+// metrics files, `BENCH_*.json` fragments, obs metric snapshots, Chrome
+// traces) must parse under the strict RFC 8259 parser in strict_json.h.
+// Pins the two emitter bugs this sweep fixed:
+//   - string values (metric keys, scenario names) were printed raw, so a
+//     name containing `"`, `\`, or a control character corrupted the
+//     document;
+//   - doubles were formatted with bare %.17g, so NaN/Inf (a histogram over
+//     zero samples, a gauge never set) serialized as the tokens nan/inf
+//     that no JSON parser accepts. They must emit `null`.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+
+#include "bench_util.h"
+#include "common/json.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "strict_json.h"
+
+namespace rfly {
+namespace {
+
+using testjson::JsonValue;
+using testjson::parse_strict;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// A scenario name chosen to break every naive emitter: quotes, a
+/// backslash, a newline, a tab, and a non-ASCII UTF-8 sequence.
+const char kHostileName[] = "ware\"house\\ scan\nrow\t\xC3\xA9";
+
+// --- The parser itself must be strict ------------------------------------
+
+TEST(StrictJson, AcceptsTheBasics) {
+  JsonValue v;
+  std::string error;
+  ASSERT_TRUE(parse_strict(
+      R"({"a": 1.5, "b": [true, false, null], "c": {"d": "e"}, "n": -2e-3})",
+      v, &error))
+      << error;
+  ASSERT_EQ(v.kind, JsonValue::Kind::kObject);
+  ASSERT_NE(v.find("a"), nullptr);
+  EXPECT_DOUBLE_EQ(v.find("a")->number, 1.5);
+  EXPECT_EQ(v.find("b")->array.size(), 3u);
+  EXPECT_EQ(v.find("c")->find("d")->string, "e");
+}
+
+TEST(StrictJson, RejectsWhatTheOldEmittersProduced) {
+  JsonValue v;
+  // Bare nan/inf tokens — the %.17g bug.
+  EXPECT_FALSE(parse_strict(R"({"x": nan})", v));
+  EXPECT_FALSE(parse_strict(R"({"x": inf})", v));
+  EXPECT_FALSE(parse_strict(R"({"x": -inf})", v));
+  // Raw quote/control characters inside strings — the %s bug.
+  EXPECT_FALSE(parse_strict("{\"a\"b\": 1}", v));
+  EXPECT_FALSE(parse_strict("{\"a\nb\": 1}", v));
+  // Assorted strictness.
+  EXPECT_FALSE(parse_strict(R"({"x": 1,})", v));
+  EXPECT_FALSE(parse_strict(R"({"x": 01})", v));
+  EXPECT_FALSE(parse_strict(R"({"x": 1} trailing)", v));
+  EXPECT_FALSE(parse_strict(R"({"x": })", v));
+  EXPECT_FALSE(parse_strict("", v));
+}
+
+// --- Shared emitter helpers ----------------------------------------------
+
+TEST(JsonHelpers, NumberEmitsNullForNonFinite) {
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(json_number(-std::numeric_limits<double>::infinity()), "null");
+  // Finite values round-trip bit-for-bit through %.17g.
+  const double value = 0.1 + 0.2;
+  JsonValue v;
+  ASSERT_TRUE(parse_strict(json_number(value), v));
+  EXPECT_EQ(v.number, value);
+}
+
+TEST(JsonHelpers, QuoteRoundTripsHostileStrings) {
+  const std::string cases[] = {
+      "",
+      "plain",
+      kHostileName,
+      std::string("embedded\0nul", 12),
+      "backslash \\ quote \" slash / bell \x07",
+  };
+  for (const auto& original : cases) {
+    const std::string quoted = json_quote(original);
+    JsonValue v;
+    std::string error;
+    ASSERT_TRUE(parse_strict(quoted, v, &error))
+        << error << " for " << quoted;
+    ASSERT_EQ(v.kind, JsonValue::Kind::kString);
+    EXPECT_EQ(v.string, original) << "round-trip through " << quoted;
+  }
+}
+
+// --- bench --out files (Metrics::write_checked) ---------------------------
+
+TEST(MetricsWriter, HostileNamesAndNonFiniteValuesStayParseable) {
+  bench::Metrics metrics;
+  metrics.add("median_cm", 19.25);
+  // A NaN-valued metric (e.g. a percentile over zero samples) and a
+  // scenario-derived key holding quotes + controls: the acceptance case.
+  metrics.add(std::string("error_cdf for ") + kHostileName,
+              std::numeric_limits<double>::quiet_NaN());
+  metrics.add("speedup", std::numeric_limits<double>::infinity());
+  metrics.add_json("snapshot", obs::metrics_to_json(obs::snapshot()));
+
+  const std::string path = testing::TempDir() + "/json_output_metrics.json";
+  const Status status = metrics.write_checked(path);
+  ASSERT_TRUE(status.is_ok()) << status.to_string();
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(parse_strict(read_file(path), doc, &error)) << error;
+  ASSERT_EQ(doc.kind, JsonValue::Kind::kObject);
+
+  ASSERT_NE(doc.find("median_cm"), nullptr);
+  EXPECT_EQ(doc.find("median_cm")->number, 19.25);
+  // The hostile key decodes back to the exact original name...
+  const JsonValue* nan_metric =
+      doc.find(std::string("error_cdf for ") + kHostileName);
+  ASSERT_NE(nan_metric, nullptr)
+      << "escaped key did not round-trip through the parser";
+  // ...and its NaN value became null, not the bare token.
+  EXPECT_EQ(nan_metric->kind, JsonValue::Kind::kNull);
+  EXPECT_EQ(doc.find("speedup")->kind, JsonValue::Kind::kNull);
+  ASSERT_NE(doc.find("snapshot"), nullptr);
+  EXPECT_EQ(doc.find("snapshot")->kind, JsonValue::Kind::kObject);
+  std::remove(path.c_str());
+}
+
+// --- obs exports ----------------------------------------------------------
+
+TEST(ObsExport, SnapshotWithNonFiniteGaugeParses) {
+  if constexpr (!obs::kEnabled) GTEST_SKIP() << "RFLY_OBS=OFF";
+  obs::gauge("test.json.nan_gauge").set(std::numeric_limits<double>::quiet_NaN());
+  obs::counter("test.json.counter").inc();
+  obs::histogram("test.json.empty_hist", obs::HistogramSpec::counts());
+
+  const std::string json = obs::metrics_to_json(obs::snapshot());
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(parse_strict(json, doc, &error)) << error << "\n" << json;
+
+  const JsonValue* gauges = doc.find("gauges");
+  ASSERT_NE(gauges, nullptr);
+  const JsonValue* nan_gauge = gauges->find("test.json.nan_gauge");
+  ASSERT_NE(nan_gauge, nullptr);
+  EXPECT_EQ(nan_gauge->kind, JsonValue::Kind::kNull)
+      << "non-finite gauge must serialize as null";
+}
+
+TEST(ObsExport, ChromeTraceParses) {
+  if constexpr (!obs::kEnabled) GTEST_SKIP() << "RFLY_OBS=OFF";
+  {
+    obs::Span outer("test.json.outer");
+    obs::Span inner("test.json.inner");
+  }
+  const std::string json = obs::trace_to_json(obs::drain_trace());
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(parse_strict(json, doc, &error)) << error << "\n" << json;
+  ASSERT_NE(doc.find("traceEvents"), nullptr);
+  EXPECT_EQ(doc.find("traceEvents")->kind, JsonValue::Kind::kArray);
+}
+
+// --- BENCH_*.json fragment style ------------------------------------------
+
+TEST(BenchFragments, QuotedNameAndNumberComposeIntoValidDocuments) {
+  // The BENCH writers build documents by string concatenation; this pins
+  // the composition pattern they all use now.
+  std::string json = "{\n  \"scenario\": " + json_quote(kHostileName) +
+                     ",\n  \"points\": [\n";
+  const double values[] = {1.5, std::numeric_limits<double>::quiet_NaN()};
+  for (std::size_t i = 0; i < std::size(values); ++i) {
+    json += "    {\"value\": " + json_number(values[i]) + "}";
+    json += i + 1 < std::size(values) ? ",\n" : "\n";
+  }
+  json += "  ]\n}\n";
+
+  JsonValue doc;
+  std::string error;
+  ASSERT_TRUE(parse_strict(json, doc, &error)) << error << "\n" << json;
+  EXPECT_EQ(doc.find("scenario")->string, kHostileName);
+  ASSERT_EQ(doc.find("points")->array.size(), 2u);
+  EXPECT_EQ(doc.find("points")->array[1].find("value")->kind,
+            JsonValue::Kind::kNull);
+}
+
+}  // namespace
+}  // namespace rfly
