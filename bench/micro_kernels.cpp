@@ -10,6 +10,10 @@
 #include "channel/channel_model.h"
 #include "channel/environment.h"
 #include "channel/path_loss.h"
+#include "core/forward_kernel.h"
+#include "core/forward_plane.h"
+#include "core/system.h"
+#include "drone/flight.h"
 #include "drone/trajectory.h"
 #include "gen2/fm0.h"
 #include "localize/localizer.h"
@@ -128,6 +132,56 @@ void BM_SincosLibm(benchmark::State& state) {
                           static_cast<std::int64_t>(kN));
 }
 
+// Forward-synthesis kernel: one hoisted plane, many tags. The fixture is
+// shared across registrations (the plane build is the amortized cost the
+// bench deliberately excludes — it happens once per flight, not per tag).
+struct ForwardFixture {
+  core::RflySystem system;
+  std::vector<drone::FlownPoint> flight;
+  core::ForwardPlane plane;
+};
+
+const ForwardFixture& forward_fixture() {
+  static const ForwardFixture* fixture = [] {
+    Rng rng(7);
+    core::RflySystem system(core::SystemConfig{},
+                            channel::warehouse_environment(24.0, 12.0, 2),
+                            {1.0, 1.0, 1.0});
+    auto flight =
+        drone::fly(drone::linear_trajectory({1.0, 3.0, 1.0}, {22.0, 3.0, 1.0}, 64),
+                   {}, drone::optitrack_tracking(), rng);
+    auto plane = core::ForwardPlane::build(system, flight);
+    return new ForwardFixture{std::move(system), std::move(flight),
+                              std::move(plane)};
+  }();
+  return *fixture;
+}
+
+std::vector<channel::Vec3> forward_tags(std::size_t count) {
+  std::vector<channel::Vec3> tags;
+  tags.reserve(count);
+  Rng rng(13);
+  for (std::size_t i = 0; i < count; ++i) {
+    tags.push_back({rng.uniform(1.0, 23.0), rng.uniform(0.5, 11.5),
+                    rng.uniform(0.2, 1.5)});
+  }
+  return tags;
+}
+
+void BM_ForwardSynthesis(benchmark::State& state,
+                         const core::ForwardKernelVariant* variant) {
+  const auto& fixture = forward_fixture();
+  const auto tags = forward_tags(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::synthesize_forward_channels(fixture.system, fixture.plane, tags,
+                                          variant));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(tags.size()) *
+                          static_cast<std::int64_t>(fixture.plane.size()));
+}
+
 void BM_SincosVariant(benchmark::State& state,
                       const localize::SarKernelVariant* variant) {
   constexpr std::size_t kN = 4096;
@@ -156,6 +210,16 @@ int main(int argc, char** argv) {
     benchmark::RegisterBenchmark(
         (std::string("BM_Sincos/impl:") + variant.isa).c_str(),
         BM_SincosVariant, &variant);
+  }
+  for (const auto& variant : core::forward_kernel_variants()) {
+    if (!variant.supported) continue;
+    benchmark::RegisterBenchmark(
+        (std::string("BM_ForwardSynthesis/impl:") + variant.isa).c_str(),
+        BM_ForwardSynthesis, &variant)
+        ->Arg(1)
+        ->Arg(16)
+        ->Arg(256)
+        ->ArgName("tags");
   }
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

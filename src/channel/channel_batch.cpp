@@ -1,0 +1,88 @@
+#include "channel/channel_batch.h"
+
+#include <cmath>
+
+#include "common/units.h"
+
+namespace rfly::channel {
+
+namespace {
+
+/// Near-field floor of propagation_coefficient (path_loss.cpp): distances
+/// fed to the phasor kernels must carry the same clamp the scalar model
+/// applies per path.
+constexpr double kMinDistanceM = 0.01;
+
+/// Per-(target, obstacle) hoisted state.
+struct ObstacleHoist {
+  Vec2 image;        // target mirrored across the reflector line
+  double refl_amp;   // gain_amp * db_to_amplitude(-reflection_loss_db)
+  double trans_amp;  // db_to_amplitude(-transmission_loss_db)
+};
+
+}  // namespace
+
+void batch_link_paths(const Environment& env, const double* px,
+                      const double* py, const double* pz, std::size_t count,
+                      const Vec3& target, double gain_amp, BatchedPaths& out) {
+  const auto& obstacles = env.obstacles();
+  out.direct_amp.assign(count, gain_amp);
+  out.refl_d.clear();
+  out.refl_amp.clear();
+  out.offsets.assign(count + 1, 0);
+
+  const Vec2 t2 = xy(target);
+  std::vector<ObstacleHoist> hoists(obstacles.size());
+  for (std::size_t o = 0; o < obstacles.size(); ++o) {
+    hoists[o].image = reflect_across(t2, obstacles[o].footprint);
+    hoists[o].refl_amp =
+        gain_amp * db_to_amplitude(-obstacles[o].material.reflection_loss_db);
+    hoists[o].trans_amp =
+        db_to_amplitude(-obstacles[o].material.transmission_loss_db);
+  }
+  out.refl_d.reserve(count * obstacles.size());
+  out.refl_amp.reserve(count * obstacles.size());
+
+  for (std::size_t w = 0; w < count; ++w) {
+    const Vec3 a{px[w], py[w], pz[w]};
+    const Vec2 a2 = xy(a);
+    const double dz = a.z - target.z;
+
+    // Direct path: amplitude only — the vectorized `distances` kernel op
+    // supplies the clamped direct distances.
+    double damp = gain_amp;
+    for (std::size_t o = 0; o < obstacles.size(); ++o) {
+      if (obstacle_blocks(obstacles[o], a, target)) {
+        damp *= hoists[o].trans_amp;
+      }
+    }
+    out.direct_amp[w] = damp;
+
+    // First-order specular reflections: same geometry as paths_between,
+    // with the image taken on the fixed target side (symmetric).
+    for (std::size_t o = 0; o < obstacles.size(); ++o) {
+      const auto& reflector = obstacles[o];
+      const auto bounce =
+          segment_line_intersection(a2, hoists[o].image, reflector.footprint);
+      if (!bounce) continue;
+      const double planar = distance2(a2, hoists[o].image);
+      if (planar < 1e-6) continue;
+
+      double d = std::sqrt(planar * planar + dz * dz);
+      if (d < kMinDistanceM) d = kMinDistanceM;
+      double amp = hoists[o].refl_amp;
+      const Vec3 bounce3{bounce->x, bounce->y, (a.z + target.z) / 2.0};
+      for (std::size_t j = 0; j < obstacles.size(); ++j) {
+        if (j == o) continue;
+        const auto& other = obstacles[j];
+        if (obstacle_blocks(other, a, bounce3)) amp *= hoists[j].trans_amp;
+        if (obstacle_blocks(other, bounce3, target)) amp *= hoists[j].trans_amp;
+      }
+      out.refl_d.push_back(d);
+      out.refl_amp.push_back(amp);
+    }
+    out.offsets[w + 1] = static_cast<std::uint32_t>(out.refl_d.size());
+  }
+}
+
+}  // namespace rfly::channel

@@ -9,11 +9,7 @@ Material concrete() { return {"concrete", 12.0, 6.0}; }
 Material steel_shelf() { return {"steel_shelf", 30.0, 6.0}; }
 Material glass() { return {"glass", 2.0, 8.0}; }
 
-namespace {
-
-/// Does the 3D segment a->b pass through the (vertical, height-limited)
-/// obstacle? Plan-view crossing plus a height check at the crossing point.
-bool blocks(const Obstacle& obstacle, const Vec3& a, const Vec3& b) {
+bool obstacle_blocks(const Obstacle& obstacle, const Vec3& a, const Vec3& b) {
   const Vec2 a2 = xy(a);
   const Vec2 b2 = xy(b);
   if (!segments_intersect(a2, b2, obstacle.footprint)) return false;
@@ -25,12 +21,10 @@ bool blocks(const Obstacle& obstacle, const Vec3& a, const Vec3& b) {
   return z_at_crossing <= obstacle.height_m;
 }
 
-}  // namespace
-
 double Environment::obstruction_loss_db(const Vec3& a, const Vec3& b) const {
   double loss = 0.0;
   for (const auto& obstacle : obstacles_) {
-    if (blocks(obstacle, a, b)) {
+    if (obstacle_blocks(obstacle, a, b)) {
       loss += obstacle.material.transmission_loss_db;
     }
   }
@@ -74,10 +68,10 @@ std::vector<Path> Environment::paths_between(const Vec3& a, const Vec3& b) const
     for (std::size_t j = 0; j < obstacles_.size(); ++j) {
       if (j == i) continue;
       const auto& other = obstacles_[j];
-      if (blocks(other, a, bounce3)) {
+      if (obstacle_blocks(other, a, bounce3)) {
         p.extra_loss_db += other.material.transmission_loss_db;
       }
-      if (blocks(other, bounce3, b)) {
+      if (obstacle_blocks(other, bounce3, b)) {
         p.extra_loss_db += other.material.transmission_loss_db;
       }
     }

@@ -61,6 +61,14 @@ class Environment {
   std::vector<Obstacle> obstacles_;
 };
 
+/// Does the 3D segment a->b pass through the (vertical, height-limited)
+/// obstacle? Plan-view crossing plus a height check at the crossing point;
+/// numerically degenerate crossings count as blocked (conservative). This
+/// is the primitive obstruction_loss_db and paths_between are built from,
+/// exposed for the batched measure-stage geometry (channel_batch.h), whose
+/// per-leg reflection checks must exclude the reflecting obstacle itself.
+bool obstacle_blocks(const Obstacle& obstacle, const Vec3& a, const Vec3& b);
+
 /// Convenience builders used by tests, examples, and benches.
 Environment empty_environment();
 

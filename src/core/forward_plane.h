@@ -1,0 +1,147 @@
+// Measurement-synthesis plane: per-flight hoisted forward-channel state
+// (the measure-stage analogue of the batch runner's localization plane).
+//
+// The scalar measure stage re-derives every per-waypoint quantity — the
+// reader↔relay channel h1, the capped downlink drive, the effective
+// downlink gain, the embedded-tag channel — roughly five times per flight
+// point *per tag* through the RflySystem call graph. All of it depends only
+// on the flight and the system, not the tag. A ForwardPlane computes each
+// exactly once per flight:
+//
+//   - exact mode reads the hoisted values back through expressions
+//     identical to the scalar path's, so results are bit-identical to the
+//     seed (the plane stores results of the same public methods, called
+//     once); pinned by the `measure` parity matrix in
+//     tests/test_measure_plane.cpp.
+//   - fast mode additionally feeds the plane's linear-domain mirrors to the
+//     multiversioned forward kernels (forward_kernel.h), which synthesize
+//     readability masks and target channels for a block of waypoints × tags
+//     in one SIMD pass.
+//
+// Planes are shared across every tag in a mission, and — via the
+// digest-keyed ForwardPlaneCache below, same discipline as the localize
+// GeometryCache — across missions in a batch that fly the same flight
+// through the same system. All RNG stays in the per-point collect loop
+// (system.cpp); everything here is RNG-free, so draw order is untouched.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/math_util.h"
+#include "core/forward_kernel.h"
+#include "core/system.h"
+#include "drone/flight.h"
+
+namespace rfly::core {
+
+/// SoA per-waypoint forward-channel state for one flight. Immutable after
+/// build; shared read-only across tags, worker threads, and missions.
+struct ForwardPlane {
+  // Actual waypoint positions (kernel lanes; channels are evaluated at the
+  // *actual* position — the reported position enters only the measurement
+  // record, straight from the flight).
+  std::vector<double> px, py, pz;
+
+  // Exact-path hoists: results of the scalar methods, one call per
+  // waypoint, stored bit-for-bit.
+  std::vector<cdouble> h1;           // reader_relay_channel(actual)
+  std::vector<double> h1_abs_db;     // amplitude_to_db(|h1|)
+  std::vector<double> relay_tx_dbm;  // capped downlink drive (P1dB stage)
+  std::vector<double> g_d_amp;       // db_to_amplitude(effective_downlink_gain_db)
+  std::vector<cdouble> embedded;     // measured_embedded_channel(actual)
+
+  // Fast-path linear mirrors for the forward kernels.
+  std::vector<double> h1_re, h1_im;  // h1 split re/im
+  std::vector<double> h1_pow;        // |h1|²
+  std::vector<double> relay_tx_mw;   // 10^(relay_tx_dbm/10)
+
+  std::size_t size() const { return px.size(); }
+
+  /// Hoist the flight once: calls the same public RflySystem methods the
+  /// scalar collect loop calls, one evaluation per waypoint, so every
+  /// stored value is bit-identical to what the scalar path would have
+  /// recomputed. Bumps the `measure.plane.channel_evals` obs counter by
+  /// the flight size — the per-waypoint channel evaluations this build
+  /// performs, charged once per flight instead of once per (point, tag).
+  static ForwardPlane build(const RflySystem& system,
+                            const std::vector<drone::FlownPoint>& flight);
+};
+
+/// Kernel-synthesized per-tag measure-stage output (fast mode): one
+/// readability flag and one complex target channel per waypoint. The
+/// embedded channel comes straight from the plane.
+struct SynthChannels {
+  std::vector<std::uint8_t> readable;  // 0/1 per waypoint
+  std::vector<double> target_re, target_im;
+};
+
+/// Fast-path synthesis for every tag against one plane: batched multipath
+/// geometry (channel::batch_link_paths, per-obstacle constants hoisted per
+/// tag), then the active forward kernels for distances, propagation
+/// phasors, and the multi-tag synthesize pass. RNG-free. `variant` forces a
+/// specific kernel variant (tests/benches); null uses the dispatcher's
+/// pick.
+std::vector<SynthChannels> synthesize_forward_channels(
+    const RflySystem& system, const ForwardPlane& plane,
+    const std::vector<Vec3>& tag_positions,
+    const ForwardKernelVariant* variant = nullptr);
+
+/// Process-wide, thread-safe, digest-keyed plane cache — the GeometryCache
+/// pattern: a splitmix64 digest over the full bit-pattern key (reader
+/// position, every config field the plane depends on, obstacle geometry and
+/// materials, actual waypoint positions) selects candidates, every hit is
+/// verified by a bitwise key compare before sharing, FIFO eviction, and
+/// capacity 0 disables retention (every lookup builds cold). Entries are
+/// immutable shared_ptr<const ForwardPlane>, safe to hold across worker
+/// threads. Lookups (including the build on a miss) serialize on one mutex,
+/// exactly like GeometryCache: a digest can never hand out an unverified
+/// plane, and each distinct key misses exactly once per cold run at any
+/// thread count.
+class ForwardPlaneCache {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 64;
+
+  explicit ForwardPlaneCache(std::size_t capacity = kDefaultCapacity);
+
+  /// The plane for (system, flight): a verified cached entry, or a fresh
+  /// build (retained FIFO when capacity allows).
+  std::shared_ptr<const ForwardPlane> plane(
+      const RflySystem& system, const std::vector<drone::FlownPoint>& flight);
+
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+    std::size_t planes = 0;  // entries currently retained
+  };
+  Stats stats() const;
+  void reset_stats();
+  void clear();
+  void set_capacity(std::size_t capacity);
+  std::size_t capacity() const;
+
+ private:
+  struct Entry {
+    std::uint64_t digest = 0;
+    std::vector<double> key;  // full bit-pattern key, verified on every hit
+    std::shared_ptr<const ForwardPlane> value;
+  };
+
+  mutable std::mutex mu_;
+  std::vector<Entry> entries_;  // insertion order = eviction order (FIFO)
+  std::size_t capacity_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+/// The process-wide cache the pipeline's measure stage uses (mirrors
+/// global_geometry_cache); the batch runner applies its retention bound to
+/// this cache too and reports hit/miss deltas in BatchRunInfo.
+ForwardPlaneCache& global_forward_plane_cache();
+
+}  // namespace rfly::core

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "core/forward_kernel.h"
 #include "core/inventory.h"
 #include "core/system.h"
 #include "drone/flight.h"
@@ -63,6 +64,12 @@ struct ScanMissionConfig {
   /// kCoarseToFine trades the full sweep for a coarse lattice + top-K
   /// refinement.
   localize::SarSearch sar_search = localize::SarSearch::kExact;
+  /// Measurement-synthesis plane for the measure stage (forward_kernel.h).
+  /// kAuto resolves to kExact — per-waypoint channels hoisted once per
+  /// flight and shared across tags/missions, bit-identical to the seed's
+  /// scalar loop (kOff). kFast additionally synthesizes channels with the
+  /// multiversioned SIMD forward kernels (equivalent, not bit-identical).
+  MeasurePlane measure_plane = MeasurePlane::kAuto;
 };
 
 struct ScannedItem {

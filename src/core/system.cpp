@@ -7,9 +7,22 @@
 #include "channel/path_loss.h"
 #include "common/constants.h"
 #include "common/units.h"
+#include "core/forward_plane.h"
+#include "obs/metrics.h"
 #include "signal/noise.h"
 
 namespace rfly::core {
+
+namespace {
+
+// Hoisted handle: registration is the slow path, the counter itself is a
+// sharded relaxed atomic (no-op entirely under RFLY_OBS=OFF).
+obs::Counter& measure_synth_failures() {
+  static obs::Counter& c = obs::counter("measure.synth.failures");
+  return c;
+}
+
+}  // namespace
 
 RflySystem::RflySystem(const SystemConfig& config, channel::Environment environment,
                        const Vec3& reader_position)
@@ -41,9 +54,8 @@ cdouble RflySystem::relay_tag_channel(const Vec3& relay_pos, const Vec3& tag_pos
 double RflySystem::effective_downlink_gain_db(const Vec3& relay_pos) const {
   const double rx_dbm = config_.reader_eirp_dbm +
                         amplitude_to_db(std::abs(reader_relay_channel(relay_pos)));
-  const double out_dbm = rx_dbm + config_.relay_downlink_gain_db;
-  const double capped = std::min(out_dbm, config_.relay_downlink_p1db_dbm);
-  return config_.relay_downlink_gain_db - (out_dbm - capped);
+  return saturated_gain_db(rx_dbm, config_.relay_downlink_gain_db,
+                           config_.relay_downlink_p1db_dbm);
 }
 
 double RflySystem::effective_uplink_gain_db(const Vec3& relay_pos,
@@ -53,9 +65,8 @@ double RflySystem::effective_uplink_gain_db(const Vec3& relay_pos,
       tag_incident_power_dbm(relay_pos, tag_pos) +
       amplitude_to_db(backscatter_delta_rho()) +
       amplitude_to_db(std::abs(relay_tag_channel(relay_pos, tag_pos)));
-  const double out_dbm = backscatter_dbm + config_.relay_uplink_gain_db;
-  const double capped = std::min(out_dbm, config_.relay_uplink_max_out_dbm);
-  return config_.relay_uplink_gain_db - (out_dbm - capped);
+  return saturated_gain_db(backscatter_dbm, config_.relay_uplink_gain_db,
+                           config_.relay_uplink_max_out_dbm);
 }
 
 double RflySystem::tag_incident_power_dbm(const Vec3& relay_pos,
@@ -63,8 +74,9 @@ double RflySystem::tag_incident_power_dbm(const Vec3& relay_pos,
   const double relay_rx_dbm =
       config_.reader_eirp_dbm +
       amplitude_to_db(std::abs(reader_relay_channel(relay_pos)));
-  const double relay_tx_dbm = std::min(relay_rx_dbm + config_.relay_downlink_gain_db,
-                                       config_.relay_downlink_p1db_dbm);
+  const double relay_tx_dbm =
+      saturated_output_dbm(relay_rx_dbm, config_.relay_downlink_gain_db,
+                           config_.relay_downlink_p1db_dbm);
   return relay_tx_dbm +
          amplitude_to_db(std::abs(relay_tag_channel(relay_pos, tag_pos)));
 }
@@ -83,8 +95,8 @@ double RflySystem::reply_snr_db(const Vec3& relay_pos, const Vec3& tag_pos) cons
       amplitude_to_db(backscatter_delta_rho()) +
       amplitude_to_db(std::abs(relay_tag_channel(relay_pos, tag_pos)));
   const double relay_out_dbm =
-      std::min(backscatter_at_relay_dbm + config_.relay_uplink_gain_db,
-               config_.relay_uplink_max_out_dbm);
+      saturated_output_dbm(backscatter_at_relay_dbm, config_.relay_uplink_gain_db,
+                           config_.relay_uplink_max_out_dbm);
   const double at_reader_dbm = relay_out_dbm +
                                amplitude_to_db(std::abs(reader_relay_channel(relay_pos))) +
                                config_.reader_rx_gain_dbi;
@@ -157,14 +169,13 @@ cdouble RflySystem::measured_embedded_channel(const Vec3& relay_pos) const {
   const double relay_rx_dbm =
       config_.reader_eirp_dbm + amplitude_to_db(std::abs(h1));
   const double relay_tx_dbm =
-      std::min(relay_rx_dbm + config_.relay_downlink_gain_db,
-               config_.relay_downlink_p1db_dbm);
+      saturated_output_dbm(relay_rx_dbm, config_.relay_downlink_gain_db,
+                           config_.relay_downlink_p1db_dbm);
   const double backscatter_dbm = relay_tx_dbm +
                                  2.0 * config_.embedded_coupling_db +
                                  amplitude_to_db(backscatter_delta_rho());
   const double g_u_db =
-      config_.relay_uplink_gain_db -
-      std::max(0.0, backscatter_dbm + config_.relay_uplink_gain_db -
+      saturated_gain_db(backscatter_dbm, config_.relay_uplink_gain_db,
                         config_.relay_uplink_max_out_dbm);
   const cdouble hw = cis(config_.relay_hardware_phase_rad);
   return h1 * h1 * db_to_amplitude(effective_downlink_gain_db(relay_pos)) *
@@ -188,7 +199,12 @@ localize::MeasurementSet RflySystem::collect_measurements(
     const std::vector<drone::FlownPoint>& flight, const Vec3& tag_pos,
     Rng& rng) const {
   auto collected = try_collect_measurements(flight, tag_pos, rng);
-  if (!collected.ok()) return {};
+  if (!collected.ok()) {
+    // Legacy-wrapper contract (see system.h): the typed Status is dropped
+    // here; count the drop so it is visible in metrics.
+    measure_synth_failures().inc();
+    return {};
+  }
   return std::move(collected.value());
 }
 
@@ -215,6 +231,132 @@ Expected<localize::MeasurementSet> RflySystem::try_collect_measurements(
     m.relay_position = point.reported;
     m.target_channel = measured_target_channel(point.actual, tag_pos);
     m.embedded_channel = measured_embedded_channel(point.actual);
+    if (config_.amplitude_ripple_std_db > 0.0 || config_.phase_ripple_std_rad > 0.0) {
+      m.target_channel *=
+          db_to_amplitude(rng.gaussian(0.0, config_.amplitude_ripple_std_db)) *
+          cis(rng.gaussian(0.0, config_.phase_ripple_std_rad));
+    }
+    if (sigma > 0.0) {
+      m.target_channel += cdouble{rng.gaussian(0.0, sigma / std::sqrt(2.0)),
+                                  rng.gaussian(0.0, sigma / std::sqrt(2.0))};
+      m.embedded_channel += cdouble{rng.gaussian(0.0, sigma / std::sqrt(2.0)),
+                                    rng.gaussian(0.0, sigma / std::sqrt(2.0))};
+    }
+    set.push_back(m);
+  }
+  if (set.empty()) {
+    return Status{StatusCode::kInsufficientData,
+                  "tag unpowered or undecodable at all " +
+                      std::to_string(flight.size()) + " flight points"};
+  }
+  return set;
+}
+
+// Plane-backed exact collect. Lives in this TU, next to the scalar
+// reference loop above, so both compile under identical flags and FP
+// contraction decisions: every expression below is the scalar path's
+// expression with per-waypoint operands read from the plane (which stored
+// the same functions' results, evaluated once per flight) and per-tag
+// operands hoisted out of the loop. No value is computed differently —
+// only fewer times. Pinned bit-identical by tests/test_measure_plane.cpp.
+Expected<localize::MeasurementSet> RflySystem::try_collect_measurements(
+    const std::vector<drone::FlownPoint>& flight, const Vec3& tag_pos,
+    Rng& rng, const ForwardPlane& plane) const {
+  if (flight.empty()) {
+    return Status{StatusCode::kEmptyFlightPlan,
+                  "cannot collect measurements over an empty flight"};
+  }
+  localize::MeasurementSet set;
+  set.reserve(flight.size());
+  const double sigma = estimate_noise_sigma();
+  // Per-tag constants the scalar path re-derives at every point.
+  const double drho = backscatter_delta_rho();
+  const double drho_db = amplitude_to_db(drho);
+  const double noise_dbm = watts_to_dbm(signal::thermal_noise_power(
+      2.0 * config_.blf_hz, config_.reader_noise_figure_db));
+  const cdouble hw = cis(config_.relay_hardware_phase_rad);
+  const double rx_amp = db_to_amplitude(config_.reader_rx_gain_dbi);
+  cdouble direct_term{0.0, 0.0};
+  if (config_.include_direct_path) {
+    channel::LinkGains gains;
+    gains.rx_gain_dbi = config_.tag.antenna_gain_dbi;
+    const cdouble hd = channel::point_to_point_channel(
+        environment_, reader_position_, tag_pos, config_.carrier_hz, gains);
+    direct_term = hd * hd * drho;
+  }
+  for (std::size_t i = 0; i < flight.size(); ++i) {
+    const auto& point = flight[i];
+    // The only remaining per-(point, tag) channel evaluation.
+    const cdouble h2 = relay_tag_channel(point.actual, tag_pos);
+    const double h2_abs_db = amplitude_to_db(std::abs(h2));
+    const double incident_dbm = plane.relay_tx_dbm[i] + h2_abs_db;
+    if (incident_dbm < config_.tag.sensitivity_dbm) {
+      continue;
+    }
+    const double backscatter_dbm = incident_dbm + drho_db + h2_abs_db;
+    const double relay_out_dbm =
+        saturated_output_dbm(backscatter_dbm, config_.relay_uplink_gain_db,
+                             config_.relay_uplink_max_out_dbm);
+    const double at_reader_dbm =
+        relay_out_dbm + plane.h1_abs_db[i] + config_.reader_rx_gain_dbi;
+    if (at_reader_dbm - noise_dbm < config_.decode_snr_threshold_db) {
+      continue;
+    }
+    const double g_u = db_to_amplitude(
+        saturated_gain_db(backscatter_dbm, config_.relay_uplink_gain_db,
+                          config_.relay_uplink_max_out_dbm));
+    const cdouble h1 = plane.h1[i];
+    localize::RelayMeasurement m;
+    m.relay_position = point.reported;
+    cdouble h = h1 * h1 * plane.g_d_amp[i] * g_u * drho * h2 * h2 * hw * rx_amp;
+    if (config_.include_direct_path) {
+      h += direct_term;
+    }
+    m.target_channel = h;
+    m.embedded_channel = plane.embedded[i];
+    if (config_.amplitude_ripple_std_db > 0.0 || config_.phase_ripple_std_rad > 0.0) {
+      m.target_channel *=
+          db_to_amplitude(rng.gaussian(0.0, config_.amplitude_ripple_std_db)) *
+          cis(rng.gaussian(0.0, config_.phase_ripple_std_rad));
+    }
+    if (sigma > 0.0) {
+      m.target_channel += cdouble{rng.gaussian(0.0, sigma / std::sqrt(2.0)),
+                                  rng.gaussian(0.0, sigma / std::sqrt(2.0))};
+      m.embedded_channel += cdouble{rng.gaussian(0.0, sigma / std::sqrt(2.0)),
+                                    rng.gaussian(0.0, sigma / std::sqrt(2.0))};
+    }
+    set.push_back(m);
+  }
+  if (set.empty()) {
+    return Status{StatusCode::kInsufficientData,
+                  "tag unpowered or undecodable at all " +
+                      std::to_string(flight.size()) + " flight points"};
+  }
+  return set;
+}
+
+// Fast-path collect: channels and readability precomputed by the forward
+// kernels (RNG-free), so this loop only sequences the stochastic draws —
+// in exactly the order the scalar loop would (see the RNG contract in
+// system.h).
+Expected<localize::MeasurementSet> RflySystem::try_collect_measurements(
+    const std::vector<drone::FlownPoint>& flight, Rng& rng,
+    const ForwardPlane& plane, const SynthChannels& synth) const {
+  if (flight.empty()) {
+    return Status{StatusCode::kEmptyFlightPlan,
+                  "cannot collect measurements over an empty flight"};
+  }
+  localize::MeasurementSet set;
+  set.reserve(flight.size());
+  const double sigma = estimate_noise_sigma();
+  for (std::size_t i = 0; i < flight.size(); ++i) {
+    if (!synth.readable[i]) {
+      continue;
+    }
+    localize::RelayMeasurement m;
+    m.relay_position = flight[i].reported;
+    m.target_channel = cdouble{synth.target_re[i], synth.target_im[i]};
+    m.embedded_channel = plane.embedded[i];
     if (config_.amplitude_ripple_std_db > 0.0 || config_.phase_ripple_std_rad > 0.0) {
       m.target_channel *=
           db_to_amplitude(rng.gaussian(0.0, config_.amplitude_ripple_std_db)) *

@@ -13,6 +13,7 @@
 // embedded tag replaces h2 with a constant wire coupling.
 #pragma once
 
+#include <algorithm>
 #include <optional>
 #include <vector>
 
@@ -78,10 +79,31 @@ struct SystemConfig {
   bool include_direct_path = true;
 };
 
+struct ForwardPlane;   // forward_plane.h: per-flight hoisted channel plane
+struct SynthChannels;  // forward_plane.h: kernel-synthesized per-tag channels
+
 class RflySystem {
  public:
   RflySystem(const SystemConfig& config, channel::Environment environment,
              const Vec3& reader_position);
+
+  /// The relay's saturating amplifier stage, shared by every path that
+  /// models a P1dB/output cap (downlink PA, uplink output limit, embedded
+  /// uplink drive). Output power for `input_dbm` through `gain_db` limited
+  /// to `cap_dbm`:
+  static double saturated_output_dbm(double input_dbm, double gain_db,
+                                     double cap_dbm) {
+    return std::min(input_dbm + gain_db, cap_dbm);
+  }
+  /// Effective gain of the same stage: nominal gain minus the dB shaved off
+  /// by the cap. Defined via the identical expression tree the output form
+  /// uses so the two can never drift (and so hoisted/plane evaluations stay
+  /// bit-identical to the inline ones they replaced).
+  static double saturated_gain_db(double input_dbm, double gain_db,
+                                  double cap_dbm) {
+    const double out_dbm = input_dbm + gain_db;
+    return gain_db - (out_dbm - std::min(out_dbm, cap_dbm));
+  }
 
   const SystemConfig& config() const { return config_; }
   const channel::Environment& environment() const { return environment_; }
@@ -127,6 +149,15 @@ class RflySystem {
   /// are computed at each point's *actual* position; the measurement
   /// records the *reported* position — the tracking error enters exactly
   /// where it would in the real system.
+  ///
+  /// Legacy-wrapper contract: this is the untyped adapter around
+  /// try_collect_measurements for callers that predate Status/Expected. It
+  /// maps EVERY failure (kEmptyFlightPlan, kInsufficientData) to an empty
+  /// MeasurementSet — the typed Status is dropped, not surfaced. Each drop
+  /// bumps the `measure.synth.failures` obs counter so swallowed statuses
+  /// are at least visible in metrics; callers that care which failure
+  /// occurred must use try_collect_measurements directly. The measurement
+  /// values and rng consumption are identical between the two.
   localize::MeasurementSet collect_measurements(
       const std::vector<drone::FlownPoint>& flight, const Vec3& tag_pos,
       Rng& rng) const;
@@ -135,9 +166,38 @@ class RflySystem {
   /// flight has no points, kInsufficientData (with how many points were
   /// powered/decodable) when every point was dropped. The measurement values
   /// and rng consumption are identical to collect_measurements.
+  ///
+  /// RNG contract (pinned by the draw-order golden in
+  /// tests/test_measure_plane.cpp): no shadowing is drawn here; for each
+  /// point that passes BOTH readability checks, exactly two ripple
+  /// gaussians (amplitude dB, then phase rad — only when either ripple std
+  /// is > 0) followed by four noise gaussians (target re/im, embedded
+  /// re/im — only when the estimate sigma is > 0) are consumed, in flight
+  /// order; skipped points draw nothing. The plane-backed overloads below
+  /// preserve this sequence exactly — all channel math is RNG-free.
   Expected<localize::MeasurementSet> try_collect_measurements(
       const std::vector<drone::FlownPoint>& flight, const Vec3& tag_pos,
       Rng& rng) const;
+
+  /// Plane-backed exact collect: identical loop, with every per-waypoint
+  /// quantity (reader↔relay channel, capped downlink drive, downlink gain,
+  /// embedded channel) read from a ForwardPlane built once per flight
+  /// instead of being re-derived ~5× per point per tag. Bit-identical to
+  /// the scalar overload above — the plane stores values produced by the
+  /// same expressions, evaluated once (pinned by the `measure` parity
+  /// matrix).
+  Expected<localize::MeasurementSet> try_collect_measurements(
+      const std::vector<drone::FlownPoint>& flight, const Vec3& tag_pos,
+      Rng& rng, const ForwardPlane& plane) const;
+
+  /// Fast-path collect: consumes channels and readability masks synthesized
+  /// by the multiversioned forward kernels (linear-domain power math, SIMD
+  /// across waypoints). Mathematically equivalent but not bit-identical to
+  /// the exact path; opt-in via measure.plane=fast. Draw order is still the
+  /// exact sequence documented above — synthesis is RNG-free.
+  Expected<localize::MeasurementSet> try_collect_measurements(
+      const std::vector<drone::FlownPoint>& flight, Rng& rng,
+      const ForwardPlane& plane, const SynthChannels& synth) const;
 
   /// Calibration constant for the RSSI baseline: |h_iso| at 1 m.
   double rssi_reference_magnitude_at_1m() const;

@@ -3,6 +3,7 @@
 // channel of the target tag and of the relay-embedded tag.
 #pragma once
 
+#include <cstddef>
 #include <vector>
 
 #include "channel/geometry.h"
@@ -22,5 +23,26 @@ struct RelayMeasurement {
 };
 
 using MeasurementSet = std::vector<RelayMeasurement>;
+
+/// Field-wise bitwise comparison (==, so -0.0 == +0.0 but NaN != NaN is
+/// avoided by the library never producing NaN channels): the primitive the
+/// measure-plane parity tests use to pin "bit-identical to the seed".
+inline bool bitwise_equal(const RelayMeasurement& a, const RelayMeasurement& b) {
+  return a.relay_position.x == b.relay_position.x &&
+         a.relay_position.y == b.relay_position.y &&
+         a.relay_position.z == b.relay_position.z &&
+         a.target_channel.real() == b.target_channel.real() &&
+         a.target_channel.imag() == b.target_channel.imag() &&
+         a.embedded_channel.real() == b.embedded_channel.real() &&
+         a.embedded_channel.imag() == b.embedded_channel.imag();
+}
+
+inline bool bitwise_equal(const MeasurementSet& a, const MeasurementSet& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!bitwise_equal(a[i], b[i])) return false;
+  }
+  return true;
+}
 
 }  // namespace rfly::localize

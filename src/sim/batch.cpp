@@ -11,6 +11,7 @@
 #include "common/arena.h"
 #include "common/digest.h"
 #include "common/thread_pool.h"
+#include "core/forward_plane.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
@@ -386,6 +387,11 @@ std::vector<BatchResult> run_batch(const std::vector<BatchJob>& jobs,
     cache.set_capacity(config.cache_capacity);
     cache_before = cache.stats();
   }
+  // The measure plane cache serves the pipeline in both modes; the batched
+  // mode additionally applies this run's retention bound to it.
+  core::ForwardPlaneCache& forward_cache = core::global_forward_plane_cache();
+  if (batched) forward_cache.set_capacity(config.cache_capacity);
+  const core::ForwardPlaneCache::Stats forward_before = forward_cache.stats();
 
   // --- Phase 0 (serial): hoist scenario parsing. Each distinct scenario
   // text is validated and materialized once; seed sweeps and repeated-job
@@ -482,6 +488,9 @@ std::vector<BatchResult> run_batch(const std::vector<BatchJob>& jobs,
       info->cache_hits = cache_after.hits - cache_before.hits;
       info->cache_misses = cache_after.misses - cache_before.misses;
     }
+    const auto forward_after = forward_cache.stats();
+    info->forward_plane_hits = forward_after.hits - forward_before.hits;
+    info->forward_plane_misses = forward_after.misses - forward_before.misses;
     info->wall_seconds = seconds_since(batch_start);
   }
   return results;

@@ -74,6 +74,12 @@ struct BatchRunInfo {
   /// GeometryCache hit/miss deltas over this run (zero in kPerMission).
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  /// ForwardPlaneCache hit/miss deltas over this run. Unlike the geometry
+  /// figures these are populated in BOTH modes: the pipeline's measure
+  /// stage consults the plane cache per mission too (the batched mode only
+  /// adds the retention bound and the cross-mission sharing).
+  std::uint64_t forward_plane_hits = 0;
+  std::uint64_t forward_plane_misses = 0;
   /// Peak bytes the shared measurement plane's arena held at once.
   std::size_t arena_high_water_bytes = 0;
   std::size_t scenario_groups = 0;  // distinct scenario texts (validated once each)

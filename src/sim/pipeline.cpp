@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <memory>
 
+#include "core/forward_plane.h"
 #include "drone/trajectory.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -225,6 +227,27 @@ Expected<MissionRun> run_mission_pipeline(const core::ScanMissionConfig& config,
     injector.perturb_flight(flight);
   }
 
+  // --- measure plane: hoist the per-waypoint forward-channel state once
+  // per flight — shared across every tag below, and across missions flying
+  // the same flight through the same system via the global plane cache.
+  // Entirely RNG-free, so the mission Rng sequence (and with it the report)
+  // is untouched; `off` skips the hoist and keeps the seed's scalar loop.
+  const core::MeasurePlane plane_mode =
+      core::resolve_measure_plane(config.measure_plane);
+  std::shared_ptr<const core::ForwardPlane> plane;
+  std::vector<core::SynthChannels> synth;
+  if (plane_mode != core::MeasurePlane::kOff && !flight.empty() &&
+      !tags.empty()) {
+    StageTimer timer(run.trace, Stage::kMeasure);
+    plane = core::global_forward_plane_cache().plane(system, flight);
+    if (plane_mode == core::MeasurePlane::kFast) {
+      std::vector<Vec3> positions;
+      positions.reserve(tags.size());
+      for (const auto& placement : tags) positions.push_back(placement.position);
+      synth = core::synthesize_forward_channels(system, *plane, positions);
+    }
+  }
+
   // Gen2 discovery: run inventory rounds at each tag's closest approach.
   // (One round per tag population keeps the model simple; collided tags are
   // resolved by the Q-algorithm within the round.)
@@ -282,7 +305,11 @@ Expected<MissionRun> run_mission_pipeline(const core::ScanMissionConfig& config,
     {
       StageTimer timer(run.trace, Stage::kMeasure);
       auto collected =
-          system.try_collect_measurements(flight, tags[i].position, rng);
+          !plane ? system.try_collect_measurements(flight, tags[i].position, rng)
+          : plane_mode == core::MeasurePlane::kFast
+              ? system.try_collect_measurements(flight, rng, *plane, synth[i])
+              : system.try_collect_measurements(flight, tags[i].position, rng,
+                                                *plane);
       if (!collected) {
         item.status =
             collected.status().with_context("tag " + std::to_string(i));

@@ -277,6 +277,13 @@ const std::vector<FieldDef>& registry() {
                  [](Scenario& s, const std::string& v) {
                    return localize::parse_sar_search(v, s.sar_search);
                  }});
+    f.push_back({"measure.plane",
+                 [](const Scenario& s) {
+                   return std::string(core::measure_plane_name(s.measure_plane));
+                 },
+                 [](Scenario& s, const std::string& v) {
+                   return core::parse_measure_plane(v, s.measure_plane);
+                 }});
 
     f.push_back(double_field("faults.dropout",
                              [](Scenario& s) -> double& { return s.faults.dropout; }));
@@ -656,6 +663,7 @@ core::ScanMissionConfig mission_config(const Scenario& scenario) {
   config.localize_threads = scenario.localize_threads;
   config.sar_kernel = scenario.sar_kernel;
   config.sar_search = scenario.sar_search;
+  config.measure_plane = scenario.measure_plane;
   return config;
 }
 

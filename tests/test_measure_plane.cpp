@@ -1,0 +1,660 @@
+// Measurement-synthesis plane suite (`measure` label), pinned layer by
+// layer:
+//
+//   - Exact plane collect: bit-identical to the seed's scalar
+//     try_collect_measurements — values, statuses, and rng consumption —
+//     via direct calls over a flown trajectory.
+//   - RNG draw-order golden: the collect loop's documented draw contract
+//     (no shadowing; 2 ripple + 4 noise gaussians per surviving point, in
+//     flight order; skipped points draw nothing; gated by the ripple stds
+//     and the estimate sigma) reconstructed draw by draw from a fresh Rng.
+//   - Forward kernels: every compiled ISA variant agrees on readability
+//     masks and synthesized channels; fast synthesis tracks the exact
+//     channels to tight relative tolerance with identical readable sets.
+//   - ForwardPlaneCache: verified hits, FIFO eviction, capacity 0,
+//     config-sensitive keys, deterministic stats, a concurrent hammer (the
+//     TSAN surface), and the measure.plane.channel_evals counter contract
+//     (one eval per waypoint per build, none on a hit).
+//   - Scenario knob `measure.plane`: names, parse, auto resolution,
+//     serialize/parse round-trip, override.
+//   - The full-mission parity matrix: measure.plane=exact reports are
+//     bit-identical to measure.plane=off across {threads 1/2/8} x
+//     {batched, per-mission} x {faults on/off}; the batch runner's forward
+//     plane cache stats warm deterministically.
+//
+// Run it in the TSAN tree (shared immutable planes, cache mutex) and the
+// ASan+UBSan tree (kernel pointer arithmetic, SoA tails, per-tag tables).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "channel/environment.h"
+#include "common/math_util.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "core/forward_kernel.h"
+#include "core/forward_plane.h"
+#include "core/system.h"
+#include "drone/flight.h"
+#include "drone/trajectory.h"
+#include "localize/geometry_cache.h"
+#include "localize/measurement.h"
+#include "obs/metrics.h"
+#include "sim/batch.h"
+
+namespace rfly {
+namespace {
+
+using channel::Vec3;
+
+// --- Direct-collect fixtures ---------------------------------------------
+
+/// A small warehouse pass: reader in a corner, one aisle flight, tags a
+/// meter off the path. Close enough that most points power the tags, far
+/// enough that some drop (both skip branches stay exercised).
+struct Fixture {
+  core::RflySystem system;
+  std::vector<drone::FlownPoint> flight;
+  std::vector<Vec3> tags;
+};
+
+Fixture make_fixture(std::uint64_t seed, core::SystemConfig config = {}) {
+  Rng rng(seed);
+  const auto plan =
+      drone::linear_trajectory({1.0, 3.0, 1.0}, {9.0, 3.0, 1.0}, 40);
+  return Fixture{
+      core::RflySystem(config, channel::warehouse_environment(12.0, 10.0, 1),
+                       {1.0, 1.0, 1.0}),
+      drone::fly(plan, {}, drone::optitrack_tracking(), rng),
+      {{3.0, 2.0, 0.5}, {5.0, 2.2, 0.8}, {7.0, 1.8, 0.5}}};
+}
+
+/// The scalar loop's skip conditions, verbatim — the reference for which
+/// points survive.
+bool point_survives(const core::RflySystem& system, const Vec3& actual,
+                    const Vec3& tag) {
+  const auto& cfg = system.config();
+  return system.tag_incident_power_dbm(actual, tag) >= cfg.tag.sensitivity_dbm &&
+         system.reply_snr_db(actual, tag) >= cfg.decode_snr_threshold_db;
+}
+
+std::size_t surviving_count(const Fixture& f, const Vec3& tag) {
+  std::size_t n = 0;
+  for (const auto& p : f.flight) {
+    if (point_survives(f.system, p.actual, tag)) ++n;
+  }
+  return n;
+}
+
+// --- Exact plane: bit-identity -------------------------------------------
+
+TEST(ExactPlane, CollectIsBitIdenticalToScalar) {
+  const auto f = make_fixture(1);
+  const auto plane = core::ForwardPlane::build(f.system, f.flight);
+  for (const Vec3& tag : f.tags) {
+    Rng scalar_rng(7), plane_rng(7);
+    const auto scalar = f.system.try_collect_measurements(f.flight, tag, scalar_rng);
+    const auto planed =
+        f.system.try_collect_measurements(f.flight, tag, plane_rng, plane);
+    ASSERT_TRUE(scalar.ok()) << scalar.status().to_string();
+    ASSERT_TRUE(planed.ok()) << planed.status().to_string();
+    ASSERT_GT(scalar.value().size(), 0u);
+    EXPECT_TRUE(localize::bitwise_equal(scalar.value(), planed.value()));
+    // Both rngs consumed the exact same draw count: their streams stay in
+    // lockstep past the call.
+    EXPECT_EQ(scalar_rng.gaussian(), plane_rng.gaussian());
+  }
+}
+
+TEST(ExactPlane, StatusesMatchScalar) {
+  const auto f = make_fixture(2);
+  const auto plane = core::ForwardPlane::build(f.system, f.flight);
+
+  Rng ra(1), rb(1);
+  const auto scalar_empty = f.system.try_collect_measurements({}, f.tags[0], ra);
+  const core::ForwardPlane empty_plane;
+  const auto plane_empty =
+      f.system.try_collect_measurements({}, f.tags[0], rb, empty_plane);
+  ASSERT_FALSE(scalar_empty.ok());
+  ASSERT_FALSE(plane_empty.ok());
+  EXPECT_EQ(scalar_empty.status().code(), StatusCode::kEmptyFlightPlan);
+  EXPECT_EQ(plane_empty.status().to_string(), scalar_empty.status().to_string());
+
+  // A tag far outside the relay's reach: every point dropped, identical
+  // kInsufficientData text (it embeds the flight size).
+  const Vec3 unreachable{11.5, 9.5, 0.1};
+  const auto scalar_bad = f.system.try_collect_measurements(f.flight, unreachable, ra);
+  const auto plane_bad =
+      f.system.try_collect_measurements(f.flight, unreachable, rb, plane);
+  ASSERT_FALSE(scalar_bad.ok());
+  ASSERT_FALSE(plane_bad.ok());
+  EXPECT_EQ(scalar_bad.status().code(), StatusCode::kInsufficientData);
+  EXPECT_EQ(plane_bad.status().to_string(), scalar_bad.status().to_string());
+}
+
+TEST(ExactPlane, HoistsMatchScalarMethodsBitwise) {
+  const auto f = make_fixture(3);
+  const auto plane = core::ForwardPlane::build(f.system, f.flight);
+  ASSERT_EQ(plane.size(), f.flight.size());
+  for (std::size_t i = 0; i < f.flight.size(); ++i) {
+    const Vec3& a = f.flight[i].actual;
+    EXPECT_EQ(plane.px[i], a.x);
+    EXPECT_EQ(plane.py[i], a.y);
+    EXPECT_EQ(plane.pz[i], a.z);
+    const cdouble h1 = f.system.reader_relay_channel(a);
+    EXPECT_EQ(plane.h1[i], h1) << i;
+    EXPECT_EQ(plane.h1_abs_db[i], amplitude_to_db(std::abs(h1))) << i;
+    EXPECT_EQ(plane.g_d_amp[i],
+              db_to_amplitude(f.system.effective_downlink_gain_db(a)))
+        << i;
+    EXPECT_EQ(plane.embedded[i], f.system.measured_embedded_channel(a)) << i;
+  }
+}
+
+// --- RNG draw-order golden -----------------------------------------------
+
+TEST(DrawOrder, GoldenReplayReconstructsEveryMeasurement) {
+  const auto f = make_fixture(4);
+  const auto& cfg = f.system.config();
+  ASSERT_GT(cfg.amplitude_ripple_std_db, 0.0);  // both gates open by default
+  ASSERT_GT(f.system.estimate_noise_sigma(), 0.0);
+  const Vec3 tag = f.tags[0];
+
+  Rng collect_rng(99);
+  const auto collected = f.system.try_collect_measurements(f.flight, tag, collect_rng);
+  ASSERT_TRUE(collected.ok());
+  const auto& set = collected.value();
+  ASSERT_GT(set.size(), 0u);
+  ASSERT_LT(set.size(), f.flight.size());  // some points skipped: gaps in play
+
+  // Replay with a fresh Rng: for each surviving point, exactly two ripple
+  // gaussians (amplitude dB, then phase rad) then four noise gaussians
+  // (target re/im, embedded re/im); skipped points draw nothing. If the
+  // implementation drew anything else — shadowing, draws on skipped points,
+  // a different order — the streams would desynchronize and the bitwise
+  // comparison below would fail.
+  Rng replay(99);
+  const double sigma = f.system.estimate_noise_sigma();
+  std::size_t idx = 0;
+  for (const auto& point : f.flight) {
+    if (!point_survives(f.system, point.actual, tag)) continue;
+    localize::RelayMeasurement expected;
+    expected.relay_position = point.reported;
+    expected.target_channel = f.system.measured_target_channel(point.actual, tag);
+    expected.embedded_channel = f.system.measured_embedded_channel(point.actual);
+    expected.target_channel *=
+        db_to_amplitude(replay.gaussian(0.0, cfg.amplitude_ripple_std_db)) *
+        cis(replay.gaussian(0.0, cfg.phase_ripple_std_rad));
+    expected.target_channel += cdouble{replay.gaussian(0.0, sigma / std::sqrt(2.0)),
+                                       replay.gaussian(0.0, sigma / std::sqrt(2.0))};
+    expected.embedded_channel +=
+        cdouble{replay.gaussian(0.0, sigma / std::sqrt(2.0)),
+                replay.gaussian(0.0, sigma / std::sqrt(2.0))};
+    ASSERT_LT(idx, set.size());
+    EXPECT_TRUE(localize::bitwise_equal(set[idx], expected)) << "point " << idx;
+    ++idx;
+  }
+  EXPECT_EQ(idx, set.size());
+  // Both streams end in the same state.
+  EXPECT_EQ(collect_rng.gaussian(), replay.gaussian());
+}
+
+/// Draw-count golden for the gated configs: after collect, the rng must sit
+/// exactly `draws_per_point * survivors` gaussians into its stream.
+void expect_draw_count(core::SystemConfig config, std::size_t draws_per_point) {
+  const auto f = make_fixture(5, config);
+  const Vec3 tag = f.tags[1];
+  const std::size_t survivors = surviving_count(f, tag);
+  ASSERT_GT(survivors, 0u);
+
+  Rng collect_rng(123);
+  const auto collected = f.system.try_collect_measurements(f.flight, tag, collect_rng);
+  ASSERT_TRUE(collected.ok());
+  ASSERT_EQ(collected.value().size(), survivors);
+
+  Rng counted(123);
+  for (std::size_t i = 0; i < draws_per_point * survivors; ++i) counted.gaussian();
+  EXPECT_EQ(collect_rng.gaussian(), counted.gaussian());
+}
+
+TEST(DrawOrder, RippleGateClosedDrawsOnlyNoise) {
+  core::SystemConfig config;
+  config.amplitude_ripple_std_db = 0.0;
+  config.phase_ripple_std_rad = 0.0;
+  expect_draw_count(config, 4);
+}
+
+TEST(DrawOrder, NoiseGateClosedDrawsOnlyRipple) {
+  core::SystemConfig config;
+  config.channel_noise = false;  // estimate sigma = 0
+  expect_draw_count(config, 2);
+}
+
+TEST(DrawOrder, AllGatesClosedDrawsNothing) {
+  core::SystemConfig config;
+  config.amplitude_ripple_std_db = 0.0;
+  config.phase_ripple_std_rad = 0.0;
+  config.channel_noise = false;
+  expect_draw_count(config, 0);
+}
+
+// --- Forward kernels: fast synthesis and per-ISA agreement ---------------
+
+/// Noise- and ripple-free config: channel comparisons below are then pure
+/// synthesis, no stochastic term to swamp the tolerance.
+core::SystemConfig quiet_config() {
+  core::SystemConfig config;
+  config.channel_noise = false;
+  config.amplitude_ripple_std_db = 0.0;
+  config.phase_ripple_std_rad = 0.0;
+  return config;
+}
+
+void expect_channels_close(const cdouble& a, const cdouble& b,
+                           double rel = 1e-9) {
+  const double scale = std::max(std::abs(a), std::abs(b));
+  EXPECT_NEAR(a.real(), b.real(), rel * scale);
+  EXPECT_NEAR(a.imag(), b.imag(), rel * scale);
+}
+
+TEST(FastPlane, MatchesExactWithIdenticalReadableSets) {
+  const auto f = make_fixture(6, quiet_config());
+  const auto plane = core::ForwardPlane::build(f.system, f.flight);
+  const auto synth = core::synthesize_forward_channels(f.system, plane, f.tags);
+  ASSERT_EQ(synth.size(), f.tags.size());
+
+  for (std::size_t t = 0; t < f.tags.size(); ++t) {
+    Rng ra(7), rb(7);
+    const auto exact =
+        f.system.try_collect_measurements(f.flight, f.tags[t], ra, plane);
+    const auto fast =
+        f.system.try_collect_measurements(f.flight, rb, plane, synth[t]);
+    ASSERT_TRUE(exact.ok()) << exact.status().to_string();
+    ASSERT_TRUE(fast.ok()) << fast.status().to_string();
+    // The linear-domain power checks are monotone transforms of the dBm
+    // checks: same survivors.
+    ASSERT_EQ(fast.value().size(), exact.value().size()) << "tag " << t;
+    for (std::size_t i = 0; i < exact.value().size(); ++i) {
+      const auto& e = exact.value()[i];
+      const auto& g = fast.value()[i];
+      EXPECT_EQ(g.relay_position.x, e.relay_position.x);
+      EXPECT_EQ(g.relay_position.y, e.relay_position.y);
+      EXPECT_EQ(g.relay_position.z, e.relay_position.z);
+      expect_channels_close(g.target_channel, e.target_channel);
+      // The embedded channel comes straight off the plane in both paths.
+      EXPECT_EQ(g.embedded_channel, e.embedded_channel);
+    }
+  }
+}
+
+TEST(ForwardKernels, VariantListIsSaneAndDispatchPicksSupported) {
+  const auto& variants = core::forward_kernel_variants();
+  ASSERT_GE(variants.size(), 2u);  // batched scalar + baseline, minimum
+  EXPECT_STREQ(variants[0].isa, "scalar");
+  EXPECT_TRUE(variants[0].supported);
+  EXPECT_TRUE(variants[1].supported);
+  for (const auto& v : variants) {
+    EXPECT_NE(v.distances, nullptr) << v.isa;
+    EXPECT_NE(v.phasors, nullptr) << v.isa;
+    EXPECT_NE(v.synthesize, nullptr) << v.isa;
+  }
+  EXPECT_TRUE(core::forward_kernel_active().supported);
+}
+
+TEST(ForwardKernels, EveryVariantAgreesOnMasksAndChannels) {
+  const auto f = make_fixture(8, quiet_config());
+  const auto plane = core::ForwardPlane::build(f.system, f.flight);
+  const auto& variants = core::forward_kernel_variants();
+  const auto reference =
+      core::synthesize_forward_channels(f.system, plane, f.tags, &variants[0]);
+
+  for (const auto& v : variants) {
+    if (!v.supported) continue;
+    const auto got = core::synthesize_forward_channels(f.system, plane, f.tags, &v);
+    ASSERT_EQ(got.size(), reference.size()) << v.isa;
+    for (std::size_t t = 0; t < got.size(); ++t) {
+      ASSERT_EQ(got[t].readable, reference[t].readable) << v.isa << " tag " << t;
+      for (std::size_t i = 0; i < plane.size(); ++i) {
+        expect_channels_close(
+            cdouble{got[t].target_re[i], got[t].target_im[i]},
+            cdouble{reference[t].target_re[i], reference[t].target_im[i]});
+      }
+    }
+  }
+}
+
+// --- ForwardPlaneCache ---------------------------------------------------
+
+TEST(ForwardPlaneCache, HitsAreVerifiedAndShared) {
+  const auto fa = make_fixture(10);
+  const auto fb = make_fixture(11);
+  core::ForwardPlaneCache cache(4);
+
+  const auto first = cache.plane(fa.system, fa.flight);
+  const auto again = cache.plane(fa.system, fa.flight);
+  EXPECT_EQ(first.get(), again.get());  // shared, not rebuilt
+
+  const auto other = cache.plane(fb.system, fb.flight);
+  EXPECT_NE(other.get(), first.get());
+
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.planes, 2u);
+
+  // The shared plane is a fresh build, bit for bit.
+  const auto fresh = core::ForwardPlane::build(fa.system, fa.flight);
+  ASSERT_EQ(first->size(), fresh.size());
+  for (std::size_t i = 0; i < fresh.size(); ++i) {
+    EXPECT_EQ(first->h1[i], fresh.h1[i]) << i;
+    EXPECT_EQ(first->relay_tx_dbm[i], fresh.relay_tx_dbm[i]) << i;
+    EXPECT_EQ(first->embedded[i], fresh.embedded[i]) << i;
+  }
+}
+
+TEST(ForwardPlaneCache, KeyCoversSystemConfig) {
+  // Same flight, one changed config field the plane depends on: must miss
+  // and produce different hoists.
+  const auto f = make_fixture(12);
+  // Raise the downlink P1dB cap: the default link runs the amplifier deep
+  // into saturation, so the relay TX power sits at the cap and provably
+  // moves with it (a small-signal gain tweak would be invisible here).
+  core::SystemConfig tweaked;
+  tweaked.relay_downlink_p1db_dbm += 3.0;
+  core::RflySystem other(tweaked, channel::warehouse_environment(12.0, 10.0, 1),
+                         {1.0, 1.0, 1.0});
+  core::ForwardPlaneCache cache(4);
+  const auto a = cache.plane(f.system, f.flight);
+  const auto b = cache.plane(other, f.flight);
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_NE(a->relay_tx_dbm[0], b->relay_tx_dbm[0]);
+}
+
+TEST(ForwardPlaneCache, CapacityZeroDisablesRetention) {
+  const auto f = make_fixture(13);
+  core::ForwardPlaneCache cache(0);
+  const auto first = cache.plane(f.system, f.flight);
+  const auto again = cache.plane(f.system, f.flight);
+  EXPECT_NE(first.get(), again.get());  // both fresh, both correct
+  EXPECT_EQ(first->h1[0], again->h1[0]);
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.planes, 0u);
+}
+
+TEST(ForwardPlaneCache, FifoEvictionIsDeterministic) {
+  const auto fa = make_fixture(14);
+  const auto fb = make_fixture(15);
+  core::ForwardPlaneCache cache(1);
+  cache.plane(fa.system, fa.flight);  // retained
+  cache.plane(fb.system, fb.flight);  // evicts a (FIFO, capacity 1)
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().planes, 1u);
+  cache.plane(fa.system, fa.flight);  // miss again, rebuilt
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits, 0u);
+  EXPECT_EQ(s.misses, 3u);
+  EXPECT_EQ(s.evictions, 2u);
+}
+
+TEST(ForwardPlaneCache, ConcurrentHammerStaysCorrect) {
+  // Racing lookups over few keys with eviction churn: the mutex keeps the
+  // shelf coherent (TSAN verifies), and every plane handed out matches a
+  // fresh build bitwise even after its entry was evicted (shared_ptr keeps
+  // it alive).
+  std::vector<Fixture> fixtures;
+  for (std::uint64_t k = 0; k < 4; ++k) fixtures.push_back(make_fixture(20 + k));
+  std::vector<core::ForwardPlane> fresh;
+  for (const auto& f : fixtures)
+    fresh.push_back(core::ForwardPlane::build(f.system, f.flight));
+
+  core::ForwardPlaneCache cache(2);
+  std::vector<std::thread> workers;
+  std::vector<int> failures(8, 0);
+  for (int t = 0; t < 8; ++t) {
+    workers.emplace_back([&, t] {
+      for (int i = 0; i < 50; ++i) {
+        const std::size_t k = static_cast<std::size_t>((t + i) % 4);
+        const auto plane = cache.plane(fixtures[k].system, fixtures[k].flight);
+        for (std::size_t j = 0; j < plane->size(); ++j) {
+          if (plane->h1[j] != fresh[k].h1[j] ||
+              plane->relay_tx_mw[j] != fresh[k].relay_tx_mw[j]) {
+            ++failures[static_cast<std::size_t>(t)];
+          }
+        }
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  for (int t = 0; t < 8; ++t) EXPECT_EQ(failures[static_cast<std::size_t>(t)], 0) << t;
+  const auto s = cache.stats();
+  EXPECT_EQ(s.hits + s.misses, 8u * 50u);
+}
+
+TEST(ForwardPlaneCache, ChannelEvalsCountOncePerBuild) {
+  if (!obs::kEnabled) GTEST_SKIP() << "obs compiled out";
+  const auto f = make_fixture(30);
+  auto& evals = obs::counter("measure.plane.channel_evals");
+  auto& builds = obs::counter("measure.plane.builds");
+  const std::uint64_t evals_before = evals.value();
+  const std::uint64_t builds_before = builds.value();
+
+  core::ForwardPlaneCache cache(4);
+  cache.plane(f.system, f.flight);  // build: one eval per waypoint
+  cache.plane(f.system, f.flight);  // hit: no evals
+  cache.plane(f.system, f.flight);  // hit: no evals
+  EXPECT_EQ(evals.value() - evals_before, f.flight.size());
+  EXPECT_EQ(builds.value() - builds_before, 1u);
+}
+
+// --- Scenario knob -------------------------------------------------------
+
+TEST(MeasurePlaneKnob, NamesParseAndResolve) {
+  using core::MeasurePlane;
+  EXPECT_STREQ(core::measure_plane_name(MeasurePlane::kOff), "off");
+  EXPECT_STREQ(core::measure_plane_name(MeasurePlane::kExact), "exact");
+  EXPECT_STREQ(core::measure_plane_name(MeasurePlane::kFast), "fast");
+  EXPECT_STREQ(core::measure_plane_name(MeasurePlane::kAuto), "auto");
+
+  MeasurePlane mode = MeasurePlane::kOff;
+  EXPECT_TRUE(core::parse_measure_plane("fast", mode));
+  EXPECT_EQ(mode, MeasurePlane::kFast);
+  EXPECT_TRUE(core::parse_measure_plane("auto", mode));
+  EXPECT_EQ(mode, MeasurePlane::kAuto);
+  EXPECT_FALSE(core::parse_measure_plane("Fast", mode));
+  EXPECT_FALSE(core::parse_measure_plane("", mode));
+  EXPECT_EQ(mode, MeasurePlane::kAuto);  // failed parse leaves `out` alone
+
+  // auto must resolve to exact: the default pipeline stays bit-identical.
+  EXPECT_EQ(core::resolve_measure_plane(MeasurePlane::kAuto), MeasurePlane::kExact);
+  EXPECT_EQ(core::resolve_measure_plane(MeasurePlane::kOff), MeasurePlane::kOff);
+  EXPECT_EQ(core::resolve_measure_plane(MeasurePlane::kExact), MeasurePlane::kExact);
+  EXPECT_EQ(core::resolve_measure_plane(MeasurePlane::kFast), MeasurePlane::kFast);
+}
+
+TEST(MeasurePlaneKnob, ScenarioRoundTripsAndOverrides) {
+  auto scenario = *sim::preset("building");
+  EXPECT_EQ(scenario.measure_plane, core::MeasurePlane::kAuto);
+  ASSERT_TRUE(
+      sim::apply_override(scenario, "measure.plane", "fast").is_ok());
+  EXPECT_EQ(scenario.measure_plane, core::MeasurePlane::kFast);
+  const std::string text = sim::serialize(scenario);
+  EXPECT_NE(text.find("measure.plane = fast"), std::string::npos);
+  const auto parsed = sim::parse_scenario(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed.value().measure_plane, core::MeasurePlane::kFast);
+  EXPECT_FALSE(
+      sim::apply_override(scenario, "measure.plane", "bogus").is_ok());
+}
+
+// --- Legacy wrapper counter ----------------------------------------------
+
+TEST(CollectMeasurements, LegacyWrapperCountsSwallowedFailures) {
+  const auto f = make_fixture(31);
+  auto& failures = obs::counter("measure.synth.failures");
+  const std::uint64_t before = failures.value();
+  Rng rng(1);
+  const auto set = f.system.collect_measurements({}, f.tags[0], rng);
+  EXPECT_TRUE(set.empty());
+  if (obs::kEnabled) {
+    EXPECT_EQ(failures.value() - before, 1u);
+  }
+}
+
+// --- Full-mission parity matrix ------------------------------------------
+
+void expect_reports_identical(const core::ScanReport& a, const core::ScanReport& b) {
+  EXPECT_EQ(a.discovered, b.discovered);
+  EXPECT_EQ(a.localized, b.localized);
+  ASSERT_EQ(a.items.size(), b.items.size());
+  for (std::size_t i = 0; i < a.items.size(); ++i) {
+    EXPECT_EQ(a.items[i].discovered, b.items[i].discovered) << "item " << i;
+    EXPECT_EQ(a.items[i].localized, b.items[i].localized) << "item " << i;
+    EXPECT_EQ(a.items[i].measurements, b.items[i].measurements) << "item " << i;
+    EXPECT_EQ(a.items[i].estimate.x, b.items[i].estimate.x) << "item " << i;
+    EXPECT_EQ(a.items[i].estimate.y, b.items[i].estimate.y) << "item " << i;
+    EXPECT_EQ(a.items[i].status.code(), b.items[i].status.code()) << "item " << i;
+    EXPECT_EQ(a.items[i].status.to_string(), b.items[i].status.to_string())
+        << "item " << i;
+  }
+}
+
+void expect_results_identical(const std::vector<sim::BatchResult>& a,
+                              const std::vector<sim::BatchResult>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].seed, b[i].seed) << "job " << i;
+    EXPECT_EQ(a[i].status.to_string(), b[i].status.to_string()) << "job " << i;
+    if (!a[i].status.is_ok()) continue;
+    EXPECT_EQ(a[i].run.health.to_string(), b[i].run.health.to_string())
+        << "job " << i;
+    EXPECT_EQ(a[i].run.aperture_coverage, b[i].run.aperture_coverage)
+        << "job " << i;
+    expect_reports_identical(a[i].run.report, b[i].run.report);
+  }
+}
+
+sim::Scenario matrix_scenario() {
+  auto scenario = *sim::preset("building");
+  scenario.grid_resolution_m = 0.05;  // parity is resolution-independent
+  return scenario;
+}
+
+void clear_measure_caches() {
+  localize::global_geometry_cache().clear();
+  core::global_forward_plane_cache().clear();
+}
+
+struct MeasureMatrixCase {
+  unsigned threads;
+  sim::BatchMode mode;
+  bool faults;
+};
+
+class ExactPlaneMatrix : public ::testing::TestWithParam<MeasureMatrixCase> {};
+
+TEST_P(ExactPlaneMatrix, BitIdenticalToScalarCollect) {
+  const MeasureMatrixCase c = GetParam();
+  sim::Scenario on = matrix_scenario();
+  on.measure_plane = core::MeasurePlane::kExact;
+  sim::Scenario off = matrix_scenario();
+  off.measure_plane = core::MeasurePlane::kOff;
+  if (c.faults) {
+    on.faults.dropout = 0.2;
+    off.faults.dropout = 0.2;
+  }
+  const std::vector<sim::BatchJob> jobs_on{{on, 11}, {on, 12}, {on, 11}};
+  const std::vector<sim::BatchJob> jobs_off{{off, 11}, {off, 12}, {off, 11}};
+
+  clear_measure_caches();
+  const auto with_plane = sim::run_batch(jobs_on, {c.threads, c.mode});
+  clear_measure_caches();
+  const auto without = sim::run_batch(jobs_off, {c.threads, c.mode});
+  expect_results_identical(with_plane, without);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, ExactPlaneMatrix,
+    ::testing::ValuesIn([] {
+      std::vector<MeasureMatrixCase> cases;
+      for (unsigned threads : {1u, 2u, 8u}) {
+        for (sim::BatchMode mode :
+             {sim::BatchMode::kBatched, sim::BatchMode::kPerMission}) {
+          for (bool faults : {false, true}) {
+            cases.push_back({threads, mode, faults});
+          }
+        }
+      }
+      return cases;
+    }()));
+
+TEST(ExactPlaneMatrix, WarmCacheIsBitIdenticalAndDeterministic) {
+  const auto jobs = std::vector<sim::BatchJob>(3, {matrix_scenario(), 31});
+
+  clear_measure_caches();
+  sim::BatchRunInfo cold_info;
+  const auto cold = sim::run_batch(jobs, {2, sim::BatchMode::kBatched}, &cold_info);
+  // Same scenario + seed = same flight: one build, then hits.
+  EXPECT_EQ(cold_info.forward_plane_misses, 1u);
+  EXPECT_EQ(cold_info.forward_plane_hits, 2u);
+
+  sim::BatchRunInfo warm_info;
+  const auto warm = sim::run_batch(jobs, {2, sim::BatchMode::kBatched}, &warm_info);
+  EXPECT_EQ(warm_info.forward_plane_misses, 0u);
+  EXPECT_EQ(warm_info.forward_plane_hits, 3u);
+  expect_results_identical(cold, warm);
+
+  // Per-mission mode reports plane stats too (the pipeline always uses the
+  // plane cache when the knob is on).
+  clear_measure_caches();
+  sim::BatchRunInfo per_mission_info;
+  const auto per_mission =
+      sim::run_batch(jobs, {2, sim::BatchMode::kPerMission}, &per_mission_info);
+  EXPECT_EQ(per_mission_info.forward_plane_misses, 1u);
+  EXPECT_EQ(per_mission_info.forward_plane_hits, 2u);
+  expect_results_identical(cold, per_mission);
+
+  // Restore the default retention bounds for whatever runs next.
+  core::global_forward_plane_cache().set_capacity(
+      core::ForwardPlaneCache::kDefaultCapacity);
+  localize::global_geometry_cache().set_capacity(
+      localize::GeometryCache::kDefaultCapacity);
+}
+
+TEST(FastPlaneMission, TracksExactReportClosely) {
+  // Fast mode is not bit-identical, but on a real mission it must agree on
+  // the discovery/localization outcome and land estimates within a small
+  // fraction of the grid resolution.
+  sim::Scenario exact = matrix_scenario();
+  exact.measure_plane = core::MeasurePlane::kExact;
+  sim::Scenario fast = matrix_scenario();
+  fast.measure_plane = core::MeasurePlane::kFast;
+
+  clear_measure_caches();
+  const auto a = sim::run_scenario(exact, 11);
+  clear_measure_caches();
+  const auto b = sim::run_scenario(fast, 11);
+  ASSERT_TRUE(a.ok()) << a.status().to_string();
+  ASSERT_TRUE(b.ok()) << b.status().to_string();
+  const auto& ra = a.value().report;
+  const auto& rb = b.value().report;
+  EXPECT_EQ(ra.discovered, rb.discovered);
+  EXPECT_EQ(ra.localized, rb.localized);
+  ASSERT_EQ(ra.items.size(), rb.items.size());
+  for (std::size_t i = 0; i < ra.items.size(); ++i) {
+    EXPECT_EQ(ra.items[i].localized, rb.items[i].localized) << "item " << i;
+    EXPECT_EQ(ra.items[i].measurements, rb.items[i].measurements) << "item " << i;
+    if (!ra.items[i].localized) continue;
+    EXPECT_NEAR(ra.items[i].estimate.x, rb.items[i].estimate.x, 0.2) << "item " << i;
+    EXPECT_NEAR(ra.items[i].estimate.y, rb.items[i].estimate.y, 0.2) << "item " << i;
+  }
+}
+
+}  // namespace
+}  // namespace rfly
