@@ -32,8 +32,12 @@ ChainBudget evaluate_chain(const DaisyChainConfig& config,
     const cdouble h =
         channel::point_to_point_channel(env, prev, relay_positions[hop], freq, gains);
     // Eq. 3: each hop's path loss must stay under the relay's isolation.
-    if (channel::free_space_path_loss_db(prev.distance_to(relay_positions[hop]),
-                                         freq) > config.stability_isolation_db) {
+    // Derived from the same environment-aware channel the budget uses —
+    // antenna gains backed out of |h| — so a through-wall hop pays the
+    // wall's transmission loss here too (free space reduces to FSPL).
+    const double hop_path_loss_db =
+        gains.tx_gain_dbi + gains.rx_gain_dbi - amplitude_to_db(std::abs(h));
+    if (hop_path_loss_db > config.stability_isolation_db) {
       budget.stable = false;
     }
     const double rx_dbm = carrier_dbm + amplitude_to_db(std::abs(h));
@@ -87,11 +91,8 @@ double chain_read_range_m(const DaisyChainConfig& config, int n_relays,
                           double relay_tag_distance_m, unsigned threads) {
   const channel::Environment env;  // free space
   const Vec3 reader_pos{0.0, 0.0, 1.0};
-  const double d_step = 2.0;
-  const std::size_t n_candidates = 1000;  // d in [2, 2000]
 
-  const auto reads_at = [&](std::size_t i) {
-    const double d = d_step * static_cast<double>(i + 1);
+  const auto reads_at = [&](double d) {
     // Relays spaced evenly along the line, the last one near the tag.
     std::vector<Vec3> relays;
     const double usable = std::max(1.0, d - relay_tag_distance_m);
@@ -104,37 +105,58 @@ double chain_read_range_m(const DaisyChainConfig& config, int n_relays,
     return budget.stable && budget.tag_powered && budget.decodable;
   };
 
-  if (threads <= 1) {
-    // Lazy serial sweep: stops at the first failure past a success.
-    double best = 0.0;
-    for (std::size_t i = 0; i < n_candidates; ++i) {
-      if (reads_at(i)) {
-        best = d_step * static_cast<double>(i + 1);
-      } else if (best > 0.0) {
-        break;  // range is contiguous; the first failure past success ends it
+  // Windowed geometric sweep (see header): window 0 reproduces the
+  // historical grid (1000 candidates, 2 m step, d in (0, 2000]); while the
+  // readable range is still open at a window's end the sweep opens the next
+  // window from there with the step doubled, stopping at the explicit
+  // ceiling instead of silently capping. The serial and parallel paths
+  // evaluate identical candidate sets per window and apply the same
+  // contiguous-range rule, so they return the same answer.
+  constexpr std::size_t kWindow = 1000;
+  double best = 0.0;
+  double window_start = 0.0;
+  double step = 2.0;
+  while (window_start < kChainRangeCeilingM) {
+    const auto candidate = [&](std::size_t i) {
+      return window_start + step * static_cast<double>(i + 1);
+    };
+    bool closed = false;  // a failure past a success ends the range
+    if (threads <= 1) {
+      // Lazy serial sweep: stops at the first failure past a success.
+      for (std::size_t i = 0; i < kWindow; ++i) {
+        if (reads_at(candidate(i))) {
+          best = candidate(i);
+        } else if (best > 0.0) {
+          closed = true;
+          break;
+        }
+      }
+    } else {
+      // Parallel sweep: every candidate budget is independent, so evaluate
+      // the window on the pool, then apply the identical rule.
+      std::vector<char> ok(kWindow, 0);
+      parallel_for(
+          0, kWindow, 16,
+          [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i)
+              ok[i] = reads_at(candidate(i)) ? 1 : 0;
+          },
+          threads);
+      for (std::size_t i = 0; i < kWindow; ++i) {
+        if (ok[i]) {
+          best = candidate(i);
+        } else if (best > 0.0) {
+          closed = true;
+          break;
+        }
       }
     }
-    return best;
+    if (closed || best == 0.0) break;  // range resolved, or nothing readable
+    if (best < candidate(kWindow - 1)) break;  // range closed at the window edge
+    window_start = best;
+    step *= 2.0;
   }
-
-  // Parallel sweep: every candidate budget is independent, so evaluate them
-  // all on the pool, then apply the identical contiguous-range rule.
-  std::vector<char> ok(n_candidates, 0);
-  parallel_for(
-      0, n_candidates, 16,
-      [&](std::size_t begin, std::size_t end) {
-        for (std::size_t i = begin; i < end; ++i) ok[i] = reads_at(i) ? 1 : 0;
-      },
-      threads);
-  double best = 0.0;
-  for (std::size_t i = 0; i < n_candidates; ++i) {
-    if (ok[i]) {
-      best = d_step * static_cast<double>(i + 1);
-    } else if (best > 0.0) {
-      break;
-    }
-  }
-  return best;
+  return std::min(best, kChainRangeCeilingM);
 }
 
 }  // namespace rfly::core

@@ -8,6 +8,18 @@
 // to future work): the relays are assumed tuned per the single-relay
 // stability rules, and the interesting question — how range scales with
 // hop count — is a link-budget question this module answers.
+//
+// Antenna-gain convention (identical to RflySystem, so the two models
+// coincide at hop count 1): reader-side antenna gains live OUTSIDE
+// LinkGains. `reader_eirp_dbm` already includes the reader's transmit
+// antenna, so the first downlink hop carries tx_gain 0.0; symmetrically,
+// the reply adds `reader_rx_gain_dbi` at the reader rather than as the
+// final uplink hop's rx gain. Relay and tag antennas ride inside LinkGains
+// on their own hops. With one relay and per_hop_shift_hz == freq_shift_hz,
+// evaluate_chain's downlink is the same expression tree as
+// RflySystem::tag_incident_power_dbm and its uplink matches reply_snr_db
+// through channel reciprocity — pinned to 1e-9 dB by the
+// SingleRelayMatchesSystemModel test.
 #pragma once
 
 #include <vector>
@@ -47,11 +59,23 @@ ChainBudget evaluate_chain(const DaisyChainConfig& config,
                            const std::vector<Vec3>& relay_positions,
                            const Vec3& tag_pos);
 
+/// Hard ceiling of the chain_read_range_m sweep. The sweep grows its
+/// candidate window geometrically, so a return value below this bound is a
+/// resolved range; a return value equal to it means the chain out-ranged
+/// the sweep (explicit saturation, never silent).
+inline constexpr double kChainRangeCeilingM = 1.048576e6;  // 2^20 m
+
 /// Maximum reader-tag distance at which a straight-line chain of
 /// `n_relays` (evenly spaced, last one `relay_tag_distance` short of the
 /// tag) still reads the tag. Free-space geometry.
+///
+/// The sweep is windowed and geometric: window 0 is the historical grid
+/// (1000 candidates, 2 m apart, d in (0, 2000]); while the readable range
+/// is still open at a window's end, the next window starts there with the
+/// step doubled, up to kChainRangeCeilingM. Long chains therefore resolve
+/// past 2 km instead of silently reporting 2000.0.
 /// `threads`: 0/1 = the lazy serial sweep with early exit; n > 1 evaluates
-/// all candidate distances on the shared pool (each budget is independent)
+/// each window's candidates on the shared pool (each budget is independent)
 /// and applies the same contiguous-range rule, returning the same answer.
 double chain_read_range_m(const DaisyChainConfig& config, int n_relays,
                           double relay_tag_distance_m = 2.0,

@@ -1,0 +1,25 @@
+#include "drone/energy.h"
+
+namespace rfly::drone {
+
+double travel_energy_j(const EnergyModel& model, double distance_m) {
+  return distance_m / model.speed_mps * model.travel_power_w;
+}
+
+double travel_energy_j(const EnergyModel& model, const Vec3& a, const Vec3& b) {
+  return travel_energy_j(model, a.distance_to(b));
+}
+
+double dwell_energy_j(const EnergyModel& model) {
+  return model.dwell_s * model.hover_power_w;
+}
+
+EnergyModel with_wind(const EnergyModel& model, double wind_sigma_m) {
+  EnergyModel windy = model;
+  const double factor = 1.0 + model.wind_drag_per_m * wind_sigma_m;
+  windy.hover_power_w *= factor;
+  windy.travel_power_w *= factor;
+  return windy;
+}
+
+}  // namespace rfly::drone

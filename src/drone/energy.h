@@ -1,0 +1,42 @@
+// Drone energy model for battery-budgeted missions: a relay drone spends
+// hover power while dwelling at a waypoint to capture measurements and
+// travel power while moving between waypoints. Deliberately first-order
+// (constant powers, constant cruise speed) — what a trajectory planner
+// needs to trade aperture samples against joules, in the spirit of the
+// energy-aware UAV-relay trajectory literature (arXiv 2401.12107).
+#pragma once
+
+#include "channel/geometry.h"
+
+namespace rfly::drone {
+
+using channel::Vec3;
+
+struct EnergyModel {
+  /// Electrical power while station-keeping (hovering) at a waypoint [W].
+  double hover_power_w = 150.0;
+  /// Electrical power while translating between waypoints [W].
+  double travel_power_w = 200.0;
+  /// Cruise speed between waypoints [m/s].
+  double speed_mps = 2.0;
+  /// Dwell time per measurement waypoint [s] (one channel capture).
+  double dwell_s = 0.05;
+  /// Wind penalty: multiplies both powers by (1 + wind_drag_per_m *
+  /// wind_sigma_m) when the fault layer injects wind of that 1-sigma
+  /// magnitude — station-keeping and translation both fight the gusts.
+  double wind_drag_per_m = 2.0;
+};
+
+/// Energy to fly a straight segment from `a` to `b` at cruise speed [J].
+double travel_energy_j(const EnergyModel& model, const Vec3& a, const Vec3& b);
+
+/// Ditto for a known path length [m].
+double travel_energy_j(const EnergyModel& model, double distance_m);
+
+/// Energy of one measurement dwell [J].
+double dwell_energy_j(const EnergyModel& model);
+
+/// The model with the wind penalty applied (identity at sigma 0).
+EnergyModel with_wind(const EnergyModel& model, double wind_sigma_m);
+
+}  // namespace rfly::drone

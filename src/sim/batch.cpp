@@ -14,6 +14,7 @@
 #include "core/forward_plane.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/fleet.h"
 
 namespace rfly::sim {
 
@@ -451,10 +452,17 @@ std::vector<BatchResult> run_batch(const std::vector<BatchJob>& jobs,
           } else {
             const MissionInputs& inputs = group.inputs;
             std::vector<DeferredLocalize> tasks;
-            auto run = run_mission_pipeline(
-                inputs.config, inputs.environment, inputs.reader_position,
-                inputs.plan, inputs.tags, inputs.db, jobs[i].seed, inputs.faults,
-                batched ? &tasks : nullptr);
+            // Fleet jobs run whole (their sub-missions localize inline and
+            // never defer), so batched and per-mission modes are trivially
+            // bit-identical for them.
+            auto run =
+                inputs.fleet.enabled
+                    ? run_fleet_mission(inputs, jobs[i].seed)
+                    : run_mission_pipeline(inputs.config, inputs.environment,
+                                           inputs.reader_position, inputs.plan,
+                                           inputs.tags, inputs.db, jobs[i].seed,
+                                           inputs.faults,
+                                           batched ? &tasks : nullptr);
             if (!run) {
               out.status =
                   run.status()

@@ -1,0 +1,88 @@
+// Energy-aware trajectory planning for fleet missions: given the planned
+// waypoint lists of a chain's flight legs and a battery budget, select the
+// subset of waypoints the terminal relay actually dwells at. The greedy
+// planner maximizes aperture information per joule; the uniform baseline
+// dwells at every planned waypoint in order until the battery dies.
+//
+// Aperture information model (paper Section 5.2 + the SAR sampling
+// criterion): accuracy grows with aperture extent, and samples closer than
+// half a wavelength are redundant — so a selected waypoint contributes
+// min(gap to the previous selection along the path, lambda/2). Planned
+// waypoints denser than lambda/2 are therefore free information for the
+// greedy planner: it skips the redundant dwells and spends the saved joules
+// extending the aperture, which is exactly where it beats the baseline.
+//
+// Everything here is pure arithmetic on the inputs — no RNG, no global
+// state — so fleet plans are seed-, thread-count-, and batch-mode-
+// invariant by construction.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "channel/geometry.h"
+#include "drone/energy.h"
+
+namespace rfly::sim {
+
+enum class FleetPlanner : std::uint8_t {
+  kGreedy,   // information-per-joule waypoint selection
+  kUniform,  // dwell at every planned waypoint until the budget dies
+};
+
+/// Stable lower-case token ("greedy" / "uniform"), used by fleet.planner.
+const char* fleet_planner_name(FleetPlanner planner);
+bool parse_fleet_planner(const std::string& text, FleetPlanner& out);
+
+struct FleetPlanConfig {
+  FleetPlanner planner = FleetPlanner::kGreedy;
+  drone::EnergyModel energy{};
+  /// Battery budget [J]; 0 = unlimited (the route is never cut short —
+  /// though the greedy planner still skips redundant sub-cap dwells).
+  double battery_j = 0.0;
+  /// Wind 1-sigma from the fault layer (faults.wind_jitter_std_m). Nonzero
+  /// wind inflates both powers via drone::with_wind; the planner first
+  /// plans for calm air, then replans each leg whose selection the wind
+  /// penalty changes (the replanned selection is what flies).
+  double wind_sigma_m = 0.0;
+  /// Redundancy cap: samples closer than this along the path add no
+  /// aperture information (default lambda/2 at 915 MHz + 1 MHz shift).
+  double sample_cap_m = 0.1637;
+};
+
+/// One leg's planned waypoints (ordered along the leg).
+struct FleetPlanLeg {
+  std::vector<channel::Vec3> waypoints;
+};
+
+struct FleetPlan {
+  /// Selected waypoint indices into the concatenation of the legs'
+  /// waypoint lists, strictly increasing (flight order).
+  std::vector<std::size_t> selected;
+  /// Selected waypoint positions, in the same order.
+  std::vector<channel::Vec3> route;
+  double energy_spent_j = 0.0;
+  double battery_j = 0.0;  // echoed budget (0 = unlimited)
+  /// Aperture information of the selection / of the full plan, in meters
+  /// of well-sampled aperture (sum of capped gaps).
+  double covered_info_m = 0.0;
+  double planned_info_m = 0.0;
+  /// covered/planned (1 when the budget covers the whole plan).
+  double coverage = 1.0;
+  /// Legs whose selection the wind penalty changed (0 in calm air).
+  std::size_t replans = 0;
+  /// True when the budget ran out before the plan was covered.
+  bool exhausted = false;
+};
+
+/// Plan a chain's route. Energy accounting: travel along the planned
+/// polyline from the first selected waypoint to the last (skipped waypoints
+/// still cost their path segments — the drone flies past them), plus one
+/// dwell per selection; the ferry from the launch point to the first
+/// waypoint is out of scope. Deterministic; ties break toward the earlier
+/// waypoint.
+FleetPlan plan_fleet_route(const std::vector<FleetPlanLeg>& legs,
+                           const FleetPlanConfig& config);
+
+}  // namespace rfly::sim

@@ -9,6 +9,7 @@
 #include "drone/trajectory.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/fleet.h"
 
 namespace rfly::sim {
 
@@ -181,7 +182,8 @@ Expected<MissionRun> run_mission_pipeline(const core::ScanMissionConfig& config,
                                           const core::InventoryDatabase& database,
                                           std::uint64_t seed,
                                           const FaultConfig& faults,
-                                          std::vector<DeferredLocalize>* deferred) {
+                                          std::vector<DeferredLocalize>* deferred,
+                                          const InventoryOverride* inventory_override) {
   const auto mission_start = Clock::now();
   // total_seconds stays chrono-based (it predates the obs layer and must
   // keep reporting wall time even under RFLY_OBS=OFF); the span nests the
@@ -263,7 +265,15 @@ Expected<MissionRun> run_mission_pipeline(const core::ScanMissionConfig& config,
     item.description = database.lookup(item.epc);
 
     // --- inventory: Gen2 round at the closest approach. -----------------
-    {
+    if (inventory_override != nullptr) {
+      // Discovery already ran in a shared contention round outside this
+      // mission (the fleet's fleet-wide Gen2 round, sim/fleet.cpp): fold in
+      // its verdict. The mission Rng is untouched — the shared round draws
+      // from its own stream.
+      StageTimer timer(run.trace, Stage::kInventory);
+      item.discovered = i < inventory_override->discovered.size() &&
+                        inventory_override->discovered[i];
+    } else {
       StageTimer timer(run.trace, Stage::kInventory);
       // Closest approach drives the air-interface conditions for discovery.
       const auto closest = std::min_element(
@@ -289,10 +299,15 @@ Expected<MissionRun> run_mission_pipeline(const core::ScanMissionConfig& config,
           outcome.epcs.end();
     }
     if (!item.discovered) {
-      item.status = Status{StatusCode::kUndecodablePopulation,
-                           "tag answered no inventory round at its closest "
-                           "approach (unpowered or reply below decode SNR)"}
-                        .with_context("tag " + std::to_string(i));
+      item.status =
+          Status{StatusCode::kUndecodablePopulation,
+                 inventory_override != nullptr
+                     ? "tag answered no slot of the fleet's shared inventory "
+                       "round (unpowered, undecodable, or lost to cross-relay "
+                       "contention)"
+                     : "tag answered no inventory round at its closest "
+                       "approach (unpowered or reply below decode SNR)"}
+              .with_context("tag " + std::to_string(i));
       StageTimer timer(run.trace, Stage::kReport);
       run.report.items.push_back(std::move(item));
       continue;
@@ -519,9 +534,12 @@ MissionInputs materialize(const Scenario& scenario) {
   inputs.environment = scenario.environment.build();
   inputs.reader_position = scenario.reader_position;
   inputs.plan = flight_plan(scenario);
+  inputs.leg_sizes.reserve(scenario.legs.size());
+  for (const auto& leg : scenario.legs) inputs.leg_sizes.push_back(leg.points);
   inputs.tags = tag_placements(scenario);
   inputs.db = database(scenario);
   inputs.faults = scenario.faults;
+  inputs.fleet = scenario.fleet;
   inputs.scenario_name = scenario.name;
   return inputs;
 }
@@ -535,6 +553,10 @@ Expected<MissionRun> run_scenario(const Scenario& scenario, std::uint64_t seed) 
     return std::move(status).with_context("run_scenario");
   }
   const MissionInputs inputs = materialize(scenario);
+  if (inputs.fleet.enabled) {
+    return run_fleet_mission(inputs, seed)
+        .with_context("scenario '" + inputs.scenario_name + "'");
+  }
   return run_mission_pipeline(inputs.config, inputs.environment,
                               inputs.reader_position, inputs.plan, inputs.tags,
                               inputs.db, seed, inputs.faults)

@@ -71,6 +71,17 @@ struct DeferredLocalize {
   localize::LocalizerConfig config;
 };
 
+/// Discovery verdicts computed outside the pipeline: one entry per tag, in
+/// tag order. The fleet subsystem (sim/fleet.h) runs ONE shared Gen2
+/// contention round across every chain's tag population — relays share the
+/// inventory channel — and feeds each sub-mission the verdicts through
+/// this. When passed, the inventory stage does not touch the mission Rng
+/// (the shared round draws from its own seed-derived stream); everything
+/// downstream is unchanged.
+struct InventoryOverride {
+  std::vector<bool> discovered;
+};
+
 /// Run the staged mission. Mission-level errors (kEmptyFlightPlan,
 /// kEmptyPopulation, kDegenerateGrid for a margin that clips the whole
 /// search window) fail the whole run; per-item failures are recorded in
@@ -98,7 +109,8 @@ Expected<MissionRun> run_mission_pipeline(const core::ScanMissionConfig& config,
                                           const core::InventoryDatabase& database,
                                           std::uint64_t seed,
                                           const FaultConfig& faults = {},
-                                          std::vector<DeferredLocalize>* deferred = nullptr);
+                                          std::vector<DeferredLocalize>* deferred = nullptr,
+                                          const InventoryOverride* inventory_override = nullptr);
 
 /// Fold a deferred localize outcome back into its mission: marks the item
 /// localized (or records the failure with the same "tag N" context the
@@ -117,9 +129,14 @@ struct MissionInputs {
   channel::Environment environment;
   Vec3 reader_position;
   std::vector<Vec3> plan;
+  /// Waypoint count contributed by each flight leg, in order (sums to
+  /// plan.size()). The fleet subsystem partitions legs across chains;
+  /// single-relay missions ignore it.
+  std::vector<std::size_t> leg_sizes;
   std::vector<core::TagPlacement> tags;
   core::InventoryDatabase db;
   FaultConfig faults;
+  FleetSpec fleet;
   std::string scenario_name;
 };
 
@@ -128,7 +145,9 @@ struct MissionInputs {
 MissionInputs materialize(const Scenario& scenario);
 
 /// Validate + materialize a scenario and run it through the pipeline with
-/// the scenario's own seed and fault model.
+/// the scenario's own seed and fault model. Fleet scenarios
+/// (scenario.fleet.enabled) dispatch to run_fleet_mission (sim/fleet.h)
+/// instead of the single-relay pipeline.
 Expected<MissionRun> run_scenario(const Scenario& scenario);
 
 /// Same, with the seed overridden (sweeps reuse one parsed scenario).

@@ -299,6 +299,34 @@ const std::vector<FieldDef>& registry() {
                              [](Scenario& s) -> double& { return s.faults.embedded_loss; }));
     f.push_back(int_field("faults.max_attempts",
                           [](Scenario& s) -> int& { return s.faults.max_attempts; }));
+
+    f.push_back(bool_field("fleet.enabled",
+                           [](Scenario& s) -> bool& { return s.fleet.enabled; }));
+    f.push_back(int_field("fleet.n_relays",
+                          [](Scenario& s) -> int& { return s.fleet.n_relays; }));
+    f.push_back(double_field("fleet.per_hop_shift_hz",
+                             [](Scenario& s) -> double& { return s.fleet.per_hop_shift_hz; }));
+    f.push_back(double_field("fleet.stability_isolation_db",
+                             [](Scenario& s) -> double& { return s.fleet.stability_isolation_db; }));
+    f.push_back(double_field("fleet.relay_spacing_m",
+                             [](Scenario& s) -> double& { return s.fleet.relay_spacing_m; }));
+    f.push_back({"fleet.planner",
+                 [](const Scenario& s) {
+                   return std::string(fleet_planner_name(s.fleet.planner));
+                 },
+                 [](Scenario& s, const std::string& v) {
+                   return parse_fleet_planner(v, s.fleet.planner);
+                 }});
+    f.push_back(double_field("fleet.battery_j",
+                             [](Scenario& s) -> double& { return s.fleet.battery_j; }));
+    f.push_back(double_field("fleet.hover_power_w",
+                             [](Scenario& s) -> double& { return s.fleet.hover_power_w; }));
+    f.push_back(double_field("fleet.travel_power_w",
+                             [](Scenario& s) -> double& { return s.fleet.travel_power_w; }));
+    f.push_back(double_field("fleet.speed_mps",
+                             [](Scenario& s) -> double& { return s.fleet.speed_mps; }));
+    f.push_back(double_field("fleet.dwell_s",
+                             [](Scenario& s) -> double& { return s.fleet.dwell_s; }));
     return f;
   }();
   return fields;
@@ -346,6 +374,13 @@ bool set_tag(Scenario& scenario, const std::string& value) {
   }
   if (pos != std::string::npos) tag.description = trim(value.substr(pos));
   scenario.tags.push_back(tag);
+  return true;
+}
+
+bool set_fleet_reader(Scenario& scenario, const std::string& value) {
+  Vec3 position;
+  if (!parse_vec3(value, position)) return false;
+  scenario.fleet.readers.push_back(position);
   return true;
 }
 
@@ -462,6 +497,35 @@ Status validate(const Scenario& scenario) {
   if (scenario.faults.max_attempts < 1) {
     return invalid("faults.max_attempts must be >= 1");
   }
+  if (scenario.fleet.enabled) {
+    if (scenario.fleet.n_relays < 1) {
+      return invalid("fleet.n_relays must be >= 1");
+    }
+    if (!(scenario.fleet.per_hop_shift_hz > 0.0)) {
+      return invalid("fleet.per_hop_shift_hz must be positive");
+    }
+    if (!(scenario.fleet.stability_isolation_db > 0.0)) {
+      return invalid("fleet.stability_isolation_db must be positive");
+    }
+    if (!(scenario.fleet.relay_spacing_m > 0.0)) {
+      return invalid("fleet.relay_spacing_m must be positive");
+    }
+    if (scenario.fleet.battery_j < 0.0) {
+      return invalid("fleet.battery_j must be >= 0 (0 = unlimited)");
+    }
+    if (!(scenario.fleet.hover_power_w > 0.0) ||
+        !(scenario.fleet.travel_power_w > 0.0)) {
+      return invalid("fleet.hover_power_w / fleet.travel_power_w must be positive");
+    }
+    if (!(scenario.fleet.speed_mps > 0.0)) {
+      return invalid("fleet.speed_mps must be positive");
+    }
+    if (scenario.fleet.dwell_s < 0.0) {
+      return invalid("fleet.dwell_s must be >= 0");
+    }
+  } else if (!scenario.fleet.readers.empty()) {
+    return invalid("fleet.reader lines need fleet.enabled = true");
+  }
   return Status::ok();
 }
 
@@ -483,6 +547,9 @@ std::string serialize(const Scenario& scenario) {
     if (!tag.description.empty()) out += " " + tag.description;
     out += "\n";
   }
+  for (const auto& reader : scenario.fleet.readers) {
+    out += "fleet.reader = " + format_vec3(reader) + "\n";
+  }
   return out;
 }
 
@@ -494,7 +561,7 @@ Expected<Scenario> parse_scenario(const std::string& text) {
   // Scalar keys already assigned, with the line that set them. A duplicate
   // is a parse error (the old behavior silently kept the LAST value, so a
   // stale line at the top of a file invisibly lost to an edit at the
-  // bottom). `leg`/`tag` legitimately repeat — they append.
+  // bottom). `leg`/`tag`/`fleet.reader` legitimately repeat — they append.
   std::vector<std::pair<std::string, int>> assigned;
   while (std::getline(in, line)) {
     ++line_no;
@@ -508,7 +575,7 @@ Expected<Scenario> parse_scenario(const std::string& text) {
     }
     const std::string key = trim(stripped.substr(0, eq));
     const std::string value = trim(stripped.substr(eq + 1));
-    if (key != "leg" && key != "tag") {
+    if (key != "leg" && key != "tag" && key != "fleet.reader") {
       for (const auto& [seen_key, seen_line] : assigned) {
         if (seen_key == key) {
           return Status{StatusCode::kParseError,
@@ -557,6 +624,13 @@ Status apply_override(Scenario& scenario, const std::string& key,
     if (!set_tag(scenario, value)) {
       return {StatusCode::kParseError,
               "tag wants 'epc_index x y z [description]', got '" + value + "'"};
+    }
+    return Status::ok();
+  }
+  if (key == "fleet.reader") {
+    if (!set_fleet_reader(scenario, value)) {
+      return {StatusCode::kParseError,
+              "fleet.reader wants 'x y z', got '" + value + "'"};
     }
     return Status::ok();
   }
@@ -630,12 +704,48 @@ Scenario preset_through_wall() {
   return s;
 }
 
+Scenario preset_fleet_warehouse() {
+  Scenario s;
+  s.name = "fleet_warehouse";
+  s.seed = 29;
+  // The warehouse scanned by a relay fleet: two readers on opposite walls,
+  // each rooting a 2-relay daisy chain (one static hover relay bridging to
+  // the flying terminal relay), battery-budgeted so the planner matters.
+  // Coarser grid than the single-relay warehouse preset: this preset rides
+  // in the tier-1 smoke run, so it stays cheap.
+  s.environment = {EnvironmentKind::kWarehouse, 40.0, 30.0, 2, false, 0.0, -10.0, 10.0};
+  s.reader_position = {1.0, 15.0, 4.0};
+  s.grid_resolution_m = 0.05;
+  s.search_halfwidth_m = 2.0;
+  for (double aisle_y : {5.0, 15.0, 25.0}) {
+    s.legs.push_back({{6.0, aisle_y + 1.6, 1.2}, {34.0, aisle_y + 1.8, 1.2}, 90});
+  }
+  const char* names[] = {"pallet of drills",   "box of jackets", "solvent drums",
+                         "printer cartridges", "bike frames",    "copper spools",
+                         "server chassis",     "ceramic tiles",  "seed bags"};
+  Rng placement(13);
+  for (std::uint32_t i = 0; i < 9; ++i) {
+    const double aisle_y = 5.0 + 10.0 * static_cast<double>(i % 3);
+    const double x = 9.0 + 9.0 * static_cast<double>(i / 3) + placement.uniform(-1.0, 1.0);
+    const double y = aisle_y + placement.uniform(-1.0, 1.0);
+    s.tags.push_back({i, {x, y, 0.0}, names[i]});
+  }
+  s.fleet.enabled = true;
+  s.fleet.n_relays = 2;
+  s.fleet.relay_spacing_m = 12.0;
+  s.fleet.battery_j = 20000.0;
+  s.fleet.readers.push_back({1.0, 10.0, 4.0});
+  s.fleet.readers.push_back({39.0, 20.0, 4.0});
+  return s;
+}
+
 }  // namespace
 
 Expected<Scenario> preset(const std::string& name) {
   if (name == "building") return preset_building();
   if (name == "warehouse") return preset_warehouse();
   if (name == "through_wall") return preset_through_wall();
+  if (name == "fleet_warehouse") return preset_fleet_warehouse();
   std::string known;
   for (const auto& p : preset_names()) {
     if (!known.empty()) known += ", ";
@@ -646,7 +756,7 @@ Expected<Scenario> preset(const std::string& name) {
 }
 
 std::vector<std::string> preset_names() {
-  return {"building", "warehouse", "through_wall"};
+  return {"building", "warehouse", "through_wall", "fleet_warehouse"};
 }
 
 core::ScanMissionConfig mission_config(const Scenario& scenario) {

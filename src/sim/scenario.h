@@ -15,6 +15,7 @@
 #include "common/status.h"
 #include "core/scan_mission.h"
 #include "sim/faults.h"
+#include "sim/fleet_plan.h"
 
 namespace rfly::sim {
 
@@ -54,6 +55,32 @@ struct TagSpec {
   std::string description;
 };
 
+/// Fleet extension (`fleet.*` keys): daisy-chained relays and multiple
+/// readers. Each reader owns a chain of `n_relays` relays — static hover
+/// relays spaced `relay_spacing_m` apart toward the chain's aperture, plus
+/// the flying terminal relay — with a per-hop frequency plan stepping by
+/// `per_hop_shift_hz`. Legs and tags are partitioned to the nearest chain;
+/// the energy-aware planner (sim/fleet_plan.h) selects which planned
+/// waypoints each terminal relay dwells at under `battery_j`. Disabled
+/// (the default) leaves the scenario a plain single-relay mission.
+struct FleetSpec {
+  bool enabled = false;                 // fleet.enabled
+  int n_relays = 1;                     // fleet.n_relays (per chain, >= 1)
+  double per_hop_shift_hz = 1e6;        // fleet.per_hop_shift_hz
+  double stability_isolation_db = 64.0; // fleet.stability_isolation_db (Eq. 3)
+  double relay_spacing_m = 20.0;        // fleet.relay_spacing_m
+  FleetPlanner planner = FleetPlanner::kGreedy;  // fleet.planner
+  double battery_j = 0.0;               // fleet.battery_j (0 = unlimited)
+  double hover_power_w = 150.0;         // fleet.hover_power_w
+  double travel_power_w = 200.0;        // fleet.travel_power_w
+  double speed_mps = 2.0;               // fleet.speed_mps
+  double dwell_s = 0.05;                // fleet.dwell_s
+  /// Reader positions, one chain each (repeated `fleet.reader = x y z`
+  /// lines append, like `leg`/`tag`). Empty = one chain rooted at the
+  /// scenario's `reader_position`.
+  std::vector<Vec3> readers;
+};
+
 struct Scenario {
   std::string name = "unnamed";
   std::uint64_t seed = 1;
@@ -84,6 +111,11 @@ struct Scenario {
   /// Fault model (`faults.*` keys). All rates default to zero: a scenario
   /// without faults keys runs bit-identically to one predating the layer.
   FaultConfig faults{};
+
+  /// Fleet mode (`fleet.*` keys). Disabled by default: a scenario without
+  /// fleet keys runs the plain single-relay pipeline, bit-identically to
+  /// one predating the subsystem.
+  FleetSpec fleet{};
 };
 
 /// Reject inconsistent scenarios with an actionable message: empty flight
@@ -106,14 +138,17 @@ Expected<Scenario> parse_scenario(const std::string& text);
 Expected<Scenario> load_scenario_file(const std::string& path);
 
 /// Apply one `key=value` override (same keys as the serialized form;
-/// `leg = ...` and `tag = ...` append). Unknown key -> kNotFound.
+/// `leg = ...`, `tag = ...`, and `fleet.reader = ...` append). Unknown
+/// key -> kNotFound.
 Status apply_override(Scenario& scenario, const std::string& key,
                       const std::string& value);
 
 /// Named presets: "building" (the paper's 30x40 m research floor, one aisle
 /// of tags), "warehouse" (the warehouse-scan deployment: 2 steel shelf
 /// rows, 9 tagged items, 3-aisle lawnmower plan), "through_wall" (reader
-/// separated from the scanned aisle by a concrete wall).
+/// separated from the scanned aisle by a concrete wall), "fleet_warehouse"
+/// (the warehouse scanned by two 2-relay daisy chains under a battery
+/// budget — the fleet subsystem's end-to-end exemplar).
 Expected<Scenario> preset(const std::string& name);
 std::vector<std::string> preset_names();
 

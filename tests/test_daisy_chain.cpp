@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "channel/path_loss.h"
 #include "core/daisy_chain.h"
 
 namespace rfly::core {
@@ -7,6 +8,9 @@ namespace {
 
 TEST(DaisyChain, SingleRelayMatchesSystemModel) {
   DaisyChainConfig cfg;
+  // The models coincide exactly when the chain's one hop shift equals the
+  // system's relay shift (both default to 1 MHz — assert, don't assume).
+  ASSERT_EQ(cfg.per_hop_shift_hz, cfg.system.freq_shift_hz);
   const channel::Environment env;
   const Vec3 reader{0, 0, 1};
   const Vec3 relay{30, 0, 1};
@@ -14,9 +18,12 @@ TEST(DaisyChain, SingleRelayMatchesSystemModel) {
 
   const auto budget = evaluate_chain(cfg, env, reader, {relay}, tag);
   RflySystem system(cfg.system, env, reader);
+  // Hop-count-1 parity: same antenna-gain convention (reader gains outside
+  // LinkGains), same saturation expressions, reciprocal channels — the
+  // agreement is numerical noise, not half-a-dB of model drift.
   EXPECT_NEAR(budget.tag_incident_dbm, system.tag_incident_power_dbm(relay, tag),
-              0.5);
-  EXPECT_NEAR(budget.reply_snr_db, system.reply_snr_db(relay, tag), 0.5);
+              1e-9);
+  EXPECT_NEAR(budget.reply_snr_db, system.reply_snr_db(relay, tag), 1e-9);
 }
 
 TEST(DaisyChain, PoweredAndDecodableAtModerateRange) {
@@ -69,6 +76,34 @@ TEST(DaisyChain, HopGainsReportedPerHop) {
   }
 }
 
+TEST(DaisyChain, WalledHopViolatesStability) {
+  // Regression for the free-space stability bug: Eq. 3 used to be checked
+  // with free_space_path_loss_db while the budget itself went through the
+  // environment-aware channel, so a through-wall hop whose actual loss
+  // exceeded the isolation was still reported stable.
+  DaisyChainConfig cfg;
+  const Vec3 reader{0, 0, 1};
+  const Vec3 relay{30, 0, 1};
+  const Vec3 tag{32, 0, 0.5};
+
+  // 30 m of free space is ~61 dB — inside the 64 dB isolation, so the old
+  // check always said stable here regardless of the environment.
+  ASSERT_LT(channel::free_space_path_loss_db(reader.distance_to(relay),
+                                             cfg.system.carrier_hz),
+            cfg.stability_isolation_db);
+
+  const auto open =
+      evaluate_chain(cfg, channel::Environment{}, reader, {relay}, tag);
+  EXPECT_TRUE(open.stable);
+
+  // A concrete wall across the hop adds ~12 dB one-pass loss: the power
+  // actually arriving at the relay is ~73 dB down, past the isolation.
+  channel::Environment walled;
+  walled.add_obstacle({{{15, -5}, {15, 5}}, channel::concrete()});
+  const auto thru = evaluate_chain(cfg, walled, reader, {relay}, tag);
+  EXPECT_FALSE(thru.stable);
+}
+
 TEST(DaisyChain, WallsReduceTheBudget) {
   DaisyChainConfig cfg;
   channel::Environment walled;
@@ -78,6 +113,48 @@ TEST(DaisyChain, WallsReduceTheBudget) {
   const auto thru = evaluate_chain(cfg, walled, {0, 0, 1}, {{20, 0, 1}},
                                    {22, 0, 0.5});
   EXPECT_LT(thru.reply_snr_db, open.reply_snr_db);
+}
+
+// A chain tuned for long haul: downlink/uplink gains near the hop loss and
+// relays with strong isolation, so the readable range runs well past the
+// old sweep's silent 2000 m cap. Exercises the geometric windows.
+DaisyChainConfig long_haul_config() {
+  DaisyChainConfig cfg;
+  cfg.system.relay_downlink_gain_db = 100.0;
+  cfg.system.relay_uplink_gain_db = 95.0;
+  cfg.stability_isolation_db = 110.0;
+  return cfg;
+}
+
+TEST(DaisyChain, HighGainChainResolvesPastOldCap) {
+  // Regression for the silent-saturation bug: the sweep was hard-capped at
+  // d in [2, 2000], so this chain used to return exactly 2000.0 —
+  // indistinguishable from a true 2000 m range.
+  const double range = chain_read_range_m(long_haul_config(), 4);
+  EXPECT_GT(range, 2000.0);
+  EXPECT_LT(range, kChainRangeCeilingM);  // resolved, not saturated
+}
+
+TEST(DaisyChain, RangeSerialParallelParityMatrix) {
+  // The parallel sweep must return bit-identical ranges to the lazy serial
+  // one, including for configs whose range crosses into later windows.
+  DaisyChainConfig near_cfg;
+  near_cfg.system.relay_uplink_gain_db = 54.0;
+  for (int n_relays = 1; n_relays <= 4; ++n_relays) {
+    const double serial = chain_read_range_m(near_cfg, n_relays);
+    for (unsigned threads : {2u, 8u}) {
+      EXPECT_EQ(serial, chain_read_range_m(near_cfg, n_relays, 2.0, threads))
+          << "n_relays=" << n_relays << " threads=" << threads;
+    }
+  }
+  // Non-trivially-saturating config: range past the first window.
+  const DaisyChainConfig far_cfg = long_haul_config();
+  const double serial = chain_read_range_m(far_cfg, 4);
+  EXPECT_GT(serial, 2000.0);
+  for (unsigned threads : {2u, 8u}) {
+    EXPECT_EQ(serial, chain_read_range_m(far_cfg, 4, 2.0, threads))
+        << "threads=" << threads;
+  }
 }
 
 }  // namespace
